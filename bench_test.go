@@ -1,0 +1,106 @@
+// Package dichotomy's top-level benchmarks regenerate each of the paper's
+// tables and figures as testing.B benchmarks:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the same rows as `dichotomy-bench <figure>` to
+// stderr and reports committed-transaction throughput where meaningful.
+// They run at the quick scale; use the command for paper-scale sweeps.
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"dichotomy/internal/experiments"
+)
+
+// benchScale keeps testing.B iterations fast while exercising the full
+// pipeline of every experiment.
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.Records = 500
+	sc.Accounts = 500
+	sc.Duration = 800 * time.Millisecond
+	sc.Warmup = 200 * time.Millisecond
+	return sc
+}
+
+func runOnce(b *testing.B, fn func()) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+}
+
+func BenchmarkFig4PeakThroughput(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig4(os.Stderr, sc) })
+}
+
+func BenchmarkFig5UnsaturatedLatency(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig5(os.Stderr, sc) })
+}
+
+func BenchmarkFig6Smallbank(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig6(os.Stderr, sc) })
+}
+
+func BenchmarkFig7RaftVsIBFT(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig7(os.Stderr, sc, []int{1}) })
+}
+
+func BenchmarkFig8LatencyBreakdown(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig8(os.Stderr, sc) })
+}
+
+func BenchmarkTable4Scalability(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Table4(os.Stderr, sc, []int{3, 5}) })
+}
+
+func BenchmarkTable5TiDBGrid(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Table5(os.Stderr, sc, []int{1, 3}) })
+}
+
+func BenchmarkFig9Skew(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig9(os.Stderr, sc, []float64{0, 1}) })
+}
+
+func BenchmarkFig10OpsPerTxn(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig10(os.Stderr, sc, []int{1, 8}) })
+}
+
+func BenchmarkFig11RecordSize(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig11(os.Stderr, sc, []int{10, 5000}) })
+}
+
+func BenchmarkFig12StorageBreakdown(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig12(os.Stderr, sc, []int{100, 1000}) })
+}
+
+func BenchmarkFig13TamperEvidence(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig13(os.Stderr, sc, []int{10, 100, 1000}) })
+}
+
+func BenchmarkFig14Sharding(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig14(os.Stderr, sc, []int{1, 2}) })
+}
+
+func BenchmarkFig15HybridFramework(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Fig15(os.Stderr, sc) })
+}

@@ -1,0 +1,89 @@
+// Command dichotomy-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dichotomy-bench [-full] <experiment> [experiment...]
+//	dichotomy-bench all
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 fig15 table4 table5.
+//
+// -full approaches the paper's parameters (100K records, 10s windows,
+// large sweeps); the default quick scale finishes the whole suite in
+// minutes and preserves every qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dichotomy/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5\n")
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := experiments.Quick()
+	var (
+		fs     = []int{1, 2}
+		nodes  = []int{3, 7, 11}
+		grid   = []int{1, 3, 5}
+		thetas = []float64{0, 0.6, 1.0}
+		ops    = []int{1, 4, 10}
+		sizes  = []int{10, 100, 1000, 5000}
+		shards = []int{1, 2, 4}
+	)
+	if *full {
+		sc = experiments.Full()
+		fs = []int{1, 2, 3, 4, 5, 6}
+		nodes = []int{3, 7, 11, 15, 19}
+		grid = []int{3, 7, 11, 15, 19}
+		thetas = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+		ops = []int{1, 2, 4, 6, 8, 10}
+		shards = []int{1, 2, 4, 8, 16}
+	}
+
+	runners := map[string]func(){
+		"fig4":   func() { experiments.Fig4(os.Stdout, sc) },
+		"fig5":   func() { experiments.Fig5(os.Stdout, sc) },
+		"fig6":   func() { experiments.Fig6(os.Stdout, sc) },
+		"fig7":   func() { experiments.Fig7(os.Stdout, sc, fs) },
+		"fig8":   func() { experiments.Fig8(os.Stdout, sc) },
+		"fig9":   func() { experiments.Fig9(os.Stdout, sc, thetas) },
+		"fig10":  func() { experiments.Fig10(os.Stdout, sc, ops) },
+		"fig11":  func() { experiments.Fig11(os.Stdout, sc, sizes) },
+		"fig12":  func() { experiments.Fig12(os.Stdout, sc, sizes) },
+		"fig13":  func() { experiments.Fig13(os.Stdout, sc, sizes) },
+		"fig14":  func() { experiments.Fig14(os.Stdout, sc, shards) },
+		"fig15":  func() { experiments.Fig15(os.Stdout, sc) },
+		"table4": func() { experiments.Table4(os.Stdout, sc, nodes) },
+		"table5": func() { experiments.Table5(os.Stdout, sc, grid) },
+	}
+	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+
+	args := flag.Args()
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	start := time.Now()
+	for _, name := range args {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		run()
+	}
+	fmt.Printf("\ncompleted %d experiment(s) in %v\n", len(args), time.Since(start).Round(time.Millisecond))
+}

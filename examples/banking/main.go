@@ -1,0 +1,59 @@
+// Banking: run the Smallbank OLTP mix on a blockchain (Fabric) and a
+// NewSQL database (TiDB) side by side — the paper's Fig 6 scenario where
+// contention and constraints shrink the famous performance gap.
+//
+//	go run ./examples/banking
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dichotomy/internal/bench"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/fabric"
+	"dichotomy/internal/system/tidb"
+	"dichotomy/internal/workload/smallbank"
+)
+
+func main() {
+	const accounts = 1000
+	client := cryptoutil.MustNewSigner("teller")
+	cfg := smallbank.Config{Accounts: accounts, Theta: 1, InitialBalance: 10_000}
+
+	fab, err := fabric.New(fabric.Config{Peers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fab.RegisterClient(client.Name(), client.Public())
+	td := tidb.New(tidb.Config{Servers: 2, StorageNodes: 3})
+
+	for _, sys := range []system.System{fab, td} {
+		load, err := cfg.LoadTxs(client)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.Preload(sys, load, 16); err != nil {
+			log.Fatalf("%s: preload: %v", sys.Name(), err)
+		}
+		sources := make([]bench.TxSource, 16)
+		for i := range sources {
+			c := cfg
+			c.Seed = int64(i + 1)
+			gen := smallbank.NewGenerator(c, client)
+			sources[i] = bench.FuncSource(gen.Next)
+		}
+		r := bench.Run(sys, sources, bench.Options{
+			Workers:  16,
+			Duration: 2 * time.Second,
+			Warmup:   500 * time.Millisecond,
+		})
+		fmt.Printf("%-8s  %8.0f tps   %5.1f%% aborts   p50 %v\n",
+			sys.Name(), r.TPS, r.AbortRate(), r.Latency.P50)
+		sys.Close()
+	}
+	fmt.Println("\nUnder a skewed, constrained OLTP mix the database's lead over")
+	fmt.Println("the blockchain shrinks dramatically — the paper's Fig 6 finding.")
+}

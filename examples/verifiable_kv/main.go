@@ -1,0 +1,80 @@
+// Verifiable KV: build a verifiable shared database from the hybrid
+// toolkit — the Veritas-like prototype (storage-based replication over a
+// CFT shared log) — and demonstrate both its speed class and the ledger
+// machinery that makes state verifiable: Merkle proofs over a block's
+// transactions and an MPT commitment over state.
+//
+//	go run ./examples/verifiable_kv
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dichotomy/internal/ads/mpt"
+	"dichotomy/internal/bench"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/hybrid"
+	"dichotomy/internal/txn"
+	"dichotomy/internal/workload/ycsb"
+)
+
+func main() {
+	client := cryptoutil.MustNewSigner("auditor")
+
+	// 1. A hybrid database: database-grade throughput class with
+	//    blockchain-grade shared ordering.
+	v := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
+	defer v.Close()
+
+	fmt.Println(hybrid.Describe(hybrid.Design{
+		Name: "this system", Replication: hybrid.StorageBased,
+		Failure: hybrid.CFT, Approach: hybrid.SharedLog,
+	}))
+
+	sources := make([]bench.TxSource, 8)
+	for i := range sources {
+		gen := ycsb.NewGenerator(ycsb.Config{Records: 1000, RecordSize: 100, Seed: int64(i)}, client)
+		sources[i] = bench.FuncSource(gen.Next)
+	}
+	r := bench.Run(v, sources, bench.Options{Workers: 8, Duration: 2 * time.Second})
+	fmt.Printf("measured: %.0f tps, %.1f%% aborts\n\n", r.TPS, r.AbortRate())
+
+	// 2. Verifiability: commit state into an MPT and hand out proofs.
+	trie := mpt.New()
+	trie.Put([]byte("balance:alice"), []byte("100"))
+	trie.Put([]byte("balance:bob"), []byte("250"))
+	root := trie.RootHash()
+	proof, ok := trie.Prove([]byte("balance:bob"))
+	if !ok {
+		log.Fatal("no proof produced")
+	}
+	if err := mpt.VerifyProof(root, []byte("balance:bob"), proof); err != nil {
+		log.Fatalf("proof rejected: %v", err)
+	}
+	fmt.Printf("state root %s commits bob's balance; proof of %d node(s) verifies\n",
+		root, len(proof.Steps))
+
+	// A tampered value must fail against the same root.
+	proof.Value = []byte("999")
+	if err := mpt.VerifyProof(root, []byte("balance:bob"), proof); err == nil {
+		log.Fatal("forged balance accepted!")
+	}
+	fmt.Println("forged balance rejected — tamper evidence works")
+
+	// 3. The same signed-transaction machinery the blockchains use is
+	//    available to attach client accountability.
+	tx, err := txn.Sign(client, txn.Invocation{
+		Contract: contract.KVName, Method: "put",
+		Args: [][]byte{[]byte("k"), []byte("v")},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.VerifyClient(client.Public()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signed transaction %s verifies under the client key\n", tx.ID)
+}

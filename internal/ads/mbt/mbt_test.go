@@ -1,0 +1,219 @@
+package mbt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func smallCfg() Config { return Config{Buckets: 16, Fanout: 4} }
+
+func TestPutGet(t *testing.T) {
+	tr := New(smallCfg())
+	for i := 0; i < 200; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("k%d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(k%d) = %q,%v", i, v, ok)
+		}
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", tr.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tr := New(smallCfg())
+	if _, ok := tr.Get([]byte("ghost")); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestOverwriteChangesRoot(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("k"), []byte("v1"))
+	r1 := tr.RootHash()
+	tr.Put([]byte("k"), []byte("v2"))
+	r2 := tr.RootHash()
+	if r1 == r2 {
+		t.Fatal("root unchanged after overwrite")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Put([]byte("b"), []byte("2"))
+	r1 := tr.RootHash()
+	tr.Delete([]byte("a"))
+	if _, ok := tr.Get([]byte("a")); ok {
+		t.Fatal("deleted key visible")
+	}
+	if tr.RootHash() == r1 {
+		t.Fatal("root unchanged after delete")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	tr.Delete([]byte("never")) // no-op
+}
+
+func TestRootContentAddressed(t *testing.T) {
+	// Two trees with the same final content must agree on the root even if
+	// their mutation histories differ (including touched-then-deleted keys).
+	a := New(smallCfg())
+	b := New(smallCfg())
+	for i := 0; i < 50; i++ {
+		a.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	// b inserts in reverse and detours through extra keys.
+	b.Put([]byte("transient"), []byte("x"))
+	for i := 49; i >= 0; i-- {
+		b.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	b.Delete([]byte("transient"))
+	if a.RootHash() != b.RootHash() {
+		t.Fatal("root is not a pure function of content")
+	}
+}
+
+func TestEmptyTreeRootsAgree(t *testing.T) {
+	if New(smallCfg()).RootHash() != New(smallCfg()).RootHash() {
+		t.Fatal("two empty trees disagree")
+	}
+}
+
+func TestDepthCappedAtPaperValue(t *testing.T) {
+	tr := New(DefaultConfig)
+	if got := tr.Depth(); got != 5 {
+		t.Fatalf("Depth = %d, want 5 (⌈log4 1000⌉)", got)
+	}
+	// Depth must not grow with data.
+	for i := 0; i < 5000; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), []byte("v"))
+	}
+	if got := tr.Depth(); got != 5 {
+		t.Fatalf("Depth after inserts = %d, want 5", got)
+	}
+}
+
+func TestOverheadConstantPerTree(t *testing.T) {
+	tr := New(DefaultConfig)
+	before := tr.OverheadBytes()
+	for i := 0; i < 10000; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), make([]byte, 100))
+	}
+	if tr.OverheadBytes() != before {
+		t.Fatal("MBT overhead should be fixed by configuration, not data size")
+	}
+	// Per-record overhead for 10K records ≈ paper's ~24 B/record ballpark
+	// (tree hash bytes / records).
+	per := float64(tr.OverheadBytes()) / 10000
+	if per < 1 || per > 64 {
+		t.Fatalf("per-record overhead %.1f B out of expected range", per)
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	tr := New(smallCfg())
+	for i := 0; i < 100; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i)))
+	}
+	root := tr.RootHash()
+	for i := 0; i < 100; i += 9 {
+		key := []byte(fmt.Sprintf("k%03d", i))
+		val := []byte(fmt.Sprintf("v%03d", i))
+		proof, ok := tr.Prove(key)
+		if !ok {
+			t.Fatalf("Prove(%s) failed", key)
+		}
+		if !VerifyProof(root, smallCfg(), key, val, proof) {
+			t.Fatalf("VerifyProof(%s) failed", key)
+		}
+	}
+}
+
+func TestProveAbsent(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("k"), []byte("v"))
+	if _, ok := tr.Prove([]byte("ghost")); ok {
+		t.Fatal("proved absent key")
+	}
+}
+
+func TestVerifyRejectsForgedValue(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("k1"), []byte("honest"))
+	tr.Put([]byte("k2"), []byte("x"))
+	root := tr.RootHash()
+	proof, _ := tr.Prove([]byte("k1"))
+	if VerifyProof(root, smallCfg(), []byte("k1"), []byte("forged"), proof) {
+		t.Fatal("forged value accepted")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("k1"), []byte("v"))
+	proof, _ := tr.Prove([]byte("k1"))
+	bogus := cryptoutil.HashBytes([]byte("nope"))
+	if VerifyProof(bogus, smallCfg(), []byte("k1"), []byte("v"), proof) {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedBucket(t *testing.T) {
+	tr := New(smallCfg())
+	tr.Put([]byte("k1"), []byte("v1"))
+	tr.Put([]byte("k2"), []byte("v2"))
+	root := tr.RootHash()
+	proof, _ := tr.Prove([]byte("k1"))
+	// Smuggle a forged entry into the shipped bucket.
+	proof.BucketEntries = append(proof.BucketEntries, ProofEntry{Key: []byte("evil"), Value: []byte("1")})
+	if VerifyProof(root, smallCfg(), []byte("k1"), []byte("v1"), proof) {
+		t.Fatal("tampered bucket contents accepted")
+	}
+}
+
+func TestIncrementalRootMatchesFreshBuild(t *testing.T) {
+	// Root via incremental dirty-path maintenance must equal a fresh tree
+	// built directly with the final content.
+	rng := rand.New(rand.NewSource(21))
+	inc := New(smallCfg())
+	final := map[string]string{}
+	for step := 0; step < 500; step++ {
+		k := fmt.Sprintf("k%d", rng.Intn(80))
+		if rng.Intn(4) == 0 {
+			inc.Delete([]byte(k))
+			delete(final, k)
+		} else {
+			v := fmt.Sprintf("v%d", step)
+			inc.Put([]byte(k), []byte(v))
+			final[k] = v
+		}
+		if step%97 == 0 {
+			inc.RootHash() // interleave recomputations
+		}
+	}
+	fresh := New(smallCfg())
+	for k, v := range final {
+		fresh.Put([]byte(k), []byte(v))
+	}
+	if inc.RootHash() != fresh.RootHash() {
+		t.Fatal("incremental root diverged from fresh build")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := New(Config{})
+	if tr.cfg.Buckets != 1000 || tr.cfg.Fanout != 4 {
+		t.Fatalf("defaults not applied: %+v", tr.cfg)
+	}
+}

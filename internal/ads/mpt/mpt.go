@@ -1,0 +1,582 @@
+// Package mpt implements a Merkle Patricia Trie, the authenticated state
+// index used by Ethereum and Quorum. Keys are split into 4-bit nibbles;
+// the trie has three node kinds — branch (16 children + optional value),
+// extension (shared nibble run), and leaf. Every node is identified by the
+// SHA-256 hash of its serialized form, so the root hash commits to the
+// entire state and any access path doubles as an integrity proof.
+//
+// Serialization is a compact custom format rather than Ethereum's RLP; the
+// paper's storage-overhead findings (Fig 13) depend on the trie *shape*
+// (depth × per-node hashing), which is preserved exactly.
+package mpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+// Trie is a Merkle Patricia Trie. It is not safe for concurrent mutation;
+// systems guard it with their commit lock, mirroring geth's usage.
+type Trie struct {
+	root node
+	// rebuildCount tracks how many times the root commitment was
+	// recomputed; the record-size experiment (Fig 11) reads it.
+	rebuilds int
+}
+
+type node interface {
+	// encoded returns the canonical serialization used for hashing.
+	encoded() []byte
+}
+
+type (
+	leafNode struct {
+		path  []byte // remaining nibbles
+		value []byte
+	}
+	extNode struct {
+		path  []byte // shared nibbles
+		child node
+	}
+	branchNode struct {
+		children [16]node
+		value    []byte // set when a key terminates at this branch
+	}
+)
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{} }
+
+// nibbles expands a byte key into 4-bit digits, high nibble first.
+func nibbles(key []byte) []byte {
+	out := make([]byte, 0, len(key)*2)
+	for _, b := range key {
+		out = append(out, b>>4, b&0x0f)
+	}
+	return out
+}
+
+func commonPrefix(a, b []byte) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Get returns the value stored under key and whether it exists.
+func (t *Trie) Get(key []byte) ([]byte, bool) {
+	return get(t.root, nibbles(key))
+}
+
+func get(n node, path []byte) ([]byte, bool) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false
+	case *leafNode:
+		if bytes.Equal(n.path, path) {
+			return n.value, true
+		}
+		return nil, false
+	case *extNode:
+		if len(path) < len(n.path) || !bytes.Equal(path[:len(n.path)], n.path) {
+			return nil, false
+		}
+		return get(n.child, path[len(n.path):])
+	case *branchNode:
+		if len(path) == 0 {
+			if n.value == nil {
+				return nil, false
+			}
+			return n.value, true
+		}
+		return get(n.children[path[0]], path[1:])
+	default:
+		panic(fmt.Sprintf("mpt: unknown node %T", n))
+	}
+}
+
+// Put inserts or replaces the value for key. Values are copied. An empty
+// value is a legal stored value (distinct from absence, which branch nodes
+// represent with a nil slice internally).
+func (t *Trie) Put(key, value []byte) {
+	v := make([]byte, len(value))
+	copy(v, value)
+	t.root = put(t.root, nibbles(key), v)
+}
+
+func put(n node, path []byte, value []byte) node {
+	switch n := n.(type) {
+	case nil:
+		return &leafNode{path: path, value: value}
+	case *leafNode:
+		if bytes.Equal(n.path, path) {
+			return &leafNode{path: path, value: value}
+		}
+		return splitInsert(n.path, n.value, path, value)
+	case *extNode:
+		cp := commonPrefix(n.path, path)
+		if cp == len(n.path) {
+			return &extNode{path: n.path, child: put(n.child, path[cp:], value)}
+		}
+		// Split the extension at the divergence point.
+		branch := &branchNode{}
+		// Remainder of the extension path goes under its first nibble.
+		extRest := n.path[cp:]
+		if len(extRest) == 1 {
+			branch.children[extRest[0]] = n.child
+		} else {
+			branch.children[extRest[0]] = &extNode{path: extRest[1:], child: n.child}
+		}
+		// Insert the new key under the branch.
+		keyRest := path[cp:]
+		if len(keyRest) == 0 {
+			branch.value = value
+		} else {
+			branch.children[keyRest[0]] = &leafNode{path: keyRest[1:], value: value}
+		}
+		if cp == 0 {
+			return branch
+		}
+		return &extNode{path: path[:cp:cp], child: branch}
+	case *branchNode:
+		if len(path) == 0 {
+			nb := *n
+			nb.value = value
+			return &nb
+		}
+		nb := *n
+		nb.children[path[0]] = put(n.children[path[0]], path[1:], value)
+		return &nb
+	default:
+		panic(fmt.Sprintf("mpt: unknown node %T", n))
+	}
+}
+
+// splitInsert builds the subtree for two diverging leaf paths.
+func splitInsert(aPath, aVal, bPath, bVal []byte) node {
+	cp := commonPrefix(aPath, bPath)
+	branch := &branchNode{}
+	aRest, bRest := aPath[cp:], bPath[cp:]
+	switch {
+	case len(aRest) == 0:
+		branch.value = aVal
+	default:
+		branch.children[aRest[0]] = &leafNode{path: aRest[1:], value: aVal}
+	}
+	switch {
+	case len(bRest) == 0:
+		branch.value = bVal
+	default:
+		branch.children[bRest[0]] = &leafNode{path: bRest[1:], value: bVal}
+	}
+	if cp == 0 {
+		return branch
+	}
+	return &extNode{path: aPath[:cp:cp], child: branch}
+}
+
+// Delete removes key from the trie. Absent keys are a no-op. The resulting
+// structure is left un-collapsed (a branch with one child is kept), which
+// changes no hashes of live data and keeps the implementation compact.
+func (t *Trie) Delete(key []byte) {
+	t.root, _ = del(t.root, nibbles(key))
+}
+
+func del(n node, path []byte) (node, bool) {
+	switch n := n.(type) {
+	case nil:
+		return nil, false
+	case *leafNode:
+		if bytes.Equal(n.path, path) {
+			return nil, true
+		}
+		return n, false
+	case *extNode:
+		if len(path) < len(n.path) || !bytes.Equal(path[:len(n.path)], n.path) {
+			return n, false
+		}
+		child, ok := del(n.child, path[len(n.path):])
+		if !ok {
+			return n, false
+		}
+		if child == nil {
+			return nil, true
+		}
+		return &extNode{path: n.path, child: child}, true
+	case *branchNode:
+		nb := *n
+		if len(path) == 0 {
+			if n.value == nil {
+				return n, false
+			}
+			nb.value = nil
+		} else {
+			child, ok := del(n.children[path[0]], path[1:])
+			if !ok {
+				return n, false
+			}
+			nb.children[path[0]] = child
+		}
+		// Collapse to nil when completely empty.
+		if nb.value == nil {
+			empty := true
+			for _, c := range nb.children {
+				if c != nil {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				return nil, true
+			}
+		}
+		return &nb, true
+	default:
+		panic(fmt.Sprintf("mpt: unknown node %T", n))
+	}
+}
+
+// --- hashing & serialization ---
+
+const (
+	tagLeaf   = 0x01
+	tagExt    = 0x02
+	tagBranch = 0x03
+)
+
+func appendBytes(dst, b []byte) []byte {
+	dst = append(dst, byte(len(b)>>8), byte(len(b)))
+	return append(dst, b...)
+}
+
+func (n *leafNode) encoded() []byte {
+	out := []byte{tagLeaf}
+	out = appendBytes(out, n.path)
+	out = appendBytes(out, n.value)
+	return out
+}
+
+func (n *extNode) encoded() []byte {
+	out := []byte{tagExt}
+	out = appendBytes(out, n.path)
+	h := hashNode(n.child)
+	return append(out, h[:]...)
+}
+
+func (n *branchNode) encoded() []byte {
+	out := []byte{tagBranch}
+	for _, c := range n.children {
+		if c == nil {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, 1)
+		h := hashNode(c)
+		out = append(out, h[:]...)
+	}
+	out = appendBytes(out, n.value)
+	return out
+}
+
+func hashNode(n node) cryptoutil.Hash {
+	if n == nil {
+		return cryptoutil.ZeroHash
+	}
+	return cryptoutil.HashBytes(n.encoded())
+}
+
+// RootHash recomputes and returns the root commitment. The full recompute
+// per call deliberately mirrors the paper's observation that Quorum
+// "reconstructs an MPT ... which involves many expensive cryptographic hash
+// computations" on every block commit.
+func (t *Trie) RootHash() cryptoutil.Hash {
+	t.rebuilds++
+	return hashNode(t.root)
+}
+
+// Rebuilds reports how many root recomputations have happened.
+func (t *Trie) Rebuilds() int { return t.rebuilds }
+
+// NodeBytes returns the total serialized size of every node in the trie —
+// the storage footprint of the authenticated index (Fig 13).
+func (t *Trie) NodeBytes() int64 {
+	return nodeBytes(t.root)
+}
+
+// StorageBytes models Ethereum's node store, where every trie node is a
+// separate engine record keyed by its 32-byte hash: per node the cost is
+// 32 (key) + len(encoding). Fig 13's "storage overhead to achieve tamper
+// evidence" is StorageBytes minus the raw key/value payload.
+func (t *Trie) StorageBytes() int64 {
+	return storageBytes(t.root)
+}
+
+func storageBytes(n node) int64 {
+	if n == nil {
+		return 0
+	}
+	size := int64(32 + len(n.encoded()))
+	switch n := n.(type) {
+	case *extNode:
+		size += storageBytes(n.child)
+	case *branchNode:
+		for _, c := range n.children {
+			size += storageBytes(c)
+		}
+	}
+	return size
+}
+
+func nodeBytes(n node) int64 {
+	if n == nil {
+		return 0
+	}
+	size := int64(len(n.encoded()))
+	switch n := n.(type) {
+	case *extNode:
+		size += nodeBytes(n.child)
+	case *branchNode:
+		for _, c := range n.children {
+			size += nodeBytes(c)
+		}
+	}
+	return size
+}
+
+// Len returns the number of stored keys.
+func (t *Trie) Len() int { return countKeys(t.root) }
+
+func countKeys(n node) int {
+	switch n := n.(type) {
+	case nil:
+		return 0
+	case *leafNode:
+		return 1
+	case *extNode:
+		return countKeys(n.child)
+	case *branchNode:
+		total := 0
+		if n.value != nil {
+			total++
+		}
+		for _, c := range n.children {
+			total += countKeys(c)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// MaxDepth returns the deepest node level; tests use it to check the
+// prefix-compression behaviour the paper contrasts against MBT's fixed
+// depth.
+func (t *Trie) MaxDepth() int { return depth(t.root) }
+
+func depth(n node) int {
+	switch n := n.(type) {
+	case nil:
+		return 0
+	case *leafNode:
+		return 1
+	case *extNode:
+		return 1 + depth(n.child)
+	case *branchNode:
+		max := 0
+		for _, c := range n.children {
+			if d := depth(c); d > max {
+				max = d
+			}
+		}
+		return 1 + max
+	default:
+		return 0
+	}
+}
+
+// --- proofs ---
+
+// ProofStep is one node encoding along the path from root to the key.
+type ProofStep struct {
+	Encoding []byte
+}
+
+// Proof is an authenticated path for a key.
+type Proof struct {
+	Steps []ProofStep
+	Value []byte
+}
+
+// ErrInvalidProof is returned when a proof does not verify.
+var ErrInvalidProof = errors.New("mpt: invalid proof")
+
+// Prove returns the integrity proof for key, or false if the key is absent.
+// (Absence proofs are not needed by the experiments and are omitted.)
+func (t *Trie) Prove(key []byte) (Proof, bool) {
+	var proof Proof
+	n := t.root
+	path := nibbles(key)
+	for {
+		switch cur := n.(type) {
+		case nil:
+			return Proof{}, false
+		case *leafNode:
+			if !bytes.Equal(cur.path, path) {
+				return Proof{}, false
+			}
+			proof.Steps = append(proof.Steps, ProofStep{Encoding: cur.encoded()})
+			proof.Value = cur.value
+			return proof, true
+		case *extNode:
+			if len(path) < len(cur.path) || !bytes.Equal(path[:len(cur.path)], cur.path) {
+				return Proof{}, false
+			}
+			proof.Steps = append(proof.Steps, ProofStep{Encoding: cur.encoded()})
+			path = path[len(cur.path):]
+			n = cur.child
+		case *branchNode:
+			proof.Steps = append(proof.Steps, ProofStep{Encoding: cur.encoded()})
+			if len(path) == 0 {
+				if cur.value == nil {
+					return Proof{}, false
+				}
+				proof.Value = cur.value
+				return proof, true
+			}
+			n = cur.children[path[0]]
+			path = path[1:]
+		}
+	}
+}
+
+// VerifyProof checks that proof binds key to proof.Value under root. It
+// re-derives each step's hash and confirms the chain of commitments.
+func VerifyProof(root cryptoutil.Hash, key []byte, proof Proof) error {
+	if len(proof.Steps) == 0 {
+		return ErrInvalidProof
+	}
+	want := root
+	path := nibbles(key)
+	for i, step := range proof.Steps {
+		if cryptoutil.HashBytes(step.Encoding) != want {
+			return fmt.Errorf("%w: step %d hash mismatch", ErrInvalidProof, i)
+		}
+		n, err := decodeNode(step.Encoding)
+		if err != nil {
+			return err
+		}
+		switch n := n.(type) {
+		case *proofLeaf:
+			if !bytes.Equal(n.path, path) || !bytes.Equal(n.value, proof.Value) {
+				return fmt.Errorf("%w: leaf mismatch", ErrInvalidProof)
+			}
+			return nil
+		case *proofExt:
+			if len(path) < len(n.path) || !bytes.Equal(path[:len(n.path)], n.path) {
+				return fmt.Errorf("%w: extension path mismatch", ErrInvalidProof)
+			}
+			path = path[len(n.path):]
+			want = n.child
+		case *proofBranch:
+			if len(path) == 0 {
+				if !bytes.Equal(n.value, proof.Value) {
+					return fmt.Errorf("%w: branch value mismatch", ErrInvalidProof)
+				}
+				return nil
+			}
+			child := n.children[path[0]]
+			if child == cryptoutil.ZeroHash {
+				return fmt.Errorf("%w: missing branch child", ErrInvalidProof)
+			}
+			path = path[1:]
+			want = child
+		}
+	}
+	return fmt.Errorf("%w: proof ended before key resolved", ErrInvalidProof)
+}
+
+// Decoded proof node forms: children are hashes, not pointers.
+type (
+	proofLeaf struct {
+		path, value []byte
+	}
+	proofExt struct {
+		path  []byte
+		child cryptoutil.Hash
+	}
+	proofBranch struct {
+		children [16]cryptoutil.Hash
+		value    []byte
+	}
+)
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, ErrInvalidProof
+	}
+	n := int(data[0])<<8 | int(data[1])
+	if len(data) < 2+n {
+		return nil, nil, ErrInvalidProof
+	}
+	return data[2 : 2+n], data[2+n:], nil
+}
+
+func decodeNode(enc []byte) (any, error) {
+	if len(enc) == 0 {
+		return nil, ErrInvalidProof
+	}
+	switch enc[0] {
+	case tagLeaf:
+		path, rest, err := readBytes(enc[1:])
+		if err != nil {
+			return nil, err
+		}
+		value, _, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		return &proofLeaf{path: path, value: value}, nil
+	case tagExt:
+		path, rest, err := readBytes(enc[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 32 {
+			return nil, ErrInvalidProof
+		}
+		var h cryptoutil.Hash
+		copy(h[:], rest)
+		return &proofExt{path: path, child: h}, nil
+	case tagBranch:
+		rest := enc[1:]
+		var b proofBranch
+		for i := 0; i < 16; i++ {
+			if len(rest) < 1 {
+				return nil, ErrInvalidProof
+			}
+			present := rest[0]
+			rest = rest[1:]
+			if present == 1 {
+				if len(rest) < 32 {
+					return nil, ErrInvalidProof
+				}
+				copy(b.children[i][:], rest)
+				rest = rest[32:]
+			}
+		}
+		value, _, err := readBytes(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(value) > 0 {
+			b.value = value
+		}
+		return &b, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrInvalidProof, enc[0])
+	}
+}

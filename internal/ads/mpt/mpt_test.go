@@ -1,0 +1,278 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	for i := 0; i < 500; i++ {
+		v, ok := tr.Get([]byte(fmt.Sprintf("key-%d", i)))
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(key-%d) = %q,%v", i, v, ok)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get([]byte("missing")); ok {
+		t.Fatal("empty trie found a key")
+	}
+	tr.Put([]byte("abc"), []byte("1"))
+	if _, ok := tr.Get([]byte("abd")); ok {
+		t.Fatal("sibling key leaked")
+	}
+	if _, ok := tr.Get([]byte("ab")); ok {
+		t.Fatal("prefix key leaked")
+	}
+	if _, ok := tr.Get([]byte("abcd")); ok {
+		t.Fatal("extension key leaked")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), []byte("v1"))
+	r1 := tr.RootHash()
+	tr.Put([]byte("k"), []byte("v2"))
+	r2 := tr.RootHash()
+	if r1 == r2 {
+		t.Fatal("root unchanged after overwrite")
+	}
+	v, _ := tr.Get([]byte("k"))
+	if string(v) != "v2" {
+		t.Fatalf("Get = %q", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	tr := New()
+	// Keys that are prefixes of each other exercise branch-with-value.
+	tr.Put([]byte("a"), []byte("1"))
+	tr.Put([]byte("ab"), []byte("2"))
+	tr.Put([]byte("abc"), []byte("3"))
+	for k, want := range map[string]string{"a": "1", "ab": "2", "abc": "3"} {
+		v, ok := tr.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q,%v want %s", k, v, ok, want)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("aaa"), []byte("1"))
+	tr.Put([]byte("aab"), []byte("2"))
+	tr.Put([]byte("abc"), []byte("3"))
+	tr.Delete([]byte("aab"))
+	if _, ok := tr.Get([]byte("aab")); ok {
+		t.Fatal("deleted key visible")
+	}
+	if v, ok := tr.Get([]byte("aaa")); !ok || string(v) != "1" {
+		t.Fatal("sibling damaged by delete")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	tr.Delete([]byte("absent")) // no-op
+	if tr.Len() != 2 {
+		t.Fatal("deleting absent key changed size")
+	}
+}
+
+func TestDeleteAllEmptiesTrie(t *testing.T) {
+	tr := New()
+	keys := []string{"x", "xy", "xyz", "w"}
+	for _, k := range keys {
+		tr.Put([]byte(k), []byte("v"))
+	}
+	for _, k := range keys {
+		tr.Delete([]byte(k))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if tr.RootHash() != cryptoutil.ZeroHash {
+		t.Fatal("empty trie root should be ZeroHash")
+	}
+}
+
+func TestRootDeterministicAcrossInsertionOrder(t *testing.T) {
+	keys := make([][]byte, 100)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%03d", i))
+	}
+	build := func(perm []int) cryptoutil.Hash {
+		tr := New()
+		for _, i := range perm {
+			tr.Put(keys[i], []byte(fmt.Sprintf("val-%03d", i)))
+		}
+		return tr.RootHash()
+	}
+	rng := rand.New(rand.NewSource(5))
+	base := build(rng.Perm(100))
+	for trial := 0; trial < 5; trial++ {
+		if got := build(rng.Perm(100)); got != base {
+			t.Fatal("root depends on insertion order")
+		}
+	}
+}
+
+func TestRootChangesOnAnyMutation(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	r0 := tr.RootHash()
+	tr.Put([]byte("k25"), []byte("changed"))
+	if tr.RootHash() == r0 {
+		t.Fatal("root unchanged after value mutation")
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%03d", i)), []byte(fmt.Sprintf("val-%03d", i)))
+	}
+	root := tr.RootHash()
+	for i := 0; i < 200; i += 17 {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		proof, ok := tr.Prove(key)
+		if !ok {
+			t.Fatalf("Prove(%s) failed", key)
+		}
+		if string(proof.Value) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("proof value = %q", proof.Value)
+		}
+		if err := VerifyProof(root, key, proof); err != nil {
+			t.Fatalf("VerifyProof(%s): %v", key, err)
+		}
+	}
+}
+
+func TestProveAbsentKey(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("exists"), []byte("v"))
+	if _, ok := tr.Prove([]byte("missing")); ok {
+		t.Fatal("proved an absent key")
+	}
+}
+
+func TestVerifyRejectsTamperedValue(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k1"), []byte("honest"))
+	tr.Put([]byte("k2"), []byte("other"))
+	root := tr.RootHash()
+	proof, _ := tr.Prove([]byte("k1"))
+	proof.Value = []byte("forged")
+	if err := VerifyProof(root, []byte("k1"), proof); err == nil {
+		t.Fatal("tampered value accepted")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k1"), []byte("v"))
+	proof, _ := tr.Prove([]byte("k1"))
+	bogus := cryptoutil.HashBytes([]byte("bogus"))
+	if err := VerifyProof(bogus, []byte("k1"), proof); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k1"), []byte("v1"))
+	tr.Put([]byte("k2"), []byte("v2"))
+	root := tr.RootHash()
+	proof, _ := tr.Prove([]byte("k1"))
+	if err := VerifyProof(root, []byte("k2"), proof); err == nil {
+		t.Fatal("proof transplanted to another key")
+	}
+}
+
+func TestNodeBytesGrowsWithRecordSize(t *testing.T) {
+	small := New()
+	large := New()
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("%016d", i))
+		small.Put(k, make([]byte, 10))
+		large.Put(k, make([]byte, 1000))
+	}
+	if small.NodeBytes() >= large.NodeBytes() {
+		t.Fatal("NodeBytes should grow with value size")
+	}
+	// Encodings must exceed raw data: paths, tags, and hash links all cost.
+	if overhead := small.NodeBytes() - 100*(16+10); overhead <= 0 {
+		t.Fatalf("node encodings smaller than raw data: %d", overhead)
+	}
+	// The node-store model (each node keyed by its 32-byte hash) is what
+	// Fig 13 measures; it must dwarf MBT's ~24 B/record.
+	if per := small.StorageBytes() / 100; per < 64 {
+		t.Fatalf("per-record storage %d B too low for an MPT", per)
+	}
+}
+
+func TestRebuildCounter(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("k"), []byte("v"))
+	tr.RootHash()
+	tr.RootHash()
+	if tr.Rebuilds() != 2 {
+		t.Fatalf("Rebuilds = %d, want 2", tr.Rebuilds())
+	}
+}
+
+func TestMaxDepthBounded(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(cryptoutil.HashUint64(uint64(i)).Bytes(), []byte("v"))
+	}
+	// 32-byte keys = 64 nibbles; depth can be at most 65ish but with 1000
+	// random keys the trie should be shallow near the top.
+	if d := tr.MaxDepth(); d < 2 || d > 66 {
+		t.Fatalf("MaxDepth = %d out of sane range", d)
+	}
+}
+
+func TestQuickModelMatch(t *testing.T) {
+	f := func(ops [][2][]byte) bool {
+		tr := New()
+		model := map[string][]byte{}
+		for _, op := range ops {
+			k, v := op[0], op[1]
+			if len(k) == 0 {
+				continue
+			}
+			tr.Put(k, v)
+			model[string(k)] = v
+		}
+		for k, want := range model {
+			got, ok := tr.Get([]byte(k))
+			if !ok || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

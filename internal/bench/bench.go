@@ -1,0 +1,206 @@
+// Package bench is the measurement harness behind every table and figure:
+// a closed-loop multi-client driver (the Caliper / YCSB-driver / OLTPBench
+// role), with warm-up, per-phase latency aggregation, and abort-rate
+// accounting. Systems are driven through the system.System interface, so
+// a blockchain and a database run byte-identical workloads.
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// TxSource produces the transactions a worker submits. Each worker gets
+// its own source (generators are not concurrency-safe).
+type TxSource interface {
+	Next() (*txn.Tx, error)
+}
+
+// Options configures one measurement run.
+type Options struct {
+	// Workers is the closed-loop client count.
+	Workers int
+	// Duration is the measured window (after warm-up).
+	Duration time.Duration
+	// Warmup is discarded start-up time.
+	Warmup time.Duration
+	// MaxTxs optionally caps the number of measured transactions (0 = no
+	// cap); the run still respects Duration.
+	MaxTxs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	return o
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	System    string
+	Committed uint64
+	Aborted   uint64
+	Errors    uint64
+	Elapsed   time.Duration
+	// TPS is committed transactions per second over the measured window.
+	TPS float64
+	// Latency summarizes commit latencies.
+	Latency metrics.Snapshot
+	// AbortBy decomposes aborts by reason.
+	AbortBy map[string]uint64
+	// Phases aggregates per-phase means across transactions.
+	Phases *metrics.Breakdown
+}
+
+// AbortRate returns aborted/(committed+aborted) as a percentage.
+func (r Report) AbortRate() float64 {
+	total := r.Committed + r.Aborted
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Aborted) / float64(total)
+}
+
+// Run drives sys with Workers closed-loop clients for the configured
+// duration and reports throughput, latency, and abort decomposition.
+// sources must supply at least Workers elements.
+func Run(sys system.System, sources []TxSource, opt Options) Report {
+	opt = opt.withDefaults()
+	report := Report{
+		System:  sys.Name(),
+		AbortBy: make(map[string]uint64),
+		Phases:  metrics.NewBreakdown(),
+	}
+	var hist metrics.Histogram
+	var mu sync.Mutex
+	var committed, aborted, errs uint64
+	var measured uint64
+
+	start := time.Now()
+	measureFrom := start.Add(opt.Warmup)
+	deadline := start.Add(opt.Warmup + opt.Duration)
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(src TxSource) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t, err := src.Next()
+				if err != nil {
+					return
+				}
+				txStart := time.Now()
+				r := sys.Execute(t)
+				elapsed := time.Since(txStart)
+				if txStart.Before(measureFrom) {
+					continue // warm-up
+				}
+				mu.Lock()
+				if opt.MaxTxs > 0 && measured >= uint64(opt.MaxTxs) {
+					mu.Unlock()
+					return
+				}
+				measured++
+				switch {
+				case r.Committed:
+					committed++
+					hist.Record(elapsed)
+				case r.Err != nil && r.Reason == occ.OK:
+					errs++
+				default:
+					aborted++
+					report.AbortBy[r.Reason.String()]++
+				}
+				mu.Unlock()
+				report.Phases.Merge(t.Trace)
+			}
+		}(sources[w])
+	}
+	wg.Wait()
+
+	report.Elapsed = time.Since(measureFrom)
+	if report.Elapsed > opt.Duration {
+		report.Elapsed = opt.Duration
+	}
+	report.Committed = committed
+	report.Aborted = aborted
+	report.Errors = errs
+	if report.Elapsed > 0 {
+		report.TPS = float64(committed) / report.Elapsed.Seconds()
+	}
+	report.Latency = hist.Snapshot()
+	return report
+}
+
+// Preload feeds transactions through the system sequentially batched over
+// a few workers, for populating state before measurement.
+func Preload(sys system.System, txs []*txn.Tx, workers int) error {
+	if workers <= 0 {
+		workers = 8
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(txs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(txs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []*txn.Tx) {
+			defer wg.Done()
+			for _, t := range part {
+				if r := sys.Execute(t); r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+			}
+		}(txs[lo:hi])
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// SliceSource adapts a pre-built transaction list to TxSource; it stops
+// (returns an error) when exhausted.
+type SliceSource struct {
+	txs []*txn.Tx
+	pos int
+}
+
+// NewSliceSource wraps txs.
+func NewSliceSource(txs []*txn.Tx) *SliceSource { return &SliceSource{txs: txs} }
+
+// Next implements TxSource.
+func (s *SliceSource) Next() (*txn.Tx, error) {
+	if s.pos >= len(s.txs) {
+		return nil, errExhausted
+	}
+	t := s.txs[s.pos]
+	s.pos++
+	return t, nil
+}
+
+var errExhausted = exhaustedError{}
+
+type exhaustedError struct{}
+
+func (exhaustedError) Error() string { return "bench: transaction source exhausted" }
+
+// FuncSource adapts a closure to TxSource.
+type FuncSource func() (*txn.Tx, error)
+
+// Next implements TxSource.
+func (f FuncSource) Next() (*txn.Tx, error) { return f() }

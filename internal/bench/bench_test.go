@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// stubSystem commits everything with a fixed latency; every k-th
+// transaction aborts with a read-write conflict.
+type stubSystem struct {
+	latency time.Duration
+	abortK  uint64
+	count   atomic.Uint64
+}
+
+func (s *stubSystem) Name() string { return "stub" }
+
+func (s *stubSystem) Execute(t *txn.Tx) system.Result {
+	n := s.count.Add(1)
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	if s.abortK > 0 && n%s.abortK == 0 {
+		return system.Result{Reason: occ.ReadWriteConflict}
+	}
+	return system.Result{Committed: true}
+}
+
+func (s *stubSystem) Close() {}
+
+func sources(n int) []TxSource {
+	client := cryptoutil.MustNewSigner("c")
+	out := make([]TxSource, n)
+	for i := range out {
+		out[i] = FuncSource(func() (*txn.Tx, error) {
+			return txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+				Args: [][]byte{[]byte("k"), []byte("v")}})
+		})
+	}
+	return out
+}
+
+func TestRunCountsAndTPS(t *testing.T) {
+	sys := &stubSystem{latency: time.Millisecond}
+	r := Run(sys, sources(4), Options{
+		Workers:  4,
+		Duration: 300 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+	})
+	if r.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if r.TPS <= 0 {
+		t.Fatal("TPS not computed")
+	}
+	// 4 workers at ~1ms per tx ≈ 4000 tps; allow a wide band.
+	if r.TPS < 500 || r.TPS > 10_000 {
+		t.Fatalf("TPS = %.0f implausible", r.TPS)
+	}
+	if r.Latency.Count == 0 || r.Latency.Mean < 500*time.Microsecond {
+		t.Fatalf("latency summary off: %+v", r.Latency)
+	}
+}
+
+func TestRunAbortAccounting(t *testing.T) {
+	sys := &stubSystem{abortK: 4} // 25% aborts
+	r := Run(sys, sources(2), Options{
+		Workers:  2,
+		Duration: 200 * time.Millisecond,
+	})
+	if r.Aborted == 0 {
+		t.Fatal("aborts unrecorded")
+	}
+	rate := r.AbortRate()
+	if rate < 10 || rate > 40 {
+		t.Fatalf("abort rate %.1f%%, want ≈25%%", rate)
+	}
+	if r.AbortBy["read-write-conflict"] != r.Aborted {
+		t.Fatalf("decomposition %v does not match %d", r.AbortBy, r.Aborted)
+	}
+}
+
+func TestRunMaxTxsCap(t *testing.T) {
+	sys := &stubSystem{}
+	r := Run(sys, sources(2), Options{
+		Workers:  2,
+		Duration: 500 * time.Millisecond,
+		MaxTxs:   50,
+	})
+	if got := r.Committed + r.Aborted + r.Errors; got > 50 {
+		t.Fatalf("measured %d > cap 50", got)
+	}
+}
+
+func TestAbortRateEmpty(t *testing.T) {
+	var r Report
+	if r.AbortRate() != 0 {
+		t.Fatal("empty report abort rate nonzero")
+	}
+}
+
+func TestPreload(t *testing.T) {
+	sys := &stubSystem{}
+	client := cryptoutil.MustNewSigner("c")
+	txs := make([]*txn.Tx, 100)
+	for i := range txs {
+		tx, err := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+			Args: [][]byte{[]byte{byte(i)}, []byte("v")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	if err := Preload(sys, txs, 8); err != nil {
+		t.Fatal(err)
+	}
+	if sys.count.Load() != 100 {
+		t.Fatalf("preloaded %d, want 100", sys.count.Load())
+	}
+}
+
+// errSystem fails every execution with an infrastructure error.
+type errSystem struct{ stubSystem }
+
+func (e *errSystem) Execute(*txn.Tx) system.Result {
+	return system.Result{Err: errors.New("boom")}
+}
+
+func TestPreloadSurfacesError(t *testing.T) {
+	client := cryptoutil.MustNewSigner("c")
+	tx, _ := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+		Args: [][]byte{[]byte("k"), []byte("v")}})
+	if err := Preload(&errSystem{}, []*txn.Tx{tx}, 2); err == nil {
+		t.Fatal("preload error swallowed")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	client := cryptoutil.MustNewSigner("c")
+	tx, _ := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "get",
+		Args: [][]byte{[]byte("k")}})
+	s := NewSliceSource([]*txn.Tx{tx})
+	if got, err := s.Next(); err != nil || got != tx {
+		t.Fatalf("Next = %v, %v", got, err)
+	}
+	if _, err := s.Next(); err == nil {
+		t.Fatal("exhausted source kept producing")
+	}
+}
+
+func TestRunErrorsCountedSeparately(t *testing.T) {
+	r := Run(&errSystem{}, sources(1), Options{Workers: 1, Duration: 100 * time.Millisecond})
+	if r.Errors == 0 {
+		t.Fatal("errors unrecorded")
+	}
+	if r.Aborted != 0 {
+		t.Fatal("errors miscounted as aborts")
+	}
+}

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+type testMsg struct {
+	seq int
+	sz  int
+}
+
+func (m testMsg) Size() int { return m.sz }
+
+func TestSendReceive(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	if err := a.Send(2, testMsg{seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-b.Inbox()
+	if env.From != 1 || env.Msg.(testMsg).seq != 7 {
+		t.Fatalf("got %+v", env)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 1)
+	if err := a.Send(99, testMsg{}); err == nil {
+		t.Fatal("expected error for unknown destination")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	net.Register(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate register")
+		}
+	}()
+	net.Register(1, 1)
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	net.Crash(2)
+	if err := a.Send(2, testMsg{seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b.Inbox():
+		t.Fatalf("crashed node received %+v", env)
+	case <-time.After(20 * time.Millisecond):
+	}
+	net.Restart(2)
+	if err := a.Send(2, testMsg{seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	env := <-b.Inbox()
+	if env.Msg.(testMsg).seq != 2 {
+		t.Fatalf("got seq %d after restart, want 2", env.Msg.(testMsg).seq)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	net.Partition(1, 2)
+	_ = a.Send(2, testMsg{seq: 1})
+	select {
+	case <-b.Inbox():
+		t.Fatal("partitioned nodes exchanged a message")
+	case <-time.After(20 * time.Millisecond):
+	}
+	net.Heal(1, 2)
+	_ = a.Send(2, testMsg{seq: 2})
+	if env := <-b.Inbox(); env.Msg.(testMsg).seq != 2 {
+		t.Fatal("message lost after heal")
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	net.Partition(1, 2)
+	net.HealAll()
+	_ = a.Send(2, testMsg{seq: 3})
+	if env := <-b.Inbox(); env.Msg.(testMsg).seq != 3 {
+		t.Fatal("HealAll did not restore connectivity")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	c := net.Register(3, 16)
+	a.Broadcast(testMsg{seq: 9})
+	for _, ep := range []*Endpoint{b, c} {
+		env := <-ep.Inbox()
+		if env.Msg.(testMsg).seq != 9 {
+			t.Fatalf("node %d got %+v", ep.ID(), env)
+		}
+	}
+	select {
+	case <-a.Inbox():
+		t.Fatal("sender received its own broadcast")
+	case <-time.After(10 * time.Millisecond):
+	}
+}
+
+func TestUniformLinkDelay(t *testing.T) {
+	l := NewUniformLink(time.Millisecond)
+	if d := l.Delay(1, 1, 1000); d != 0 {
+		t.Fatalf("loopback delay = %v, want 0", d)
+	}
+	d := l.Delay(1, 2, 125_000) // 1ms serialization at 1 Gb/s
+	if d < 1900*time.Microsecond || d > 2100*time.Microsecond {
+		t.Fatalf("delay = %v, want ~2ms", d)
+	}
+}
+
+func TestUniformLinkJitterBounds(t *testing.T) {
+	l := NewUniformLink(time.Millisecond)
+	l.BytesPerS = 0
+	l.Jitter = 200 * time.Microsecond
+	for i := 0; i < 100; i++ {
+		d := l.Delay(1, 2, 10)
+		if d < 800*time.Microsecond || d > 1200*time.Microsecond {
+			t.Fatalf("jittered delay %v out of bounds", d)
+		}
+	}
+}
+
+func TestDelayedDelivery(t *testing.T) {
+	net := NewNetwork(NewUniformLink(5 * time.Millisecond))
+	defer net.Close()
+	a := net.Register(1, 16)
+	b := net.Register(2, 16)
+	start := time.Now()
+	_ = a.Send(2, testMsg{seq: 1, sz: 100})
+	<-b.Inbox()
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~5ms", elapsed)
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	a := net.Register(1, 16)
+	net.Register(2, 16)
+	net.Close()
+	if err := a.Send(2, testMsg{}); err != nil {
+		// Either silently dropped or error is acceptable; must not panic.
+		t.Logf("send after close: %v", err)
+	}
+}
+
+func TestNodesList(t *testing.T) {
+	net := NewNetwork(ZeroLink{})
+	defer net.Close()
+	net.Register(3, 1)
+	net.Register(1, 1)
+	if got := len(net.Nodes()); got != 2 {
+		t.Fatalf("Nodes() returned %d ids, want 2", got)
+	}
+}

@@ -1,0 +1,41 @@
+// Package consensus defines the contract every replication protocol in this
+// repository satisfies: Raft (CFT), PBFT and IBFT (BFT), and proof-of-work.
+// The paper's replication dimension observes that blockchains and databases
+// differ in *what* they feed through consensus (transactions vs storage
+// operations) but both consume a totally ordered log; this interface is
+// that log.
+package consensus
+
+import "errors"
+
+// Entry is one committed payload in the total order.
+type Entry struct {
+	// Index is the 1-based position in the committed log.
+	Index uint64
+	// Data is the opaque payload the application proposed.
+	Data []byte
+	// Term or view/round in which the entry committed; diagnostic.
+	Term uint64
+}
+
+// ErrNotLeader is returned by Propose on a replica that cannot currently
+// sequence proposals and cannot forward them.
+var ErrNotLeader = errors.New("consensus: not the leader")
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("consensus: stopped")
+
+// Node is one replica's handle on a consensus group.
+type Node interface {
+	// Propose submits data for total ordering. Followers forward to the
+	// leader where the protocol permits. Delivery is confirmed through
+	// Committed, not by Propose returning.
+	Propose(data []byte) error
+	// Committed returns the channel of entries in commit order. The
+	// channel is closed on Stop.
+	Committed() <-chan Entry
+	// IsLeader reports whether this replica currently sequences proposals.
+	IsLeader() bool
+	// Stop shuts the replica down.
+	Stop()
+}

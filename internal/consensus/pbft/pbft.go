@@ -1,0 +1,620 @@
+// Package pbft implements Practical Byzantine Fault Tolerance over the
+// simulated cluster: the three-phase pre-prepare/prepare/commit protocol
+// with 2f+1 quorums out of n = 3f+1 replicas, plus view change for primary
+// failover. It is the BFT protocol of the paper's taxonomy, used by the
+// AHL sharded-blockchain model and by Fabric v0.6.
+//
+// Authentication model: the simulated network provides authenticated
+// point-to-point channels (the PBFT-with-MACs variant), so protocol
+// messages carry no signatures; payload-level signatures belong to the
+// application layer. Checkpointing is replaced by delivering entries in
+// contiguous order, which the systems built on top require anyway.
+package pbft
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/cryptoutil"
+)
+
+// Config configures one replica.
+type Config struct {
+	ID       cluster.NodeID
+	Peers    []cluster.NodeID // all validators, including ID; len = 3f+1
+	Endpoint *cluster.Endpoint
+	// TickInterval is the internal clock granularity. Default 2ms.
+	TickInterval time.Duration
+	// ViewChangeTicks is how many ticks without progress trigger a view
+	// change while work is outstanding. Default 50.
+	ViewChangeTicks int
+	CommitBuffer    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 2 * time.Millisecond
+	}
+	if c.ViewChangeTicks <= 0 {
+		c.ViewChangeTicks = 50
+	}
+	if c.CommitBuffer <= 0 {
+		c.CommitBuffer = 4096
+	}
+	return c
+}
+
+// F returns the number of Byzantine faults tolerated by a group of n.
+func F(n int) int { return (n - 1) / 3 }
+
+// instance is one sequence number's agreement state.
+type instance struct {
+	view        uint64
+	digest      cryptoutil.Hash
+	data        []byte
+	prePrepared bool
+	prepares    map[cluster.NodeID]bool
+	commits     map[cluster.NodeID]bool
+	committed   bool
+	delivered   bool
+}
+
+// Node is a PBFT replica.
+type Node struct {
+	cfg Config
+	f   int
+
+	mu        sync.Mutex
+	view      uint64
+	nextSeq   uint64 // primary only: next sequence to assign
+	delivered uint64 // highest contiguously delivered seq
+	instances map[uint64]*instance
+	pending   [][]byte // primary queue of unassigned payloads
+	// forwarded holds payloads this replica knows are outstanding but is
+	// not primary for, keyed by digest. It stands in for PBFT's client
+	// behaviour of broadcasting requests to all replicas: while non-empty
+	// the view-change timer runs, and on a view change the payloads are
+	// re-sent to the new primary. A payload can commit twice across a view
+	// change; systems deduplicate by transaction id.
+	forwarded map[cryptoutil.Hash][]byte
+	// assigned records digests this replica has sequenced (as primary) or
+	// seen re-proposed in a new view or delivered; it deduplicates
+	// retransmissions.
+	assigned map[cryptoutil.Hash]bool
+	// viewChangeVotes[v] collects replicas demanding view v.
+	viewChangeVotes map[uint64]map[cluster.NodeID]*viewChange
+	inViewChange    bool
+	progressTicks   int
+
+	commitCh chan consensus.Entry
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+// New starts a PBFT replica.
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:             cfg,
+		f:               F(len(cfg.Peers)),
+		instances:       make(map[uint64]*instance),
+		forwarded:       make(map[cryptoutil.Hash][]byte),
+		assigned:        make(map[cryptoutil.Hash]bool),
+		viewChangeVotes: make(map[uint64]map[cluster.NodeID]*viewChange),
+		commitCh:        make(chan consensus.Entry, cfg.CommitBuffer),
+		stopCh:          make(chan struct{}),
+		done:            make(chan struct{}),
+	}
+	n.progressTicks = cfg.ViewChangeTicks
+	go n.run()
+	return n
+}
+
+// primaryOf returns the primary replica for view v.
+func (n *Node) primaryOf(v uint64) cluster.NodeID {
+	return n.cfg.Peers[int(v)%len(n.cfg.Peers)]
+}
+
+// quorum is the 2f+1 threshold.
+func (n *Node) quorum() int { return 2*n.f + 1 }
+
+// --- messages ---
+
+type forward struct{ Data []byte }
+
+type prePrepare struct {
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
+	Data   []byte
+}
+
+type prepare struct {
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
+}
+
+type commit struct {
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
+}
+
+// preparedProof carries a prepared-but-undelivered instance into a view
+// change so the new primary can re-propose it.
+type preparedProof struct {
+	Seq    uint64
+	View   uint64
+	Digest cryptoutil.Hash
+	Data   []byte
+}
+
+type viewChange struct {
+	NewView  uint64
+	Prepared []preparedProof
+}
+
+type newView struct {
+	View        uint64
+	PrePrepares []prePrepare
+}
+
+func (m forward) Size() int    { return 8 + len(m.Data) }
+func (m prePrepare) Size() int { return 48 + len(m.Data) }
+func (m prepare) Size() int    { return 48 }
+func (m commit) Size() int     { return 48 }
+func (m viewChange) Size() int {
+	s := 16
+	for _, p := range m.Prepared {
+		s += 48 + len(p.Data)
+	}
+	return s
+}
+func (m newView) Size() int {
+	s := 8
+	for _, p := range m.PrePrepares {
+		s += 48 + len(p.Data)
+	}
+	return s
+}
+
+// --- public API ---
+
+// Propose implements consensus.Node. Non-primaries forward to the current
+// primary.
+func (n *Node) Propose(data []byte) error {
+	select {
+	case <-n.stopCh:
+		return consensus.ErrStopped
+	default:
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inViewChange {
+		return fmt.Errorf("%w: view change in progress", consensus.ErrNotLeader)
+	}
+	// Like a PBFT client, announce the request to every replica: backups
+	// track it as outstanding (arming their view-change timers), the
+	// primary sequences it.
+	n.broadcast(forward{Data: data})
+	if n.primaryOf(n.view) == n.cfg.ID {
+		n.enqueueLocked(data)
+		return nil
+	}
+	n.forwarded[cryptoutil.HashBytes(data)] = data
+	return nil
+}
+
+// enqueueLocked queues a payload for sequencing, dropping digests already
+// sequenced (retransmissions after a view change).
+func (n *Node) enqueueLocked(data []byte) {
+	if n.assigned[cryptoutil.HashBytes(data)] {
+		return
+	}
+	n.pending = append(n.pending, data)
+	n.drainPendingLocked()
+}
+
+// drainPendingLocked assigns sequence numbers to queued payloads and
+// broadcasts pre-prepares. Primary only.
+func (n *Node) drainPendingLocked() {
+	for _, data := range n.pending {
+		n.nextSeq++
+		seq := n.nextSeq
+		digest := cryptoutil.HashBytes(data)
+		n.assigned[digest] = true
+		pp := prePrepare{View: n.view, Seq: seq, Digest: digest, Data: data}
+		inst := n.getInstance(seq)
+		inst.view = n.view
+		inst.digest = digest
+		inst.data = data
+		inst.prePrepared = true
+		n.broadcast(pp)
+		// The primary's own prepare is implicit in the pre-prepare; count it.
+		inst.prepares[n.cfg.ID] = true
+	}
+	n.pending = nil
+}
+
+// Committed implements consensus.Node.
+func (n *Node) Committed() <-chan consensus.Entry { return n.commitCh }
+
+// IsLeader implements consensus.Node.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.inViewChange && n.primaryOf(n.view) == n.cfg.ID
+}
+
+// View returns the current view number.
+func (n *Node) View() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view
+}
+
+// Stop implements consensus.Node.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.done
+		close(n.commitCh)
+	})
+}
+
+func (n *Node) broadcast(msg cluster.Message) {
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			_ = n.cfg.Endpoint.Send(p, msg)
+		}
+	}
+}
+
+// --- event loop ---
+
+func (n *Node) run() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.tick()
+		case env, ok := <-n.cfg.Endpoint.Inbox():
+			if !ok {
+				return
+			}
+			n.handle(env)
+		}
+	}
+}
+
+// tick drives the view-change timer: it counts down only while there is
+// outstanding work (undelivered instances or queued payloads).
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.outstandingLocked() {
+		n.progressTicks = n.cfg.ViewChangeTicks
+		return
+	}
+	n.progressTicks--
+	if n.progressTicks > 0 {
+		return
+	}
+	n.startViewChangeLocked(n.view + 1)
+}
+
+func (n *Node) outstandingLocked() bool {
+	if len(n.pending) > 0 || len(n.forwarded) > 0 {
+		return true
+	}
+	for seq, inst := range n.instances {
+		if seq > n.delivered && inst.prePrepared && !inst.delivered {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) getInstance(seq uint64) *instance {
+	inst, ok := n.instances[seq]
+	if !ok {
+		inst = &instance{
+			prepares: make(map[cluster.NodeID]bool),
+			commits:  make(map[cluster.NodeID]bool),
+		}
+		n.instances[seq] = inst
+	}
+	return inst
+}
+
+func (n *Node) handle(env cluster.Envelope) {
+	switch msg := env.Msg.(type) {
+	case forward:
+		n.onForward(msg)
+	case prePrepare:
+		n.onPrePrepare(env.From, msg)
+	case prepare:
+		n.onPrepare(env.From, msg)
+	case commit:
+		n.onCommit(env.From, msg)
+	case viewChange:
+		n.onViewChange(env.From, msg)
+	case newView:
+		n.onNewView(env.From, msg)
+	}
+}
+
+func (n *Node) onForward(msg forward) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	digest := cryptoutil.HashBytes(msg.Data)
+	if n.assigned[digest] {
+		return
+	}
+	if !n.inViewChange && n.primaryOf(n.view) == n.cfg.ID {
+		n.enqueueLocked(msg.Data)
+		return
+	}
+	// Track as outstanding so a dead primary triggers a view change here.
+	n.forwarded[digest] = msg.Data
+}
+
+func (n *Node) onPrePrepare(from cluster.NodeID, msg prePrepare) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inViewChange || msg.View != n.view || from != n.primaryOf(msg.View) {
+		return
+	}
+	if cryptoutil.HashBytes(msg.Data) != msg.Digest {
+		return // Byzantine primary sent inconsistent payload
+	}
+	inst := n.getInstance(msg.Seq)
+	if inst.prePrepared && inst.digest != msg.Digest && inst.view == msg.View {
+		return // conflicting pre-prepare for the same (view, seq): ignore
+	}
+	inst.view = msg.View
+	inst.digest = msg.Digest
+	inst.data = msg.Data
+	inst.prePrepared = true
+	inst.prepares[from] = true // primary's implicit prepare
+	inst.prepares[n.cfg.ID] = true
+	n.progressTicks = n.cfg.ViewChangeTicks
+	n.broadcast(prepare{View: msg.View, Seq: msg.Seq, Digest: msg.Digest})
+	n.maybeAdvanceLocked(msg.Seq)
+}
+
+func (n *Node) onPrepare(from cluster.NodeID, msg prepare) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.View != n.view {
+		return
+	}
+	inst := n.getInstance(msg.Seq)
+	if inst.prePrepared && inst.digest != msg.Digest {
+		return
+	}
+	inst.prepares[from] = true
+	n.maybeAdvanceLocked(msg.Seq)
+}
+
+func (n *Node) onCommit(from cluster.NodeID, msg commit) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inst := n.getInstance(msg.Seq)
+	if inst.prePrepared && inst.digest != msg.Digest {
+		return
+	}
+	inst.commits[from] = true
+	n.maybeAdvanceLocked(msg.Seq)
+}
+
+// maybeAdvanceLocked moves an instance through prepared → committed →
+// delivered as quorums fill in.
+func (n *Node) maybeAdvanceLocked(seq uint64) {
+	inst := n.instances[seq]
+	if inst == nil || !inst.prePrepared {
+		return
+	}
+	// Prepared: pre-prepare + 2f prepares (own included above).
+	if !inst.committed && len(inst.prepares) >= n.quorum() {
+		if !inst.commits[n.cfg.ID] {
+			inst.commits[n.cfg.ID] = true
+			n.broadcast(commit{View: inst.view, Seq: seq, Digest: inst.digest})
+		}
+	}
+	if !inst.committed && len(inst.commits) >= n.quorum() {
+		inst.committed = true
+		n.progressTicks = n.cfg.ViewChangeTicks
+	}
+	n.deliverReadyLocked()
+}
+
+func (n *Node) deliverReadyLocked() {
+	for {
+		next := n.delivered + 1
+		inst, ok := n.instances[next]
+		if !ok || !inst.committed || inst.delivered {
+			return
+		}
+		inst.delivered = true
+		n.delivered = next
+		delete(n.forwarded, inst.digest)
+		n.assigned[inst.digest] = true
+		select {
+		case n.commitCh <- consensus.Entry{Index: next, Data: inst.data, Term: inst.view}:
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// --- view change ---
+
+func (n *Node) startViewChangeLocked(newV uint64) {
+	if newV <= n.view {
+		return
+	}
+	n.inViewChange = true
+	n.progressTicks = n.cfg.ViewChangeTicks
+	vc := &viewChange{NewView: newV, Prepared: n.preparedSetLocked()}
+	// Record own vote and broadcast.
+	votes := n.viewChangeVotes[newV]
+	if votes == nil {
+		votes = make(map[cluster.NodeID]*viewChange)
+		n.viewChangeVotes[newV] = votes
+	}
+	votes[n.cfg.ID] = vc
+	n.broadcast(*vc)
+	n.maybeEnterViewLocked(newV)
+}
+
+// preparedSetLocked lists instances this replica prepared but has not yet
+// delivered; they must survive into the new view.
+func (n *Node) preparedSetLocked() []preparedProof {
+	var out []preparedProof
+	for seq, inst := range n.instances {
+		if seq <= n.delivered || !inst.prePrepared {
+			continue
+		}
+		if len(inst.prepares) >= n.quorum() {
+			out = append(out, preparedProof{Seq: seq, View: inst.view, Digest: inst.digest, Data: inst.data})
+		}
+	}
+	return out
+}
+
+func (n *Node) onViewChange(from cluster.NodeID, msg viewChange) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.NewView <= n.view {
+		return
+	}
+	votes := n.viewChangeVotes[msg.NewView]
+	if votes == nil {
+		votes = make(map[cluster.NodeID]*viewChange)
+		n.viewChangeVotes[msg.NewView] = votes
+	}
+	votes[from] = &msg
+	// Join the view change once f+1 replicas demand it (the replica knows
+	// at least one honest node timed out).
+	if !n.inViewChange && len(votes) > n.f {
+		n.startViewChangeLocked(msg.NewView)
+		return
+	}
+	n.maybeEnterViewLocked(msg.NewView)
+}
+
+func (n *Node) maybeEnterViewLocked(newV uint64) {
+	votes := n.viewChangeVotes[newV]
+	if len(votes) < n.quorum() || n.primaryOf(newV) != n.cfg.ID {
+		return
+	}
+	// New primary: merge prepared sets, re-propose the survivors.
+	merged := make(map[uint64]preparedProof)
+	for _, vc := range votes {
+		for _, p := range vc.Prepared {
+			cur, ok := merged[p.Seq]
+			if !ok || p.View > cur.View {
+				merged[p.Seq] = p
+			}
+		}
+	}
+	nv := newView{View: newV}
+	maxSeq := n.delivered
+	for seq := range merged {
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	// Re-propose every sequence up to maxSeq: surviving prepared values
+	// keep their payload, gaps become no-ops (empty Data) so delivery
+	// never stalls behind an abandoned sequence number.
+	for seq := n.delivered + 1; seq <= maxSeq; seq++ {
+		p, ok := merged[seq]
+		if !ok {
+			p = preparedProof{Seq: seq, Digest: cryptoutil.HashBytes(nil), Data: nil}
+		}
+		nv.PrePrepares = append(nv.PrePrepares, prePrepare{
+			View: newV, Seq: seq, Digest: p.Digest, Data: p.Data,
+		})
+	}
+	n.enterViewLocked(newV)
+	n.nextSeq = maxSeq
+	n.broadcast(nv)
+	for _, pp := range nv.PrePrepares {
+		inst := n.getInstance(pp.Seq)
+		inst.view = newV
+		inst.digest = pp.Digest
+		inst.data = pp.Data
+		inst.prePrepared = true
+		inst.prepares = map[cluster.NodeID]bool{n.cfg.ID: true}
+		inst.commits = map[cluster.NodeID]bool{}
+		n.assigned[pp.Digest] = true
+	}
+	// Re-propose payloads that were stranded at the old primary.
+	n.drainPendingLocked()
+}
+
+func (n *Node) onNewView(from cluster.NodeID, msg newView) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.View < n.view || from != n.primaryOf(msg.View) {
+		return
+	}
+	n.enterViewLocked(msg.View)
+	for _, pp := range msg.PrePrepares {
+		if cryptoutil.HashBytes(pp.Data) != pp.Digest {
+			continue
+		}
+		inst := n.getInstance(pp.Seq)
+		inst.view = msg.View
+		inst.digest = pp.Digest
+		inst.data = pp.Data
+		inst.prePrepared = true
+		inst.prepares = map[cluster.NodeID]bool{from: true, n.cfg.ID: true}
+		inst.commits = map[cluster.NodeID]bool{}
+		n.broadcast(prepare{View: msg.View, Seq: pp.Seq, Digest: pp.Digest})
+		n.maybeAdvanceLocked(pp.Seq)
+	}
+}
+
+func (n *Node) enterViewLocked(v uint64) {
+	n.view = v
+	n.inViewChange = false
+	n.progressTicks = n.cfg.ViewChangeTicks
+	// Retransmit unacknowledged forwards to the new primary, or queue them
+	// locally when this replica takes over (the caller drains the queue
+	// after it finishes setting up the new view).
+	if primary := n.primaryOf(v); primary == n.cfg.ID {
+		for digest, data := range n.forwarded {
+			if !n.assigned[digest] {
+				n.pending = append(n.pending, data)
+			}
+		}
+		n.forwarded = make(map[cryptoutil.Hash][]byte)
+	} else {
+		for _, data := range n.forwarded {
+			_ = n.cfg.Endpoint.Send(primary, forward{Data: data})
+		}
+	}
+	// Un-prepared instances from old views are abandoned; clients retry.
+	for seq, inst := range n.instances {
+		if seq > n.delivered && !inst.committed && inst.view < v {
+			if len(inst.prepares) < n.quorum() {
+				delete(n.instances, seq)
+			}
+		}
+	}
+	delete(n.viewChangeVotes, v)
+}

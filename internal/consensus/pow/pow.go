@@ -1,0 +1,320 @@
+// Package pow implements Nakamoto-style proof-of-work consensus: miners
+// race to find a nonce whose block hash clears a difficulty target, the
+// winner broadcasts its block, and replicas follow the longest chain. It is
+// the permissionless protocol of the paper's taxonomy; BlockchainDB-style
+// hybrids and shard-formation (Elastico) build on it.
+//
+// The miner performs real SHA-256 puzzle searches; difficulty directly sets
+// the expected block interval, reproducing PoW's defining property — a
+// throughput ceiling set by resource expenditure rather than network speed.
+// Forks can occur when two miners solve near-simultaneously; the
+// longest-chain rule resolves them, and entries are only delivered once
+// they are buried Confirmations deep.
+package pow
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/cryptoutil"
+)
+
+// Config configures one miner/replica.
+type Config struct {
+	ID       cluster.NodeID
+	Peers    []cluster.NodeID
+	Endpoint *cluster.Endpoint
+	// DifficultyBits is the number of leading zero bits a block hash must
+	// have. Each extra bit doubles expected mining work. Default 16
+	// (~65k hashes per block, a few ms of CPU).
+	DifficultyBits int
+	// Confirmations is the burial depth before an entry is delivered.
+	// Default 1 (deliver as soon as a block extends it).
+	Confirmations int
+	CommitBuffer  int
+	// Mine disables the mining loop when false (pure replica).
+	Mine bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DifficultyBits <= 0 {
+		c.DifficultyBits = 16
+	}
+	if c.Confirmations <= 0 {
+		c.Confirmations = 1
+	}
+	if c.CommitBuffer <= 0 {
+		c.CommitBuffer = 4096
+	}
+	return c
+}
+
+// Block is one mined block.
+type Block struct {
+	Parent cryptoutil.Hash
+	Height uint64
+	Nonce  uint64
+	Miner  cluster.NodeID
+	Data   []byte
+}
+
+// Hash returns the block's PoW hash.
+func (b Block) Hash() cryptoutil.Hash {
+	var hdr [8 + 8 + 8]byte
+	binary.BigEndian.PutUint64(hdr[0:], b.Height)
+	binary.BigEndian.PutUint64(hdr[8:], b.Nonce)
+	binary.BigEndian.PutUint64(hdr[16:], uint64(b.Miner))
+	return cryptoutil.HashConcat(b.Parent[:], hdr[:], b.Data)
+}
+
+// Size implements cluster.Message.
+func (b Block) Size() int { return 64 + len(b.Data) }
+
+// meetsTarget reports whether h has at least bits leading zeros.
+func meetsTarget(h cryptoutil.Hash, bits int) bool {
+	full := bits / 8
+	for i := 0; i < full; i++ {
+		if h[i] != 0 {
+			return false
+		}
+	}
+	if rem := bits % 8; rem > 0 {
+		if h[full]>>(8-rem) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Node is a PoW miner/replica.
+type Node struct {
+	cfg Config
+
+	mu      sync.Mutex
+	blocks  map[cryptoutil.Hash]Block
+	tip     cryptoutil.Hash // head of the longest known chain
+	tipH    uint64
+	pending [][]byte
+	// delivered is the height up to which entries have been emitted.
+	delivered uint64
+	forks     int
+
+	commitCh chan consensus.Entry
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	mineDone chan struct{}
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+// New starts a replica (and its miner when cfg.Mine).
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		blocks:   make(map[cryptoutil.Hash]Block),
+		commitCh: make(chan consensus.Entry, cfg.CommitBuffer),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		mineDone: make(chan struct{}),
+	}
+	go n.run()
+	if cfg.Mine {
+		go n.mineLoop()
+	} else {
+		close(n.mineDone)
+	}
+	return n
+}
+
+// Propose implements consensus.Node: the payload joins the local mempool
+// and is also gossiped so any miner can include it.
+func (n *Node) Propose(data []byte) error {
+	select {
+	case <-n.stopCh:
+		return consensus.ErrStopped
+	default:
+	}
+	n.mu.Lock()
+	n.pending = append(n.pending, data)
+	n.mu.Unlock()
+	n.broadcast(gossip{Data: data})
+	return nil
+}
+
+type gossip struct{ Data []byte }
+
+func (g gossip) Size() int { return 8 + len(g.Data) }
+
+// Committed implements consensus.Node.
+func (n *Node) Committed() <-chan consensus.Entry { return n.commitCh }
+
+// IsLeader implements consensus.Node; PoW has no leader, any miner may
+// extend the chain.
+func (n *Node) IsLeader() bool { return n.cfg.Mine }
+
+// Forks reports how many competing blocks lost the longest-chain race here.
+func (n *Node) Forks() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.forks
+}
+
+// TipHeight returns the height of the longest known chain.
+func (n *Node) TipHeight() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.tipH
+}
+
+// Stop implements consensus.Node.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.done
+		<-n.mineDone
+		close(n.commitCh)
+	})
+}
+
+func (n *Node) broadcast(msg cluster.Message) {
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			_ = n.cfg.Endpoint.Send(p, msg)
+		}
+	}
+}
+
+func (n *Node) run() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case env, ok := <-n.cfg.Endpoint.Inbox():
+			if !ok {
+				return
+			}
+			switch msg := env.Msg.(type) {
+			case Block:
+				n.onBlock(msg)
+			case gossip:
+				n.mu.Lock()
+				n.pending = append(n.pending, msg.Data)
+				n.mu.Unlock()
+			}
+		}
+	}
+}
+
+// mineLoop repeatedly mines on the current tip. Mining restarts whenever
+// the tip moves (the loop re-reads it between nonce windows).
+func (n *Node) mineLoop() {
+	defer close(n.mineDone)
+	nonce := uint64(n.cfg.ID) << 32 // disjoint nonce spaces per miner
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		default:
+		}
+		n.mu.Lock()
+		parent, height := n.tip, n.tipH
+		var data []byte
+		if len(n.pending) > 0 {
+			data = n.pending[0]
+		}
+		n.mu.Unlock()
+		if data == nil {
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		b := Block{Parent: parent, Height: height + 1, Miner: n.cfg.ID, Data: data}
+		solved := false
+		for window := 0; window < 4096; window++ {
+			b.Nonce = nonce
+			nonce++
+			if meetsTarget(b.Hash(), n.cfg.DifficultyBits) {
+				solved = true
+				break
+			}
+		}
+		if !solved {
+			continue // re-read tip and keep searching
+		}
+		n.onBlock(b)
+		n.broadcast(b)
+	}
+}
+
+// onBlock validates a block and applies the longest-chain rule.
+func (n *Node) onBlock(b Block) {
+	if !meetsTarget(b.Hash(), n.cfg.DifficultyBits) {
+		return // invalid PoW
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := b.Hash()
+	if _, seen := n.blocks[h]; seen {
+		return
+	}
+	if b.Height > 1 {
+		if _, ok := n.blocks[b.Parent]; !ok {
+			return // orphan: parent unknown; a real client would sync
+		}
+	}
+	n.blocks[h] = b
+	if b.Height > n.tipH {
+		n.tip = h
+		n.tipH = b.Height
+		// Drop the included payload from the mempool.
+		for i, p := range n.pending {
+			if string(p) == string(b.Data) {
+				n.pending = append(n.pending[:i], n.pending[i+1:]...)
+				break
+			}
+		}
+		n.deliverLocked()
+	} else {
+		n.forks++
+	}
+}
+
+// deliverLocked emits entries buried Confirmations deep under the tip.
+func (n *Node) deliverLocked() {
+	safe := int64(n.tipH) - int64(n.cfg.Confirmations) + 1
+	if safe <= int64(n.delivered) {
+		return
+	}
+	// Walk back from the tip to collect the canonical chain.
+	chain := make([]Block, 0, n.tipH)
+	cur := n.tip
+	for {
+		b, ok := n.blocks[cur]
+		if !ok {
+			break
+		}
+		chain = append(chain, b)
+		if b.Height == 1 {
+			break
+		}
+		cur = b.Parent
+	}
+	// chain is tip-first; deliver in height order.
+	for i := len(chain) - 1; i >= 0; i-- {
+		b := chain[i]
+		if int64(b.Height) > safe || b.Height <= n.delivered {
+			continue
+		}
+		n.delivered = b.Height
+		select {
+		case n.commitCh <- consensus.Entry{Index: b.Height, Data: b.Data, Term: uint64(b.Miner)}:
+		case <-n.stopCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,527 @@
+// Package raft implements the Raft consensus protocol over the simulated
+// cluster network: randomized-timeout leader election, log replication with
+// consistency checks, majority commit, and follower-to-leader proposal
+// forwarding. It is the CFT protocol of the paper's taxonomy — used by
+// Quorum (Raft mode), etcd, TiKV regions, and the Fabric ordering service.
+//
+// The implementation favours clarity over raw speed but cuts no protocol
+// corners: terms, vote safety (§5.4.1 up-to-date check), the commit rule
+// that only current-term entries commit by counting (§5.4.2), and leader
+// step-down on higher terms are all present, which the failover tests
+// exercise.
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+)
+
+// Config configures one replica.
+type Config struct {
+	// ID is this replica's node id; it must appear in Peers.
+	ID cluster.NodeID
+	// Peers lists every member of the group, including ID.
+	Peers []cluster.NodeID
+	// Endpoint is the replica's attachment to the cluster network.
+	Endpoint *cluster.Endpoint
+	// TickInterval is the internal clock granularity. Default 2ms.
+	TickInterval time.Duration
+	// HeartbeatTicks is the leader heartbeat period in ticks. Default 3.
+	HeartbeatTicks int
+	// ElectionTicks is the base election timeout in ticks; the effective
+	// timeout is uniform in [ElectionTicks, 2×ElectionTicks). Default 15.
+	ElectionTicks int
+	// MaxBatch bounds entries per AppendEntries message. Default 256.
+	MaxBatch int
+	// CommitBuffer sizes the Committed channel. Default 4096.
+	CommitBuffer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickInterval <= 0 {
+		c.TickInterval = 2 * time.Millisecond
+	}
+	if c.HeartbeatTicks <= 0 {
+		c.HeartbeatTicks = 3
+	}
+	if c.ElectionTicks <= 0 {
+		c.ElectionTicks = 15
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.CommitBuffer <= 0 {
+		c.CommitBuffer = 4096
+	}
+	return c
+}
+
+type role int
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+type logEntry struct {
+	Term uint64
+	Data []byte
+}
+
+// Node is a Raft replica.
+type Node struct {
+	cfg Config
+
+	mu          sync.Mutex
+	role        role
+	term        uint64
+	votedFor    cluster.NodeID // -1 when none
+	leaderID    cluster.NodeID // -1 when unknown
+	log         []logEntry     // log[0] is a sentinel with Term 0
+	commitIndex uint64
+	applied     uint64
+	nextIndex   map[cluster.NodeID]uint64
+	matchIndex  map[cluster.NodeID]uint64
+	votes       map[cluster.NodeID]bool
+	ticksLeft   int // ticks until election (follower/candidate) or heartbeat (leader)
+	rng         *rand.Rand
+
+	commitCh chan consensus.Entry
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+var _ consensus.Node = (*Node)(nil)
+
+// New starts a replica. The returned node runs until Stop.
+func New(cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		votedFor: -1,
+		leaderID: -1,
+		log:      make([]logEntry, 1),
+		rng:      rand.New(rand.NewSource(int64(cfg.ID) + 1)),
+		commitCh: make(chan consensus.Entry, cfg.CommitBuffer),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	n.resetElectionTimer()
+	go n.run()
+	return n
+}
+
+// --- message types ---
+
+type requestVote struct {
+	Term         uint64
+	LastLogIndex uint64
+	LastLogTerm  uint64
+}
+
+type voteResponse struct {
+	Term    uint64
+	Granted bool
+}
+
+type appendEntries struct {
+	Term         uint64
+	PrevLogIndex uint64
+	PrevLogTerm  uint64
+	Entries      []logEntry
+	LeaderCommit uint64
+}
+
+type appendResponse struct {
+	Term    uint64
+	Success bool
+	// MatchIndex is the follower's last replicated index on success; on
+	// failure it hints where the leader should back up to.
+	MatchIndex uint64
+}
+
+type forward struct {
+	Data []byte
+}
+
+func (m requestVote) Size() int  { return 24 }
+func (m voteResponse) Size() int { return 9 }
+func (m appendEntries) Size() int {
+	s := 32
+	for _, e := range m.Entries {
+		s += 8 + len(e.Data)
+	}
+	return s
+}
+func (m appendResponse) Size() int { return 17 }
+func (m forward) Size() int        { return 8 + len(m.Data) }
+
+// --- public API ---
+
+// Propose implements consensus.Node. On a follower the proposal is
+// forwarded to the last known leader; if no leader is known the proposal is
+// rejected and the caller retries.
+func (n *Node) Propose(data []byte) error {
+	select {
+	case <-n.stopCh:
+		return consensus.ErrStopped
+	default:
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == leader {
+		n.appendLocal(data)
+		return nil
+	}
+	if n.leaderID >= 0 && n.leaderID != n.cfg.ID {
+		to := n.leaderID
+		// Send outside the lock is unnecessary: Endpoint.Send never blocks.
+		return n.cfg.Endpoint.Send(to, forward{Data: data})
+	}
+	return fmt.Errorf("%w: no known leader", consensus.ErrNotLeader)
+}
+
+func (n *Node) appendLocal(data []byte) {
+	n.log = append(n.log, logEntry{Term: n.term, Data: data})
+	n.matchIndex[n.cfg.ID] = n.lastIndex()
+	// Single-node groups commit immediately.
+	n.advanceCommitLocked()
+}
+
+// Committed implements consensus.Node.
+func (n *Node) Committed() <-chan consensus.Entry { return n.commitCh }
+
+// IsLeader implements consensus.Node.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role == leader
+}
+
+// Leader returns the id of the last known leader, or -1.
+func (n *Node) Leader() cluster.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderID
+}
+
+// Term returns the current term; tests observe elections with it.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// Stop implements consensus.Node.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopCh)
+		<-n.done
+		close(n.commitCh)
+	})
+}
+
+// --- event loop ---
+
+func (n *Node) run() {
+	defer close(n.done)
+	ticker := time.NewTicker(n.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.tick()
+		case env, ok := <-n.cfg.Endpoint.Inbox():
+			if !ok {
+				return
+			}
+			n.handle(env)
+		}
+	}
+}
+
+func (n *Node) tick() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ticksLeft--
+	if n.ticksLeft > 0 {
+		return
+	}
+	if n.role == leader {
+		n.broadcastAppendLocked()
+		n.ticksLeft = n.cfg.HeartbeatTicks
+		return
+	}
+	n.startElectionLocked()
+}
+
+func (n *Node) resetElectionTimer() {
+	n.ticksLeft = n.cfg.ElectionTicks + n.rng.Intn(n.cfg.ElectionTicks)
+}
+
+func (n *Node) lastIndex() uint64 { return uint64(len(n.log) - 1) }
+
+func (n *Node) startElectionLocked() {
+	n.role = candidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.leaderID = -1
+	n.votes = map[cluster.NodeID]bool{n.cfg.ID: true}
+	n.resetElectionTimer()
+	msg := requestVote{
+		Term:         n.term,
+		LastLogIndex: n.lastIndex(),
+		LastLogTerm:  n.log[n.lastIndex()].Term,
+	}
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			_ = n.cfg.Endpoint.Send(p, msg)
+		}
+	}
+	if n.quorum(len(n.votes)) { // single-node group
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) quorum(count int) bool { return count*2 > len(n.cfg.Peers) }
+
+func (n *Node) becomeLeaderLocked() {
+	n.role = leader
+	n.leaderID = n.cfg.ID
+	n.nextIndex = make(map[cluster.NodeID]uint64, len(n.cfg.Peers))
+	n.matchIndex = make(map[cluster.NodeID]uint64, len(n.cfg.Peers))
+	for _, p := range n.cfg.Peers {
+		n.nextIndex[p] = n.lastIndex() + 1
+		n.matchIndex[p] = 0
+	}
+	n.matchIndex[n.cfg.ID] = n.lastIndex()
+	n.ticksLeft = n.cfg.HeartbeatTicks
+	n.broadcastAppendLocked()
+}
+
+func (n *Node) stepDownLocked(term uint64) {
+	n.term = term
+	n.role = follower
+	n.votedFor = -1
+	n.resetElectionTimer()
+}
+
+func (n *Node) broadcastAppendLocked() {
+	for _, p := range n.cfg.Peers {
+		if p != n.cfg.ID {
+			n.sendAppendLocked(p)
+		}
+	}
+}
+
+func (n *Node) sendAppendLocked(to cluster.NodeID) {
+	next := n.nextIndex[to]
+	if next < 1 {
+		next = 1
+	}
+	prev := next - 1
+	entries := n.log[next:]
+	if len(entries) > n.cfg.MaxBatch {
+		entries = entries[:n.cfg.MaxBatch]
+	}
+	// Copy: the slice aliases the log, which may grow concurrently.
+	batch := make([]logEntry, len(entries))
+	copy(batch, entries)
+	_ = n.cfg.Endpoint.Send(to, appendEntries{
+		Term:         n.term,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log[prev].Term,
+		Entries:      batch,
+		LeaderCommit: n.commitIndex,
+	})
+}
+
+func (n *Node) handle(env cluster.Envelope) {
+	switch msg := env.Msg.(type) {
+	case requestVote:
+		n.onRequestVote(env.From, msg)
+	case voteResponse:
+		n.onVoteResponse(env.From, msg)
+	case appendEntries:
+		n.onAppendEntries(env.From, msg)
+	case appendResponse:
+		n.onAppendResponse(env.From, msg)
+	case forward:
+		n.onForward(msg)
+	}
+}
+
+func (n *Node) onForward(msg forward) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.role == leader {
+		n.appendLocal(msg.Data)
+		return
+	}
+	// Re-forward once if leadership moved; drop otherwise. The client
+	// confirms through commit notifications, so a dropped forward is a
+	// retry, not a loss.
+	if n.leaderID >= 0 && n.leaderID != n.cfg.ID {
+		_ = n.cfg.Endpoint.Send(n.leaderID, msg)
+	}
+}
+
+func (n *Node) onRequestVote(from cluster.NodeID, msg requestVote) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.term {
+		n.stepDownLocked(msg.Term)
+	}
+	grant := false
+	if msg.Term == n.term && (n.votedFor == -1 || n.votedFor == from) {
+		// §5.4.1: candidate's log must be at least as up-to-date.
+		lastTerm := n.log[n.lastIndex()].Term
+		upToDate := msg.LastLogTerm > lastTerm ||
+			(msg.LastLogTerm == lastTerm && msg.LastLogIndex >= n.lastIndex())
+		if upToDate {
+			grant = true
+			n.votedFor = from
+			n.resetElectionTimer()
+		}
+	}
+	_ = n.cfg.Endpoint.Send(from, voteResponse{Term: n.term, Granted: grant})
+}
+
+func (n *Node) onVoteResponse(from cluster.NodeID, msg voteResponse) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.term {
+		n.stepDownLocked(msg.Term)
+		return
+	}
+	if n.role != candidate || msg.Term != n.term || !msg.Granted {
+		return
+	}
+	n.votes[from] = true
+	if n.quorum(len(n.votes)) {
+		n.becomeLeaderLocked()
+	}
+}
+
+func (n *Node) onAppendEntries(from cluster.NodeID, msg appendEntries) {
+	n.mu.Lock()
+	if msg.Term < n.term {
+		term := n.term
+		n.mu.Unlock()
+		_ = n.cfg.Endpoint.Send(from, appendResponse{Term: term, Success: false})
+		return
+	}
+	if msg.Term > n.term || n.role != follower {
+		n.stepDownLocked(msg.Term)
+	}
+	n.term = msg.Term
+	n.leaderID = from
+	n.resetElectionTimer()
+
+	// Consistency check on the previous entry.
+	if msg.PrevLogIndex > n.lastIndex() || n.log[msg.PrevLogIndex].Term != msg.PrevLogTerm {
+		hint := n.lastIndex()
+		if msg.PrevLogIndex < hint {
+			hint = msg.PrevLogIndex
+		}
+		term := n.term
+		n.mu.Unlock()
+		_ = n.cfg.Endpoint.Send(from, appendResponse{Term: term, Success: false, MatchIndex: hint})
+		return
+	}
+	// Append, truncating conflicts.
+	idx := msg.PrevLogIndex
+	for i, e := range msg.Entries {
+		idx = msg.PrevLogIndex + uint64(i) + 1
+		if idx <= n.lastIndex() {
+			if n.log[idx].Term != e.Term {
+				n.log = n.log[:idx]
+				n.log = append(n.log, e)
+			}
+			continue
+		}
+		n.log = append(n.log, e)
+	}
+	match := msg.PrevLogIndex + uint64(len(msg.Entries))
+	if msg.LeaderCommit > n.commitIndex {
+		n.commitIndex = min(msg.LeaderCommit, n.lastIndex())
+	}
+	term := n.term
+	n.applyLocked()
+	n.mu.Unlock()
+	_ = n.cfg.Endpoint.Send(from, appendResponse{Term: term, Success: true, MatchIndex: match})
+}
+
+func (n *Node) onAppendResponse(from cluster.NodeID, msg appendResponse) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Term > n.term {
+		n.stepDownLocked(msg.Term)
+		return
+	}
+	if n.role != leader || msg.Term != n.term {
+		return
+	}
+	if !msg.Success {
+		// Back up; the hint is the follower's last plausible match.
+		next := n.nextIndex[from]
+		if msg.MatchIndex+1 < next {
+			n.nextIndex[from] = msg.MatchIndex + 1
+		} else if next > 1 {
+			n.nextIndex[from] = next - 1
+		}
+		n.sendAppendLocked(from)
+		return
+	}
+	if msg.MatchIndex > n.matchIndex[from] {
+		n.matchIndex[from] = msg.MatchIndex
+	}
+	n.nextIndex[from] = n.matchIndex[from] + 1
+	n.advanceCommitLocked()
+	// Keep streaming if the follower is behind.
+	if n.nextIndex[from] <= n.lastIndex() {
+		n.sendAppendLocked(from)
+	}
+}
+
+// advanceCommitLocked applies the §5.4.2 rule: an index commits when a
+// majority has it and it belongs to the current term.
+func (n *Node) advanceCommitLocked() {
+	for idx := n.lastIndex(); idx > n.commitIndex; idx-- {
+		if n.log[idx].Term != n.term {
+			break
+		}
+		count := 0
+		for _, p := range n.cfg.Peers {
+			if n.matchIndex[p] >= idx {
+				count++
+			}
+		}
+		if n.quorum(count) {
+			n.commitIndex = idx
+			break
+		}
+	}
+	n.applyLocked()
+}
+
+func (n *Node) applyLocked() {
+	for n.applied < n.commitIndex {
+		n.applied++
+		e := n.log[n.applied]
+		select {
+		case n.commitCh <- consensus.Entry{Index: n.applied, Data: e.Data, Term: e.Term}:
+		case <-n.stopCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+)
+
+// group spins up n raft replicas on a fresh network.
+func group(t *testing.T, n int) (*cluster.Network, []*Node) {
+	t.Helper()
+	net := cluster.NewNetwork(cluster.ZeroLink{})
+	peers := make([]cluster.NodeID, n)
+	for i := range peers {
+		peers[i] = cluster.NodeID(i)
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = New(Config{
+			ID:       peers[i],
+			Peers:    peers,
+			Endpoint: net.Register(peers[i], 4096),
+		})
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		net.Close()
+	})
+	return net, nodes
+}
+
+func waitLeader(t *testing.T, nodes []*Node, timeout time.Duration) *Node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range nodes {
+			if n.IsLeader() {
+				return n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no leader elected")
+	return nil
+}
+
+func collect(t *testing.T, n *Node, count int, timeout time.Duration) []consensus.Entry {
+	t.Helper()
+	var out []consensus.Entry
+	deadline := time.After(timeout)
+	for len(out) < count {
+		select {
+		case e, ok := <-n.Committed():
+			if !ok {
+				t.Fatalf("commit channel closed after %d entries", len(out))
+			}
+			out = append(out, e)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d entries", len(out), count)
+		}
+	}
+	return out
+}
+
+func TestSingleNodeCommits(t *testing.T) {
+	_, nodes := group(t, 1)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	if err := leader.Propose([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	entries := collect(t, leader, 1, 2*time.Second)
+	if string(entries[0].Data) != "solo" || entries[0].Index != 1 {
+		t.Fatalf("got %+v", entries[0])
+	}
+}
+
+func TestElectsExactlyOneLeader(t *testing.T) {
+	_, nodes := group(t, 5)
+	waitLeader(t, nodes, 2*time.Second)
+	time.Sleep(100 * time.Millisecond) // let the election settle
+	leaders := 0
+	term := uint64(0)
+	for _, n := range nodes {
+		if n.IsLeader() {
+			leaders++
+			term = n.Term()
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("found %d leaders, want 1", leaders)
+	}
+	// All nodes should agree on the leader's term eventually.
+	for _, n := range nodes {
+		if n.Term() != term {
+			t.Fatalf("term disagreement: %d vs %d", n.Term(), term)
+		}
+	}
+}
+
+func TestReplicatesToAll(t *testing.T) {
+	_, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range nodes {
+		entries := collect(t, n, total, 5*time.Second)
+		for i, e := range entries {
+			if e.Index != uint64(i+1) {
+				t.Fatalf("node %d: entry %d has index %d", n.cfg.ID, i, e.Index)
+			}
+			if string(e.Data) != fmt.Sprintf("op-%d", i) {
+				t.Fatalf("node %d: entry %d = %q", n.cfg.ID, i, e.Data)
+			}
+		}
+	}
+}
+
+func TestFollowerForwardsProposals(t *testing.T) {
+	_, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	var follower *Node
+	for _, n := range nodes {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	// The follower may briefly not know the leader; retry.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err := follower.Propose([]byte("via-follower"))
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, consensus.ErrNotLeader) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("follower never learned the leader")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	entries := collect(t, leader, 1, 2*time.Second)
+	if string(entries[0].Data) != "via-follower" {
+		t.Fatalf("got %q", entries[0].Data)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	net, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	if err := leader.Propose([]byte("before-crash")); err != nil {
+		t.Fatal(err)
+	}
+	// Every node must commit the first entry before the crash.
+	for _, n := range nodes {
+		collect(t, n, 1, 2*time.Second)
+	}
+	net.Crash(leader.cfg.ID)
+
+	// A new leader must emerge among the survivors.
+	survivors := make([]*Node, 0, 2)
+	for _, n := range nodes {
+		if n != leader {
+			survivors = append(survivors, n)
+		}
+	}
+	var newLeader *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for newLeader == nil && time.Now().Before(deadline) {
+		for _, n := range survivors {
+			if n.IsLeader() {
+				newLeader = n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if newLeader == nil {
+		t.Fatal("no failover")
+	}
+	if err := newLeader.Propose([]byte("after-crash")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range survivors {
+		entries := collect(t, n, 1, 5*time.Second)
+		if string(entries[0].Data) != "after-crash" {
+			t.Fatalf("survivor got %q", entries[0].Data)
+		}
+	}
+}
+
+func TestCrashedFollowerCatchesUp(t *testing.T) {
+	net, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	var follower *Node
+	for _, n := range nodes {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	net.Crash(follower.cfg.ID)
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, leader, total, 5*time.Second)
+	net.Restart(follower.cfg.ID)
+	entries := collect(t, follower, total, 5*time.Second)
+	if string(entries[total-1].Data) != fmt.Sprintf("op-%d", total-1) {
+		t.Fatalf("follower tail = %q", entries[total-1].Data)
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	net, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	// Cut the leader off from both followers.
+	for _, n := range nodes {
+		if n != leader {
+			net.Partition(leader.cfg.ID, n.cfg.ID)
+		}
+	}
+	_ = leader.Propose([]byte("doomed"))
+	select {
+	case e := <-leader.Committed():
+		t.Fatalf("minority leader committed %q", e.Data)
+	case <-time.After(300 * time.Millisecond):
+	}
+	// Majority side elects a new leader and commits.
+	var newLeader *Node
+	deadline := time.Now().Add(5 * time.Second)
+	for newLeader == nil && time.Now().Before(deadline) {
+		for _, n := range nodes {
+			if n != leader && n.IsLeader() {
+				newLeader = n
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if newLeader == nil {
+		t.Fatal("majority never elected a leader")
+	}
+	if err := newLeader.Propose([]byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	entries := collect(t, newLeader, 1, 5*time.Second)
+	if string(entries[0].Data) != "survives" {
+		t.Fatalf("got %q", entries[0].Data)
+	}
+}
+
+func TestLogsConvergeAfterHeal(t *testing.T) {
+	net, nodes := group(t, 5)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	var isolated *Node
+	for _, n := range nodes {
+		if n != leader {
+			isolated = n
+			break
+		}
+	}
+	for _, n := range nodes {
+		if n != isolated {
+			net.Partition(isolated.cfg.ID, n.cfg.ID)
+		}
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := leader.Propose([]byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(t, leader, total, 5*time.Second)
+	net.HealAll()
+	entries := collect(t, isolated, total, 5*time.Second)
+	for i, e := range entries {
+		if string(e.Data) != fmt.Sprintf("op-%d", i) {
+			t.Fatalf("entry %d = %q after heal", i, e.Data)
+		}
+	}
+}
+
+func TestProposeAfterStop(t *testing.T) {
+	_, nodes := group(t, 1)
+	waitLeader(t, nodes, 2*time.Second)
+	nodes[0].Stop()
+	if err := nodes[0].Propose([]byte("late")); !errors.Is(err, consensus.ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestThroughputUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	_, nodes := group(t, 3)
+	leader := waitLeader(t, nodes, 2*time.Second)
+	const total = 2000
+	go func() {
+		for i := 0; i < total; i++ {
+			for leader.Propose([]byte("payload-of-reasonable-size")) != nil {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	entries := collect(t, leader, total, 30*time.Second)
+	if len(entries) != total {
+		t.Fatalf("committed %d, want %d", len(entries), total)
+	}
+}

@@ -1,0 +1,125 @@
+// Package contract implements the deterministic smart-contract engine both
+// blockchain models execute. Contracts are Go functions invoked against a
+// StateReader through a stub that records read and write sets — exactly the
+// simulate interface Fabric chaincode sees — and the identical code path is
+// replayed post-order in order-execute systems, where determinism is what
+// keeps replicas consistent.
+package contract
+
+import (
+	"errors"
+	"fmt"
+
+	"dichotomy/internal/txn"
+)
+
+// ErrNotFound is returned by Stub.GetState for absent keys.
+var ErrNotFound = errors.New("contract: key not found")
+
+// ErrAbort signals a business-rule rejection (e.g. insufficient funds);
+// systems count such transactions as application aborts, not conflicts.
+var ErrAbort = errors.New("contract: aborted by contract logic")
+
+// StateReader is the view of committed state a contract executes against.
+// Implementations return the value and the version that last wrote it.
+type StateReader interface {
+	GetState(key string) (value []byte, ver txn.Version, err error)
+}
+
+// Stub is the contract's handle on state during one invocation. It records
+// every read (with its version) and buffers writes; nothing touches the
+// store until the system decides to commit the write set.
+type Stub struct {
+	state  StateReader
+	reads  []txn.Read
+	writes map[string][]byte
+	order  []string // write keys in first-write order, for determinism
+}
+
+// NewStub returns a stub over the given committed-state view.
+func NewStub(state StateReader) *Stub {
+	return &Stub{state: state, writes: make(map[string][]byte)}
+}
+
+// GetState reads a key, observing earlier writes in the same invocation
+// (read-your-writes) and recording the read version otherwise.
+func (s *Stub) GetState(key string) ([]byte, error) {
+	if v, ok := s.writes[key]; ok {
+		if v == nil {
+			return nil, ErrNotFound
+		}
+		return v, nil
+	}
+	v, ver, err := s.state.GetState(key)
+	s.reads = append(s.reads, txn.Read{Key: key, Version: ver})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// PutState buffers a write.
+func (s *Stub) PutState(key string, value []byte) {
+	if _, seen := s.writes[key]; !seen {
+		s.order = append(s.order, key)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.writes[key] = v
+}
+
+// DelState buffers a deletion.
+func (s *Stub) DelState(key string) {
+	if _, seen := s.writes[key]; !seen {
+		s.order = append(s.order, key)
+	}
+	s.writes[key] = nil
+}
+
+// RWSet returns the recorded effect of the invocation.
+func (s *Stub) RWSet() txn.RWSet {
+	ws := make([]txn.Write, 0, len(s.order))
+	for _, k := range s.order {
+		ws = append(ws, txn.Write{Key: k, Value: s.writes[k]})
+	}
+	return txn.RWSet{Reads: s.reads, Writes: ws}
+}
+
+// Contract is a deterministic state-transition program.
+type Contract interface {
+	// Name is the registry key used in invocations.
+	Name() string
+	// Invoke runs method with args against the stub. It must be
+	// deterministic: no time, randomness, or I/O beyond the stub.
+	Invoke(stub *Stub, method string, args [][]byte) error
+}
+
+// Registry maps contract names to implementations; each node holds one.
+type Registry struct {
+	contracts map[string]Contract
+}
+
+// NewRegistry returns a registry preloaded with the given contracts.
+func NewRegistry(contracts ...Contract) *Registry {
+	r := &Registry{contracts: make(map[string]Contract)}
+	for _, c := range contracts {
+		r.contracts[c.Name()] = c
+	}
+	return r
+}
+
+// Register adds a contract; last registration wins, as in redeployment.
+func (r *Registry) Register(c Contract) { r.contracts[c.Name()] = c }
+
+// Execute runs an invocation against state and returns the read/write set.
+func (r *Registry) Execute(state StateReader, inv txn.Invocation) (txn.RWSet, error) {
+	c, ok := r.contracts[inv.Contract]
+	if !ok {
+		return txn.RWSet{}, fmt.Errorf("contract: unknown contract %q", inv.Contract)
+	}
+	stub := NewStub(state)
+	if err := c.Invoke(stub, inv.Method, inv.Args); err != nil {
+		return txn.RWSet{}, err
+	}
+	return stub.RWSet(), nil
+}

@@ -1,0 +1,329 @@
+package contract
+
+import (
+	"errors"
+	"testing"
+
+	"dichotomy/internal/txn"
+)
+
+// mapState is a StateReader over a plain map with fixed versions.
+type mapState struct {
+	data map[string][]byte
+	vers map[string]txn.Version
+}
+
+func newMapState() *mapState {
+	return &mapState{data: map[string][]byte{}, vers: map[string]txn.Version{}}
+}
+
+func (m *mapState) GetState(key string) ([]byte, txn.Version, error) {
+	v, ok := m.data[key]
+	if !ok {
+		return nil, txn.Version{}, ErrNotFound
+	}
+	return v, m.vers[key], nil
+}
+
+func (m *mapState) apply(rw txn.RWSet, ver txn.Version) {
+	for _, w := range rw.Writes {
+		if w.Value == nil {
+			delete(m.data, w.Key)
+			delete(m.vers, w.Key)
+			continue
+		}
+		m.data[w.Key] = w.Value
+		m.vers[w.Key] = ver
+	}
+}
+
+func TestStubRecordsReadsWithVersions(t *testing.T) {
+	st := newMapState()
+	st.data["k"] = []byte("v")
+	st.vers["k"] = txn.Version{BlockNum: 7, TxNum: 3}
+	stub := NewStub(st)
+	if _, err := stub.GetState("k"); err != nil {
+		t.Fatal(err)
+	}
+	rw := stub.RWSet()
+	if len(rw.Reads) != 1 || rw.Reads[0].Version.BlockNum != 7 {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+}
+
+func TestStubReadYourWrites(t *testing.T) {
+	stub := NewStub(newMapState())
+	stub.PutState("k", []byte("new"))
+	v, err := stub.GetState("k")
+	if err != nil || string(v) != "new" {
+		t.Fatalf("read-your-writes broken: %q %v", v, err)
+	}
+	// The buffered read must NOT add to the read set.
+	if len(stub.RWSet().Reads) != 0 {
+		t.Fatal("own-write read polluted the read set")
+	}
+}
+
+func TestStubDeleteVisibleInTx(t *testing.T) {
+	st := newMapState()
+	st.data["k"] = []byte("v")
+	stub := NewStub(st)
+	stub.DelState("k")
+	if _, err := stub.GetState("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key still readable in-tx")
+	}
+	rw := stub.RWSet()
+	if len(rw.Writes) != 1 || rw.Writes[0].Value != nil {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+}
+
+func TestStubWriteOrderDeterministic(t *testing.T) {
+	stub := NewStub(newMapState())
+	stub.PutState("b", []byte("2"))
+	stub.PutState("a", []byte("1"))
+	stub.PutState("b", []byte("3")) // overwrite keeps first position
+	rw := stub.RWSet()
+	if rw.Writes[0].Key != "b" || rw.Writes[1].Key != "a" {
+		t.Fatalf("write order = %v", rw.Writes)
+	}
+	if string(rw.Writes[0].Value) != "3" {
+		t.Fatal("overwrite lost")
+	}
+}
+
+func TestRegistryExecute(t *testing.T) {
+	reg := NewRegistry(KV{})
+	rw, err := reg.Execute(newMapState(), txn.Invocation{
+		Contract: KVName, Method: "put", Args: [][]byte{[]byte("k"), []byte("v")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Writes) != 1 || rw.Writes[0].Key != "k" {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+	if _, err := reg.Execute(newMapState(), txn.Invocation{Contract: "ghost"}); err == nil {
+		t.Fatal("unknown contract accepted")
+	}
+}
+
+func TestKVMethods(t *testing.T) {
+	st := newMapState()
+	reg := NewRegistry(KV{})
+	// put, then modify, then get, then multi.
+	rw, err := reg.Execute(st, txn.Invocation{Contract: KVName, Method: "put", Args: [][]byte{[]byte("a"), []byte("1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 1})
+
+	rw, err = reg.Execute(st, txn.Invocation{Contract: KVName, Method: "modify", Args: [][]byte{[]byte("a"), []byte("2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Reads) != 1 || len(rw.Writes) != 1 {
+		t.Fatalf("modify rwset = %+v", rw)
+	}
+	st.apply(rw, txn.Version{BlockNum: 2})
+
+	rw, err = reg.Execute(st, txn.Invocation{Contract: KVName, Method: "get", Args: [][]byte{[]byte("a")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Reads) != 1 || len(rw.Writes) != 0 {
+		t.Fatalf("get rwset = %+v", rw)
+	}
+
+	rw, err = reg.Execute(st, txn.Invocation{Contract: KVName, Method: "multi", Args: [][]byte{
+		[]byte("x"), []byte("10"), []byte("y"), []byte("20"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Writes) != 2 {
+		t.Fatalf("multi writes = %+v", rw.Writes)
+	}
+	// get of an absent key succeeds with an empty-version read.
+	rw, err = reg.Execute(st, txn.Invocation{Contract: KVName, Method: "get", Args: [][]byte{[]byte("ghost")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Reads[0].Version != (txn.Version{}) {
+		t.Fatal("absent read should carry zero version")
+	}
+}
+
+func TestKVBadArgs(t *testing.T) {
+	reg := NewRegistry(KV{})
+	for _, bad := range []txn.Invocation{
+		{Contract: KVName, Method: "get"},
+		{Contract: KVName, Method: "put", Args: [][]byte{[]byte("k")}},
+		{Contract: KVName, Method: "multi", Args: [][]byte{[]byte("k")}},
+		{Contract: KVName, Method: "nosuch"},
+	} {
+		if _, err := reg.Execute(newMapState(), bad); err == nil {
+			t.Fatalf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestInt64Codec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		if DecodeInt64(EncodeInt64(v)) != v {
+			t.Fatalf("round trip failed for %d", v)
+		}
+	}
+	if DecodeInt64(nil) != 0 || DecodeInt64([]byte{1}) != 0 {
+		t.Fatal("short input should decode to zero")
+	}
+}
+
+// --- Smallbank ---
+
+func setupBank(t *testing.T) (*mapState, *Registry) {
+	t.Helper()
+	st := newMapState()
+	reg := NewRegistry(Smallbank{})
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "create_account",
+		Args: [][]byte{[]byte("acct1"), EncodeInt64(100), EncodeInt64(50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 1})
+	rw, err = reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "create_account",
+		Args: [][]byte{[]byte("acct2"), EncodeInt64(200), EncodeInt64(0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 1, TxNum: 1})
+	return st, reg
+}
+
+func balance(t *testing.T, st *mapState, key string) int64 {
+	t.Helper()
+	v, _, err := st.GetState(key)
+	if err != nil {
+		t.Fatalf("balance %s: %v", key, err)
+	}
+	return DecodeInt64(v)
+}
+
+func TestSmallbankSendPayment(t *testing.T) {
+	st, reg := setupBank(t)
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "send_payment",
+		Args: [][]byte{[]byte("acct1"), []byte("acct2"), EncodeInt64(30)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 2})
+	if got := balance(t, st, "chk:acct1"); got != 70 {
+		t.Fatalf("src = %d, want 70", got)
+	}
+	if got := balance(t, st, "chk:acct2"); got != 230 {
+		t.Fatalf("dst = %d, want 230", got)
+	}
+}
+
+func TestSmallbankInsufficientFundsAborts(t *testing.T) {
+	st, reg := setupBank(t)
+	_, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "send_payment",
+		Args: [][]byte{[]byte("acct1"), []byte("acct2"), EncodeInt64(1000)}})
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("err = %v, want ErrAbort", err)
+	}
+}
+
+func TestSmallbankSavingsOverdraftAborts(t *testing.T) {
+	st, reg := setupBank(t)
+	_, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "transact_savings",
+		Args: [][]byte{[]byte("acct1"), EncodeInt64(-60)}}) // savings is 50
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("err = %v, want ErrAbort", err)
+	}
+	// A withdrawal within balance succeeds.
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "transact_savings",
+		Args: [][]byte{[]byte("acct1"), EncodeInt64(-50)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 2})
+	if got := balance(t, st, "sav:acct1"); got != 0 {
+		t.Fatalf("savings = %d, want 0", got)
+	}
+}
+
+func TestSmallbankWriteCheckOverdraftPenalty(t *testing.T) {
+	st, reg := setupBank(t)
+	// acct1: chk 100, sav 50. Check of 200 > 150 total → penalty $1.
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "write_check",
+		Args: [][]byte{[]byte("acct1"), EncodeInt64(200)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 2})
+	if got := balance(t, st, "chk:acct1"); got != 100-200-1 {
+		t.Fatalf("checking = %d, want -101", got)
+	}
+}
+
+func TestSmallbankAmalgamate(t *testing.T) {
+	st, reg := setupBank(t)
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "amalgamate",
+		Args: [][]byte{[]byte("acct1"), []byte("acct2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.apply(rw, txn.Version{BlockNum: 2})
+	if got := balance(t, st, "chk:acct2"); got != 350 {
+		t.Fatalf("dst = %d, want 350", got)
+	}
+	if balance(t, st, "chk:acct1") != 0 || balance(t, st, "sav:acct1") != 0 {
+		t.Fatal("source accounts not emptied")
+	}
+}
+
+func TestSmallbankQueryTouchesBothBalances(t *testing.T) {
+	st, reg := setupBank(t)
+	rw, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "query",
+		Args: [][]byte{[]byte("acct1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Reads) != 2 || len(rw.Writes) != 0 {
+		t.Fatalf("query rwset = %+v", rw)
+	}
+}
+
+func TestSmallbankMissingAccountAborts(t *testing.T) {
+	st, reg := setupBank(t)
+	_, err := reg.Execute(st, txn.Invocation{Contract: SmallbankName, Method: "query",
+		Args: [][]byte{[]byte("ghost")}})
+	if !errors.Is(err, ErrAbort) {
+		t.Fatalf("err = %v, want ErrAbort", err)
+	}
+}
+
+func TestSmallbankMoneyConservation(t *testing.T) {
+	st, reg := setupBank(t)
+	total := func() int64 {
+		return balance(t, st, "chk:acct1") + balance(t, st, "sav:acct1") +
+			balance(t, st, "chk:acct2") + balance(t, st, "sav:acct2")
+	}
+	before := total()
+	ops := []txn.Invocation{
+		{Contract: SmallbankName, Method: "send_payment", Args: [][]byte{[]byte("acct1"), []byte("acct2"), EncodeInt64(10)}},
+		{Contract: SmallbankName, Method: "amalgamate", Args: [][]byte{[]byte("acct2"), []byte("acct1")}},
+		{Contract: SmallbankName, Method: "send_payment", Args: [][]byte{[]byte("acct1"), []byte("acct2"), EncodeInt64(5)}},
+	}
+	for i, op := range ops {
+		rw, err := reg.Execute(st, op)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		st.apply(rw, txn.Version{BlockNum: uint64(i + 2)})
+	}
+	if total() != before {
+		t.Fatalf("money not conserved: %d → %d", before, total())
+	}
+}

@@ -1,0 +1,194 @@
+// Package core encodes the paper's primary contribution: the taxonomy
+// that places blockchains and distributed databases in one design space of
+// four dimensions — replication, concurrency, storage, and sharding — and
+// the system catalog of Table 2 expressed in those terms. The fusion
+// framework built on top of the taxonomy lives in internal/hybrid; the
+// running systems assembled from these design choices live in
+// internal/system.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ReplicationModel is dimension 1a: what gets replicated.
+type ReplicationModel int
+
+const (
+	// TxnReplication replicates whole transactions; every replica replays
+	// execution (blockchains).
+	TxnReplication ReplicationModel = iota
+	// StorageReplication replicates read/write operations beneath a
+	// trusted transaction manager (databases).
+	StorageReplication
+)
+
+// ReplicationApproach is dimension 1b: how replicas stay consistent.
+type ReplicationApproach int
+
+const (
+	// ConsensusReplication runs a protocol among the replicas (Raft,
+	// Paxos, PBFT, PoW).
+	ConsensusReplication ReplicationApproach = iota
+	// SharedLogReplication delegates ordering to an external log (Kafka,
+	// the Fabric ordering service).
+	SharedLogReplication
+	// PrimaryBackup designates a primary that synchronizes backups.
+	PrimaryBackup
+)
+
+// FailureModel is dimension 1c: what failures replication tolerates.
+type FailureModel int
+
+const (
+	// CrashFaults covers hardware/software crashes only (CFT).
+	CrashFaults FailureModel = iota
+	// ByzantineFaults covers arbitrary, including malicious, behaviour
+	// (BFT).
+	ByzantineFaults
+)
+
+// Concurrency is dimension 2: how much execution overlaps.
+type Concurrency int
+
+const (
+	// SerialExecution runs transactions one at a time in ledger order.
+	SerialExecution Concurrency = iota
+	// ConcurrentExecution overlaps transactions under a concurrency
+	// control protocol.
+	ConcurrentExecution
+	// SimulateThenSerialCommit executes concurrently but commits
+	// serially with optimistic validation (execute-order-validate).
+	SimulateThenSerialCommit
+)
+
+// StorageModel is dimension 3: what the storage layer exposes.
+type StorageModel int
+
+const (
+	// LatestStateOnly exposes mutable current state (databases; history
+	// only in prunable recovery logs).
+	LatestStateOnly StorageModel = iota
+	// AppendOnlyLedger additionally retains hash-chained history.
+	AppendOnlyLedger
+)
+
+// StateIndex classifies the state index of dimension 3.
+type StateIndex int
+
+const (
+	// PlainIndex is a performance-oriented index (B-tree, LSM, skip list).
+	PlainIndex StateIndex = iota
+	// AuthenticatedIndex additionally commits to contents (MPT, MBT,
+	// Merkle trees).
+	AuthenticatedIndex
+)
+
+// Sharding is dimension 4: how the system scales out.
+type Sharding int
+
+const (
+	// NoSharding fully replicates everything.
+	NoSharding Sharding = iota
+	// WorkloadSharding partitions for performance with a trusted 2PC
+	// coordinator (databases).
+	WorkloadSharding
+	// SecureSharding forms shards under adversarial assumptions with
+	// unbiasable assignment, BFT-protected 2PC, and periodic
+	// reconfiguration (blockchains).
+	SecureSharding
+)
+
+// Profile is one row of Table 2: a system described in taxonomy terms.
+type Profile struct {
+	Name        string
+	Category    string
+	Replication ReplicationModel
+	Approach    ReplicationApproach
+	Failure     FailureModel
+	Concurrency Concurrency
+	Storage     StorageModel
+	Index       StateIndex
+	Sharding    Sharding
+}
+
+// Goal returns which high-level goal the profile's choices serve: the
+// paper's thesis is that blockchains choose security and databases choose
+// performance, dimension by dimension.
+func (p Profile) Goal() string {
+	securityLeaning := 0
+	if p.Replication == TxnReplication {
+		securityLeaning++
+	}
+	if p.Failure == ByzantineFaults {
+		securityLeaning++
+	}
+	if p.Concurrency == SerialExecution || p.Concurrency == SimulateThenSerialCommit {
+		// Serial commit order — full or after optimistic simulation — is
+		// chosen for deterministic, auditable state, a security goal.
+		securityLeaning++
+	}
+	if p.Storage == AppendOnlyLedger {
+		securityLeaning++
+	}
+	if p.Index == AuthenticatedIndex {
+		securityLeaning++
+	}
+	switch {
+	case securityLeaning >= 4:
+		return "security"
+	case securityLeaning <= 1:
+		return "performance"
+	default:
+		return "hybrid"
+	}
+}
+
+// Table2 returns the paper's system comparison in taxonomy form (the
+// systems this repository also implements or models are all present).
+func Table2() []Profile {
+	return []Profile{
+		{"Ethereum", "permissionless blockchain", TxnReplication, ConsensusReplication, ByzantineFaults, SerialExecution, AppendOnlyLedger, AuthenticatedIndex, NoSharding},
+		{"Quorum v2.2", "permissioned blockchain", TxnReplication, ConsensusReplication, CrashFaults, SerialExecution, AppendOnlyLedger, AuthenticatedIndex, NoSharding},
+		{"Fabric v2.2", "permissioned blockchain", TxnReplication, SharedLogReplication, CrashFaults, SimulateThenSerialCommit, AppendOnlyLedger, PlainIndex, NoSharding},
+		{"Fabric v0.6", "permissioned blockchain", TxnReplication, ConsensusReplication, ByzantineFaults, SerialExecution, AppendOnlyLedger, AuthenticatedIndex, NoSharding},
+		{"TiDB v4.0", "NewSQL database", StorageReplication, ConsensusReplication, CrashFaults, ConcurrentExecution, LatestStateOnly, PlainIndex, WorkloadSharding},
+		{"CockroachDB", "NewSQL database", StorageReplication, ConsensusReplication, CrashFaults, ConcurrentExecution, LatestStateOnly, PlainIndex, WorkloadSharding},
+		{"Spanner", "NewSQL database", StorageReplication, ConsensusReplication, CrashFaults, ConcurrentExecution, LatestStateOnly, PlainIndex, WorkloadSharding},
+		{"etcd v3.3", "NoSQL database", StorageReplication, ConsensusReplication, CrashFaults, SerialExecution, LatestStateOnly, PlainIndex, NoSharding},
+		{"Cassandra", "NoSQL database", StorageReplication, PrimaryBackup, CrashFaults, ConcurrentExecution, LatestStateOnly, PlainIndex, WorkloadSharding},
+		{"BlockchainDB", "out-of-the-blockchain database", StorageReplication, ConsensusReplication, ByzantineFaults, SerialExecution, AppendOnlyLedger, AuthenticatedIndex, SecureSharding},
+		{"Veritas", "out-of-the-blockchain database", StorageReplication, SharedLogReplication, CrashFaults, SimulateThenSerialCommit, AppendOnlyLedger, PlainIndex, NoSharding},
+		{"FalconDB", "out-of-the-blockchain database", StorageReplication, ConsensusReplication, ByzantineFaults, SimulateThenSerialCommit, AppendOnlyLedger, AuthenticatedIndex, NoSharding},
+		{"BRD", "out-of-the-database blockchain", TxnReplication, SharedLogReplication, ByzantineFaults, ConcurrentExecution, AppendOnlyLedger, PlainIndex, NoSharding},
+		{"ChainifyDB", "out-of-the-database blockchain", TxnReplication, SharedLogReplication, CrashFaults, ConcurrentExecution, AppendOnlyLedger, PlainIndex, NoSharding},
+		{"BigchainDB", "out-of-the-database blockchain", TxnReplication, ConsensusReplication, ByzantineFaults, ConcurrentExecution, AppendOnlyLedger, PlainIndex, NoSharding},
+		{"AHL", "sharded blockchain", TxnReplication, ConsensusReplication, ByzantineFaults, SerialExecution, AppendOnlyLedger, AuthenticatedIndex, SecureSharding},
+	}
+}
+
+// Lookup returns the profile with the given name (case-insensitive
+// prefix match), if any.
+func Lookup(name string) (Profile, bool) {
+	needle := strings.ToLower(name)
+	for _, p := range Table2() {
+		if strings.HasPrefix(strings.ToLower(p.Name), needle) {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// String renders a profile compactly.
+func (p Profile) String() string {
+	rep := "storage"
+	if p.Replication == TxnReplication {
+		rep = "txn"
+	}
+	fail := "cft"
+	if p.Failure == ByzantineFaults {
+		fail = "bft"
+	}
+	return fmt.Sprintf("%s[%s/%s/%s]", p.Name, rep, fail, p.Goal())
+}

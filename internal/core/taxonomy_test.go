@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2Coverage(t *testing.T) {
+	rows := Table2()
+	if len(rows) < 15 {
+		t.Fatalf("Table 2 has %d rows; paper lists more", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, p := range rows {
+		if seen[p.Name] {
+			t.Fatalf("duplicate row %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, want := range []string{"Quorum", "Fabric v2.2", "TiDB", "etcd", "Veritas", "BigchainDB", "AHL"} {
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("Lookup(%q) missing", want)
+		}
+	}
+}
+
+func TestGoalsMatchThesis(t *testing.T) {
+	// The paper's thesis: blockchains choose security, databases choose
+	// performance, hybrids sit between.
+	cases := map[string]string{
+		"Ethereum":    "security",
+		"Fabric v0.6": "security",
+		"TiDB":        "performance",
+		"Cassandra":   "performance",
+		"Veritas":     "hybrid",
+		"ChainifyDB":  "hybrid",
+	}
+	for name, want := range cases {
+		p, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) failed", name)
+		}
+		if got := p.Goal(); got != want {
+			t.Errorf("%s.Goal() = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestBlockchainsAreTxnReplicated(t *testing.T) {
+	for _, p := range Table2() {
+		isBlockchain := strings.Contains(p.Category, "blockchain") &&
+			!strings.Contains(p.Category, "out-of-the-blockchain")
+		if isBlockchain && p.Replication != TxnReplication {
+			t.Errorf("%s is a blockchain but not txn-replicated", p.Name)
+		}
+		isDB := strings.HasSuffix(p.Category, "SQL database")
+		if isDB && p.Replication != StorageReplication {
+			t.Errorf("%s is a database but not storage-replicated", p.Name)
+		}
+	}
+}
+
+func TestDatabasesKeepLatestStateOnly(t *testing.T) {
+	for _, name := range []string{"TiDB", "etcd", "Spanner", "Cassandra"} {
+		p, _ := Lookup(name)
+		if p.Storage != LatestStateOnly {
+			t.Errorf("%s should expose latest state only", name)
+		}
+	}
+	for _, name := range []string{"Ethereum", "Quorum", "Fabric v2.2"} {
+		p, _ := Lookup(name)
+		if p.Storage != AppendOnlyLedger {
+			t.Errorf("%s should have a ledger", name)
+		}
+	}
+}
+
+func TestSecureShardingOnlyOnBlockchainSide(t *testing.T) {
+	for _, p := range Table2() {
+		if p.Sharding == SecureSharding && p.Failure != ByzantineFaults {
+			t.Errorf("%s has secure sharding without a Byzantine model", p.Name)
+		}
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	if _, ok := Lookup("nonexistent-system"); ok {
+		t.Fatal("lookup of unknown system succeeded")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p, _ := Lookup("TiDB")
+	s := p.String()
+	if !strings.Contains(s, "storage") || !strings.Contains(s, "cft") {
+		t.Fatalf("String() = %q", s)
+	}
+}

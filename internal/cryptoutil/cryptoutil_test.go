@@ -1,0 +1,130 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashBytesMatchesSHA256(t *testing.T) {
+	data := []byte("dichotomy")
+	want := sha256.Sum256(data)
+	if got := HashBytes(data); got != Hash(want) {
+		t.Fatalf("HashBytes = %x, want %x", got, want)
+	}
+}
+
+func TestHashConcatEqualsConcatenation(t *testing.T) {
+	f := func(a, b, c []byte) bool {
+		joined := bytes.Join([][]byte{a, b, c}, nil)
+		return HashConcat(a, b, c) == HashBytes(joined)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPairOrderMatters(t *testing.T) {
+	a := HashBytes([]byte("a"))
+	b := HashBytes([]byte("b"))
+	if HashPair(a, b) == HashPair(b, a) {
+		t.Fatal("HashPair must not be commutative")
+	}
+}
+
+func TestHashString(t *testing.T) {
+	h := HashBytes([]byte("x"))
+	if len(h.String()) != 16 {
+		t.Fatalf("String() = %q, want 16 hex chars", h.String())
+	}
+	if !ZeroHash.IsZero() {
+		t.Fatal("ZeroHash.IsZero() = false")
+	}
+	if h.IsZero() {
+		t.Fatal("nonzero hash reported zero")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s := MustNewSigner("node0")
+	msg := []byte("transfer 10 from alice to bob")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Public(), msg, sig); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	s := MustNewSigner("node0")
+	msg := []byte("transfer 10 from alice to bob")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg[0] ^= 0xff
+	if err := Verify(s.Public(), msg, sig); err == nil {
+		t.Fatal("Verify accepted tampered message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a := MustNewSigner("a")
+	b := MustNewSigner("b")
+	msg := []byte("hello")
+	sig, err := a.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(b.Public(), msg, sig); err == nil {
+		t.Fatal("Verify accepted signature under wrong key")
+	}
+}
+
+func TestVerifyRejectsTamperedSignature(t *testing.T) {
+	s := MustNewSigner("node0")
+	msg := []byte("payload")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig[10] ^= 0x01
+	if err := Verify(s.Public(), msg, sig); err == nil {
+		t.Fatal("Verify accepted tampered signature")
+	}
+}
+
+func TestOpCountersAdvance(t *testing.T) {
+	h0, s0, v0 := HashOps(), SignOps(), VerifyOps()
+	s := MustNewSigner("n")
+	sig, err := s.Sign([]byte("m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Public(), []byte("m"), sig); err != nil {
+		t.Fatal(err)
+	}
+	if HashOps() <= h0 {
+		t.Error("HashOps did not advance")
+	}
+	if SignOps() != s0+1 {
+		t.Errorf("SignOps = %d, want %d", SignOps(), s0+1)
+	}
+	if VerifyOps() != v0+1 {
+		t.Errorf("VerifyOps = %d, want %d", VerifyOps(), v0+1)
+	}
+}
+
+func TestHashUint64Distinct(t *testing.T) {
+	seen := make(map[Hash]uint64)
+	for i := uint64(0); i < 1000; i++ {
+		h := HashUint64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("collision between %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}

@@ -1,0 +1,89 @@
+package cryptoutil
+
+// MerkleRoot computes the root of a binary Merkle tree over the given leaf
+// digests. An odd level is handled by promoting the last node unchanged
+// (Bitcoin duplicates it; promotion avoids the CVE-2012-2459 ambiguity).
+// The root of an empty leaf set is ZeroHash.
+//
+// Both blockchains use this for the per-block transaction root.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return ZeroHash
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		next := level[: 0 : len(level)/2+1]
+		i := 0
+		for ; i+1 < len(level); i += 2 {
+			next = append(next, HashPair(level[i], level[i+1]))
+		}
+		if i < len(level) {
+			next = append(next, level[i])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof is the sibling path from a leaf to the root produced by
+// MerkleRoot. Index records the leaf position so a verifier knows the
+// left/right orientation at each level.
+type MerkleProof struct {
+	Index    int
+	Siblings []Hash
+	// hasSibling[i] is false when the node was promoted without a partner
+	// at level i, i.e. there is nothing to hash against at that level.
+	HasSibling []bool
+}
+
+// BuildMerkleProof returns the proof for leaves[index]. It recomputes the
+// tree, which is fine for the proof sizes used here (blocks of ≤ a few
+// thousand transactions).
+func BuildMerkleProof(leaves []Hash, index int) (MerkleProof, bool) {
+	if index < 0 || index >= len(leaves) {
+		return MerkleProof{}, false
+	}
+	proof := MerkleProof{Index: index}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib < len(level) {
+			proof.Siblings = append(proof.Siblings, level[sib])
+			proof.HasSibling = append(proof.HasSibling, true)
+		} else {
+			proof.Siblings = append(proof.Siblings, ZeroHash)
+			proof.HasSibling = append(proof.HasSibling, false)
+		}
+		next := level[: 0 : len(level)/2+1]
+		i := 0
+		for ; i+1 < len(level); i += 2 {
+			next = append(next, HashPair(level[i], level[i+1]))
+		}
+		if i < len(level) {
+			next = append(next, level[i])
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, true
+}
+
+// VerifyMerkleProof checks that leaf at the proof's index hashes up to root.
+func VerifyMerkleProof(root Hash, leaf Hash, proof MerkleProof) bool {
+	cur := leaf
+	pos := proof.Index
+	for i, sib := range proof.Siblings {
+		if proof.HasSibling[i] {
+			if pos%2 == 0 {
+				cur = HashPair(cur, sib)
+			} else {
+				cur = HashPair(sib, cur)
+			}
+		}
+		pos /= 2
+	}
+	return cur == root
+}

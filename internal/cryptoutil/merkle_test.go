@@ -1,0 +1,120 @@
+package cryptoutil
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leavesOf(n int) []Hash {
+	leaves := make([]Hash, n)
+	for i := range leaves {
+		leaves[i] = HashBytes([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return leaves
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	if MerkleRoot(nil) != ZeroHash {
+		t.Fatal("empty root should be ZeroHash")
+	}
+}
+
+func TestMerkleRootSingleLeaf(t *testing.T) {
+	l := HashBytes([]byte("only"))
+	if MerkleRoot([]Hash{l}) != l {
+		t.Fatal("single-leaf root should equal the leaf")
+	}
+}
+
+func TestMerkleRootTwoLeaves(t *testing.T) {
+	ls := leavesOf(2)
+	if MerkleRoot(ls) != HashPair(ls[0], ls[1]) {
+		t.Fatal("two-leaf root mismatch")
+	}
+}
+
+func TestMerkleRootDeterministic(t *testing.T) {
+	ls := leavesOf(7)
+	if MerkleRoot(ls) != MerkleRoot(leavesOf(7)) {
+		t.Fatal("root not deterministic")
+	}
+}
+
+func TestMerkleRootSensitiveToLeafChange(t *testing.T) {
+	ls := leavesOf(8)
+	root := MerkleRoot(ls)
+	ls[3] = HashBytes([]byte("mutated"))
+	if MerkleRoot(ls) == root {
+		t.Fatal("root unchanged after leaf mutation")
+	}
+}
+
+func TestMerkleRootDoesNotMutateInput(t *testing.T) {
+	ls := leavesOf(5)
+	orig := make([]Hash, len(ls))
+	copy(orig, ls)
+	MerkleRoot(ls)
+	for i := range ls {
+		if ls[i] != orig[i] {
+			t.Fatalf("leaf %d mutated by MerkleRoot", i)
+		}
+	}
+}
+
+func TestMerkleProofAllSizesAllIndexes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leavesOf(n)
+		root := MerkleRoot(ls)
+		for i := 0; i < n; i++ {
+			proof, ok := BuildMerkleProof(ls, i)
+			if !ok {
+				t.Fatalf("n=%d i=%d: proof build failed", n, i)
+			}
+			if !VerifyMerkleProof(root, ls[i], proof) {
+				t.Fatalf("n=%d i=%d: proof did not verify", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofRejectsWrongLeaf(t *testing.T) {
+	ls := leavesOf(9)
+	root := MerkleRoot(ls)
+	proof, _ := BuildMerkleProof(ls, 4)
+	if VerifyMerkleProof(root, ls[5], proof) {
+		t.Fatal("proof verified against wrong leaf")
+	}
+}
+
+func TestMerkleProofRejectsWrongRoot(t *testing.T) {
+	ls := leavesOf(9)
+	proof, _ := BuildMerkleProof(ls, 4)
+	if VerifyMerkleProof(HashBytes([]byte("bogus")), ls[4], proof) {
+		t.Fatal("proof verified against wrong root")
+	}
+}
+
+func TestBuildMerkleProofOutOfRange(t *testing.T) {
+	ls := leavesOf(3)
+	if _, ok := BuildMerkleProof(ls, -1); ok {
+		t.Fatal("accepted negative index")
+	}
+	if _, ok := BuildMerkleProof(ls, 3); ok {
+		t.Fatal("accepted out-of-range index")
+	}
+}
+
+func TestMerkleProofQuick(t *testing.T) {
+	f := func(seed uint8, idx uint8) bool {
+		n := int(seed%32) + 1
+		i := int(idx) % n
+		ls := leavesOf(n)
+		root := MerkleRoot(ls)
+		proof, ok := BuildMerkleProof(ls, i)
+		return ok && VerifyMerkleProof(root, ls[i], proof)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

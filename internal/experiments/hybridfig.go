@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"io"
+
+	"dichotomy/internal/hybrid"
+	"dichotomy/internal/system"
+	"dichotomy/internal/workload/ycsb"
+)
+
+// Fig15 reproduces the hybrid-systems framework: the predicted throughput
+// class for each of the six published hybrids, validated two ways —
+// against their publicly reported numbers, and against the two runnable
+// mini-prototypes in internal/hybrid, which occupy the framework's
+// opposite corners (storage+CFT-shared-log vs txn+BFT-consensus).
+func Fig15(w io.Writer, sc Scale) {
+	Header(w, "Fig 15: hybrid framework — predictions vs reported numbers")
+	Row(w, "system", "replication", "failure", "approach", "predicted", "reported-tps")
+	for _, e := range hybrid.RankByPrediction(hybrid.Catalog()) {
+		Row(w, e.Design.Name,
+			e.Design.Replication.String(),
+			e.Design.Failure.String(),
+			e.Design.Approach.String(),
+			hybrid.Predict(e.Design).String(),
+			e.ReportedTPS)
+	}
+
+	Header(w, "Fig 15 validation: measured mini-prototypes")
+	Row(w, "prototype", "predicted", "measured-tps")
+	client := Client()
+	cfg := ycsb.Config{Records: sc.Records, RecordSize: 100}
+
+	protos := []struct {
+		build  func() system.System
+		design hybrid.Design
+	}{
+		{
+			build: func() system.System {
+				return hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
+			},
+			design: hybrid.Design{Name: "veritas-like",
+				Replication: hybrid.StorageBased, Failure: hybrid.CFT,
+				Approach: hybrid.SharedLog},
+		},
+		{
+			build: func() system.System {
+				return hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: 4})
+			},
+			design: hybrid.Design{Name: "bigchaindb-like",
+				Replication: hybrid.TxnBased, Failure: hybrid.BFT,
+				Approach: hybrid.Consensus},
+		},
+	}
+	for _, p := range protos {
+		sys := p.build()
+		tps := 0.0
+		if err := PreloadYCSB(sys, cfg, client); err == nil {
+			tps = RunYCSB(sys, cfg, sc, 0, client).TPS
+		}
+		Row(w, sys.Name(), hybrid.Predict(p.design).String(), tps)
+		sys.Close()
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"io"
+
+	"dichotomy/internal/bench"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/quorum"
+	"dichotomy/internal/workload/smallbank"
+	"dichotomy/internal/workload/ycsb"
+)
+
+// fig4Systems builds the five systems of the peak-performance comparison.
+func fig4Systems(sc Scale, client *cryptoutil.Signer) []func() system.System {
+	return []func() system.System{
+		func() system.System { return BuildFabric(sc.Nodes, client) },
+		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() system.System { return BuildTiDB(3, 3) },
+		func() system.System { return BuildEtcd(3) },
+		func() system.System { return TiKV{C: BuildTiDB(3, 3)} },
+	}
+}
+
+// Fig4 reproduces "Throughput of YCSB workload": peak tps for fabric,
+// quorum, tidb, etcd, and standalone tikv under uniform update-only and
+// query-only workloads.
+func Fig4(w io.Writer, sc Scale) {
+	Header(w, "Fig 4: YCSB peak throughput (update / query), uniform, 1KB records")
+	Row(w, "system", "update-tps", "query-tps")
+	client := Client()
+	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
+
+	for _, build := range fig4Systems(sc, client) {
+		sys := build()
+		if err := PreloadYCSB(sys, cfg, client); err != nil {
+			Row(w, sys.Name(), "preload-error", err.Error())
+			sys.Close()
+			continue
+		}
+		update := RunYCSB(sys, cfg, sc, 0, client)
+		queryCfg := cfg
+		queryCfg.ReadFraction = 1
+		query := RunYCSB(sys, queryCfg, sc, 0, client)
+		Row(w, sys.Name(), update.TPS, query.TPS)
+		sys.Close()
+	}
+}
+
+// Fig5 reproduces "Latency of YCSB workload": unsaturated latency (single
+// closed-loop client) for the same systems and workloads.
+func Fig5(w io.Writer, sc Scale) {
+	Header(w, "Fig 5: YCSB latency, unsaturated (update / query)")
+	Row(w, "system", "update-mean", "query-mean")
+	client := Client()
+	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
+	for _, build := range fig4Systems(sc, client) {
+		sys := build()
+		if err := PreloadYCSB(sys, cfg, client); err != nil {
+			sys.Close()
+			continue
+		}
+		update := RunYCSB(sys, cfg, sc, 1, client)
+		queryCfg := cfg
+		queryCfg.ReadFraction = 1
+		query := RunYCSB(sys, queryCfg, sc, 1, client)
+		Row(w, sys.Name(), update.Latency.Mean, query.Latency.Mean)
+		sys.Close()
+	}
+}
+
+// RunSmallbank drives the Smallbank mix against sys.
+func RunSmallbank(sys system.System, cfg smallbank.Config, sc Scale, client *cryptoutil.Signer) bench.Report {
+	sources := make([]bench.TxSource, sc.Workers)
+	for i := range sources {
+		c := cfg
+		c.Seed = int64(i + 1)
+		gen := smallbank.NewGenerator(c, client)
+		sources[i] = bench.FuncSource(gen.Next)
+	}
+	return bench.Run(sys, sources, bench.Options{
+		Workers:  sc.Workers,
+		Duration: sc.Duration,
+		Warmup:   sc.Warmup,
+	})
+}
+
+// Fig6 reproduces "Throughput of the skewed Smallbank workload": fabric,
+// quorum, and tidb under θ=1 account selection. etcd is excluded, as in
+// the paper, because it lacks general transactions.
+func Fig6(w io.Writer, sc Scale) {
+	Header(w, "Fig 6: Smallbank throughput, zipfian θ=1")
+	Row(w, "system", "tps", "abort%")
+	client := Client()
+	sbCfg := smallbank.Config{Accounts: sc.Accounts, Theta: 1}
+
+	builds := []func() system.System{
+		func() system.System { return BuildFabric(sc.Nodes, client) },
+		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() system.System { return BuildTiDB(3, 3) },
+	}
+	for _, build := range builds {
+		sys := build()
+		load, err := sbCfg.LoadTxs(client)
+		if err == nil {
+			err = bench.Preload(sys, load, 16)
+		}
+		if err != nil {
+			Row(w, sys.Name(), "preload-error", err.Error())
+			sys.Close()
+			continue
+		}
+		r := RunSmallbank(sys, sbCfg, sc, client)
+		Row(w, sys.Name(), r.TPS, r.AbortRate())
+		sys.Close()
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/ahl"
+	"dichotomy/internal/system/spanner"
+	"dichotomy/internal/system/tidb"
+	"dichotomy/internal/workload/ycsb"
+)
+
+// Fig14 reproduces "Throughput of the skewed workload" across sharded
+// systems: TiDB without full replication, the Spanner-like database, and
+// AHL with fixed vs periodically reconfigured shards. Shards hold 3 nodes
+// each; the workload is zipfian θ=1 with two records per transaction.
+func Fig14(w io.Writer, sc Scale, shardCounts []int) {
+	Header(w, "Fig 14: sharded throughput, zipfian θ=1, 2 ops/txn, 3-node shards")
+	Row(w, "system", "shards", "nodes", "tps")
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	client := Client()
+	for _, shards := range shardCounts {
+		cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000, Theta: 1, OpsPerTxn: 2}
+		builds := []func() system.System{
+			func() system.System {
+				return tidb.New(tidb.Config{
+					Servers: shards, StorageNodes: shards * 3,
+					Regions: shards, ReplicationFactor: 3,
+				})
+			},
+			func() system.System {
+				return spanner.New(spanner.Config{Shards: shards, NodesPerShard: 3})
+			},
+			func() system.System {
+				return ahl.New(ahl.Config{Shards: shards, NodesPerShard: 4})
+			},
+			func() system.System {
+				return ahl.New(ahl.Config{
+					Shards: shards, NodesPerShard: 4, Reconfigure: true,
+					ReconfigureEvery: sc.Duration / 3,
+					ReconfigurePause: sc.Duration / 10,
+				})
+			},
+		}
+		for _, build := range builds {
+			sys := build()
+			if err := PreloadYCSB(sys, cfg, client); err != nil {
+				Row(w, sys.Name(), shards, shards*3, "preload-error")
+				sys.Close()
+				continue
+			}
+			r := RunYCSB(sys, cfg, sc, 0, client)
+			Row(w, sys.Name(), shards, shards*3, r.TPS)
+			sys.Close()
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}

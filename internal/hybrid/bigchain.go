@@ -1,0 +1,201 @@
+package hybrid
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/consensus/pbft"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/memdb"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// Bigchain is the transaction-based + BFT-consensus mini-prototype (the
+// paper's out-of-the-database blockchain archetype, BigchainDB): whole
+// transactions are totally ordered by a Tendermint-class BFT protocol
+// (our PBFT), then each node executes the same sequence against its own
+// local database. Execution concurrency is capped by the ledger order and
+// the BFT quorums are expensive, which is why the framework predicts the
+// bottom throughput class.
+type Bigchain struct {
+	cfg      BigchainConfig
+	net      *cluster.Network
+	nodes    []*bigchainNode
+	box      *system.PayloadBox
+	waiters  *system.Waiters
+	closeOne sync.Once
+}
+
+// BigchainConfig sizes the prototype.
+type BigchainConfig struct {
+	// Nodes is the validator count (3f+1).
+	Nodes int
+	// Link models the network.
+	Link cluster.LinkModel
+}
+
+func (c BigchainConfig) withDefaults() BigchainConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	return c
+}
+
+type bigchainNode struct {
+	b        *Bigchain
+	cons     consensus.Node
+	engine   storage.Engine
+	stateMu  sync.Mutex
+	versions map[string]txn.Version
+	reg      *contract.Registry
+	height   uint64
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ system.System = (*Bigchain)(nil)
+
+// NewBigchain assembles and starts the prototype.
+func NewBigchain(cfg BigchainConfig) *Bigchain {
+	cfg = cfg.withDefaults()
+	b := &Bigchain{
+		cfg:     cfg,
+		net:     cluster.NewNetwork(cfg.Link),
+		box:     system.NewPayloadBox(),
+		waiters: system.NewWaiters(),
+	}
+	peers := make([]cluster.NodeID, cfg.Nodes)
+	for i := range peers {
+		peers[i] = cluster.NodeID(600000 + i)
+	}
+	for _, id := range peers {
+		n := &bigchainNode{
+			b:        b,
+			engine:   memdb.New(),
+			versions: make(map[string]txn.Version),
+			reg:      contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
+			stopCh:   make(chan struct{}),
+		}
+		n.cons = pbft.New(pbft.Config{ID: id, Peers: peers, Endpoint: b.net.Register(id, 8192)})
+		b.nodes = append(b.nodes, n)
+	}
+	for _, n := range b.nodes {
+		n.wg.Add(1)
+		go n.applyLoop()
+	}
+	return b
+}
+
+// Name implements system.System.
+func (b *Bigchain) Name() string { return "bigchaindb-like" }
+
+// Execute implements system.System: the whole transaction is ordered
+// first, then executed identically on every node's local database.
+func (b *Bigchain) Execute(t *txn.Tx) system.Result {
+	done := b.waiters.Register(string(t.ID[:]))
+	id := b.box.Put(t, len(b.nodes))
+	start := time.Now()
+	// Any validator accepts the proposal (PBFT forwards internally).
+	if err := b.nodes[0].cons.Propose(system.Handle(id)); err != nil {
+		b.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: err}
+	}
+	select {
+	case r := <-done:
+		t.Trace.Observe(metrics.PhaseConsensus, time.Since(start))
+		return r
+	case <-time.After(60 * time.Second):
+		b.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: errors.New("bigchain: commit timeout")}
+	}
+}
+
+func (n *bigchainNode) applyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case e, ok := <-n.cons.Committed():
+			if !ok {
+				return
+			}
+			n.apply(e)
+		}
+	}
+}
+
+func (n *bigchainNode) apply(e consensus.Entry) {
+	if len(e.Data) == 0 {
+		return // view-change no-op
+	}
+	id, ok := system.HandleID(e.Data)
+	if !ok {
+		return
+	}
+	v, ok := n.b.box.Take(id)
+	if !ok {
+		return
+	}
+	t := v.(*txn.Tx)
+	n.stateMu.Lock()
+	n.height++
+	rw, err := n.reg.Execute(n.stateReader(), t.Invocation)
+	if err == nil {
+		ver := txn.Version{BlockNum: n.height}
+		for _, w := range rw.Writes {
+			if w.Value == nil {
+				_ = n.engine.Delete([]byte(w.Key))
+				delete(n.versions, w.Key)
+				continue
+			}
+			_ = n.engine.Put([]byte(w.Key), w.Value)
+			n.versions[w.Key] = ver
+		}
+	}
+	n.stateMu.Unlock()
+	r := system.Result{Committed: err == nil}
+	if err != nil {
+		r.Reason = occ.OK
+		r.Err = err
+	}
+	n.b.waiters.Resolve(string(t.ID[:]), r)
+}
+
+func (n *bigchainNode) stateReader() contract.StateReader { return (*bigchainState)(n) }
+
+type bigchainState bigchainNode
+
+// GetState implements contract.StateReader.
+func (s *bigchainState) GetState(key string) ([]byte, txn.Version, error) {
+	v, err := s.engine.Get([]byte(key))
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	if err != nil {
+		return nil, txn.Version{}, err
+	}
+	return v, s.versions[key], nil
+}
+
+// Close implements system.System.
+func (b *Bigchain) Close() {
+	b.closeOne.Do(func() {
+		for _, n := range b.nodes {
+			close(n.stopCh)
+		}
+		for _, n := range b.nodes {
+			n.cons.Stop()
+			n.wg.Wait()
+			n.engine.Close()
+		}
+		b.net.Close()
+	})
+}

@@ -1,0 +1,239 @@
+package hybrid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/sharedlog"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/memdb"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// Veritas is the storage-based + CFT shared-log mini-prototype (the
+// paper's out-of-the-blockchain database archetype): transactions execute
+// concurrently against local state producing read/write sets, a Kafka-like
+// shared log orders the *storage effects*, and every verifier node applies
+// them with an optimistic read-set check. State integrity rests on trusted
+// verifiers signing state digests, so no per-transaction signatures or
+// Merkle maintenance sit on the critical path — which is why the framework
+// predicts (and Fig 15 reports) the top throughput class.
+type Veritas struct {
+	cfg      VeritasConfig
+	net      *cluster.Network
+	log      *sharedlog.Service
+	nodes    []*veritasNode
+	box      *system.PayloadBox
+	waiters  *system.Waiters
+	closeOne sync.Once
+}
+
+// VeritasConfig sizes the prototype.
+type VeritasConfig struct {
+	// Verifiers is the number of verifier nodes consuming the log.
+	Verifiers int
+	// BatchSize and BatchTimeout shape the shared log's batches.
+	BatchSize    int
+	BatchTimeout time.Duration
+	// Link models the network.
+	Link cluster.LinkModel
+}
+
+func (c VeritasConfig) withDefaults() VeritasConfig {
+	if c.Verifiers <= 0 {
+		c.Verifiers = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 5 * time.Millisecond
+	}
+	return c
+}
+
+type veritasNode struct {
+	v        *Veritas
+	engine   storage.Engine
+	stateMu  sync.RWMutex
+	versions map[string]txn.Version
+	consumer *sharedlog.Consumer
+	height   uint64
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+var _ system.System = (*Veritas)(nil)
+
+// NewVeritas assembles and starts the prototype.
+func NewVeritas(cfg VeritasConfig) *Veritas {
+	cfg = cfg.withDefaults()
+	v := &Veritas{
+		cfg:     cfg,
+		net:     cluster.NewNetwork(cfg.Link),
+		box:     system.NewPayloadBox(),
+		waiters: system.NewWaiters(),
+	}
+	v.log = sharedlog.New(sharedlog.Config{
+		Net: v.net, NodeBase: 500000,
+		BatchSize: cfg.BatchSize, BatchTimeout: cfg.BatchTimeout,
+	})
+	for i := 0; i < cfg.Verifiers; i++ {
+		n := &veritasNode{
+			v:        v,
+			engine:   memdb.New(),
+			versions: make(map[string]txn.Version),
+			stopCh:   make(chan struct{}),
+		}
+		n.consumer = v.log.Subscribe(1)
+		n.wg.Add(1)
+		go n.applyLoop()
+		v.nodes = append(v.nodes, n)
+	}
+	return v
+}
+
+// Name implements system.System.
+func (v *Veritas) Name() string { return "veritas-like" }
+
+// Execute implements system.System: concurrent local execution, then the
+// effect (not the transaction) goes through the shared log.
+func (v *Veritas) Execute(t *txn.Tx) system.Result {
+	n := v.nodes[0] // any node can execute; effects are ordered globally
+	var rw txn.RWSet
+	var err error
+	t.Trace.Time(metrics.PhaseExecute, func() {
+		n.stateMu.RLock()
+		defer n.stateMu.RUnlock()
+		reg := contract.NewRegistry(contract.KV{}, contract.Smallbank{})
+		rw, err = reg.Execute(n.stateReader(), t.Invocation)
+	})
+	if err != nil {
+		if errors.Is(err, contract.ErrAbort) {
+			return system.Result{Reason: occ.OK, Err: err}
+		}
+		return system.Result{Err: err}
+	}
+	if len(rw.Writes) == 0 {
+		return system.Result{Committed: true}
+	}
+	t.RWSet = rw
+	done := v.waiters.Register(string(t.ID[:]))
+	id := v.box.Put(t, v.cfg.Verifiers)
+	start := time.Now()
+	if err := v.log.Append(system.Handle(id)); err != nil {
+		v.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: err}
+	}
+	select {
+	case r := <-done:
+		t.Trace.Observe(metrics.PhaseOrder, time.Since(start))
+		return r
+	case <-time.After(60 * time.Second):
+		v.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: errors.New("veritas: commit timeout")}
+	}
+}
+
+func (n *veritasNode) applyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case batch, ok := <-n.consumer.Batches():
+			if !ok {
+				return
+			}
+			n.applyBatch(batch)
+		}
+	}
+}
+
+func (n *veritasNode) applyBatch(batch sharedlog.Batch) {
+	n.stateMu.Lock()
+	n.height++
+	first := n == n.v.nodes[0]
+	for i, rec := range batch.Records {
+		id, ok := system.HandleID(rec)
+		if !ok {
+			continue
+		}
+		val, ok := n.v.box.Take(id)
+		if !ok {
+			continue
+		}
+		t := val.(*txn.Tx)
+		verdict := occ.Validate(t.RWSet, n.versionView())
+		if verdict == occ.OK {
+			ver := txn.Version{BlockNum: n.height, TxNum: uint32(i)}
+			for _, w := range t.RWSet.Writes {
+				if w.Value == nil {
+					_ = n.engine.Delete([]byte(w.Key))
+					delete(n.versions, w.Key)
+					continue
+				}
+				_ = n.engine.Put([]byte(w.Key), w.Value)
+				n.versions[w.Key] = ver
+			}
+		}
+		if first {
+			n.v.waiters.Resolve(string(t.ID[:]),
+				system.Result{Committed: verdict == occ.OK, Reason: verdict})
+		}
+	}
+	n.stateMu.Unlock()
+}
+
+func (n *veritasNode) stateReader() contract.StateReader { return (*veritasState)(n) }
+
+type veritasState veritasNode
+
+// GetState implements contract.StateReader.
+func (s *veritasState) GetState(key string) ([]byte, txn.Version, error) {
+	v, err := s.engine.Get([]byte(key))
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	if err != nil {
+		return nil, txn.Version{}, err
+	}
+	return v, s.versions[key], nil
+}
+
+func (n *veritasNode) versionView() occ.VersionSource { return (*veritasVersions)(n) }
+
+type veritasVersions veritasNode
+
+// CommittedVersion implements occ.VersionSource.
+func (s *veritasVersions) CommittedVersion(key string) (txn.Version, bool) {
+	v, ok := s.versions[key]
+	return v, ok
+}
+
+// Close implements system.System.
+func (v *Veritas) Close() {
+	v.closeOne.Do(func() {
+		v.log.Stop()
+		for _, n := range v.nodes {
+			close(n.stopCh)
+		}
+		for _, n := range v.nodes {
+			n.wg.Wait()
+			n.engine.Close()
+		}
+		v.net.Close()
+	})
+}
+
+// Fprintable summary for examples.
+func (v *Veritas) String() string {
+	return fmt.Sprintf("veritas-like(%d verifiers)", v.cfg.Verifiers)
+}

@@ -1,0 +1,142 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func makeBlock(l *Ledger, txs [][]byte) *Block {
+	var parent cryptoutil.Hash
+	if head := l.Head(); head != nil {
+		parent = head.Hash()
+	}
+	return &Block{
+		Header: Header{
+			Number:     l.Height() + 1,
+			ParentHash: parent,
+			TxRoot:     ComputeTxRoot(txs),
+		},
+		Txs: txs,
+	}
+}
+
+func TestAppendAndFetch(t *testing.T) {
+	l := New()
+	b := makeBlock(l, [][]byte{[]byte("tx1"), []byte("tx2")})
+	if err := l.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if l.Height() != 1 {
+		t.Fatalf("Height = %d", l.Height())
+	}
+	got, ok := l.Block(1)
+	if !ok || string(got.Txs[0]) != "tx1" {
+		t.Fatal("Block(1) lookup failed")
+	}
+	if _, ok := l.ByHash(b.Hash()); !ok {
+		t.Fatal("ByHash lookup failed")
+	}
+	if _, ok := l.Block(2); ok {
+		t.Fatal("Block(2) should not exist")
+	}
+	if _, ok := l.Block(0); ok {
+		t.Fatal("Block(0) should not exist")
+	}
+}
+
+func TestChainLinks(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		if err := l.Append(makeBlock(l, [][]byte{[]byte(fmt.Sprintf("tx-%d", i))})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRejectsWrongNumber(t *testing.T) {
+	l := New()
+	b := makeBlock(l, [][]byte{[]byte("tx")})
+	b.Header.Number = 5
+	if err := l.Append(b); !errors.Is(err, ErrBroken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppendRejectsWrongParent(t *testing.T) {
+	l := New()
+	l.Append(makeBlock(l, [][]byte{[]byte("tx1")}))
+	b := makeBlock(l, [][]byte{[]byte("tx2")})
+	b.Header.ParentHash = cryptoutil.HashBytes([]byte("bogus"))
+	if err := l.Append(b); !errors.Is(err, ErrBroken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAppendRejectsWrongTxRoot(t *testing.T) {
+	l := New()
+	b := makeBlock(l, [][]byte{[]byte("tx")})
+	b.Header.TxRoot = cryptoutil.HashBytes([]byte("bogus"))
+	if err := l.Append(b); !errors.Is(err, ErrBroken) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTamperDetectedByVerify(t *testing.T) {
+	l := New()
+	for i := 0; i < 5; i++ {
+		l.Append(makeBlock(l, [][]byte{[]byte(fmt.Sprintf("tx-%d", i))}))
+	}
+	// Mutate a committed transaction in place.
+	b, _ := l.Block(3)
+	b.Txs[0] = []byte("rewritten history")
+	if err := l.Verify(); err == nil {
+		t.Fatal("tampering not detected")
+	}
+}
+
+func TestTxInclusionProof(t *testing.T) {
+	l := New()
+	txs := [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d"), []byte("e")}
+	l.Append(makeBlock(l, txs))
+	for i, tx := range txs {
+		proof, ok := l.ProveTx(1, i)
+		if !ok {
+			t.Fatalf("ProveTx(1,%d) failed", i)
+		}
+		b, _ := l.Block(1)
+		if !VerifyTxProof(b.Header.TxRoot, tx, proof) {
+			t.Fatalf("proof for tx %d rejected", i)
+		}
+		if VerifyTxProof(b.Header.TxRoot, []byte("forged"), proof) {
+			t.Fatal("forged tx accepted")
+		}
+	}
+	if _, ok := l.ProveTx(1, 99); ok {
+		t.Fatal("out-of-range proof")
+	}
+}
+
+func TestStorageSizeGrowsPerBlock(t *testing.T) {
+	l := New()
+	l.Append(makeBlock(l, [][]byte{make([]byte, 1000)}))
+	s1 := l.StorageSize()
+	l.Append(makeBlock(l, [][]byte{make([]byte, 1000)}))
+	if l.StorageSize() <= s1 {
+		t.Fatal("ledger storage should accumulate — it retains history")
+	}
+	if s1 < 1000 {
+		t.Fatalf("block storage %d smaller than its payload", s1)
+	}
+}
+
+func TestHeadEmpty(t *testing.T) {
+	if New().Head() != nil {
+		t.Fatal("empty ledger has a head")
+	}
+}

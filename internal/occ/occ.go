@@ -1,0 +1,125 @@
+// Package occ implements the optimistic concurrency control used by
+// execute-order-validate blockchains (Fabric) and the storage-based
+// hybrids: transactions simulate against a versioned state, and at commit
+// time the validator re-checks that every read version is still current.
+// Stale reads abort the transaction — the read-write conflicts whose rates
+// Fig 9 and Fig 10 chart.
+package occ
+
+import (
+	"dichotomy/internal/txn"
+)
+
+// AbortReason classifies why validation rejected a transaction; the abort
+// decomposition in Fig 10 reports these.
+type AbortReason int
+
+const (
+	// OK means the transaction validated.
+	OK AbortReason = iota
+	// ReadWriteConflict means a read version was stale at commit time.
+	ReadWriteConflict
+	// InconsistentRead means endorsing peers returned diverging results,
+	// detected before ordering (Fabric client-side check).
+	InconsistentRead
+	// WriteWriteConflict is reported by pessimistic/percolator validators
+	// for overlapping writers (TiDB path; unused by pure OCC).
+	WriteWriteConflict
+)
+
+// String names the reason for reports.
+func (r AbortReason) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case ReadWriteConflict:
+		return "read-write-conflict"
+	case InconsistentRead:
+		return "inconsistent-read"
+	case WriteWriteConflict:
+		return "write-write-conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// VersionSource resolves the currently committed version of a key.
+type VersionSource interface {
+	CommittedVersion(key string) (txn.Version, bool)
+}
+
+// Validate applies Fabric's MVCC read-set check: every read version must
+// equal the committed version. A read of an absent key validates only if
+// the key is still absent.
+func Validate(rw txn.RWSet, state VersionSource) AbortReason {
+	for _, r := range rw.Reads {
+		cur, exists := state.CommittedVersion(r.Key)
+		if !exists {
+			// Key absent now; the read must also have seen absence
+			// (zero version).
+			if r.Version != (txn.Version{}) {
+				return ReadWriteConflict
+			}
+			continue
+		}
+		if cur != r.Version {
+			return ReadWriteConflict
+		}
+	}
+	return OK
+}
+
+// ValidateBlock validates transactions in block order against state,
+// applying each valid transaction's writes to the version view before
+// checking the next — Fabric's serial in-block validation, which makes
+// later transactions conflict with earlier ones in the same block.
+// It returns the per-transaction verdicts.
+func ValidateBlock(txs []txn.RWSet, state VersionSource, blockNum uint64) []AbortReason {
+	overlay := &versionOverlay{base: state, dirty: make(map[string]txn.Version)}
+	verdicts := make([]AbortReason, len(txs))
+	for i, rw := range txs {
+		verdicts[i] = Validate(rw, overlay)
+		if verdicts[i] != OK {
+			continue
+		}
+		for _, w := range rw.Writes {
+			overlay.dirty[w.Key] = txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
+		}
+	}
+	return verdicts
+}
+
+// versionOverlay layers in-block writes over the committed state.
+type versionOverlay struct {
+	base  VersionSource
+	dirty map[string]txn.Version
+}
+
+// CommittedVersion implements VersionSource.
+func (o *versionOverlay) CommittedVersion(key string) (txn.Version, bool) {
+	if v, ok := o.dirty[key]; ok {
+		return v, true
+	}
+	return o.base.CommittedVersion(key)
+}
+
+// ConsistentReads checks that simulation results from multiple endorsers
+// agree — the client-side consistency check whose failures the paper calls
+// "inconsistent reads". Results agree when their read sets match exactly.
+func ConsistentReads(results []txn.RWSet) bool {
+	if len(results) < 2 {
+		return true
+	}
+	ref := results[0].Reads
+	for _, r := range results[1:] {
+		if len(r.Reads) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			if r.Reads[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package occ
+
+import (
+	"testing"
+
+	"dichotomy/internal/txn"
+)
+
+type versions map[string]txn.Version
+
+func (v versions) CommittedVersion(key string) (txn.Version, bool) {
+	ver, ok := v[key]
+	return ver, ok
+}
+
+func TestValidateCleanRead(t *testing.T) {
+	state := versions{"k": {BlockNum: 3, TxNum: 0}}
+	rw := txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 3}}}}
+	if got := Validate(rw, state); got != OK {
+		t.Fatalf("verdict = %v", got)
+	}
+}
+
+func TestValidateStaleRead(t *testing.T) {
+	state := versions{"k": {BlockNum: 5, TxNum: 0}}
+	rw := txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 3}}}}
+	if got := Validate(rw, state); got != ReadWriteConflict {
+		t.Fatalf("verdict = %v, want rw-conflict", got)
+	}
+}
+
+func TestValidateAbsentKeyReads(t *testing.T) {
+	state := versions{}
+	// Read saw absence, key still absent: valid.
+	rw := txn.RWSet{Reads: []txn.Read{{Key: "k"}}}
+	if got := Validate(rw, state); got != OK {
+		t.Fatalf("verdict = %v", got)
+	}
+	// Read saw a version but the key is gone (deleted): conflict.
+	rw = txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 1}}}}
+	if got := Validate(rw, state); got != ReadWriteConflict {
+		t.Fatalf("verdict = %v, want rw-conflict", got)
+	}
+}
+
+func TestValidateBlockSerialDependency(t *testing.T) {
+	// Two txs in one block read the same key at the same version; the
+	// first also writes it. Fabric's serial validation must abort the
+	// second.
+	state := versions{"hot": {BlockNum: 1}}
+	read := txn.Read{Key: "hot", Version: txn.Version{BlockNum: 1}}
+	tx1 := txn.RWSet{Reads: []txn.Read{read}, Writes: []txn.Write{{Key: "hot", Value: []byte("x")}}}
+	tx2 := txn.RWSet{Reads: []txn.Read{read}, Writes: []txn.Write{{Key: "hot", Value: []byte("y")}}}
+	verdicts := ValidateBlock([]txn.RWSet{tx1, tx2}, state, 2)
+	if verdicts[0] != OK {
+		t.Fatalf("tx1 verdict = %v", verdicts[0])
+	}
+	if verdicts[1] != ReadWriteConflict {
+		t.Fatalf("tx2 verdict = %v, want rw-conflict", verdicts[1])
+	}
+}
+
+func TestValidateBlockIndependentTxsAllPass(t *testing.T) {
+	state := versions{"a": {BlockNum: 1}, "b": {BlockNum: 1}}
+	tx1 := txn.RWSet{
+		Reads:  []txn.Read{{Key: "a", Version: txn.Version{BlockNum: 1}}},
+		Writes: []txn.Write{{Key: "a", Value: []byte("x")}},
+	}
+	tx2 := txn.RWSet{
+		Reads:  []txn.Read{{Key: "b", Version: txn.Version{BlockNum: 1}}},
+		Writes: []txn.Write{{Key: "b", Value: []byte("y")}},
+	}
+	for i, v := range ValidateBlock([]txn.RWSet{tx1, tx2}, state, 2) {
+		if v != OK {
+			t.Fatalf("tx%d verdict = %v", i+1, v)
+		}
+	}
+}
+
+func TestValidateBlockAbortedTxLeavesNoTrace(t *testing.T) {
+	// tx1 aborts (stale read); tx2 reads what tx1 would have written and
+	// must still validate against the committed version.
+	state := versions{"k": {BlockNum: 2}}
+	tx1 := txn.RWSet{
+		Reads:  []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 1}}}, // stale
+		Writes: []txn.Write{{Key: "k", Value: []byte("x")}},
+	}
+	tx2 := txn.RWSet{
+		Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 2}}}, // current
+	}
+	verdicts := ValidateBlock([]txn.RWSet{tx1, tx2}, state, 3)
+	if verdicts[0] != ReadWriteConflict || verdicts[1] != OK {
+		t.Fatalf("verdicts = %v", verdicts)
+	}
+}
+
+func TestConsistentReads(t *testing.T) {
+	a := txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 1}}}}
+	b := txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 1}}}}
+	c := txn.RWSet{Reads: []txn.Read{{Key: "k", Version: txn.Version{BlockNum: 2}}}}
+	if !ConsistentReads([]txn.RWSet{a, b}) {
+		t.Fatal("identical reads reported inconsistent")
+	}
+	if ConsistentReads([]txn.RWSet{a, c}) {
+		t.Fatal("diverging reads reported consistent")
+	}
+	if !ConsistentReads([]txn.RWSet{a}) {
+		t.Fatal("single result must be consistent")
+	}
+	d := txn.RWSet{Reads: []txn.Read{}}
+	if ConsistentReads([]txn.RWSet{a, d}) {
+		t.Fatal("different read counts reported consistent")
+	}
+}
+
+func TestAbortReasonStrings(t *testing.T) {
+	for r, want := range map[AbortReason]string{
+		OK:                 "ok",
+		ReadWriteConflict:  "read-write-conflict",
+		InconsistentRead:   "inconsistent-read",
+		WriteWriteConflict: "write-write-conflict",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}

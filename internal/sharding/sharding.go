@@ -1,0 +1,221 @@
+// Package sharding implements the paper's fourth design dimension: how
+// data and nodes are assigned to shards. Databases partition data for
+// workload performance (hash or range partitioning, no reconfiguration
+// unless the workload moves); blockchains must also partition *nodes*
+// under adversarial assumptions — shard assignment must be unbiasable
+// (Sybil-resistant) and refreshed periodically to resist adaptive
+// attackers, which costs throughput (Fig 14's AHL-periodic line).
+package sharding
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+// Partitioner maps keys to shard indexes.
+type Partitioner interface {
+	// Shard returns the shard index for key, in [0, Shards()).
+	Shard(key string) int
+	// Shards returns the number of shards.
+	Shards() int
+}
+
+// HashPartitioner spreads keys uniformly by hash — the default scheme in
+// TiKV-style stores and the only scheme available to blockchains (range
+// partitioning would let an adversary aim transactions at one shard).
+type HashPartitioner struct {
+	N int
+}
+
+// Shard implements Partitioner.
+func (p HashPartitioner) Shard(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p.N))
+}
+
+// Shards implements Partitioner.
+func (p HashPartitioner) Shards() int { return p.N }
+
+// RangePartitioner assigns keys by sorted boundary — the locality-aware
+// scheme databases offer for scan-heavy workloads. Bounds[i] is the first
+// key of shard i+1; keys below Bounds[0] go to shard 0.
+type RangePartitioner struct {
+	Bounds []string
+}
+
+// Shard implements Partitioner.
+func (p RangePartitioner) Shard(key string) int {
+	return sort.SearchStrings(p.Bounds, key+"\x00")
+}
+
+// Shards implements Partitioner.
+func (p RangePartitioner) Shards() int { return len(p.Bounds) + 1 }
+
+// --- node assignment (blockchain side) ---
+
+// Assignment maps node ids to shards.
+type Assignment struct {
+	// Epoch counts reconfigurations.
+	Epoch uint64
+	// ShardOf[node] is the shard index of each node id.
+	ShardOf map[int]int
+	// Members[s] lists the node ids of shard s.
+	Members [][]int
+}
+
+// FormShards assigns nodes to shards using a randomness beacon (here, a
+// hash chain seeded by epoch), so no node can choose or predict its shard —
+// the Sybil/bias resistance requirement. Every shard receives an equal
+// share ±1; with honest majority overall, a large enough shard size keeps
+// each shard's Byzantine fraction below threshold with high probability.
+func FormShards(nodes []int, shards int, epoch uint64) Assignment {
+	if shards < 1 {
+		shards = 1
+	}
+	// Beacon: deterministic, unpredictable-without-epoch permutation seed.
+	seed := cryptoutil.HashUint64(epoch ^ 0xD1C407037)
+	rng := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(seed[:8]))))
+	perm := append([]int(nil), nodes...)
+	sort.Ints(perm)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	a := Assignment{
+		Epoch:   epoch,
+		ShardOf: make(map[int]int, len(nodes)),
+		Members: make([][]int, shards),
+	}
+	for i, node := range perm {
+		s := i % shards
+		a.ShardOf[node] = s
+		a.Members[s] = append(a.Members[s], node)
+	}
+	return a
+}
+
+// MaxByzantineFraction returns the worst shard's Byzantine fraction given
+// the set of corrupted node ids — the quantity shard formation must keep
+// below 1/3 for PBFT shards.
+func (a Assignment) MaxByzantineFraction(corrupted map[int]bool) float64 {
+	worst := 0.0
+	for _, members := range a.Members {
+		if len(members) == 0 {
+			continue
+		}
+		bad := 0
+		for _, m := range members {
+			if corrupted[m] {
+				bad++
+			}
+		}
+		if f := float64(bad) / float64(len(members)); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Reconfigurer drives periodic shard reconfiguration — AHL's defence
+// against adaptive adversaries. During a reconfiguration the shards pause
+// for PauseFor (state handoff, new PBFT instances), which is the ~30%
+// throughput tax Fig 14 measures.
+type Reconfigurer struct {
+	Interval time.Duration
+	PauseFor time.Duration
+
+	mu          sync.Mutex
+	current     Assignment
+	nodes       []int
+	shards      int
+	pausedUntil time.Time
+	lastRotate  time.Time
+	rotations   int
+}
+
+// NewReconfigurer starts with epoch-0 shards.
+func NewReconfigurer(nodes []int, shards int, interval, pause time.Duration) *Reconfigurer {
+	return &Reconfigurer{
+		Interval:   interval,
+		PauseFor:   pause,
+		current:    FormShards(nodes, shards, 0),
+		nodes:      nodes,
+		shards:     shards,
+		lastRotate: time.Now(),
+	}
+}
+
+// Current returns the active assignment, rotating first if the interval
+// elapsed. The bool reports whether the system is currently paused for
+// handoff; callers must hold transactions while paused.
+func (r *Reconfigurer) Current() (Assignment, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if now.Sub(r.lastRotate) >= r.Interval {
+		r.current = FormShards(r.nodes, r.shards, r.current.Epoch+1)
+		r.lastRotate = now
+		r.pausedUntil = now.Add(r.PauseFor)
+		r.rotations++
+	}
+	return r.current, now.Before(r.pausedUntil)
+}
+
+// Rotations reports how many reconfigurations have happened.
+func (r *Reconfigurer) Rotations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rotations
+}
+
+// --- PoW identity establishment (Elastico-style) ---
+
+// SolveIdentity performs the proof-of-work that permissionless sharding
+// protocols require before a node may join a shard: find a nonce whose
+// hash with the epoch and node id clears the difficulty. It returns the
+// nonce and the number of hash attempts (the paid cost).
+func SolveIdentity(nodeID int, epoch uint64, difficultyBits int) (nonce uint64, attempts int) {
+	for {
+		attempts++
+		h := identityHash(nodeID, epoch, nonce)
+		if leadingZeroBits(h) >= difficultyBits {
+			return nonce, attempts
+		}
+		nonce++
+	}
+}
+
+// VerifyIdentity checks a claimed identity solution.
+func VerifyIdentity(nodeID int, epoch uint64, nonce uint64, difficultyBits int) bool {
+	return leadingZeroBits(identityHash(nodeID, epoch, nonce)) >= difficultyBits
+}
+
+func identityHash(nodeID int, epoch, nonce uint64) cryptoutil.Hash {
+	var buf [24]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(nodeID))
+	binary.BigEndian.PutUint64(buf[8:], epoch)
+	binary.BigEndian.PutUint64(buf[16:], nonce)
+	return cryptoutil.HashBytes(buf[:])
+}
+
+func leadingZeroBits(h cryptoutil.Hash) int {
+	bits := 0
+	for _, b := range h {
+		if b == 0 {
+			bits += 8
+			continue
+		}
+		for mask := byte(0x80); mask > 0; mask >>= 1 {
+			if b&mask != 0 {
+				return bits
+			}
+			bits++
+		}
+	}
+	return bits
+}

@@ -1,0 +1,166 @@
+package sharding
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHashPartitionerCoversAllShards(t *testing.T) {
+	p := HashPartitioner{N: 8}
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		s := p.Shard(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i)))
+		if s < 0 || s >= 8 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d shards used", len(seen))
+	}
+}
+
+func TestHashPartitionerDeterministic(t *testing.T) {
+	p := HashPartitioner{N: 16}
+	if p.Shard("key-42") != p.Shard("key-42") {
+		t.Fatal("non-deterministic partitioning")
+	}
+}
+
+func TestRangePartitioner(t *testing.T) {
+	p := RangePartitioner{Bounds: []string{"g", "p"}}
+	if p.Shards() != 3 {
+		t.Fatalf("Shards = %d", p.Shards())
+	}
+	cases := map[string]int{"a": 0, "f": 0, "g": 1, "m": 1, "p": 2, "z": 2}
+	for k, want := range cases {
+		if got := p.Shard(k); got != want {
+			t.Errorf("Shard(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func nodeIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestFormShardsBalanced(t *testing.T) {
+	a := FormShards(nodeIDs(16), 4, 0)
+	for s, members := range a.Members {
+		if len(members) != 4 {
+			t.Fatalf("shard %d has %d members", s, len(members))
+		}
+	}
+	// Every node assigned exactly once.
+	if len(a.ShardOf) != 16 {
+		t.Fatalf("ShardOf has %d entries", len(a.ShardOf))
+	}
+}
+
+func TestFormShardsUnevenDivision(t *testing.T) {
+	a := FormShards(nodeIDs(10), 3, 0)
+	total := 0
+	for _, m := range a.Members {
+		if len(m) < 3 || len(m) > 4 {
+			t.Fatalf("imbalanced shard: %d members", len(m))
+		}
+		total += len(m)
+	}
+	if total != 10 {
+		t.Fatalf("assigned %d nodes, want 10", total)
+	}
+}
+
+func TestFormShardsDeterministicPerEpoch(t *testing.T) {
+	a := FormShards(nodeIDs(12), 3, 7)
+	b := FormShards(nodeIDs(12), 3, 7)
+	for node, s := range a.ShardOf {
+		if b.ShardOf[node] != s {
+			t.Fatal("same epoch produced different assignments")
+		}
+	}
+}
+
+func TestFormShardsChangesAcrossEpochs(t *testing.T) {
+	a := FormShards(nodeIDs(32), 8, 1)
+	b := FormShards(nodeIDs(32), 8, 2)
+	same := 0
+	for node := range a.ShardOf {
+		if a.ShardOf[node] == b.ShardOf[node] {
+			same++
+		}
+	}
+	if same == 32 {
+		t.Fatal("reconfiguration did not move any node")
+	}
+}
+
+func TestMaxByzantineFraction(t *testing.T) {
+	a := FormShards(nodeIDs(12), 3, 0)
+	if f := a.MaxByzantineFraction(nil); f != 0 {
+		t.Fatalf("clean network fraction = %f", f)
+	}
+	// Corrupt one full shard's worth of nodes spread by the beacon; the
+	// fraction must reflect the worst shard.
+	corrupted := map[int]bool{a.Members[0][0]: true, a.Members[0][1]: true}
+	f := a.MaxByzantineFraction(corrupted)
+	if f < 0.5 {
+		t.Fatalf("fraction = %f, want ≥ 0.5 for 2/4 corrupted", f)
+	}
+}
+
+func TestReconfigurerRotates(t *testing.T) {
+	r := NewReconfigurer(nodeIDs(8), 2, 30*time.Millisecond, 10*time.Millisecond)
+	first, paused := r.Current()
+	if paused {
+		t.Fatal("fresh reconfigurer should not be paused")
+	}
+	time.Sleep(40 * time.Millisecond)
+	second, paused := r.Current()
+	if second.Epoch == first.Epoch {
+		t.Fatal("no rotation after interval")
+	}
+	if !paused {
+		t.Fatal("rotation should pause for handoff")
+	}
+	time.Sleep(15 * time.Millisecond)
+	if _, paused := r.Current(); paused {
+		t.Fatal("pause should have ended")
+	}
+	if r.Rotations() < 1 {
+		t.Fatal("rotation not counted")
+	}
+}
+
+func TestPoWIdentity(t *testing.T) {
+	nonce, attempts := SolveIdentity(42, 1, 8)
+	if attempts < 1 {
+		t.Fatal("no work performed")
+	}
+	if !VerifyIdentity(42, 1, nonce, 8) {
+		t.Fatal("solution does not verify")
+	}
+	if VerifyIdentity(43, 1, nonce, 8) && VerifyIdentity(42, 2, nonce, 8) {
+		t.Fatal("solution transplants to other node and epoch")
+	}
+}
+
+func TestPoWDifficultyIncreasesWork(t *testing.T) {
+	_, easy := SolveIdentity(1, 1, 4)
+	_, hard := SolveIdentity(1, 1, 12)
+	// Stochastic, but 8 extra bits ≈ 256× work; equal would be suspicious.
+	if hard <= easy {
+		t.Logf("easy=%d hard=%d attempts (stochastic, logging only)", easy, hard)
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	h := identityHash(1, 1, 1)
+	if got := leadingZeroBits(h); got < 0 || got > 256 {
+		t.Fatalf("bits = %d", got)
+	}
+}

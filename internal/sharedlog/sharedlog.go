@@ -1,0 +1,269 @@
+// Package sharedlog implements the shared-log replication approach of the
+// paper's taxonomy: an ordering service with a small fixed set of orderer
+// nodes (Fabric's Raft-based orderer, or a Kafka broker in Veritas and
+// ChainifyDB) that sequences records into batches, which any number of
+// consumers pull independently. Ordering is decoupled from state
+// replication — the property the paper credits for shared logs' throughput
+// staying flat as consumers scale, until producers saturate.
+package sharedlog
+
+import (
+	"sync"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/consensus/raft"
+)
+
+// Batch is one ordered batch of records handed to consumers.
+type Batch struct {
+	// Seq is the 1-based batch sequence number.
+	Seq uint64
+	// Records are the payloads in their final total order.
+	Records [][]byte
+}
+
+// Config configures the ordering service.
+type Config struct {
+	// Orderers is the number of orderer replicas (the paper fixes 3).
+	Orderers int
+	// BatchSize cuts a batch when this many records accumulate. Default 100.
+	BatchSize int
+	// BatchTimeout cuts a non-empty batch after this delay. Default 5ms.
+	BatchTimeout time.Duration
+	// Net is the cluster network the orderers attach to. Orderer node ids
+	// are allocated from NodeBase upward.
+	Net      *cluster.Network
+	NodeBase cluster.NodeID
+}
+
+func (c Config) withDefaults() Config {
+	if c.Orderers <= 0 {
+		c.Orderers = 3
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 100
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 5 * time.Millisecond
+	}
+	return c
+}
+
+// Service is a running ordering service.
+type Service struct {
+	cfg      Config
+	orderers []*raft.Node
+
+	mu        sync.Mutex
+	consumers []*Consumer
+	batches   []Batch // retained log; consumers replay from any offset
+	pending   [][]byte
+	lastCut   time.Time
+	appended  uint64
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// New starts an ordering service on the given network.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	peers := make([]cluster.NodeID, cfg.Orderers)
+	for i := range peers {
+		peers[i] = cfg.NodeBase + cluster.NodeID(i)
+	}
+	s := &Service{
+		cfg:     cfg,
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+		lastCut: time.Now(),
+	}
+	for i, id := range peers {
+		s.orderers = append(s.orderers, raft.New(raft.Config{
+			ID:       id,
+			Peers:    peers,
+			Endpoint: cfg.Net.Register(id, 8192),
+		}))
+		_ = i
+	}
+	go s.run()
+	return s
+}
+
+// Append submits a record for ordering. It retries through leader changes
+// and returns once an orderer accepted the record; ordering completion is
+// observed through consumer delivery.
+func (s *Service) Append(record []byte) error {
+	select {
+	case <-s.stopCh:
+		return consensus.ErrStopped
+	default:
+	}
+	for attempt := 0; ; attempt++ {
+		for _, o := range s.orderers {
+			if err := o.Propose(record); err == nil {
+				return nil
+			}
+		}
+		select {
+		case <-s.stopCh:
+			return consensus.ErrStopped
+		case <-time.After(time.Millisecond):
+		}
+		if attempt > 5000 {
+			return consensus.ErrNotLeader
+		}
+	}
+}
+
+// run consumes the orderer group's committed entries, cuts batches, and
+// fans them out to consumers.
+func (s *Service) run() {
+	defer close(s.done)
+	// Any single orderer's committed stream is the total order.
+	commits := s.orderers[0].Committed()
+	flush := time.NewTicker(s.cfg.BatchTimeout)
+	defer flush.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case e, ok := <-commits:
+			if !ok {
+				return
+			}
+			s.mu.Lock()
+			s.pending = append(s.pending, e.Data)
+			s.appended++
+			if len(s.pending) >= s.cfg.BatchSize {
+				s.cutLocked()
+			}
+			s.mu.Unlock()
+		case <-flush.C:
+			s.mu.Lock()
+			if len(s.pending) > 0 && time.Since(s.lastCut) >= s.cfg.BatchTimeout {
+				s.cutLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Service) cutLocked() {
+	batch := Batch{Seq: uint64(len(s.batches) + 1), Records: s.pending}
+	s.pending = nil
+	s.lastCut = time.Now()
+	s.batches = append(s.batches, batch)
+	for _, c := range s.consumers {
+		c.notify()
+	}
+}
+
+// Appended returns how many records have been sequenced.
+func (s *Service) Appended() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appended
+}
+
+// Stop shuts the service and its orderers down.
+func (s *Service) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		<-s.done
+		for _, o := range s.orderers {
+			o.Stop()
+		}
+		s.mu.Lock()
+		for _, c := range s.consumers {
+			c.close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Subscribe attaches a consumer that receives every batch from the given
+// sequence number (1 = from the start). Each consumer pulls independently,
+// at its own pace — the decoupling that lets shared-log systems add
+// consumers without affecting ordering throughput.
+func (s *Service) Subscribe(fromSeq uint64) *Consumer {
+	c := &Consumer{
+		svc:    s,
+		next:   fromSeq,
+		out:    make(chan Batch, 64),
+		wake:   make(chan struct{}, 1),
+		stopCh: make(chan struct{}),
+	}
+	if c.next < 1 {
+		c.next = 1
+	}
+	s.mu.Lock()
+	s.consumers = append(s.consumers, c)
+	s.mu.Unlock()
+	go c.pump()
+	return c
+}
+
+// Consumer is one subscriber's cursor over the log.
+type Consumer struct {
+	svc  *Service
+	next uint64
+	out  chan Batch
+	wake chan struct{}
+
+	stopCh    chan struct{}
+	closeOnce sync.Once
+}
+
+// Batches returns the channel of delivered batches, in order.
+func (c *Consumer) Batches() <-chan Batch { return c.out }
+
+// Close detaches the consumer.
+func (c *Consumer) Close() { c.close() }
+
+func (c *Consumer) close() {
+	c.closeOnce.Do(func() { close(c.stopCh) })
+}
+
+func (c *Consumer) notify() {
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Consumer) pump() {
+	defer close(c.out)
+	for {
+		// Drain everything available from the cursor position.
+		for {
+			c.svc.mu.Lock()
+			var batch Batch
+			have := false
+			if c.next <= uint64(len(c.svc.batches)) {
+				batch = c.svc.batches[c.next-1]
+				have = true
+			}
+			c.svc.mu.Unlock()
+			if !have {
+				break
+			}
+			select {
+			case c.out <- batch:
+				c.next++
+			case <-c.stopCh:
+				return
+			}
+		}
+		select {
+		case <-c.wake:
+		case <-c.stopCh:
+			return
+		case <-c.svc.stopCh:
+			return
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sharedlog
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cluster"
+)
+
+func service(t *testing.T, batchSize int) *Service {
+	t.Helper()
+	net := cluster.NewNetwork(cluster.ZeroLink{})
+	svc := New(Config{Net: net, NodeBase: 1000, BatchSize: batchSize})
+	t.Cleanup(func() {
+		svc.Stop()
+		net.Close()
+	})
+	return svc
+}
+
+func readBatches(t *testing.T, c *Consumer, records int, timeout time.Duration) [][]byte {
+	t.Helper()
+	var out [][]byte
+	deadline := time.After(timeout)
+	for len(out) < records {
+		select {
+		case b, ok := <-c.Batches():
+			if !ok {
+				t.Fatalf("consumer closed at %d records", len(out))
+			}
+			out = append(out, b.Records...)
+		case <-deadline:
+			t.Fatalf("timeout with %d/%d records", len(out), records)
+		}
+	}
+	return out
+}
+
+func TestAppendAndConsume(t *testing.T) {
+	svc := service(t, 10)
+	c := svc.Subscribe(1)
+	defer c.Close()
+	const total = 25
+	for i := 0; i < total; i++ {
+		if err := svc.Append([]byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records := readBatches(t, c, total, 10*time.Second)
+	for i, r := range records {
+		if string(r) != fmt.Sprintf("r-%d", i) {
+			t.Fatalf("record %d = %q", i, r)
+		}
+	}
+}
+
+func TestMultipleConsumersSeeSameOrder(t *testing.T) {
+	svc := service(t, 5)
+	c1 := svc.Subscribe(1)
+	defer c1.Close()
+	c2 := svc.Subscribe(1)
+	defer c2.Close()
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := svc.Append([]byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1 := readBatches(t, c1, total, 10*time.Second)
+	r2 := readBatches(t, c2, total, 10*time.Second)
+	for i := range r1 {
+		if string(r1[i]) != string(r2[i]) {
+			t.Fatalf("consumers disagree at %d: %q vs %q", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestLateSubscriberReplaysFromStart(t *testing.T) {
+	svc := service(t, 5)
+	const total = 15
+	for i := 0; i < total; i++ {
+		if err := svc.Append([]byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for ordering to finish before subscribing.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Appended() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c := svc.Subscribe(1)
+	defer c.Close()
+	records := readBatches(t, c, total, 10*time.Second)
+	if string(records[0]) != "r-0" {
+		t.Fatalf("replay started at %q", records[0])
+	}
+}
+
+func TestSubscribeFromOffset(t *testing.T) {
+	svc := service(t, 1) // one record per batch → batch seq == record index+1
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := svc.Append([]byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Appended() < total && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	c := svc.Subscribe(6)
+	defer c.Close()
+	records := readBatches(t, c, total-5, 10*time.Second)
+	if string(records[0]) != "r-5" {
+		t.Fatalf("offset subscribe started at %q", records[0])
+	}
+}
+
+func TestBatchTimeoutFlushesPartialBatch(t *testing.T) {
+	svc := service(t, 1000) // batch size never reached
+	c := svc.Subscribe(1)
+	defer c.Close()
+	if err := svc.Append([]byte("lonely")); err != nil {
+		t.Fatal(err)
+	}
+	records := readBatches(t, c, 1, 10*time.Second)
+	if string(records[0]) != "lonely" {
+		t.Fatalf("got %q", records[0])
+	}
+}
+
+func TestStopClosesConsumers(t *testing.T) {
+	net := cluster.NewNetwork(cluster.ZeroLink{})
+	defer net.Close()
+	svc := New(Config{Net: net, NodeBase: 2000})
+	c := svc.Subscribe(1)
+	svc.Stop()
+	select {
+	case _, ok := <-c.Batches():
+		if ok {
+			// Drain any final batch; channel must close eventually.
+			for range c.Batches() {
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer channel never closed after Stop")
+	}
+	if err := svc.Append([]byte("late")); err == nil {
+		t.Fatal("Append after Stop should fail")
+	}
+}

@@ -1,0 +1,296 @@
+package bptree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dichotomy/internal/storage"
+)
+
+func key(i int) []byte   { return []byte(fmt.Sprintf("key-%06d", i)) }
+func value(i int) []byte { return []byte(fmt.Sprintf("value-%06d", i)) }
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	for i := 0; i < 1000; i++ {
+		if err := tr.Put(key(i), value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		got, err := tr.Get(key(i))
+		if err != nil || !bytes.Equal(got, value(i)) {
+			t.Fatalf("Get(%s) = %q, %v", key(i), got, err)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	if tr.Depth() < 2 {
+		t.Fatalf("Depth = %d; splits never happened", tr.Depth())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	if _, err := tr.Get([]byte("nope")); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	tr.Put([]byte("k"), []byte("v1"))
+	tr.Put([]byte("k"), []byte("v2"))
+	got, _ := tr.Get([]byte("k"))
+	if !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("Get = %q", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), value(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := tr.Delete(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, err := tr.Get(key(i))
+		if i%2 == 0 && !errors.Is(err, storage.ErrNotFound) {
+			t.Fatalf("deleted key %d visible", i)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("surviving key %d lost: %v", i, err)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", tr.Len())
+	}
+	if err := tr.Delete([]byte("absent")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterationSortedComplete(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	perm := rand.New(rand.NewSource(3)).Perm(800)
+	for _, i := range perm {
+		tr.Put(key(i), value(i))
+	}
+	it := tr.NewIterator(nil)
+	defer it.Close()
+	n := 0
+	var prev []byte
+	for it.Next() {
+		if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+			t.Fatalf("out of order: %q after %q", it.Key(), prev)
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != 800 {
+		t.Fatalf("iterated %d, want 800", n)
+	}
+}
+
+func TestIteratorStart(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	for i := 0; i < 300; i++ {
+		tr.Put(key(i), value(i))
+	}
+	it := tr.NewIterator(key(250))
+	defer it.Close()
+	n := 0
+	first := true
+	for it.Next() {
+		if first && !bytes.Equal(it.Key(), key(250)) {
+			t.Fatalf("first key = %q, want %q", it.Key(), key(250))
+		}
+		first = false
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("iterated %d, want 50", n)
+	}
+}
+
+func TestIteratorStartBeyondEnd(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	tr.Put([]byte("a"), []byte("1"))
+	it := tr.NewIterator([]byte("z"))
+	defer it.Close()
+	if it.Next() {
+		t.Fatal("iterator past end yielded a key")
+	}
+}
+
+func TestSnapshotIsolationOfIterator(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), value(i))
+	}
+	it := tr.NewIterator(nil)
+	defer it.Close()
+	// Mutate heavily after iterator creation.
+	for i := 100; i < 200; i++ {
+		tr.Put(key(i), value(i))
+	}
+	for i := 0; i < 50; i++ {
+		tr.Delete(key(i))
+	}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("snapshot iterator saw %d keys, want 100", n)
+	}
+}
+
+func TestApplyBatchAtomicVisibility(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	tr.Put([]byte("stale"), []byte("x"))
+	err := tr.ApplyBatch([]storage.Write{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: []byte("2")},
+		{Key: []byte("stale"), Value: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if _, err := tr.Get([]byte("stale")); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("batch delete ignored")
+	}
+}
+
+func TestConcurrentReadsDuringWrites(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), value(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rand.Intn(100)
+				got, err := tr.Get(key(i))
+				if err == nil && !bytes.HasPrefix(got, []byte("value-")) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+				it := tr.NewIterator(nil)
+				for j := 0; j < 20 && it.Next(); j++ {
+				}
+				it.Close()
+			}
+		}()
+	}
+	for i := 100; i < 3000; i++ {
+		tr.Put(key(i), value(i))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestBytesAccounting(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	tr.Put([]byte("ab"), []byte("cdef")) // 6
+	if tr.ApproxSize() != 6 {
+		t.Fatalf("ApproxSize = %d, want 6", tr.ApproxSize())
+	}
+	tr.Put([]byte("ab"), []byte("x")) // 3
+	if tr.ApproxSize() != 3 {
+		t.Fatalf("ApproxSize = %d, want 3", tr.ApproxSize())
+	}
+	tr.Delete([]byte("ab"))
+	if tr.ApproxSize() != 0 {
+		t.Fatalf("ApproxSize = %d, want 0", tr.ApproxSize())
+	}
+}
+
+func TestClosed(t *testing.T) {
+	tr := New()
+	tr.Close()
+	if err := tr.Put([]byte("k"), []byte("v")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Put = %v", err)
+	}
+	if _, err := tr.Get([]byte("k")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Get = %v", err)
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	tr := New()
+	defer tr.Close()
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 8000; step++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", step)
+			model[k] = v
+			tr.Put([]byte(k), []byte(v))
+		case 2:
+			delete(model, k)
+			tr.Delete([]byte(k))
+		case 3:
+			got, err := tr.Get([]byte(k))
+			want, ok := model[k]
+			if ok && (err != nil || string(got) != want) {
+				t.Fatalf("step %d: Get(%s)=%q,%v want %q", step, k, got, err, want)
+			}
+			if !ok && !errors.Is(err, storage.ErrNotFound) {
+				t.Fatalf("step %d: Get(%s) should be not-found, got %q,%v", step, k, got, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	it := tr.NewIterator(nil)
+	defer it.Close()
+	seen := 0
+	for it.Next() {
+		if model[string(it.Key())] != string(it.Value()) {
+			t.Fatalf("iterator mismatch at %q", it.Key())
+		}
+		seen++
+	}
+	if seen != len(model) {
+		t.Fatalf("iterator saw %d, want %d", seen, len(model))
+	}
+}

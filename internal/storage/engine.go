@@ -1,0 +1,87 @@
+// Package storage defines the key-value engine contract shared by every
+// system in the repository, mirroring the paper's storage dimension: the
+// blockchains run over an LSM engine (LevelDB/RocksDB in Fabric, Quorum and
+// TiKV) while etcd runs over a copy-on-write B+tree (BoltDB). Both engine
+// families live in subpackages and satisfy the Engine interface defined
+// here, so systems can be assembled with either.
+package storage
+
+import (
+	"errors"
+)
+
+// ErrNotFound is returned by Get when the key has never been written or was
+// deleted.
+var ErrNotFound = errors.New("storage: key not found")
+
+// ErrClosed is returned by operations on a closed engine.
+var ErrClosed = errors.New("storage: engine closed")
+
+// Engine is an ordered key-value store. Implementations must be safe for
+// concurrent use by multiple goroutines.
+type Engine interface {
+	// Get returns the value stored under key, or ErrNotFound.
+	Get(key []byte) ([]byte, error)
+	// Put stores value under key, replacing any previous value.
+	Put(key, value []byte) error
+	// Delete removes key. Deleting an absent key is not an error.
+	Delete(key []byte) error
+	// NewIterator returns an iterator positioned before the first key that
+	// is ≥ start. If start is nil, iteration begins at the first key. The
+	// iterator observes a snapshot taken at creation time where the engine
+	// supports it; at minimum it must never observe a torn write.
+	NewIterator(start []byte) Iterator
+	// ApproxSize returns the engine's approximate resident data size in
+	// bytes; the storage experiments (Fig 12) read it.
+	ApproxSize() int64
+	// Len returns the number of live keys.
+	Len() int
+	// Close releases resources. Operations after Close return ErrClosed.
+	Close() error
+}
+
+// Iterator walks keys in ascending byte order.
+type Iterator interface {
+	// Next advances to the next entry and reports whether one exists.
+	Next() bool
+	// Key returns the current key. The slice is only valid until the next
+	// call to Next.
+	Key() []byte
+	// Value returns the current value, valid until the next call to Next.
+	Value() []byte
+	// Close releases the iterator.
+	Close() error
+}
+
+// Batch is an optional interface engines may implement to apply a set of
+// writes atomically; the block-commit paths use it when present.
+type Batch interface {
+	// ApplyBatch applies all writes (value == nil means delete) atomically.
+	ApplyBatch(writes []Write) error
+}
+
+// Write is one entry of a batch. A nil Value deletes the key.
+type Write struct {
+	Key   []byte
+	Value []byte
+}
+
+// ApplyWrites applies a batch through the Batch fast path when the engine
+// provides one, falling back to individual operations.
+func ApplyWrites(e Engine, writes []Write) error {
+	if b, ok := e.(Batch); ok {
+		return b.ApplyBatch(writes)
+	}
+	for _, w := range writes {
+		var err error
+		if w.Value == nil {
+			err = e.Delete(w.Key)
+		} else {
+			err = e.Put(w.Key, w.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// bloomFilter is a split Bloom filter with k derived hash functions, built
+// once per SSTable (as LevelDB does) to let point reads skip tables that
+// cannot contain a key.
+type bloomFilter struct {
+	bits []byte
+	k    uint32
+}
+
+// newBloomFilter sizes the filter for n keys at ~10 bits per key, which
+// gives a ~1% false positive rate with k=7, matching LevelDB's default.
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * 10
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloomFilter{bits: make([]byte, (nbits+7)/8), k: 7}
+}
+
+func bloomHash(key []byte) (h1, h2 uint32) {
+	f := fnv.New64a()
+	f.Write(key)
+	v := f.Sum64()
+	return uint32(v), uint32(v >> 32)
+}
+
+func (b *bloomFilter) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	n := uint32(len(b.bits) * 8)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % n
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b *bloomFilter) mayContain(key []byte) bool {
+	h1, h2 := bloomHash(key)
+	n := uint32(len(b.bits) * 8)
+	if n == 0 {
+		return true
+	}
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % n
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serializes the filter as k || bits.
+func (b *bloomFilter) marshal() []byte {
+	out := make([]byte, 4+len(b.bits))
+	binary.BigEndian.PutUint32(out, b.k)
+	copy(out[4:], b.bits)
+	return out
+}
+
+func unmarshalBloom(data []byte) *bloomFilter {
+	if len(data) < 4 {
+		return &bloomFilter{bits: make([]byte, 8), k: 7}
+	}
+	return &bloomFilter{
+		k:    binary.BigEndian.Uint32(data),
+		bits: data[4:],
+	}
+}

@@ -1,0 +1,99 @@
+package lsm
+
+import (
+	"bytes"
+
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/skiplist"
+)
+
+// entrySource is a positioned cursor over entries; sources earlier in the
+// merge list are newer and win duplicate keys.
+type entrySource interface {
+	next() bool
+	item() entry
+}
+
+type memSource struct {
+	it  *skiplist.Iterator
+	cur entry
+}
+
+func (s *memSource) next() bool {
+	if !s.it.Next() {
+		return false
+	}
+	e := s.it.Item()
+	s.cur = entry{key: e.Key, value: e.Value, tomb: e.Tomb}
+	return true
+}
+
+func (s *memSource) item() entry { return s.cur }
+
+type tblSource struct {
+	it *tableIter
+}
+
+func (s *tblSource) next() bool  { return s.it.next() }
+func (s *tblSource) item() entry { return s.it.ent }
+
+// mergeIterator implements storage.Iterator over a set of entry sources,
+// resolving duplicates newest-first and hiding tombstones.
+type mergeIterator struct {
+	srcs []entrySource
+	ok   []bool
+	key  []byte
+	val  []byte
+}
+
+func newMergeIterator(srcs []entrySource) *mergeIterator {
+	m := &mergeIterator{srcs: srcs, ok: make([]bool, len(srcs))}
+	for i, s := range srcs {
+		m.ok[i] = s.next()
+	}
+	return m
+}
+
+// Next implements storage.Iterator.
+func (m *mergeIterator) Next() bool {
+	for {
+		best := -1
+		for i, s := range m.srcs {
+			if !m.ok[i] {
+				continue
+			}
+			if best == -1 || bytes.Compare(s.item().key, m.srcs[best].item().key) < 0 {
+				best = i
+			}
+		}
+		if best == -1 {
+			return false
+		}
+		chosen := m.srcs[best].item()
+		// Advance all sources positioned on the chosen key; the winner is
+		// the lowest-ranked (newest) source, which best already is because
+		// ties above keep the earlier index.
+		for i, s := range m.srcs {
+			for m.ok[i] && bytes.Equal(s.item().key, chosen.key) {
+				m.ok[i] = s.next()
+			}
+		}
+		if chosen.tomb {
+			continue
+		}
+		m.key = chosen.key
+		m.val = chosen.value
+		return true
+	}
+}
+
+// Key implements storage.Iterator.
+func (m *mergeIterator) Key() []byte { return m.key }
+
+// Value implements storage.Iterator.
+func (m *mergeIterator) Value() []byte { return m.val }
+
+// Close implements storage.Iterator.
+func (m *mergeIterator) Close() error { return nil }
+
+var _ storage.Iterator = (*mergeIterator)(nil)

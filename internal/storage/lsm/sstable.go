@@ -1,0 +1,236 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// SSTable layout (all integers big-endian):
+//
+//	entries:  repeated (klen u32 | vlen u32 | flags u8 | key | value)
+//	index:    repeated (klen u32 | key | offset u64)   — one per restart
+//	bloom:    k u32 | bits
+//	footer:   indexOff u64 | bloomOff u64 | count u64 | crc u32 | magic u32
+//
+// A "restart" index entry is emitted every indexInterval entries, giving a
+// sparse index: point reads binary-search the index, then scan at most
+// indexInterval entries. Tables are immutable after build.
+
+const (
+	ssMagic       = 0x55DA7AB1
+	indexInterval = 16
+	flagTomb      = 1
+)
+
+var errCorrupt = errors.New("lsm: corrupt sstable")
+
+// entry is a key/value pair with tombstone flag inside a table or memtable
+// flush.
+type entry struct {
+	key, value []byte
+	tomb       bool
+}
+
+// buildSSTable serializes sorted entries into the table format.
+func buildSSTable(entries []entry) []byte {
+	var buf bytes.Buffer
+	bloom := newBloomFilter(len(entries))
+	type idxEnt struct {
+		key []byte
+		off uint64
+	}
+	var index []idxEnt
+	var tmp [9]byte
+	for i, e := range entries {
+		if i%indexInterval == 0 {
+			index = append(index, idxEnt{key: e.key, off: uint64(buf.Len())})
+		}
+		bloom.add(e.key)
+		binary.BigEndian.PutUint32(tmp[0:4], uint32(len(e.key)))
+		binary.BigEndian.PutUint32(tmp[4:8], uint32(len(e.value)))
+		tmp[8] = 0
+		if e.tomb {
+			tmp[8] = flagTomb
+		}
+		buf.Write(tmp[:9])
+		buf.Write(e.key)
+		buf.Write(e.value)
+	}
+	indexOff := uint64(buf.Len())
+	for _, ie := range index {
+		binary.BigEndian.PutUint32(tmp[0:4], uint32(len(ie.key)))
+		buf.Write(tmp[0:4])
+		buf.Write(ie.key)
+		binary.BigEndian.PutUint64(tmp[0:8], ie.off)
+		buf.Write(tmp[0:8])
+	}
+	bloomOff := uint64(buf.Len())
+	buf.Write(bloom.marshal())
+
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	var footer [32]byte
+	binary.BigEndian.PutUint64(footer[0:8], indexOff)
+	binary.BigEndian.PutUint64(footer[8:16], bloomOff)
+	binary.BigEndian.PutUint64(footer[16:24], uint64(len(entries)))
+	binary.BigEndian.PutUint32(footer[24:28], crc)
+	binary.BigEndian.PutUint32(footer[28:32], ssMagic)
+	buf.Write(footer[:])
+	return buf.Bytes()
+}
+
+// sstable is a parsed, immutable table.
+type sstable struct {
+	seq      int    // file sequence number, set by the DB that owns the table
+	data     []byte // entry region
+	index    []indexEntry
+	bloom    *bloomFilter
+	count    int
+	min, max []byte
+}
+
+type indexEntry struct {
+	key []byte
+	off uint64
+}
+
+// openSSTable parses a serialized table, verifying the checksum and magic.
+func openSSTable(raw []byte) (*sstable, error) {
+	if len(raw) < 32 {
+		return nil, errCorrupt
+	}
+	footer := raw[len(raw)-32:]
+	indexOff := binary.BigEndian.Uint64(footer[0:8])
+	bloomOff := binary.BigEndian.Uint64(footer[8:16])
+	count := binary.BigEndian.Uint64(footer[16:24])
+	crc := binary.BigEndian.Uint32(footer[24:28])
+	magic := binary.BigEndian.Uint32(footer[28:32])
+	if magic != ssMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", errCorrupt, magic)
+	}
+	body := raw[:len(raw)-32]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", errCorrupt)
+	}
+	if indexOff > bloomOff || bloomOff > uint64(len(body)) {
+		return nil, errCorrupt
+	}
+	t := &sstable{
+		data:  body[:indexOff],
+		bloom: unmarshalBloom(body[bloomOff:]),
+		count: int(count),
+	}
+	// Parse the sparse index.
+	idx := body[indexOff:bloomOff]
+	for len(idx) > 0 {
+		if len(idx) < 4 {
+			return nil, errCorrupt
+		}
+		klen := binary.BigEndian.Uint32(idx)
+		if uint64(len(idx)) < 4+uint64(klen)+8 {
+			return nil, errCorrupt
+		}
+		key := idx[4 : 4+klen]
+		off := binary.BigEndian.Uint64(idx[4+klen:])
+		t.index = append(t.index, indexEntry{key: key, off: off})
+		idx = idx[4+uint64(klen)+8:]
+	}
+	// Record key bounds for level placement and range pruning.
+	it := t.iterate(nil)
+	if it.next() {
+		t.min = it.ent.key
+		for {
+			t.max = it.ent.key
+			if !it.next() {
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
+// get looks the key up. found=false means the table has no verdict; a found
+// tombstone returns tomb=true.
+func (t *sstable) get(key []byte) (value []byte, tomb, found bool) {
+	if t.count == 0 || !t.bloom.mayContain(key) {
+		return nil, false, false
+	}
+	if t.min != nil && (bytes.Compare(key, t.min) < 0 || bytes.Compare(key, t.max) > 0) {
+		return nil, false, false
+	}
+	// Binary search the sparse index for the last restart ≤ key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false
+	}
+	it := &tableIter{t: t, off: t.index[i].off}
+	for n := 0; n < indexInterval && it.next(); n++ {
+		switch bytes.Compare(it.ent.key, key) {
+		case 0:
+			return it.ent.value, it.ent.tomb, true
+		case 1:
+			return nil, false, false
+		}
+	}
+	return nil, false, false
+}
+
+// iterate returns an iterator positioned before the first key ≥ start.
+func (t *sstable) iterate(start []byte) *tableIter {
+	it := &tableIter{t: t}
+	if start == nil || len(t.index) == 0 {
+		return it
+	}
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, start) > 0
+	}) - 1
+	if i < 0 {
+		return it
+	}
+	it.off = t.index[i].off
+	// Advance until positioned just before the first key ≥ start.
+	for {
+		save := it.off
+		if !it.next() {
+			it.off = save
+			return it
+		}
+		if bytes.Compare(it.ent.key, start) >= 0 {
+			it.off = save
+			return it
+		}
+	}
+}
+
+type tableIter struct {
+	t   *sstable
+	off uint64
+	ent entry
+}
+
+func (it *tableIter) next() bool {
+	data := it.t.data
+	if it.off+9 > uint64(len(data)) {
+		return false
+	}
+	klen := binary.BigEndian.Uint32(data[it.off:])
+	vlen := binary.BigEndian.Uint32(data[it.off+4:])
+	flags := data[it.off+8]
+	start := it.off + 9
+	end := start + uint64(klen) + uint64(vlen)
+	if end > uint64(len(data)) {
+		return false
+	}
+	it.ent = entry{
+		key:   data[start : start+uint64(klen)],
+		value: data[start+uint64(klen) : end],
+		tomb:  flags&flagTomb != 0,
+	}
+	it.off = end
+	return true
+}

@@ -1,0 +1,129 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// wal is a write-ahead log of Put/Delete records. Each record is
+//
+//	len u32 | crc u32 | flags u8 | klen u32 | key | value
+//
+// Replay stops at the first torn or corrupt record, discarding the tail —
+// the standard crash-recovery contract. The paper notes databases keep such
+// logs only for recovery and prune them; Sync truncates after a flush.
+type wal struct {
+	f   *os.File
+	w   *bufio.Writer
+	len int64
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, w: bufio.NewWriter(f), len: st.Size()}, nil
+}
+
+func (w *wal) append(key, value []byte, tomb bool) error {
+	payload := make([]byte, 1+4+len(key)+len(value))
+	if tomb {
+		payload[0] = flagTomb
+	}
+	binary.BigEndian.PutUint32(payload[1:5], uint32(len(key)))
+	copy(payload[5:], key)
+	copy(payload[5+len(key):], value)
+
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.len += int64(8 + len(payload))
+	return nil
+}
+
+func (w *wal) flush() error { return w.w.Flush() }
+
+// reset truncates the log after its contents have been made durable in an
+// SSTable.
+func (w *wal) reset() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	w.len = 0
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams intact records from the log at path to fn. A missing
+// file is not an error. Corrupt tails are truncated away silently.
+func replayWAL(path string, fn func(key, value []byte, tomb bool)) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil // clean end or torn header: stop
+		}
+		plen := binary.BigEndian.Uint32(hdr[0:4])
+		crc := binary.BigEndian.Uint32(hdr[4:8])
+		if plen < 5 || plen > 1<<30 {
+			return nil
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil // torn record
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil // corrupt tail
+		}
+		tomb := payload[0]&flagTomb != 0
+		klen := binary.BigEndian.Uint32(payload[1:5])
+		if uint64(5+klen) > uint64(len(payload)) {
+			return nil
+		}
+		key := payload[5 : 5+klen]
+		value := payload[5+klen:]
+		fn(key, value, tomb)
+	}
+}
+
+func walPath(dir string) string { return filepath.Join(dir, "wal.log") }

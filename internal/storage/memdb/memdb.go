@@ -1,0 +1,110 @@
+// Package memdb provides a simple sorted in-memory storage engine built on
+// the skiplist. It is the reference implementation of storage.Engine used
+// by unit tests and by systems whose storage layer is not under measurement.
+package memdb
+
+import (
+	"sync/atomic"
+
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/skiplist"
+)
+
+// DB is an in-memory storage engine. Safe for concurrent use.
+type DB struct {
+	list   *skiplist.List
+	closed atomic.Bool
+}
+
+var _ storage.Engine = (*DB)(nil)
+var _ storage.Batch = (*DB)(nil)
+
+// New returns an empty engine.
+func New() *DB {
+	return &DB{list: skiplist.New()}
+}
+
+// Get implements storage.Engine.
+func (d *DB) Get(key []byte) ([]byte, error) {
+	if d.closed.Load() {
+		return nil, storage.ErrClosed
+	}
+	v, ok := d.list.Get(key)
+	if !ok {
+		return nil, storage.ErrNotFound
+	}
+	return v, nil
+}
+
+// Put implements storage.Engine.
+func (d *DB) Put(key, value []byte) error {
+	if d.closed.Load() {
+		return storage.ErrClosed
+	}
+	d.list.Put(key, value)
+	return nil
+}
+
+// Delete implements storage.Engine.
+func (d *DB) Delete(key []byte) error {
+	if d.closed.Load() {
+		return storage.ErrClosed
+	}
+	d.list.Delete(key)
+	return nil
+}
+
+// ApplyBatch implements storage.Batch. The skiplist serializes writers, so
+// the batch is atomic with respect to single-key readers; full snapshot
+// isolation is not claimed by this engine.
+func (d *DB) ApplyBatch(writes []storage.Write) error {
+	if d.closed.Load() {
+		return storage.ErrClosed
+	}
+	for _, w := range writes {
+		if w.Value == nil {
+			d.list.Delete(w.Key)
+		} else {
+			d.list.Put(w.Key, w.Value)
+		}
+	}
+	return nil
+}
+
+// NewIterator implements storage.Engine.
+func (d *DB) NewIterator(start []byte) storage.Iterator {
+	return &iter{it: d.list.NewIterator(start)}
+}
+
+// ApproxSize implements storage.Engine.
+func (d *DB) ApproxSize() int64 { return d.list.Bytes() }
+
+// Len implements storage.Engine.
+func (d *DB) Len() int { return d.list.Len() }
+
+// Close implements storage.Engine.
+func (d *DB) Close() error {
+	d.closed.Store(true)
+	return nil
+}
+
+type iter struct {
+	it  *skiplist.Iterator
+	cur skiplist.Entry
+}
+
+func (i *iter) Next() bool {
+	for i.it.Next() {
+		e := i.it.Item()
+		if e.Tomb {
+			continue
+		}
+		i.cur = e
+		return true
+	}
+	return false
+}
+
+func (i *iter) Key() []byte   { return i.cur.Key }
+func (i *iter) Value() []byte { return i.cur.Value }
+func (i *iter) Close() error  { return nil }

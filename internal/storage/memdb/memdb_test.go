@@ -1,0 +1,111 @@
+package memdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dichotomy/internal/storage"
+)
+
+func TestEngineContract(t *testing.T) {
+	db := New()
+	defer db.Close()
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := db.Get([]byte("a"))
+	if err != nil || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if _, err := db.Get([]byte("b")); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+	if err := db.Delete([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("a")); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("delete did not take effect")
+	}
+}
+
+func TestIteratorSkipsDeleted(t *testing.T) {
+	db := New()
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	db.Delete([]byte("k3"))
+	it := db.NewIterator(nil)
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		if string(it.Key()) == "k3" {
+			t.Fatal("iterator exposed deleted key")
+		}
+		n++
+	}
+	if n != 9 {
+		t.Fatalf("iterated %d keys, want 9", n)
+	}
+}
+
+func TestIteratorStart(t *testing.T) {
+	db := New()
+	defer db.Close()
+	for i := 0; i < 10; i++ {
+		db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v"))
+	}
+	it := db.NewIterator([]byte("k7"))
+	defer it.Close()
+	var got []string
+	for it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != 3 || got[0] != "k7" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Put([]byte("x"), []byte("old"))
+	err := db.ApplyBatch([]storage.Write{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("x"), Value: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Get([]byte("x")); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatal("batch delete ignored")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestClosed(t *testing.T) {
+	db := New()
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, err := db.Get([]byte("k")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := db.Delete([]byte("k")); !errors.Is(err, storage.ErrClosed) {
+		t.Fatalf("Delete after close = %v", err)
+	}
+}
+
+func TestApproxSize(t *testing.T) {
+	db := New()
+	defer db.Close()
+	db.Put([]byte("abc"), []byte("defg"))
+	if db.ApproxSize() != 7 {
+		t.Fatalf("ApproxSize = %d, want 7", db.ApproxSize())
+	}
+}

@@ -1,0 +1,134 @@
+package etcd
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/txn"
+)
+
+func newCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c := New(Config{Nodes: nodes})
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPutGet(t *testing.T) {
+	c := newCluster(t, 3)
+	if err := c.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Get("k")
+	if err != nil || !bytes.Equal(v, []byte("v")) {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := newCluster(t, 3)
+	v, err := c.Get("ghost")
+	if err != nil || v != nil {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newCluster(t, 3)
+	c.Put("k", []byte("v"))
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Get("k"); v != nil {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestAllReplicasApply(t *testing.T) {
+	c := newCluster(t, 3)
+	for i := 0; i < 50; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The leader has applied everything (replicate waits for it); the
+	// others converge shortly after.
+	lead := c.leader()
+	if lead.tree.Len() != 50 {
+		t.Fatalf("leader has %d keys", lead.tree.Len())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c := newCluster(t, 3)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := c.Put(fmt.Sprintf("w%d-k%d", w, i), []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := c.leader().tree.Len(); got != 200 {
+		t.Fatalf("leader has %d keys, want 200", got)
+	}
+}
+
+func TestExecuteAdapter(t *testing.T) {
+	c := newCluster(t, 3)
+	client := cryptoutil.MustNewSigner("client")
+	put, _ := txn.Sign(client, txn.Invocation{Contract: contract.KVName, Method: "put",
+		Args: [][]byte{[]byte("k"), []byte("v")}})
+	if r := c.Execute(put); !r.Committed {
+		t.Fatalf("put: %+v", r)
+	}
+	get, _ := txn.Sign(client, txn.Invocation{Contract: contract.KVName, Method: "get",
+		Args: [][]byte{[]byte("k")}})
+	r := c.Execute(get)
+	if !r.Committed || !bytes.Equal(r.Value, []byte("v")) {
+		t.Fatalf("get: %+v", r)
+	}
+}
+
+func TestRejectsTransactionalWork(t *testing.T) {
+	c := newCluster(t, 3)
+	client := cryptoutil.MustNewSigner("client")
+	sb, _ := txn.Sign(client, txn.Invocation{Contract: contract.SmallbankName, Method: "query",
+		Args: [][]byte{[]byte("a")}})
+	if r := c.Execute(sb); r.Err == nil {
+		t.Fatal("etcd accepted a transactional workload")
+	}
+}
+
+func TestStateBytes(t *testing.T) {
+	c := newCluster(t, 3)
+	before := c.StateBytes()
+	if err := c.Put("key", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 (whose tree StateBytes reads) may apply shortly after the
+	// first replica resolves the waiter.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.StateBytes() <= before {
+		if time.Now().After(deadline) {
+			t.Fatal("state bytes did not grow")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,462 @@
+// Package fabric models Hyperledger Fabric v2.2, the paper's
+// execute-order-validate blockchain.
+//
+// Transaction lifecycle (paper Fig 3b):
+//
+//  1. The client sends the proposal to every peer (the experiments set the
+//     endorsement policy to all peers). Each peer authenticates the client,
+//     simulates the chaincode against its committed state — concurrently,
+//     execution is not serialized here — and signs the resulting read/write
+//     set (endorsement).
+//  2. The client checks that all endorsements report identical read sets;
+//     divergence is the "inconsistent read" abort of Fig 10.
+//  3. The assembled transaction goes to the ordering service (three Raft
+//     orderers behind a shared-log facade), which batches it into blocks.
+//  4. Every peer pulls blocks and validates them *serially*: it verifies
+//     every endorsement signature (the 42%-of-validation cost in Fig 8)
+//     and applies Fabric's MVCC read-set check; stale reads abort
+//     (read-write conflicts). Valid writes commit to the LSM-backed state
+//     sequentially. Fabric v2 has no Merkle index on state — tamper
+//     evidence comes from the ledger alone.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ledger"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/sharedlog"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/lsm"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// Config assembles a Fabric network.
+type Config struct {
+	// Peers is the number of endorsing/committing peers.
+	Peers int
+	// Orderers is the ordering service size (paper fixes 3).
+	Orderers int
+	// BlockSize caps transactions per block. Default 100.
+	BlockSize int
+	// BlockTimeout cuts a non-full block. Default 5ms.
+	BlockTimeout time.Duration
+	// EndorsementsNeeded is how many endorsements a transaction must carry
+	// to validate; the paper's policy requires all peers. 0 means all.
+	EndorsementsNeeded int
+	// Link models the network; nil = zero latency.
+	Link cluster.LinkModel
+	// Contracts deployed on all peers. Default: KV and Smallbank.
+	Contracts []contract.Contract
+}
+
+func (c Config) withDefaults() Config {
+	if c.Peers <= 0 {
+		c.Peers = 4
+	}
+	if c.Orderers <= 0 {
+		c.Orderers = 3
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 100
+	}
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 5 * time.Millisecond
+	}
+	if c.Contracts == nil {
+		c.Contracts = []contract.Contract{contract.KV{}, contract.Smallbank{}}
+	}
+	return c
+}
+
+// Network is a running Fabric deployment.
+type Network struct {
+	cfg      Config
+	net      *cluster.Network
+	peers    []*peer
+	ordering *sharedlog.Service
+	box      *system.PayloadBox
+	waiters  *system.Waiters
+	clients  sync.Map // name → cryptoutil.PublicKey
+	peerKeys map[string]cryptoutil.PublicKey
+
+	// Breakdown aggregates validate-phase sub-costs for Fig 8.
+	Breakdown *metrics.Breakdown
+
+	rr       atomic.Uint64 // round-robin query routing
+	closeOne sync.Once
+}
+
+var _ system.System = (*Network)(nil)
+
+// peer is one endorsing/committing peer.
+type peer struct {
+	name     string
+	nw       *Network
+	signer   *cryptoutil.Signer
+	reg      *contract.Registry
+	ledger   *ledger.Ledger
+	engine   storage.Engine
+	stateMu  sync.RWMutex
+	versions map[string]txn.Version
+	consumer *sharedlog.Consumer
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New assembles and starts a Fabric network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	nw := &Network{
+		cfg:       cfg,
+		net:       cluster.NewNetwork(cfg.Link),
+		box:       system.NewPayloadBox(),
+		waiters:   system.NewWaiters(),
+		peerKeys:  make(map[string]cryptoutil.PublicKey),
+		Breakdown: metrics.NewBreakdown(),
+	}
+	nw.ordering = sharedlog.New(sharedlog.Config{
+		Net:          nw.net,
+		NodeBase:     10000,
+		Orderers:     cfg.Orderers,
+		BatchSize:    cfg.BlockSize,
+		BatchTimeout: cfg.BlockTimeout,
+	})
+	for i := 0; i < cfg.Peers; i++ {
+		name := fmt.Sprintf("peer%d", i)
+		signer, err := cryptoutil.NewSigner(name)
+		if err != nil {
+			return nil, err
+		}
+		p := &peer{
+			name:     name,
+			nw:       nw,
+			signer:   signer,
+			reg:      contract.NewRegistry(cfg.Contracts...),
+			ledger:   ledger.New(),
+			engine:   lsm.MustOpenMemory(),
+			versions: make(map[string]txn.Version),
+			stopCh:   make(chan struct{}),
+		}
+		nw.peerKeys[name] = signer.Public()
+		nw.peers = append(nw.peers, p)
+	}
+	for _, p := range nw.peers {
+		p.consumer = nw.ordering.Subscribe(1)
+		p.wg.Add(1)
+		go p.commitLoop()
+	}
+	return nw, nil
+}
+
+// Name implements system.System.
+func (nw *Network) Name() string { return "fabric" }
+
+// RegisterClient makes a client identity known to all peers.
+func (nw *Network) RegisterClient(name string, pub cryptoutil.PublicKey) {
+	nw.clients.Store(name, pub)
+}
+
+// needed returns the endorsement threshold.
+func (nw *Network) needed() int {
+	if nw.cfg.EndorsementsNeeded > 0 {
+		return nw.cfg.EndorsementsNeeded
+	}
+	return len(nw.peers)
+}
+
+// Execute implements system.System: the full execute-order-validate
+// lifecycle for updates; local simulation for read-only invocations.
+func (nw *Network) Execute(t *txn.Tx) system.Result {
+	readOnly := t.Invocation.Method == "get" || t.Invocation.Method == "query"
+	if readOnly {
+		// Queries hit a single peer and are never ordered; the dominant
+		// cost is client authentication (Fig 8b).
+		p := nw.peers[int(nw.rr.Add(1))%len(nw.peers)]
+		if _, _, err := p.endorse(t); err != nil {
+			return system.Result{Err: err}
+		}
+		return system.Result{Committed: true, Value: p.readValue(t.Invocation)}
+	}
+
+	// Phase 1: endorsement — all peers simulate concurrently.
+	type endorsement struct {
+		rw  txn.RWSet
+		sig cryptoutil.Signature
+		err error
+	}
+	results := make([]endorsement, len(nw.peers))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, p := range nw.peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			results[i].rw, results[i].sig, results[i].err = p.endorse(t)
+		}(i, p)
+	}
+	wg.Wait()
+	t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
+	for _, r := range results {
+		if r.err != nil {
+			return system.Result{Err: r.err}
+		}
+	}
+	// Client-side consistency check across endorsers.
+	sets := make([]txn.RWSet, len(results))
+	for i, r := range results {
+		sets[i] = r.rw
+	}
+	if !occ.ConsistentReads(sets) {
+		return system.Result{Reason: occ.InconsistentRead}
+	}
+
+	// Assemble: adopt the first simulation result plus all signatures.
+	t.RWSet = results[0].rw
+	t.Endorsements = t.Endorsements[:0]
+	for i, p := range nw.peers {
+		t.Endorsements = append(t.Endorsements, txn.Endorsement{Peer: p.name, Sig: results[i].sig})
+	}
+
+	// Phase 2: ordering.
+	done := nw.waiters.Register(string(t.ID[:]))
+	orderStart := time.Now()
+	id := nw.box.Put(t, len(nw.peers))
+	if err := nw.ordering.Append(system.Handle(id)); err != nil {
+		nw.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: err}
+	}
+	select {
+	case r := <-done:
+		t.Trace.Observe(metrics.PhaseOrder, time.Since(orderStart))
+		return r
+	case <-time.After(60 * time.Second):
+		nw.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: errors.New("fabric: commit timeout")}
+	}
+}
+
+// readValue extracts a point-read result for KV queries.
+func (p *peer) readValue(inv txn.Invocation) []byte {
+	if inv.Contract != "kv" || inv.Method != "get" || len(inv.Args) != 1 {
+		return nil
+	}
+	p.stateMu.RLock()
+	defer p.stateMu.RUnlock()
+	v, err := p.engine.Get(inv.Args[0])
+	if err != nil {
+		return nil
+	}
+	return v
+}
+
+// endorse authenticates, simulates, and signs on one peer.
+func (p *peer) endorse(t *txn.Tx) (txn.RWSet, cryptoutil.Signature, error) {
+	var authErr error
+	t.Trace.Time(metrics.PhaseAuth, func() {
+		pubAny, ok := p.nw.clients.Load(t.Client)
+		if !ok {
+			authErr = fmt.Errorf("fabric: unknown client %s", t.Client)
+			return
+		}
+		authErr = t.VerifyClient(pubAny.(cryptoutil.PublicKey))
+	})
+	if authErr != nil {
+		return txn.RWSet{}, cryptoutil.Signature{}, authErr
+	}
+	var rw txn.RWSet
+	var simErr error
+	t.Trace.Time(metrics.PhaseSimulate, func() {
+		p.stateMu.RLock()
+		defer p.stateMu.RUnlock()
+		rw, simErr = p.reg.Execute(p.stateView(), t.Invocation)
+	})
+	if simErr != nil {
+		if errors.Is(simErr, contract.ErrAbort) {
+			// Business rejection: endorse an empty effect; the client
+			// counts it as an application abort.
+			return txn.RWSet{}, cryptoutil.Signature{}, simErr
+		}
+		return txn.RWSet{}, cryptoutil.Signature{}, simErr
+	}
+	var sig cryptoutil.Signature
+	var sigErr error
+	t.Trace.Time(metrics.PhaseEndorse, func() {
+		shadow := *t
+		shadow.RWSet = rw
+		sig, sigErr = p.signer.SignDigest(shadow.EndorsementDigest())
+	})
+	return rw, sig, sigErr
+}
+
+// commitLoop validates and commits ordered blocks serially.
+func (p *peer) commitLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case batch, ok := <-p.consumer.Batches():
+			if !ok {
+				return
+			}
+			p.applyBlock(batch)
+		}
+	}
+}
+
+func (p *peer) applyBlock(batch sharedlog.Batch) {
+	txs := make([]*txn.Tx, 0, len(batch.Records))
+	for _, rec := range batch.Records {
+		id, ok := system.HandleID(rec)
+		if !ok {
+			continue
+		}
+		v, ok := p.nw.box.Take(id)
+		if !ok {
+			continue
+		}
+		txs = append(txs, v.(*txn.Tx))
+	}
+	if len(txs) == 0 {
+		return
+	}
+
+	validateStart := time.Now()
+	p.stateMu.Lock()
+	blockNum := p.ledger.Height() + 1
+
+	// Serial validation: endorsement signature checks dominate (Fig 8).
+	verdicts := make([]occ.AbortReason, len(txs))
+	sets := make([]txn.RWSet, len(txs))
+	sigTime := time.Duration(0)
+	for i, t := range txs {
+		sigStart := time.Now()
+		err := t.VerifyEndorsements(func(name string) (cryptoutil.PublicKey, bool) {
+			pub, ok := p.nw.peerKeys[name]
+			return pub, ok
+		}, p.nw.needed())
+		sigTime += time.Since(sigStart)
+		if err != nil {
+			verdicts[i] = occ.InconsistentRead // endorsement failure
+			continue
+		}
+		sets[i] = t.RWSet
+		verdicts[i] = occ.OK
+	}
+	// MVCC check in block order, honouring intra-block dependencies.
+	mvccVerdicts := occ.ValidateBlock(sets, p.versionView(), blockNum)
+	for i := range verdicts {
+		if verdicts[i] == occ.OK {
+			verdicts[i] = mvccVerdicts[i]
+		}
+	}
+
+	// Serial commit of valid write sets.
+	payloads := make([][]byte, len(txs))
+	for i, t := range txs {
+		payloads[i] = t.ID[:]
+		if verdicts[i] != occ.OK {
+			continue
+		}
+		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
+		for _, w := range t.RWSet.Writes {
+			if w.Value == nil {
+				_ = p.engine.Delete([]byte(w.Key))
+				delete(p.versions, w.Key)
+				continue
+			}
+			_ = p.engine.Put([]byte(w.Key), w.Value)
+			p.versions[w.Key] = ver
+		}
+	}
+	var parent cryptoutil.Hash
+	if head := p.ledger.Head(); head != nil {
+		parent = head.Hash()
+	}
+	lb := &ledger.Block{
+		Header: ledger.Header{
+			Number:     blockNum,
+			ParentHash: parent,
+			TxRoot:     ledger.ComputeTxRoot(payloads),
+		},
+		Txs: payloads,
+	}
+	if err := p.ledger.Append(lb); err != nil {
+		panic(fmt.Sprintf("fabric %s: ledger append: %v", p.name, err))
+	}
+	p.stateMu.Unlock()
+
+	validate := time.Since(validateStart)
+	p.nw.Breakdown.Observe(metrics.PhaseValidate, validate)
+	p.nw.Breakdown.Observe("validate-sig", sigTime)
+
+	for i, t := range txs {
+		t.Trace.Observe(metrics.PhaseValidate, validate)
+		r := system.Result{Committed: verdicts[i] == occ.OK, Reason: verdicts[i]}
+		p.nw.waiters.Resolve(string(t.ID[:]), r)
+	}
+}
+
+// stateView adapts committed state to contract.StateReader.
+func (p *peer) stateView() contract.StateReader { return (*peerState)(p) }
+
+type peerState peer
+
+// GetState implements contract.StateReader.
+func (s *peerState) GetState(key string) ([]byte, txn.Version, error) {
+	v, err := s.engine.Get([]byte(key))
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	if err != nil {
+		return nil, txn.Version{}, err
+	}
+	return v, s.versions[key], nil
+}
+
+// versionView adapts the version map to occ.VersionSource. Callers hold
+// stateMu.
+func (p *peer) versionView() occ.VersionSource { return (*peerVersions)(p) }
+
+type peerVersions peer
+
+// CommittedVersion implements occ.VersionSource.
+func (s *peerVersions) CommittedVersion(key string) (txn.Version, bool) {
+	v, ok := s.versions[key]
+	return v, ok
+}
+
+// Ledger exposes peer i's ledger.
+func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.peers[i].ledger }
+
+// StateBytes returns peer 0's state footprint; BlockBytes its ledger
+// footprint (Fig 12's two series).
+func (nw *Network) StateBytes() int64 { return nw.peers[0].engine.ApproxSize() }
+
+// BlockBytes returns peer 0's ledger storage footprint.
+func (nw *Network) BlockBytes() int64 { return nw.peers[0].ledger.StorageSize() }
+
+// Close implements system.System.
+func (nw *Network) Close() {
+	nw.closeOne.Do(func() {
+		nw.ordering.Stop()
+		for _, p := range nw.peers {
+			close(p.stopCh)
+		}
+		for _, p := range nw.peers {
+			p.wg.Wait()
+			p.engine.Close()
+		}
+		nw.net.Close()
+	})
+}

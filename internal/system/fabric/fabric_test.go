@@ -1,0 +1,165 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/txn"
+)
+
+func network(t *testing.T, cfg Config) (*Network, *cryptoutil.Signer) {
+	t.Helper()
+	nw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	client := cryptoutil.MustNewSigner("client")
+	nw.RegisterClient(client.Name(), client.Public())
+	return nw, client
+}
+
+func mustTx(t *testing.T, client *cryptoutil.Signer, method string, args ...string) *txn.Tx {
+	t.Helper()
+	raw := make([][]byte, len(args))
+	for i, a := range args {
+		raw[i] = []byte(a)
+	}
+	tx, err := txn.Sign(client, txn.Invocation{Contract: contract.KVName, Method: method, Args: raw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestCommitAndRead(t *testing.T) {
+	nw, client := network(t, Config{Peers: 3})
+	if r := nw.Execute(mustTx(t, client, "put", "alpha", "1")); !r.Committed {
+		t.Fatalf("put: %+v", r)
+	}
+	if r := nw.Execute(mustTx(t, client, "get", "alpha")); !r.Committed {
+		t.Fatalf("get: %+v", r)
+	}
+}
+
+func TestUnknownClientRejected(t *testing.T) {
+	nw, _ := network(t, Config{Peers: 3})
+	stranger := cryptoutil.MustNewSigner("stranger")
+	tx, _ := txn.Sign(stranger, txn.Invocation{Contract: contract.KVName, Method: "put", Args: [][]byte{[]byte("k"), []byte("v")}})
+	if r := nw.Execute(tx); r.Err == nil {
+		t.Fatal("unauthenticated client accepted")
+	}
+}
+
+func TestLedgersConverge(t *testing.T) {
+	nw, client := network(t, Config{Peers: 3})
+	for i := 0; i < 20; i++ {
+		if r := nw.Execute(mustTx(t, client, "put", fmt.Sprintf("k%d", i), "v")); !r.Committed {
+			t.Fatalf("tx %d: %+v", i, r)
+		}
+	}
+	h := nw.Ledger(0).Height()
+	if h == 0 {
+		t.Fatal("no blocks")
+	}
+	for i := 1; i < 3; i++ {
+		deadline := time.Now().Add(10 * time.Second)
+		for nw.Ledger(i).Height() < h && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if nw.Ledger(i).Height() < h {
+			t.Fatalf("peer %d stuck at height %d < %d", i, nw.Ledger(i).Height(), h)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := nw.Ledger(i).Verify(); err != nil {
+			t.Fatalf("peer %d ledger: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentWritersOnHotKeyAbort(t *testing.T) {
+	// Fabric's OCC: concurrent read-modify-writes of one key mostly abort
+	// with read-write conflicts — the Fig 9 mechanism.
+	nw, client := network(t, Config{Peers: 3})
+	if r := nw.Execute(mustTx(t, client, "put", "hot", "0")); !r.Committed {
+		t.Fatalf("seed: %+v", r)
+	}
+	const writers = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	committed, conflicts := 0, 0
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := nw.Execute(mustTx(t, client, "modify", "hot", fmt.Sprintf("w%d", w)))
+			mu.Lock()
+			defer mu.Unlock()
+			if r.Committed {
+				committed++
+			} else if r.Reason == occ.ReadWriteConflict {
+				conflicts++
+			}
+		}(w)
+	}
+	wg.Wait()
+	if committed == 0 {
+		t.Fatal("every writer aborted; at least one must win")
+	}
+	if conflicts == 0 {
+		t.Fatal("no read-write conflicts under contention — OCC not engaged")
+	}
+}
+
+func TestIndependentKeysAllCommit(t *testing.T) {
+	nw, client := network(t, Config{Peers: 3})
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := nw.Execute(mustTx(t, client, "modify", fmt.Sprintf("key-%d", w), "v"))
+			if !r.Committed {
+				errs <- fmt.Sprintf("writer %d: %+v", w, r)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestValidationBreakdownPopulated(t *testing.T) {
+	nw, client := network(t, Config{Peers: 3})
+	for i := 0; i < 5; i++ {
+		nw.Execute(mustTx(t, client, "put", fmt.Sprintf("k%d", i), "v"))
+	}
+	if nw.Breakdown.Mean("validate") == 0 {
+		t.Fatal("validate phase unrecorded")
+	}
+	if nw.Breakdown.Mean("validate-sig") == 0 {
+		t.Fatal("signature-verification share unrecorded")
+	}
+}
+
+func TestBlockBytesExceedStateBytes(t *testing.T) {
+	// Fig 12's core observation: the ledger keeps history, so block
+	// storage outgrows state storage.
+	nw, client := network(t, Config{Peers: 3})
+	for i := 0; i < 10; i++ {
+		nw.Execute(mustTx(t, client, "put", "same-key", fmt.Sprintf("version-%d", i)))
+	}
+	if nw.BlockBytes() <= nw.StateBytes() {
+		t.Fatalf("blocks %d ≤ state %d; history not retained?", nw.BlockBytes(), nw.StateBytes())
+	}
+}

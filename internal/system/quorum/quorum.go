@@ -1,0 +1,473 @@
+// Package quorum models Quorum v2.2, the paper's order-execute
+// permissioned blockchain: a geth fork that replaces PoW with Raft or
+// IBFT but keeps the EVM execution model and MPT-over-LSM state.
+//
+// Transaction lifecycle (paper Fig 3a):
+//
+//  1. Clients submit signed contract invocations to any node, which pools
+//     them.
+//  2. The consensus leader *pre-executes* pending transactions serially at
+//     the ledger tip — block construction is sequential, which is why
+//     Quorum cannot exploit concurrency — and batches them into a block.
+//  3. The block goes through consensus (Raft or IBFT).
+//  4. Every node re-executes the block's transactions serially ("double
+//     execution"), applies writes to the LSM-backed state, reconstructs
+//     the MPT commitment (the per-commit hashing the paper blames for the
+//     record-size collapse in Fig 11), and appends the block.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dichotomy/internal/ads/mpt"
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/consensus/ibft"
+	"dichotomy/internal/consensus/raft"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ledger"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/lsm"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// ConsensusKind selects the replication protocol.
+type ConsensusKind int
+
+const (
+	// Raft is Quorum's CFT mode.
+	Raft ConsensusKind = iota
+	// IBFT is Quorum's BFT mode.
+	IBFT
+)
+
+// Config assembles a Quorum network.
+type Config struct {
+	// Nodes is the validator count.
+	Nodes int
+	// Consensus picks Raft (CFT) or IBFT (BFT).
+	Consensus ConsensusKind
+	// BlockSize caps transactions per block. Default 100.
+	BlockSize int
+	// BlockInterval cuts a non-full block after this delay. Default 5ms.
+	BlockInterval time.Duration
+	// Link models the network; nil means zero latency.
+	Link cluster.LinkModel
+	// Contracts deployed on all nodes. Default: KV and Smallbank.
+	Contracts []contract.Contract
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 100
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = 5 * time.Millisecond
+	}
+	if c.Contracts == nil {
+		c.Contracts = []contract.Contract{contract.KV{}, contract.Smallbank{}}
+	}
+	return c
+}
+
+// Network is a running Quorum deployment.
+type Network struct {
+	cfg     Config
+	net     *cluster.Network
+	nodes   []*node
+	box     *system.PayloadBox
+	waiters *system.Waiters
+	clients sync.Map // client name → cryptoutil.PublicKey
+
+	rr       uint64
+	rrMu     sync.Mutex
+	closeOne sync.Once
+}
+
+var _ system.System = (*Network)(nil)
+
+// node is one Quorum validator.
+type node struct {
+	id        cluster.NodeID
+	nw        *Network
+	cons      consensus.Node
+	reg       *contract.Registry
+	ledger    *ledger.Ledger
+	engine    storage.Engine
+	trie      *mpt.Trie
+	stateMu   sync.Mutex
+	versions  map[string]txn.Version
+	pendingMu sync.Mutex
+	pending   []*txn.Tx
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+}
+
+// block is the consensus payload (passed by handle through the box).
+type block struct {
+	proposer cluster.NodeID
+	txs      []*txn.Tx
+	size     int
+}
+
+// New assembles and starts a Quorum network.
+func New(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Consensus == IBFT && cfg.Nodes < 4 {
+		return nil, fmt.Errorf("quorum: IBFT needs ≥ 4 nodes, got %d", cfg.Nodes)
+	}
+	nw := &Network{
+		cfg:     cfg,
+		net:     cluster.NewNetwork(cfg.Link),
+		box:     system.NewPayloadBox(),
+		waiters: system.NewWaiters(),
+	}
+	peers := make([]cluster.NodeID, cfg.Nodes)
+	for i := range peers {
+		peers[i] = cluster.NodeID(i)
+	}
+	for _, id := range peers {
+		n := &node{
+			id:       id,
+			nw:       nw,
+			reg:      contract.NewRegistry(cfg.Contracts...),
+			ledger:   ledger.New(),
+			engine:   lsm.MustOpenMemory(),
+			trie:     mpt.New(),
+			versions: make(map[string]txn.Version),
+			stopCh:   make(chan struct{}),
+		}
+		ep := nw.net.Register(id, 8192)
+		switch cfg.Consensus {
+		case Raft:
+			n.cons = raft.New(raft.Config{ID: id, Peers: peers, Endpoint: ep})
+		case IBFT:
+			n.cons = ibft.New(ibft.Config{ID: id, Peers: peers, Endpoint: ep})
+		}
+		nw.nodes = append(nw.nodes, n)
+	}
+	for _, n := range nw.nodes {
+		n.wg.Add(2)
+		go n.proposeLoop()
+		go n.commitLoop()
+	}
+	return nw, nil
+}
+
+// Name implements system.System.
+func (nw *Network) Name() string {
+	if nw.cfg.Consensus == IBFT {
+		return "quorum-ibft"
+	}
+	return "quorum-raft"
+}
+
+// RegisterClient makes a client identity known to all nodes; transactions
+// from unknown clients are rejected at execution.
+func (nw *Network) RegisterClient(name string, pub cryptoutil.PublicKey) {
+	nw.clients.Store(name, pub)
+}
+
+// Execute implements system.System: it submits the transaction to a node
+// (round robin) and blocks until the block containing it commits.
+func (nw *Network) Execute(t *txn.Tx) system.Result {
+	nw.rrMu.Lock()
+	n := nw.nodes[nw.rr%uint64(len(nw.nodes))]
+	nw.rr++
+	nw.rrMu.Unlock()
+
+	// Read-only transactions execute locally, without consensus (paper
+	// §2.1) — but still pay client authentication, unlike a database.
+	if t.Invocation.Method == "get" || t.Invocation.Method == "query" {
+		return n.executeReadOnly(t)
+	}
+
+	done := nw.waiters.Register(string(t.ID[:]))
+	start := time.Now()
+	// The transaction pool is shared cluster-wide in spirit: real Quorum
+	// gossips pending transactions so the proposer sees them. Enqueue on
+	// the current leader when known; the proposeLoop also re-routes any
+	// strays after leadership changes.
+	target := n
+	for _, cand := range nw.nodes {
+		if cand.cons.IsLeader() {
+			target = cand
+			break
+		}
+	}
+	target.pendingMu.Lock()
+	target.pending = append(target.pending, t)
+	target.pendingMu.Unlock()
+	select {
+	case r := <-done:
+		t.Trace.Observe(metrics.PhaseCommit, time.Since(start))
+		return r
+	case <-time.After(60 * time.Second):
+		nw.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: errors.New("quorum: commit timeout")}
+	}
+}
+
+// executeReadOnly serves a query from local committed state.
+func (n *node) executeReadOnly(t *txn.Tx) system.Result {
+	var authErr error
+	t.Trace.Time(metrics.PhaseAuth, func() {
+		authErr = n.verifyClient(t)
+	})
+	if authErr != nil {
+		return system.Result{Err: authErr}
+	}
+	var rw txn.RWSet
+	var err error
+	var value []byte
+	t.Trace.Time(metrics.PhaseSimulate, func() {
+		n.stateMu.Lock()
+		defer n.stateMu.Unlock()
+		rw, err = n.reg.Execute(n.stateView(), t.Invocation)
+		if inv := t.Invocation; err == nil && inv.Contract == "kv" && inv.Method == "get" && len(inv.Args) == 1 {
+			if v, gerr := n.engine.Get(inv.Args[0]); gerr == nil {
+				value = v
+			}
+		}
+	})
+	if err != nil {
+		return system.Result{Reason: occ.OK, Err: err}
+	}
+	_ = rw
+	return system.Result{Committed: true, Value: value}
+}
+
+func (n *node) verifyClient(t *txn.Tx) error {
+	pubAny, ok := n.nw.clients.Load(t.Client)
+	if !ok {
+		return fmt.Errorf("quorum: unknown client %s", t.Client)
+	}
+	return t.VerifyClient(pubAny.(cryptoutil.PublicKey))
+}
+
+// proposeLoop batches pending transactions into blocks when this node
+// leads consensus. The pre-execution of every transaction at the ledger
+// tip happens here — serially, as in the real system.
+func (n *node) proposeLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.nw.cfg.BlockInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+		}
+		if !n.cons.IsLeader() {
+			// Re-route stranded transactions to the current leader (the
+			// txpool gossip a real node performs).
+			n.pendingMu.Lock()
+			stranded := n.pending
+			n.pending = nil
+			n.pendingMu.Unlock()
+			if len(stranded) > 0 {
+				for _, cand := range n.nw.nodes {
+					if cand.cons.IsLeader() {
+						cand.pendingMu.Lock()
+						cand.pending = append(cand.pending, stranded...)
+						cand.pendingMu.Unlock()
+						stranded = nil
+						break
+					}
+				}
+				if stranded != nil {
+					// No leader right now; keep them local.
+					n.pendingMu.Lock()
+					n.pending = append(stranded, n.pending...)
+					n.pendingMu.Unlock()
+				}
+			}
+			continue
+		}
+		n.pendingMu.Lock()
+		batch := n.pending
+		if len(batch) > n.nw.cfg.BlockSize {
+			n.pending = batch[n.nw.cfg.BlockSize:]
+			batch = batch[:n.nw.cfg.BlockSize]
+		} else {
+			n.pending = nil
+		}
+		n.pendingMu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		// Pre-execute serially at the tip (order-execute: the proposer
+		// validates transactions before batching them).
+		size := 0
+		for _, t := range batch {
+			start := time.Now()
+			n.stateMu.Lock()
+			_, _ = n.reg.Execute(n.stateView(), t.Invocation)
+			n.stateMu.Unlock()
+			t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
+			size += t.Size()
+		}
+		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, len(n.nw.nodes))
+		if err := n.cons.Propose(system.Handle(id)); err != nil {
+			// Leadership moved between check and propose; requeue.
+			n.pendingMu.Lock()
+			n.pending = append(batch, n.pending...)
+			n.pendingMu.Unlock()
+		}
+	}
+}
+
+// commitLoop applies committed blocks: serial re-execution, state write,
+// MPT reconstruction, ledger append.
+func (n *node) commitLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case e, ok := <-n.cons.Committed():
+			if !ok {
+				return
+			}
+			n.applyEntry(e)
+		}
+	}
+}
+
+func (n *node) applyEntry(e consensus.Entry) {
+	id, ok := system.HandleID(e.Data)
+	if !ok {
+		return
+	}
+	v, ok := n.nw.box.Take(id)
+	if !ok {
+		return
+	}
+	blk := v.(*block)
+
+	n.stateMu.Lock()
+	blockNum := n.ledger.Height() + 1
+	results := make([]system.Result, len(blk.txs))
+	payloads := make([][]byte, len(blk.txs))
+	// Serial re-execution — every node replays every transaction.
+	for i, t := range blk.txs {
+		commitStart := time.Now()
+		if err := n.verifyClient(t); err != nil {
+			results[i] = system.Result{Err: err}
+			payloads[i] = t.ID[:]
+			continue
+		}
+		rw, err := n.reg.Execute(n.stateView(), t.Invocation)
+		if err != nil {
+			results[i] = system.Result{Reason: occ.OK, Err: err}
+			payloads[i] = t.ID[:]
+			continue
+		}
+		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
+		for _, w := range rw.Writes {
+			if w.Value == nil {
+				_ = n.engine.Delete([]byte(w.Key))
+				n.trie.Delete([]byte(w.Key))
+				delete(n.versions, w.Key)
+				continue
+			}
+			_ = n.engine.Put([]byte(w.Key), w.Value)
+			n.trie.Put([]byte(w.Key), w.Value)
+			n.versions[w.Key] = ver
+		}
+		results[i] = system.Result{Committed: true}
+		payloads[i] = t.ID[:]
+		if n.id == blk.proposer {
+			t.Trace.Observe(metrics.PhaseExecute, time.Since(commitStart))
+		}
+	}
+	// MPT reconstruction: the per-block state commitment.
+	stateRoot := n.trie.RootHash()
+	var parent cryptoutil.Hash
+	if head := n.ledger.Head(); head != nil {
+		parent = head.Hash()
+	}
+	lb := &ledger.Block{
+		Header: ledger.Header{
+			Number:     blockNum,
+			ParentHash: parent,
+			TxRoot:     ledger.ComputeTxRoot(payloads),
+			StateRoot:  stateRoot,
+		},
+		Txs: payloads,
+	}
+	if err := n.ledger.Append(lb); err != nil {
+		// A deterministic replay cannot diverge unless there is a bug;
+		// surface it loudly in tests.
+		panic(fmt.Sprintf("quorum node %d: ledger append: %v", n.id, err))
+	}
+	n.stateMu.Unlock()
+
+	// The proposer resolves the waiting clients once its own commit is
+	// durable (clients connect round-robin but wait on the shared map).
+	for i, t := range blk.txs {
+		n.nw.waiters.Resolve(string(t.ID[:]), results[i])
+	}
+}
+
+// stateView adapts the node's committed state to contract.StateReader.
+func (n *node) stateView() contract.StateReader { return (*nodeState)(n) }
+
+type nodeState node
+
+// GetState implements contract.StateReader.
+func (s *nodeState) GetState(key string) ([]byte, txn.Version, error) {
+	v, err := s.engine.Get([]byte(key))
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	if err != nil {
+		return nil, txn.Version{}, err
+	}
+	return v, s.versions[key], nil
+}
+
+// Ledger exposes a node's ledger for verification in tests and examples.
+func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.nodes[i].ledger }
+
+// StateRoot returns node i's current MPT commitment.
+func (nw *Network) StateRoot(i int) cryptoutil.Hash {
+	n := nw.nodes[i]
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	return n.trie.RootHash()
+}
+
+// StateBytes returns node 0's state storage footprint (engine bytes plus
+// MPT node store), for the storage experiments.
+func (nw *Network) StateBytes() int64 {
+	n := nw.nodes[0]
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	return n.engine.ApproxSize() + n.trie.StorageBytes()
+}
+
+// Close implements system.System.
+func (nw *Network) Close() {
+	nw.closeOne.Do(func() {
+		for _, n := range nw.nodes {
+			close(n.stopCh)
+		}
+		for _, n := range nw.nodes {
+			n.cons.Stop()
+			n.wg.Wait()
+			n.engine.Close()
+		}
+		nw.net.Close()
+	})
+}

@@ -1,0 +1,426 @@
+// Package spanner models a Spanner-like NewSQL database for the Fig 14
+// sharding comparison: Raft-replicated shards (Spanner uses Paxos; both
+// are majority-quorum CFT protocols), pessimistic two-phase locking with
+// wound-wait deadlock avoidance, and 2PC across shards with a trusted
+// coordinator.
+//
+// The contrast the paper draws against TiDB is concurrency-control
+// temperament: Spanner's pessimistic locking makes conflicting
+// transactions *wait* for locks, while TiDB aborts instantly — under a
+// skewed workload the waiting depresses throughput below TiDB's (Fig 14).
+package spanner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/consensus/raft"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/sharding"
+	"dichotomy/internal/system"
+	"dichotomy/internal/tso"
+	"dichotomy/internal/twopc"
+	"dichotomy/internal/txn"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Shards is the number of data shards.
+	Shards int
+	// NodesPerShard is each shard's Raft group size (paper: 3).
+	NodesPerShard int
+	// Link models the network.
+	Link cluster.LinkModel
+	// LockWait bounds how long a transaction waits for a lock before
+	// wound-wait resolves it. Default 50ms.
+	LockWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.NodesPerShard <= 0 {
+		c.NodesPerShard = 3
+	}
+	if c.LockWait <= 0 {
+		c.LockWait = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	cfg    Config
+	net    *cluster.Network
+	part   sharding.Partitioner
+	shards []*shard
+	coord  *twopc.Coordinator
+	oracle *tso.Oracle
+	txSeq  atomic.Uint64
+
+	closeOne sync.Once
+}
+
+var _ system.System = (*Cluster)(nil)
+
+// shard is a Raft-replicated partition with a lock table.
+type shard struct {
+	idx     int
+	nodes   []*raft.Node
+	waiters *system.Waiters
+	box     *system.PayloadBox
+	seq     atomic.Uint64
+
+	mu    sync.Mutex
+	state map[string][]byte
+	locks map[string]uint64 // key → lock-holder tx priority (start ts)
+
+	prepared map[string][]txn.Write
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+type shardCmd struct {
+	reqID  uint64
+	txID   string
+	phase  phase
+	writes []txn.Write
+	commit bool
+}
+
+type phase int
+
+const (
+	phaseApply phase = iota // direct single-shard write batch
+	phasePrep
+	phaseFinish
+)
+
+// New assembles and starts a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:    cfg,
+		net:    cluster.NewNetwork(cfg.Link),
+		part:   sharding.HashPartitioner{N: cfg.Shards},
+		coord:  twopc.NewCoordinator(),
+		oracle: tso.New(),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		sh := &shard{
+			idx:      s,
+			waiters:  system.NewWaiters(),
+			box:      system.NewPayloadBox(),
+			state:    make(map[string][]byte),
+			locks:    make(map[string]uint64),
+			prepared: make(map[string][]txn.Write),
+			stopCh:   make(chan struct{}),
+		}
+		peers := make([]cluster.NodeID, cfg.NodesPerShard)
+		for i := range peers {
+			peers[i] = cluster.NodeID(400000 + s*1000 + i)
+		}
+		for _, id := range peers {
+			sh.nodes = append(sh.nodes, raft.New(raft.Config{
+				ID: id, Peers: peers, Endpoint: c.net.Register(id, 8192),
+			}))
+		}
+		for i, n := range sh.nodes {
+			sh.wg.Add(1)
+			go sh.applyLoop(n, i == 0)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c
+}
+
+// Name implements system.System.
+func (c *Cluster) Name() string { return "spanner" }
+
+func (sh *shard) applyLoop(n *raft.Node, primary bool) {
+	defer sh.wg.Done()
+	for {
+		select {
+		case <-sh.stopCh:
+			return
+		case e, ok := <-n.Committed():
+			if !ok {
+				return
+			}
+			if primary {
+				sh.apply(e)
+			}
+		}
+	}
+}
+
+func (sh *shard) apply(e consensus.Entry) {
+	id, ok := system.HandleID(e.Data)
+	if !ok {
+		return
+	}
+	v, ok := sh.box.Take(id)
+	if !ok {
+		return
+	}
+	cmd := v.(*shardCmd)
+	sh.mu.Lock()
+	switch cmd.phase {
+	case phaseApply:
+		for _, w := range cmd.writes {
+			if w.Value == nil {
+				delete(sh.state, w.Key)
+			} else {
+				sh.state[w.Key] = w.Value
+			}
+		}
+	case phasePrep:
+		sh.prepared[cmd.txID] = cmd.writes
+	case phaseFinish:
+		writes := sh.prepared[cmd.txID]
+		delete(sh.prepared, cmd.txID)
+		if cmd.commit {
+			for _, w := range writes {
+				if w.Value == nil {
+					delete(sh.state, w.Key)
+				} else {
+					sh.state[w.Key] = w.Value
+				}
+			}
+		}
+	}
+	sh.mu.Unlock()
+	sh.waiters.Resolve(fmt.Sprintf("s%d", cmd.reqID), system.Result{Committed: true})
+}
+
+// replicate sequences a command through the shard's Raft group.
+func (sh *shard) replicate(cmd *shardCmd) error {
+	cmd.reqID = sh.seq.Add(1)
+	done := sh.waiters.Register(fmt.Sprintf("s%d", cmd.reqID))
+	id := sh.box.Put(cmd, 1)
+	payload := system.Handle(id)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := false
+		for _, n := range sh.nodes {
+			if n.Propose(payload) == nil {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
+			return errors.New("spanner: shard unavailable")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(30 * time.Second):
+		sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
+		return errors.New("spanner: apply timeout")
+	}
+}
+
+// lockKeys acquires write locks with wound-wait: an older transaction
+// (lower ts) waits for a younger holder to finish... in wound-wait the
+// older *wounds* the younger; we approximate with bounded waiting, after
+// which the requester aborts (the waiting is the throughput depressant the
+// paper contrasts with TiDB's abort-fast).
+func (sh *shard) lockKeys(keys []string, ts uint64, wait time.Duration) bool {
+	deadline := time.Now().Add(wait)
+	for {
+		sh.mu.Lock()
+		allFree := true
+		for _, k := range keys {
+			if _, held := sh.locks[k]; held {
+				allFree = false
+				break
+			}
+		}
+		if allFree {
+			for _, k := range keys {
+				sh.locks[k] = ts
+			}
+			sh.mu.Unlock()
+			return true
+		}
+		sh.mu.Unlock()
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond) // lock-wait: the throughput tax
+	}
+}
+
+func (sh *shard) unlockKeys(keys []string) {
+	sh.mu.Lock()
+	for _, k := range keys {
+		delete(sh.locks, k)
+	}
+	sh.mu.Unlock()
+}
+
+// read returns the committed value of key.
+func (sh *shard) read(key string) ([]byte, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v, ok := sh.state[key]
+	return v, ok
+}
+
+// Execute implements system.System: lock → execute → replicate via 2PC.
+func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	rw, keys, err := c.simulate(t.Invocation)
+	if err != nil {
+		if errors.Is(err, contract.ErrAbort) {
+			return system.Result{Reason: occ.OK, Err: err}
+		}
+		return system.Result{Err: err}
+	}
+	if len(rw.Writes) == 0 {
+		return system.Result{Committed: true} // read-only
+	}
+	ts := c.oracle.Next()
+	// Acquire write locks shard by shard (sorted shard order avoids
+	// deadlock between lock phases).
+	byShard := map[int][]string{}
+	for _, k := range keys {
+		s := c.part.Shard(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	locked := make([]int, 0, len(byShard))
+	for s := 0; s < c.cfg.Shards; s++ {
+		ks, ok := byShard[s]
+		if !ok {
+			continue
+		}
+		if !c.shards[s].lockKeys(ks, ts, c.cfg.LockWait) {
+			for _, ls := range locked {
+				c.shards[ls].unlockKeys(byShard[ls])
+			}
+			return system.Result{Reason: occ.WriteWriteConflict}
+		}
+		locked = append(locked, s)
+	}
+	defer func() {
+		for _, ls := range locked {
+			c.shards[ls].unlockKeys(byShard[ls])
+		}
+	}()
+
+	// Re-execute under locks so the writes reflect locked state.
+	rw, _, err = c.simulate(t.Invocation)
+	if err != nil {
+		if errors.Is(err, contract.ErrAbort) {
+			return system.Result{Reason: occ.OK, Err: err}
+		}
+		return system.Result{Err: err}
+	}
+	writesByShard := map[int][]txn.Write{}
+	for _, w := range rw.Writes {
+		s := c.part.Shard(w.Key)
+		writesByShard[s] = append(writesByShard[s], w)
+	}
+	if len(writesByShard) == 1 {
+		for s, writes := range writesByShard {
+			if err := c.shards[s].replicate(&shardCmd{phase: phaseApply, writes: writes}); err != nil {
+				return system.Result{Err: err}
+			}
+		}
+		return system.Result{Committed: true}
+	}
+	// Cross-shard 2PC with the trusted coordinator.
+	txID := fmt.Sprintf("sp%d", c.txSeq.Add(1))
+	parts := make([]twopc.Participant, 0, len(writesByShard))
+	for s, writes := range writesByShard {
+		parts = append(parts, &participant{sh: c.shards[s], writes: writes})
+	}
+	if err := c.coord.Run(txID, parts); err != nil {
+		if errors.Is(err, twopc.ErrAborted) {
+			return system.Result{Reason: occ.WriteWriteConflict}
+		}
+		return system.Result{Err: err}
+	}
+	return system.Result{Committed: true}
+}
+
+type participant struct {
+	sh     *shard
+	writes []txn.Write
+}
+
+// Prepare implements twopc.Participant.
+func (p *participant) Prepare(txID string) (twopc.Vote, error) {
+	if err := p.sh.replicate(&shardCmd{phase: phasePrep, txID: txID, writes: p.writes}); err != nil {
+		return twopc.VoteAbort, err
+	}
+	return twopc.VoteCommit, nil
+}
+
+// Commit implements twopc.Participant.
+func (p *participant) Commit(txID string) error {
+	return p.sh.replicate(&shardCmd{phase: phaseFinish, txID: txID, commit: true})
+}
+
+// Abort implements twopc.Participant.
+func (p *participant) Abort(txID string) error {
+	return p.sh.replicate(&shardCmd{phase: phaseFinish, txID: txID, commit: false})
+}
+
+// simulate runs the contract against cross-shard committed state and also
+// returns the full set of touched keys (reads ∪ writes) for locking.
+func (c *Cluster) simulate(inv txn.Invocation) (txn.RWSet, []string, error) {
+	reg := contract.NewRegistry(contract.KV{}, contract.Smallbank{})
+	rw, err := reg.Execute(&clusterState{c: c}, inv)
+	if err != nil {
+		return txn.RWSet{}, nil, err
+	}
+	keySet := map[string]bool{}
+	for _, w := range rw.Writes {
+		keySet[w.Key] = true
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	return rw, keys, nil
+}
+
+type clusterState struct{ c *Cluster }
+
+// GetState implements contract.StateReader.
+func (s *clusterState) GetState(key string) ([]byte, txn.Version, error) {
+	v, ok := s.c.shards[s.c.part.Shard(key)].read(key)
+	if !ok {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	return v, txn.Version{}, nil
+}
+
+// Close implements system.System.
+func (c *Cluster) Close() {
+	c.closeOne.Do(func() {
+		for _, sh := range c.shards {
+			close(sh.stopCh)
+		}
+		for _, sh := range c.shards {
+			for _, n := range sh.nodes {
+				n.Stop()
+			}
+			sh.wg.Wait()
+		}
+		c.net.Close()
+	})
+}

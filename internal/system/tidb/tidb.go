@@ -1,0 +1,723 @@
+// Package tidb models TiDB v4.0, the paper's NewSQL database: stateless
+// SQL servers over a TiKV-like storage layer of Raft-replicated regions,
+// with a Placement Driver issuing timestamps, Percolator-style two-phase
+// commit, and snapshot isolation.
+//
+// The layering reproduces the paper's Table 5 interplay: few SQL servers
+// bottleneck on statement processing; many TiKV replicas inflate the
+// consensus cost of every write. The Percolator primary-lock latch is the
+// mechanism behind the skew collapse of Fig 9, and per-region 2PC fan-out
+// is the operation-count cost of Fig 10.
+package tidb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus"
+	"dichotomy/internal/consensus/raft"
+	"dichotomy/internal/contract"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/mvcc"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/sharding"
+	"dichotomy/internal/system"
+	"dichotomy/internal/tso"
+	"dichotomy/internal/txn"
+)
+
+// Config assembles a TiDB cluster.
+type Config struct {
+	// Servers is the number of stateless TiDB (SQL) servers.
+	Servers int
+	// StorageNodes is the number of TiKV nodes.
+	StorageNodes int
+	// Regions is the number of key-space shards. Default 16.
+	Regions int
+	// ReplicationFactor is replicas per region; 0 means full replication
+	// (every storage node holds every region), the paper's default mode.
+	ReplicationFactor int
+	// Link models the network; nil = zero latency.
+	Link cluster.LinkModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 1
+	}
+	if c.StorageNodes <= 0 {
+		c.StorageNodes = 3
+	}
+	if c.Regions <= 0 {
+		c.Regions = 16
+	}
+	return c
+}
+
+// Cluster is a running TiDB deployment.
+type Cluster struct {
+	cfg     Config
+	net     *cluster.Network
+	pd      *tso.Oracle
+	part    sharding.Partitioner
+	regions []*region
+	rr      atomic.Uint64
+	// gate models the SQL layer's aggregate processing capacity: each
+	// stateless server contributes a fixed number of concurrent statement
+	// slots. Few servers ⇒ statements queue here (Table 5's left column
+	// bottleneck); many servers ⇒ the storage layer becomes the limit.
+	gate chan struct{}
+
+	// abort counters, read by the experiments.
+	Aborts metrics.Counter
+	WWConf metrics.Counter
+
+	closeOne sync.Once
+}
+
+var _ system.System = (*Cluster)(nil)
+
+// region is one Raft-replicated shard of the key space.
+type region struct {
+	idx      int
+	replicas []*regionReplica
+	waiters  *system.Waiters
+	box      *system.PayloadBox
+	nReplica int
+	reqSeq   atomic.Uint64
+}
+
+// regionReplica is one node's copy of a region: a raft member plus the
+// MVCC store the raft log applies into.
+type regionReplica struct {
+	cons   *raft.Node
+	store  *mvcc.Store
+	region *region
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// regionCmd is the replicated storage command.
+type regionCmd struct {
+	kind     cmdKind
+	reqID    uint64
+	key      string
+	value    []byte
+	del      bool
+	startTS  uint64
+	commitTS uint64
+	primary  string
+}
+
+type cmdKind int
+
+const (
+	cmdPrewrite cmdKind = iota
+	cmdCommit
+	cmdRollback
+	// cmdRawPut applies a non-transactional write in one consensus round,
+	// the raw KV surface TiKV exposes without the Percolator layer.
+	cmdRawPut
+)
+
+// New assembles and starts a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:  cfg,
+		net:  cluster.NewNetwork(cfg.Link),
+		pd:   tso.New(),
+		part: sharding.HashPartitioner{N: cfg.Regions},
+		gate: make(chan struct{}, cfg.Servers*slotsPerServer),
+	}
+	replicasPer := cfg.ReplicationFactor
+	if replicasPer <= 0 || replicasPer > cfg.StorageNodes {
+		replicasPer = cfg.StorageNodes // full replication
+	}
+	for r := 0; r < cfg.Regions; r++ {
+		reg := &region{
+			idx:      r,
+			waiters:  system.NewWaiters(),
+			box:      system.NewPayloadBox(),
+			nReplica: replicasPer,
+		}
+		peers := make([]cluster.NodeID, replicasPer)
+		for i := range peers {
+			// Spread region replicas across storage nodes round-robin;
+			// node ids are namespaced per region to keep raft groups
+			// independent on the shared network.
+			node := (r + i) % cfg.StorageNodes
+			peers[i] = cluster.NodeID(100000 + r*1000 + node)
+		}
+		for _, id := range peers {
+			rep := &regionReplica{
+				cons: raft.New(raft.Config{
+					ID:       id,
+					Peers:    peers,
+					Endpoint: c.net.Register(id, 8192),
+				}),
+				store:  mvcc.NewStore(),
+				region: reg,
+				stopCh: make(chan struct{}),
+			}
+			reg.replicas = append(reg.replicas, rep)
+		}
+		for _, rep := range reg.replicas {
+			rep.wg.Add(1)
+			go rep.applyLoop()
+		}
+		c.regions = append(c.regions, reg)
+	}
+	return c
+}
+
+// Name implements system.System.
+func (c *Cluster) Name() string { return "tidb" }
+
+// Close implements system.System.
+func (c *Cluster) Close() {
+	c.closeOne.Do(func() {
+		for _, reg := range c.regions {
+			for _, rep := range reg.replicas {
+				close(rep.stopCh)
+			}
+			for _, rep := range reg.replicas {
+				rep.cons.Stop()
+				rep.wg.Wait()
+			}
+		}
+		c.net.Close()
+	})
+}
+
+// regionOf routes a key.
+func (c *Cluster) regionOf(key string) *region {
+	return c.regions[c.part.Shard(key)]
+}
+
+// applyLoop applies committed region commands to the replica's MVCC store.
+// The command outcome is deterministic given the log prefix, so every
+// replica computes the same result; the replica that holds the waiter
+// resolves it.
+func (rr *regionReplica) applyLoop() {
+	defer rr.wg.Done()
+	for {
+		select {
+		case <-rr.stopCh:
+			return
+		case e, ok := <-rr.cons.Committed():
+			if !ok {
+				return
+			}
+			rr.apply(e)
+		}
+	}
+}
+
+func (rr *regionReplica) apply(e consensus.Entry) {
+	id, ok := system.HandleID(e.Data)
+	if !ok {
+		return
+	}
+	v, ok := rr.region.box.Take(id)
+	if !ok {
+		return
+	}
+	cmd := v.(*regionCmd)
+	var err error
+	switch cmd.kind {
+	case cmdPrewrite:
+		err = rr.store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.primary)
+	case cmdCommit:
+		err = rr.store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
+	case cmdRollback:
+		rr.store.Rollback(cmd.key, cmd.startTS)
+	case cmdRawPut:
+		if err = rr.store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.key); err == nil {
+			err = rr.store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
+		}
+	}
+	rr.region.waiters.Resolve(waiterKey(cmd.reqID), system.Result{Committed: err == nil, Err: err})
+}
+
+func waiterKey(reqID uint64) string { return fmt.Sprintf("r%d", reqID) }
+
+// propose replicates a command through the region's raft group and waits
+// for its application outcome.
+func (reg *region) propose(cmd *regionCmd) error {
+	cmd.reqID = reg.reqSeq.Add(1)
+	done := reg.waiters.Register(waiterKey(cmd.reqID))
+	// Each replica holds a copy of the box entry until applied.
+	id := reg.box.Put(cmd, reg.nReplica)
+	payload := system.Handle(id)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		proposed := false
+		for _, rep := range reg.replicas {
+			if rep.cons.Propose(payload) == nil {
+				proposed = true
+				break
+			}
+		}
+		if proposed {
+			break
+		}
+		if time.Now().After(deadline) {
+			reg.waiters.Cancel(waiterKey(cmd.reqID))
+			return errors.New("tidb: region leaderless")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-done:
+		return r.Err
+	case <-time.After(30 * time.Second):
+		reg.waiters.Cancel(waiterKey(cmd.reqID))
+		return errors.New("tidb: region apply timeout")
+	}
+}
+
+// leaderStore returns the current leader replica's MVCC store for reads.
+func (reg *region) leaderStore() *mvcc.Store {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, rep := range reg.replicas {
+			if rep.cons.IsLeader() {
+				return rep.store
+			}
+		}
+		if time.Now().After(deadline) {
+			// Fall back to any replica; stale reads only happen during
+			// elections, which the experiments don't exercise.
+			return reg.replicas[0].store
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// --- the SQL/transaction front end ---
+
+// Session is a client connection to one (stateless) SQL server. Sessions
+// are cheap; the driver opens one per worker.
+type Session struct {
+	c *Cluster
+}
+
+// NewSession returns a session routed round-robin across SQL servers. The
+// server count gates statement throughput via serverGate.
+func (c *Cluster) NewSession() *Session { return &Session{c: c} }
+
+// Exec parses, compiles, and runs a single autocommit statement.
+func (s *Session) Exec(sql string, trace *metrics.Trace) (value []byte, err error) {
+	stmt, plan, err := s.compile(sql, trace)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.Kind {
+	case StmtSelect:
+		var v []byte
+		trace.Time(metrics.PhaseStorage, func() {
+			v, err = s.c.read(plan.StorageKey)
+		})
+		return v, err
+	case StmtInsert, StmtUpdate:
+		t := s.c.NewTxn()
+		t.Write(plan.StorageKey, []byte(stmt.Value))
+		return nil, t.Commit(trace)
+	case StmtDelete:
+		t := s.c.NewTxn()
+		t.Delete(plan.StorageKey)
+		return nil, t.Commit(trace)
+	}
+	return nil, fmt.Errorf("tidb: unhandled statement kind %d", stmt.Kind)
+}
+
+// slotsPerServer is each SQL server's concurrent-statement capacity.
+const slotsPerServer = 8
+
+func (s *Session) compile(sql string, trace *metrics.Trace) (Stmt, Plan, error) {
+	// Occupy a server slot for the statement's front-end processing.
+	s.c.gate <- struct{}{}
+	defer func() { <-s.c.gate }()
+	var stmt Stmt
+	var plan Plan
+	var err error
+	trace.Time(metrics.PhaseSQLParse, func() {
+		stmt, err = Parse(sql)
+	})
+	if err != nil {
+		return Stmt{}, Plan{}, err
+	}
+	trace.Time(metrics.PhaseSQLPlan, func() {
+		plan, err = Compile(stmt)
+	})
+	return stmt, plan, err
+}
+
+// read performs a snapshot point read at a fresh timestamp.
+func (c *Cluster) read(key string) ([]byte, error) {
+	ts := c.pd.Next()
+	v, err := c.regionOf(key).leaderStore().Get(key, ts)
+	if errors.Is(err, mvcc.ErrNotFound) {
+		return nil, nil
+	}
+	return v, err
+}
+
+// Txn is an interactive optimistic transaction (snapshot isolation,
+// Percolator commit).
+type Txn struct {
+	c       *Cluster
+	startTS uint64
+	reads   map[string][]byte
+	writes  []txn.Write
+	order   map[string]int
+}
+
+// NewTxn begins a transaction at a fresh snapshot.
+func (c *Cluster) NewTxn() *Txn {
+	return &Txn{
+		c:       c,
+		startTS: c.pd.Next(),
+		reads:   make(map[string][]byte),
+		order:   make(map[string]int),
+	}
+}
+
+// Get reads a key at the transaction's snapshot (read-your-writes).
+func (t *Txn) Get(key string) ([]byte, error) {
+	if i, ok := t.order[key]; ok {
+		return t.writes[i].Value, nil
+	}
+	if v, ok := t.reads[key]; ok {
+		return v, nil
+	}
+	v, err := t.c.regionOf(key).leaderStore().Get(key, t.startTS)
+	if errors.Is(err, mvcc.ErrNotFound) {
+		v = nil
+	} else if err != nil {
+		return nil, err
+	}
+	t.reads[key] = v
+	return v, nil
+}
+
+// Write buffers an upsert.
+func (t *Txn) Write(key string, value []byte) {
+	if i, ok := t.order[key]; ok {
+		t.writes[i].Value = value
+		return
+	}
+	t.order[key] = len(t.writes)
+	t.writes = append(t.writes, txn.Write{Key: key, Value: value})
+}
+
+// Delete buffers a deletion.
+func (t *Txn) Delete(key string) {
+	if i, ok := t.order[key]; ok {
+		t.writes[i].Value = nil
+		return
+	}
+	t.order[key] = len(t.writes)
+	t.writes = append(t.writes, txn.Write{Key: key, Value: nil})
+}
+
+// Commit runs Percolator 2PC: prewrite everything (primary first among its
+// region batch), then commit the primary — the atomicity point — then the
+// secondaries. Any prewrite failure rolls back and aborts; TiDB aborts
+// instantly on conflict rather than waiting for locks.
+func (t *Txn) Commit(trace *metrics.Trace) error {
+	if len(t.writes) == 0 {
+		return nil
+	}
+	start := time.Now()
+	defer func() { trace.Observe(metrics.PhaseCommit, time.Since(start)) }()
+	primary := t.writes[0].Key
+
+	// Prewrite phase: fan out per region, concurrently.
+	prewriteErrs := make([]error, len(t.writes))
+	var wg sync.WaitGroup
+	for i, w := range t.writes {
+		wg.Add(1)
+		go func(i int, w txn.Write) {
+			defer wg.Done()
+			prewriteErrs[i] = t.c.regionOf(w.Key).propose(&regionCmd{
+				kind: cmdPrewrite, key: w.Key, value: w.Value,
+				del: w.Value == nil, startTS: t.startTS, primary: primary,
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range prewriteErrs {
+		if err == nil {
+			continue
+		}
+		// Roll back everything we may have locked and abort.
+		for _, w := range t.writes {
+			_ = t.c.regionOf(w.Key).propose(&regionCmd{
+				kind: cmdRollback, key: w.Key, startTS: t.startTS,
+			})
+		}
+		t.c.Aborts.Inc()
+		if errors.Is(err, mvcc.ErrWriteConflict) || errors.Is(err, mvcc.ErrLocked) {
+			t.c.WWConf.Inc()
+			return fmt.Errorf("%w: %v", ErrConflict, err)
+		}
+		return err
+	}
+
+	// Commit point: the primary key's commit record decides the
+	// transaction. This is the serialized latch of Fig 9.
+	commitTS := t.c.pd.Next()
+	if err := t.c.regionOf(primary).propose(&regionCmd{
+		kind: cmdCommit, key: primary, startTS: t.startTS, commitTS: commitTS,
+	}); err != nil {
+		t.c.Aborts.Inc()
+		return err
+	}
+	// Secondaries commit after the decision; failures here cannot undo it
+	// (Percolator resolves them lazily; we apply them synchronously).
+	for _, w := range t.writes[1:] {
+		_ = t.c.regionOf(w.Key).propose(&regionCmd{
+			kind: cmdCommit, key: w.Key, startTS: t.startTS, commitTS: commitTS,
+		})
+	}
+	return nil
+}
+
+// ErrConflict is the client-visible conflict abort.
+var ErrConflict = errors.New("tidb: transaction conflict")
+
+// --- system.System adapter ---
+
+// Execute implements system.System by translating the generic invocation
+// into SQL statements, exactly as the YCSB/OLTPBench drivers do.
+func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	s := c.NewSession()
+	inv := t.Invocation
+	switch inv.Contract {
+	case contract.KVName:
+		return c.execKV(s, t)
+	case contract.SmallbankName:
+		return c.execSmallbank(s, t)
+	default:
+		return system.Result{Err: fmt.Errorf("tidb: no translation for contract %q", inv.Contract)}
+	}
+}
+
+func (c *Cluster) execKV(s *Session, t *txn.Tx) system.Result {
+	inv := t.Invocation
+	switch inv.Method {
+	case "get":
+		v, err := s.Exec("SELECT v FROM kv WHERE k = "+Quote(string(inv.Args[0])), t.Trace)
+		if err != nil {
+			return system.Result{Err: err}
+		}
+		return system.Result{Committed: true, Value: v}
+	case "put", "modify":
+		// A read-modify-write round, as the YCSB update profile does.
+		_, plan, err := s.compile("UPDATE kv SET v = "+Quote(string(inv.Args[1]))+
+			" WHERE k = "+Quote(string(inv.Args[0])), t.Trace)
+		if err != nil {
+			return system.Result{Err: err}
+		}
+		tx := c.NewTxn()
+		if inv.Method == "modify" {
+			if _, err := tx.Get(plan.StorageKey); err != nil {
+				return c.conflictResult(err)
+			}
+		}
+		tx.Write(plan.StorageKey, inv.Args[1])
+		if err := tx.Commit(t.Trace); err != nil {
+			return c.conflictResult(err)
+		}
+		return system.Result{Committed: true}
+	case "multi":
+		tx := c.NewTxn()
+		for i := 0; i < len(inv.Args); i += 2 {
+			_, plan, err := s.compile("UPDATE kv SET v = "+Quote(string(inv.Args[i+1]))+
+				" WHERE k = "+Quote(string(inv.Args[i])), t.Trace)
+			if err != nil {
+				return system.Result{Err: err}
+			}
+			if _, err := tx.Get(plan.StorageKey); err != nil {
+				return c.conflictResult(err)
+			}
+			tx.Write(plan.StorageKey, inv.Args[i+1])
+		}
+		if err := tx.Commit(t.Trace); err != nil {
+			return c.conflictResult(err)
+		}
+		return system.Result{Committed: true}
+	default:
+		return system.Result{Err: fmt.Errorf("tidb: kv method %q", inv.Method)}
+	}
+}
+
+func (c *Cluster) conflictResult(err error) system.Result {
+	if errors.Is(err, ErrConflict) || errors.Is(err, mvcc.ErrLocked) || errors.Is(err, mvcc.ErrWriteConflict) {
+		return system.Result{Reason: occ.WriteWriteConflict, Err: err}
+	}
+	return system.Result{Err: err}
+}
+
+// execSmallbank runs the Smallbank profiles as interactive transactions
+// with client-side arithmetic, the OLTPBench style.
+func (c *Cluster) execSmallbank(s *Session, t *txn.Tx) system.Result {
+	inv := t.Invocation
+	tx := c.NewTxn()
+	get := func(table, id string) (int64, error) {
+		_, plan, err := s.compile("SELECT v FROM "+table+" WHERE k = "+Quote(id), t.Trace)
+		if err != nil {
+			return 0, err
+		}
+		v, err := tx.Get(plan.StorageKey)
+		if err != nil {
+			return 0, err
+		}
+		return contract.DecodeInt64(v), nil
+	}
+	put := func(table, id string, v int64) error {
+		_, plan, err := s.compile("UPDATE "+table+" SET v = 'x' WHERE k = "+Quote(id), t.Trace)
+		if err != nil {
+			return err
+		}
+		tx.Write(plan.StorageKey, contract.EncodeInt64(v))
+		return nil
+	}
+	fail := func(err error) system.Result { return c.conflictResult(err) }
+	arg := func(i int) string { return string(inv.Args[i]) }
+
+	switch inv.Method {
+	case "create_account":
+		if err := put("chk", arg(0), contract.DecodeInt64(inv.Args[1])); err != nil {
+			return fail(err)
+		}
+		if err := put("sav", arg(0), contract.DecodeInt64(inv.Args[2])); err != nil {
+			return fail(err)
+		}
+	case "transact_savings":
+		bal, err := get("sav", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		amount := contract.DecodeInt64(inv.Args[1])
+		if bal+amount < 0 {
+			return system.Result{Reason: occ.OK, Err: contract.ErrAbort}
+		}
+		if err := put("sav", arg(0), bal+amount); err != nil {
+			return fail(err)
+		}
+	case "deposit_checking":
+		bal, err := get("chk", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		if err := put("chk", arg(0), bal+contract.DecodeInt64(inv.Args[1])); err != nil {
+			return fail(err)
+		}
+	case "send_payment":
+		src, err := get("chk", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		amount := contract.DecodeInt64(inv.Args[2])
+		if src < amount {
+			return system.Result{Reason: occ.OK, Err: contract.ErrAbort}
+		}
+		dst, err := get("chk", arg(1))
+		if err != nil {
+			return fail(err)
+		}
+		if err := put("chk", arg(0), src-amount); err != nil {
+			return fail(err)
+		}
+		if err := put("chk", arg(1), dst+amount); err != nil {
+			return fail(err)
+		}
+	case "write_check":
+		chk, err := get("chk", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		sav, err := get("sav", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		amount := contract.DecodeInt64(inv.Args[1])
+		if chk+sav < amount {
+			amount++
+		}
+		if err := put("chk", arg(0), chk-amount); err != nil {
+			return fail(err)
+		}
+	case "amalgamate":
+		sav, err := get("sav", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		chk, err := get("chk", arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		dst, err := get("chk", arg(1))
+		if err != nil {
+			return fail(err)
+		}
+		if err := put("sav", arg(0), 0); err != nil {
+			return fail(err)
+		}
+		if err := put("chk", arg(0), 0); err != nil {
+			return fail(err)
+		}
+		if err := put("chk", arg(1), dst+sav+chk); err != nil {
+			return fail(err)
+		}
+	case "query":
+		if _, err := get("sav", arg(0)); err != nil {
+			return fail(err)
+		}
+		if _, err := get("chk", arg(0)); err != nil {
+			return fail(err)
+		}
+		return system.Result{Committed: true}
+	default:
+		return system.Result{Err: fmt.Errorf("tidb: smallbank method %q", inv.Method)}
+	}
+	if err := tx.Commit(t.Trace); err != nil {
+		return c.conflictResult(err)
+	}
+	return system.Result{Committed: true}
+}
+
+// RawPut writes a key through the region raft group without transactional
+// machinery — the standalone-TiKV data point of Fig 4. One consensus
+// round, no locks, no 2PC: the overhead gap between this and a TiDB
+// transaction is exactly the ACID cost the paper measures between TiKV
+// and TiDB.
+func (c *Cluster) RawPut(key string, value []byte) error {
+	ts := c.pd.Next()
+	return c.regionOf(key).propose(&regionCmd{
+		kind: cmdRawPut, key: key, value: value,
+		startTS: ts, commitTS: c.pd.Next(),
+	})
+}
+
+// RawGet reads a key at the latest snapshot without SQL processing.
+func (c *Cluster) RawGet(key string) ([]byte, error) {
+	return c.read(key)
+}
+
+// StateBytes returns the live state footprint across regions of one full
+// replica (Fig 12's TiDB series).
+func (c *Cluster) StateBytes() int64 {
+	var total int64
+	for _, reg := range c.regions {
+		total += reg.replicas[0].store.Bytes()
+	}
+	return total
+}

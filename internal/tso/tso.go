@@ -1,0 +1,26 @@
+// Package tso implements a timestamp oracle — the Placement Driver
+// component TiDB uses to issue globally ordered timestamps for snapshot
+// isolation. A single atomic counter suffices in-process; the real PD's
+// batching and leases change latency, not ordering semantics.
+package tso
+
+import "sync/atomic"
+
+// Oracle issues strictly increasing timestamps.
+type Oracle struct {
+	last atomic.Uint64
+}
+
+// New returns an oracle starting above zero (zero is the "unset" sentinel
+// throughout the MVCC layer).
+func New() *Oracle {
+	o := &Oracle{}
+	o.last.Store(1)
+	return o
+}
+
+// Next returns a fresh timestamp greater than all previously issued ones.
+func (o *Oracle) Next() uint64 { return o.last.Add(1) }
+
+// Current returns the most recently issued timestamp.
+func (o *Oracle) Current() uint64 { return o.last.Load() }

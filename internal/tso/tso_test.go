@@ -1,0 +1,57 @@
+package tso
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMonotonic(t *testing.T) {
+	o := New()
+	prev := o.Next()
+	for i := 0; i < 1000; i++ {
+		ts := o.Next()
+		if ts <= prev {
+			t.Fatalf("timestamp %d not greater than %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestNeverZero(t *testing.T) {
+	if New().Next() == 0 {
+		t.Fatal("oracle issued the zero sentinel")
+	}
+}
+
+func TestUniqueUnderConcurrency(t *testing.T) {
+	o := New()
+	const workers, per = 16, 1000
+	out := make(chan uint64, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				out <- o.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[uint64]bool, workers*per)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestCurrentTracksNext(t *testing.T) {
+	o := New()
+	ts := o.Next()
+	if o.Current() != ts {
+		t.Fatalf("Current = %d, want %d", o.Current(), ts)
+	}
+}

@@ -1,0 +1,166 @@
+package twopc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/consensus/pbft"
+)
+
+// fakePart is a scriptable participant.
+type fakePart struct {
+	mu       sync.Mutex
+	vote     Vote
+	prepErr  error
+	prepared map[string]bool
+	commits  []string
+	aborts   []string
+}
+
+func newFakePart(v Vote) *fakePart {
+	return &fakePart{vote: v, prepared: make(map[string]bool)}
+}
+
+func (p *fakePart) Prepare(txID string) (Vote, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prepErr != nil {
+		return VoteAbort, p.prepErr
+	}
+	p.prepared[txID] = true
+	return p.vote, nil
+}
+
+func (p *fakePart) Commit(txID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.prepared[txID] {
+		return fmt.Errorf("commit before prepare for %s", txID)
+	}
+	p.commits = append(p.commits, txID)
+	return nil
+}
+
+func (p *fakePart) Abort(txID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aborts = append(p.aborts, txID)
+	return nil
+}
+
+func (p *fakePart) committed() int { p.mu.Lock(); defer p.mu.Unlock(); return len(p.commits) }
+func (p *fakePart) aborted() int   { p.mu.Lock(); defer p.mu.Unlock(); return len(p.aborts) }
+
+func TestAllVoteCommit(t *testing.T) {
+	c := NewCoordinator()
+	parts := []Participant{newFakePart(VoteCommit), newFakePart(VoteCommit)}
+	if err := c.Run("tx1", parts); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p.(*fakePart).committed() != 1 {
+			t.Fatalf("participant %d did not commit", i)
+		}
+	}
+	if d, ok := c.Outcome("tx1"); !ok || d != DecisionCommit {
+		t.Fatal("outcome not recorded")
+	}
+}
+
+func TestOneAbortVoteAbortsAll(t *testing.T) {
+	c := NewCoordinator()
+	good := newFakePart(VoteCommit)
+	bad := newFakePart(VoteAbort)
+	err := c.Run("tx1", []Participant{good, bad})
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if good.committed() != 0 || good.aborted() != 1 {
+		t.Fatal("commit-voting participant must still abort")
+	}
+	if d, _ := c.Outcome("tx1"); d != DecisionAbort {
+		t.Fatal("outcome should be abort")
+	}
+}
+
+func TestPrepareErrorAborts(t *testing.T) {
+	c := NewCoordinator()
+	broken := newFakePart(VoteCommit)
+	broken.prepErr = errors.New("disk on fire")
+	good := newFakePart(VoteCommit)
+	if err := c.Run("tx1", []Participant{good, broken}); !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if good.committed() != 0 {
+		t.Fatal("committed despite peer failure")
+	}
+}
+
+func TestManyTransactionsIndependent(t *testing.T) {
+	c := NewCoordinator()
+	p := newFakePart(VoteCommit)
+	for i := 0; i < 50; i++ {
+		if err := c.Run(fmt.Sprintf("tx%d", i), []Participant{p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.committed() != 50 {
+		t.Fatalf("committed %d, want 50", p.committed())
+	}
+}
+
+func bftGroup(t *testing.T) *pbft.Node {
+	t.Helper()
+	net := cluster.NewNetwork(cluster.ZeroLink{})
+	peers := []cluster.NodeID{0, 1, 2, 3}
+	var nodes []*pbft.Node
+	for _, id := range peers {
+		nodes = append(nodes, pbft.New(pbft.Config{
+			ID: id, Peers: peers, Endpoint: net.Register(id, 4096),
+		}))
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return nodes[0]
+}
+
+func TestReplicatedCoordinatorCommit(t *testing.T) {
+	rc := NewReplicatedCoordinator(bftGroup(t))
+	defer rc.Close()
+	parts := []Participant{newFakePart(VoteCommit), newFakePart(VoteCommit)}
+	done := make(chan error, 1)
+	go func() { done <- rc.Run("xtx-1", parts) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("replicated 2PC never finished")
+	}
+	for i, p := range parts {
+		if p.(*fakePart).committed() != 1 {
+			t.Fatalf("participant %d missing commit", i)
+		}
+	}
+}
+
+func TestReplicatedCoordinatorAbort(t *testing.T) {
+	rc := NewReplicatedCoordinator(bftGroup(t))
+	defer rc.Close()
+	parts := []Participant{newFakePart(VoteCommit), newFakePart(VoteAbort)}
+	if err := rc.Run("xtx-2", parts); !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if parts[0].(*fakePart).aborted() != 1 {
+		t.Fatal("abort not propagated")
+	}
+}

@@ -1,0 +1,202 @@
+// Package txn defines the transaction model shared by the blockchain and
+// database systems: signed client requests, read/write sets with versions
+// (the currency of optimistic validation), and wire encoding. The paper's
+// replication dimension turns on what gets replicated — blockchains
+// replicate these transactions whole, databases replicate only the storage
+// writes they produce — so both representations live here.
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/metrics"
+)
+
+// Version identifies the transaction that last wrote a key: the block that
+// carried it and its offset inside the block. Fabric's MVCC validation
+// compares these.
+type Version struct {
+	BlockNum uint64
+	TxNum    uint32
+}
+
+// Less orders versions chronologically.
+func (v Version) Less(o Version) bool {
+	if v.BlockNum != o.BlockNum {
+		return v.BlockNum < o.BlockNum
+	}
+	return v.TxNum < o.TxNum
+}
+
+// Read is one entry of a read set: the key and the version observed during
+// simulation.
+type Read struct {
+	Key     string
+	Version Version
+}
+
+// Write is one entry of a write set. A nil Value deletes the key.
+type Write struct {
+	Key   string
+	Value []byte
+}
+
+// RWSet is the effect summary a simulated transaction produces.
+type RWSet struct {
+	Reads  []Read
+	Writes []Write
+}
+
+// Invocation names a contract call: which contract, method, and arguments.
+type Invocation struct {
+	Contract string
+	Method   string
+	Args     [][]byte
+}
+
+// Tx is a client transaction travelling through a system. The same struct
+// serves both blockchain flavours: order-execute systems carry the
+// Invocation and execute it post-order; execute-order-validate systems
+// additionally carry the simulated RWSet and endorsements.
+type Tx struct {
+	// ID is the content hash assigned at signing time.
+	ID cryptoutil.Hash
+	// Client is the submitting identity's name.
+	Client string
+	// Invocation is the contract call.
+	Invocation Invocation
+	// RWSet is filled by simulation in execute-order-validate systems.
+	RWSet RWSet
+	// Endorsements holds peer signatures over the simulation result.
+	Endorsements []Endorsement
+	// Sig is the client's signature over the invocation.
+	Sig cryptoutil.Signature
+	// Trace carries phase timings for the latency-breakdown experiments.
+	// It never crosses the (simulated) wire.
+	Trace *metrics.Trace
+}
+
+// Endorsement is one peer's signature over a transaction's simulated
+// effect.
+type Endorsement struct {
+	Peer string
+	Sig  cryptoutil.Signature
+}
+
+// encodeInvocation produces the canonical bytes a client signs.
+func encodeInvocation(client string, inv Invocation) []byte {
+	out := make([]byte, 0, 64)
+	out = appendStr(out, client)
+	out = appendStr(out, inv.Contract)
+	out = appendStr(out, inv.Method)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(inv.Args)))
+	out = append(out, n[:]...)
+	for _, a := range inv.Args {
+		out = appendBytes(out, a)
+	}
+	return out
+}
+
+func appendStr(dst []byte, s string) []byte { return appendBytes(dst, []byte(s)) }
+
+func appendBytes(dst, b []byte) []byte {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
+}
+
+// Sign creates a signed transaction for the invocation.
+func Sign(signer *cryptoutil.Signer, inv Invocation) (*Tx, error) {
+	payload := encodeInvocation(signer.Name(), inv)
+	id := cryptoutil.HashBytes(payload)
+	sig, err := signer.SignDigest(id)
+	if err != nil {
+		return nil, fmt.Errorf("txn: sign: %w", err)
+	}
+	return &Tx{
+		ID:         id,
+		Client:     signer.Name(),
+		Invocation: inv,
+		Sig:        sig,
+		Trace:      metrics.NewTrace(),
+	}, nil
+}
+
+// VerifyClient checks the client signature against the invocation content.
+func (t *Tx) VerifyClient(pub cryptoutil.PublicKey) error {
+	payload := encodeInvocation(t.Client, t.Invocation)
+	id := cryptoutil.HashBytes(payload)
+	if id != t.ID {
+		return fmt.Errorf("txn: id mismatch")
+	}
+	return cryptoutil.VerifyDigest(pub, id, t.Sig)
+}
+
+// EndorsementDigest is what peers sign: the tx id bound to the simulated
+// effect.
+func (t *Tx) EndorsementDigest() cryptoutil.Hash {
+	out := make([]byte, 0, 256)
+	out = append(out, t.ID[:]...)
+	for _, r := range t.RWSet.Reads {
+		out = appendStr(out, r.Key)
+		var v [12]byte
+		binary.BigEndian.PutUint64(v[0:8], r.Version.BlockNum)
+		binary.BigEndian.PutUint32(v[8:12], r.Version.TxNum)
+		out = append(out, v[:]...)
+	}
+	for _, w := range t.RWSet.Writes {
+		out = appendStr(out, w.Key)
+		out = appendBytes(out, w.Value)
+	}
+	return cryptoutil.HashBytes(out)
+}
+
+// Endorse adds a peer signature over the current RWSet.
+func (t *Tx) Endorse(peer *cryptoutil.Signer) error {
+	sig, err := peer.SignDigest(t.EndorsementDigest())
+	if err != nil {
+		return err
+	}
+	t.Endorsements = append(t.Endorsements, Endorsement{Peer: peer.Name(), Sig: sig})
+	return nil
+}
+
+// VerifyEndorsements checks every endorsement signature using the provided
+// key lookup, and that at least need endorsements are present.
+func (t *Tx) VerifyEndorsements(keys func(peer string) (cryptoutil.PublicKey, bool), need int) error {
+	if len(t.Endorsements) < need {
+		return fmt.Errorf("txn: %d endorsements, need %d", len(t.Endorsements), need)
+	}
+	digest := t.EndorsementDigest()
+	for _, e := range t.Endorsements {
+		pub, ok := keys(e.Peer)
+		if !ok {
+			return fmt.Errorf("txn: unknown endorser %s", e.Peer)
+		}
+		if err := cryptoutil.VerifyDigest(pub, digest, e.Sig); err != nil {
+			return fmt.Errorf("txn: endorsement by %s: %w", e.Peer, err)
+		}
+	}
+	return nil
+}
+
+// Size approximates the transaction's wire footprint, used by the simulated
+// network's bandwidth model.
+func (t *Tx) Size() int {
+	s := 32 + 64 + len(t.Client) + len(t.Invocation.Contract) + len(t.Invocation.Method)
+	for _, a := range t.Invocation.Args {
+		s += len(a) + 4
+	}
+	for _, r := range t.RWSet.Reads {
+		s += len(r.Key) + 12
+	}
+	for _, w := range t.RWSet.Writes {
+		s += len(w.Key) + len(w.Value) + 8
+	}
+	s += len(t.Endorsements) * (64 + 8)
+	return s
+}

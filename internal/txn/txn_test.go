@@ -1,0 +1,142 @@
+package txn
+
+import (
+	"testing"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func inv() Invocation {
+	return Invocation{Contract: "kv", Method: "put", Args: [][]byte{[]byte("k"), []byte("v")}}
+}
+
+func TestSignVerify(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	tx, err := Sign(client, inv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.VerifyClient(client.Public()); err != nil {
+		t.Fatalf("VerifyClient: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedArgs(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	tx, err := Sign(client, inv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Invocation.Args[1] = []byte("evil")
+	if err := tx.VerifyClient(client.Public()); err == nil {
+		t.Fatal("tampered args accepted")
+	}
+}
+
+func TestVerifyRejectsWrongClientKey(t *testing.T) {
+	alice := cryptoutil.MustNewSigner("alice")
+	mallory := cryptoutil.MustNewSigner("mallory")
+	tx, err := Sign(alice, inv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.VerifyClient(mallory.Public()); err == nil {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestTxIDsDifferByContent(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	tx1, _ := Sign(client, inv())
+	other := inv()
+	other.Args[1] = []byte("v2")
+	tx2, _ := Sign(client, other)
+	if tx1.ID == tx2.ID {
+		t.Fatal("different invocations share an id")
+	}
+}
+
+func TestEndorsements(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	p1 := cryptoutil.MustNewSigner("peer1")
+	p2 := cryptoutil.MustNewSigner("peer2")
+	keys := map[string]cryptoutil.PublicKey{
+		"peer1": p1.Public(),
+		"peer2": p2.Public(),
+	}
+	lookup := func(name string) (cryptoutil.PublicKey, bool) {
+		k, ok := keys[name]
+		return k, ok
+	}
+
+	tx, _ := Sign(client, inv())
+	tx.RWSet = RWSet{
+		Reads:  []Read{{Key: "k", Version: Version{BlockNum: 3, TxNum: 1}}},
+		Writes: []Write{{Key: "k", Value: []byte("v")}},
+	}
+	if err := tx.Endorse(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Endorse(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.VerifyEndorsements(lookup, 2); err != nil {
+		t.Fatalf("VerifyEndorsements: %v", err)
+	}
+	// Tamper with the write set: endorsements must break.
+	tx.RWSet.Writes[0].Value = []byte("forged")
+	if err := tx.VerifyEndorsements(lookup, 2); err == nil {
+		t.Fatal("endorsements valid over tampered rwset")
+	}
+}
+
+func TestVerifyEndorsementsNeedsThreshold(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	p1 := cryptoutil.MustNewSigner("peer1")
+	lookup := func(name string) (cryptoutil.PublicKey, bool) {
+		if name == "peer1" {
+			return p1.Public(), true
+		}
+		return cryptoutil.PublicKey{}, false
+	}
+	tx, _ := Sign(client, inv())
+	tx.Endorse(p1)
+	if err := tx.VerifyEndorsements(lookup, 2); err == nil {
+		t.Fatal("threshold not enforced")
+	}
+	if err := tx.VerifyEndorsements(lookup, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyEndorsementsUnknownPeer(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	ghost := cryptoutil.MustNewSigner("ghost")
+	tx, _ := Sign(client, inv())
+	tx.Endorse(ghost)
+	lookup := func(string) (cryptoutil.PublicKey, bool) { return cryptoutil.PublicKey{}, false }
+	if err := tx.VerifyEndorsements(lookup, 1); err == nil {
+		t.Fatal("unknown endorser accepted")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	a := Version{BlockNum: 1, TxNum: 5}
+	b := Version{BlockNum: 2, TxNum: 0}
+	c := Version{BlockNum: 1, TxNum: 6}
+	if !a.Less(b) || !a.Less(c) || b.Less(a) {
+		t.Fatal("version ordering broken")
+	}
+	if a.Less(a) {
+		t.Fatal("version not irreflexive")
+	}
+}
+
+func TestSizeGrowsWithPayload(t *testing.T) {
+	client := cryptoutil.MustNewSigner("alice")
+	small, _ := Sign(client, Invocation{Contract: "kv", Method: "put", Args: [][]byte{[]byte("k"), make([]byte, 10)}})
+	large, _ := Sign(client, Invocation{Contract: "kv", Method: "put", Args: [][]byte{[]byte("k"), make([]byte, 5000)}})
+	if small.Size() >= large.Size() {
+		t.Fatal("Size ignores payload")
+	}
+}

@@ -1,0 +1,135 @@
+// Package smallbank generates the Smallbank OLTP workload used by the
+// paper's Fig 6: six transaction profiles over checking/savings accounts,
+// with Zipfian account selection (θ=1 in the paper, 1M accounts). The
+// profile mix follows the OLTPBench defaults.
+package smallbank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/txn"
+)
+
+// Config sizes the workload.
+type Config struct {
+	// Accounts is the populated account count (paper: 1M).
+	Accounts int
+	// Theta is the Zipfian coefficient over accounts.
+	Theta float64
+	// Seed makes generation reproducible.
+	Seed int64
+	// InitialBalance funds each account's checking and savings.
+	InitialBalance int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Accounts <= 0 {
+		c.Accounts = 1_000_000
+	}
+	if c.InitialBalance <= 0 {
+		c.InitialBalance = 10_000
+	}
+	return c
+}
+
+// Account renders the i-th account id.
+func Account(i int) string { return fmt.Sprintf("acct%08d", i) }
+
+// Generator produces signed Smallbank transactions. Not safe for
+// concurrent use; one per worker.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	zipf   *rand.Zipf
+	client *cryptoutil.Signer
+}
+
+// NewGenerator returns a generator for the given client identity.
+func NewGenerator(cfg Config, client *cryptoutil.Signer) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg, rng: rng, client: client}
+	if cfg.Theta > 0 {
+		// rand.Zipf wants s > 1; map θ∈(0,1] onto a steepness that keeps
+		// θ=1 heavily skewed. s = 1+θ gives the familiar hot-spot shape.
+		g.zipf = rand.NewZipf(rng, 1+cfg.Theta, 1, uint64(cfg.Accounts-1))
+	}
+	return g
+}
+
+func (g *Generator) account() []byte {
+	if g.zipf != nil {
+		return []byte(Account(int(g.zipf.Uint64())))
+	}
+	return []byte(Account(g.rng.Intn(g.cfg.Accounts)))
+}
+
+// otherAccount draws an account distinct from a.
+func (g *Generator) otherAccount(a []byte) []byte {
+	for {
+		b := g.account()
+		if string(b) != string(a) {
+			return b
+		}
+	}
+}
+
+func amount(g *Generator) []byte {
+	return contract.EncodeInt64(int64(1 + g.rng.Intn(100)))
+}
+
+// Next produces the next transaction using the OLTPBench profile mix:
+// 15% transact_savings, 15% deposit_checking, 25% send_payment,
+// 15% write_check, 15% amalgamate, 15% query.
+func (g *Generator) Next() (*txn.Tx, error) {
+	p := g.rng.Intn(100)
+	var inv txn.Invocation
+	switch {
+	case p < 15:
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "transact_savings",
+			Args: [][]byte{g.account(), amount(g)}}
+	case p < 30:
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "deposit_checking",
+			Args: [][]byte{g.account(), amount(g)}}
+	case p < 55:
+		src := g.account()
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "send_payment",
+			Args: [][]byte{src, g.otherAccount(src), amount(g)}}
+	case p < 70:
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "write_check",
+			Args: [][]byte{g.account(), amount(g)}}
+	case p < 85:
+		src := g.account()
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "amalgamate",
+			Args: [][]byte{src, g.otherAccount(src)}}
+	default:
+		inv = txn.Invocation{Contract: contract.SmallbankName, Method: "query",
+			Args: [][]byte{g.account()}}
+	}
+	return txn.Sign(g.client, inv)
+}
+
+// LoadTxs returns the create_account transactions that populate the state.
+func (c Config) LoadTxs(client *cryptoutil.Signer) ([]*txn.Tx, error) {
+	c = c.withDefaults()
+	txs := make([]*txn.Tx, 0, c.Accounts)
+	for i := 0; i < c.Accounts; i++ {
+		t, err := txn.Sign(client, txn.Invocation{
+			Contract: contract.SmallbankName,
+			Method:   "create_account",
+			Args: [][]byte{
+				[]byte(Account(i)),
+				contract.EncodeInt64(c.InitialBalance),
+				contract.EncodeInt64(c.InitialBalance),
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		txs = append(txs, t)
+	}
+	return txs, nil
+}

@@ -1,0 +1,82 @@
+package smallbank
+
+import (
+	"testing"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+)
+
+func TestProfileMix(t *testing.T) {
+	g := NewGenerator(Config{Accounts: 1000, Seed: 1}, cryptoutil.MustNewSigner("c"))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		tx, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[tx.Invocation.Method]++
+	}
+	for _, m := range []string{"transact_savings", "deposit_checking", "send_payment",
+		"write_check", "amalgamate", "query"} {
+		if counts[m] == 0 {
+			t.Fatalf("profile %s never generated (%v)", m, counts)
+		}
+	}
+	// send_payment is the largest slice (~25%).
+	if counts["send_payment"] < counts["query"] {
+		t.Fatalf("mix off: %v", counts)
+	}
+}
+
+func TestSendPaymentDistinctAccounts(t *testing.T) {
+	g := NewGenerator(Config{Accounts: 5, Theta: 1, Seed: 2}, cryptoutil.MustNewSigner("c"))
+	for i := 0; i < 2000; i++ {
+		tx, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.Invocation.Method == "send_payment" || tx.Invocation.Method == "amalgamate" {
+			if string(tx.Invocation.Args[0]) == string(tx.Invocation.Args[1]) {
+				t.Fatal("self-transfer generated")
+			}
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewGenerator(Config{Accounts: 10_000, Theta: 1, Seed: 3}, cryptoutil.MustNewSigner("c"))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[string(g.account())]++
+	}
+	if counts[Account(0)] < 100 {
+		t.Fatalf("hottest account drawn only %d times", counts[Account(0)])
+	}
+}
+
+func TestLoadTxs(t *testing.T) {
+	client := cryptoutil.MustNewSigner("c")
+	txs, err := Config{Accounts: 25, InitialBalance: 500}.LoadTxs(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) != 25 {
+		t.Fatalf("LoadTxs = %d txs", len(txs))
+	}
+	if txs[0].Invocation.Method != "create_account" {
+		t.Fatalf("method = %q", txs[0].Invocation.Method)
+	}
+	if contract.DecodeInt64(txs[0].Invocation.Args[1]) != 500 {
+		t.Fatal("initial balance wrong")
+	}
+	if err := txs[0].VerifyClient(client.Public()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccountFormat(t *testing.T) {
+	if Account(1) == Account(2) || len(Account(1)) != len(Account(99999)) {
+		t.Fatal("account ids malformed")
+	}
+}

@@ -1,0 +1,176 @@
+// Package ycsb generates the YCSB workloads of the paper's experiments:
+// keyed records of configurable size, a Zipfian request distribution with
+// tunable skew θ, and update/read/read-modify-write operation mixes with a
+// configurable operation count per transaction (Table 3's parameters).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/txn"
+)
+
+// Config mirrors Table 3.
+type Config struct {
+	// Records is the populated key-space size (paper: 100K for YCSB).
+	Records int
+	// RecordSize is the value size in bytes (default 1000).
+	RecordSize int
+	// Theta is the Zipfian coefficient; 0 = uniform.
+	Theta float64
+	// OpsPerTxn is the number of records one transaction modifies.
+	OpsPerTxn int
+	// ReadFraction is the probability a generated op is a read (0 = pure
+	// update workload, 1 = pure query workload).
+	ReadFraction float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records <= 0 {
+		c.Records = 100_000
+	}
+	if c.RecordSize <= 0 {
+		c.RecordSize = 1000
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 1
+	}
+	return c
+}
+
+// Generator produces signed transactions for a client identity. Not safe
+// for concurrent use; the harness creates one per worker.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	zipf   *zipfian
+	client *cryptoutil.Signer
+}
+
+// NewGenerator returns a generator for the given client.
+func NewGenerator(cfg Config, client *cryptoutil.Signer) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		client: client,
+	}
+	if cfg.Theta > 0 {
+		g.zipf = newZipfian(cfg.Records, cfg.Theta, g.rng)
+	}
+	return g
+}
+
+// Key renders the i-th record key.
+func Key(i int) string { return fmt.Sprintf("user%09d", i) }
+
+// NextKeyIndex draws a record index from the configured distribution.
+func (g *Generator) NextKeyIndex() int {
+	if g.zipf != nil {
+		return g.zipf.next()
+	}
+	return g.rng.Intn(g.cfg.Records)
+}
+
+// value produces a fresh record payload of the configured size. When a
+// transaction carries multiple operations the per-record size shrinks so
+// the total stays constant (the Fig 10 protocol).
+func (g *Generator) value(perOp int) []byte {
+	v := make([]byte, perOp)
+	for i := range v {
+		v[i] = byte('a' + g.rng.Intn(26))
+	}
+	return v
+}
+
+// Next produces the next transaction.
+func (g *Generator) Next() (*txn.Tx, error) {
+	if g.cfg.ReadFraction > 0 && g.rng.Float64() < g.cfg.ReadFraction {
+		return txn.Sign(g.client, txn.Invocation{
+			Contract: contract.KVName,
+			Method:   "get",
+			Args:     [][]byte{[]byte(Key(g.NextKeyIndex()))},
+		})
+	}
+	perOp := g.cfg.RecordSize / g.cfg.OpsPerTxn
+	if perOp < 1 {
+		perOp = 1
+	}
+	if g.cfg.OpsPerTxn == 1 {
+		return txn.Sign(g.client, txn.Invocation{
+			Contract: contract.KVName,
+			Method:   "modify",
+			Args:     [][]byte{[]byte(Key(g.NextKeyIndex())), g.value(perOp)},
+		})
+	}
+	args := make([][]byte, 0, g.cfg.OpsPerTxn*2)
+	seen := make(map[int]bool, g.cfg.OpsPerTxn)
+	for len(seen) < g.cfg.OpsPerTxn {
+		idx := g.NextKeyIndex()
+		if seen[idx] {
+			continue
+		}
+		seen[idx] = true
+		args = append(args, []byte(Key(idx)), g.value(perOp))
+	}
+	return txn.Sign(g.client, txn.Invocation{
+		Contract: contract.KVName,
+		Method:   "multi",
+		Args:     args,
+	})
+}
+
+// LoadKeys returns every key in the populated space, for pre-loading.
+func (c Config) LoadKeys() []string {
+	c = c.withDefaults()
+	keys := make([]string, c.Records)
+	for i := range keys {
+		keys[i] = Key(i)
+	}
+	return keys
+}
+
+// zipfian draws ranks with P(i) ∝ 1/i^θ using the Gray et al. (1994)
+// incremental method — the same algorithm the YCSB driver uses.
+type zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+func newZipfian(n int, theta float64, rng *rand.Rand) *zipfian {
+	z := &zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfian) next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,130 @@
+package ycsb
+
+import (
+	"testing"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+)
+
+func TestKeysDeterministic(t *testing.T) {
+	if Key(7) != Key(7) || Key(7) == Key(8) {
+		t.Fatal("Key not stable/unique")
+	}
+}
+
+func TestUniformCoversKeySpace(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, Seed: 1}, cryptoutil.MustNewSigner("c"))
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		idx := g.NextKeyIndex()
+		if idx < 0 || idx >= 100 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform draw covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestZipfianSkewsTowardsHotKeys(t *testing.T) {
+	g := NewGenerator(Config{Records: 10_000, Theta: 0.99, Seed: 2}, cryptoutil.MustNewSigner("c"))
+	counts := map[int]int{}
+	const draws = 20_000
+	for i := 0; i < draws; i++ {
+		counts[g.NextKeyIndex()]++
+	}
+	hot := 0
+	for idx, c := range counts {
+		if idx < 100 {
+			hot += c
+		}
+	}
+	// Under θ≈1, the hottest 1% of keys should absorb a large share.
+	if float64(hot)/draws < 0.3 {
+		t.Fatalf("hot-key share = %.2f, want ≥ 0.3", float64(hot)/draws)
+	}
+}
+
+func TestZipfianBounds(t *testing.T) {
+	g := NewGenerator(Config{Records: 50, Theta: 0.8, Seed: 3}, cryptoutil.MustNewSigner("c"))
+	for i := 0; i < 10_000; i++ {
+		idx := g.NextKeyIndex()
+		if idx < 0 || idx >= 50 {
+			t.Fatalf("zipfian index %d out of [0,50)", idx)
+		}
+	}
+}
+
+func TestNextSingleOp(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, RecordSize: 64, Seed: 4}, cryptoutil.MustNewSigner("c"))
+	tx, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Invocation.Method != "modify" || len(tx.Invocation.Args) != 2 {
+		t.Fatalf("tx = %+v", tx.Invocation)
+	}
+	if len(tx.Invocation.Args[1]) != 64 {
+		t.Fatalf("record size = %d", len(tx.Invocation.Args[1]))
+	}
+}
+
+func TestNextMultiOpSplitsRecordSize(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, RecordSize: 1000, OpsPerTxn: 10, Seed: 5},
+		cryptoutil.MustNewSigner("c"))
+	tx, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Invocation.Method != "multi" || len(tx.Invocation.Args) != 20 {
+		t.Fatalf("tx = %v args", len(tx.Invocation.Args))
+	}
+	// Distinct keys, each value 100 bytes so the total stays 1000.
+	keys := map[string]bool{}
+	for i := 0; i < 20; i += 2 {
+		keys[string(tx.Invocation.Args[i])] = true
+		if len(tx.Invocation.Args[i+1]) != 100 {
+			t.Fatalf("per-op size = %d, want 100", len(tx.Invocation.Args[i+1]))
+		}
+	}
+	if len(keys) != 10 {
+		t.Fatalf("%d distinct keys, want 10", len(keys))
+	}
+}
+
+func TestReadFractionProducesGets(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, ReadFraction: 1.0, Seed: 6}, cryptoutil.MustNewSigner("c"))
+	for i := 0; i < 10; i++ {
+		tx, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tx.Invocation.Method != "get" {
+			t.Fatalf("method = %q, want get", tx.Invocation.Method)
+		}
+	}
+}
+
+func TestTxsAreSigned(t *testing.T) {
+	client := cryptoutil.MustNewSigner("c")
+	g := NewGenerator(Config{Records: 10, Seed: 7}, client)
+	tx, err := g.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.VerifyClient(client.Public()); err != nil {
+		t.Fatalf("generated tx does not verify: %v", err)
+	}
+	if tx.Invocation.Contract != contract.KVName {
+		t.Fatalf("contract = %q", tx.Invocation.Contract)
+	}
+}
+
+func TestLoadKeys(t *testing.T) {
+	keys := Config{Records: 10}.LoadKeys()
+	if len(keys) != 10 || keys[0] != Key(0) {
+		t.Fatalf("LoadKeys = %v", keys[:2])
+	}
+}
