@@ -104,3 +104,8 @@ func BenchmarkFig15HybridFramework(b *testing.B) {
 	sc := benchScale()
 	runOnce(b, func() { experiments.Fig15(os.Stderr, sc) })
 }
+
+func BenchmarkPeakOpenLoop(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Peak(os.Stderr, sc, []float64{0.5, 1.2}) })
+}

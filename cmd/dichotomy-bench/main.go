@@ -6,7 +6,12 @@
 //	dichotomy-bench all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table4 table5.
+// fig14 fig15 table4 table5 peak.
+//
+// peak is the open-loop latency-under-load sweep: it calibrates each
+// system's closed-loop saturation throughput, then offers Poisson
+// arrivals at fractions of that peak and reports delivered tps with
+// service latency and queueing delay separated.
 //
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
@@ -26,7 +31,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -42,6 +47,7 @@ func main() {
 		ops    = []int{1, 4, 10}
 		sizes  = []int{10, 100, 1000, 5000}
 		shards = []int{1, 2, 4}
+		fracs  = []float64{0.5, 0.9, 1.2}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -51,6 +57,7 @@ func main() {
 		thetas = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
 		ops = []int{1, 2, 4, 6, 8, 10}
 		shards = []int{1, 2, 4, 8, 16}
+		fracs = []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.2}
 	}
 
 	runners := map[string]func(){
@@ -68,9 +75,10 @@ func main() {
 		"fig15":  func() { experiments.Fig15(os.Stdout, sc) },
 		"table4": func() { experiments.Table4(os.Stdout, sc, nodes) },
 		"table5": func() { experiments.Table5(os.Stdout, sc, grid) },
+		"peak":   func() { experiments.Peak(os.Stdout, sc, fracs) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

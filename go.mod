@@ -1,0 +1,3 @@
+module dichotomy
+
+go 1.24

@@ -1,16 +1,31 @@
 // Package bench is the measurement harness behind every table and figure:
-// a closed-loop multi-client driver (the Caliper / YCSB-driver / OLTPBench
-// role), with warm-up, per-phase latency aggregation, and abort-rate
-// accounting. Systems are driven through the system.System interface, so
-// a blockchain and a database run byte-identical workloads.
+// a multi-client driver (the Caliper / YCSB-driver / OLTPBench role) with
+// warm-up, per-phase latency aggregation, and abort-rate accounting.
+// Systems are driven through the system.System interface, so a blockchain
+// and a database run byte-identical workloads.
+//
+// The harness supports two load disciplines. In closed-loop mode each
+// worker issues its next transaction as soon as the previous one returns,
+// which finds a system's saturation point but couples the offered load to
+// the system's own speed. In open-loop mode transactions arrive on a
+// deterministic schedule (Poisson or fixed-interval at Options.TargetRate)
+// independent of completions, which is how latency-under-load and peak
+// experiments must be driven: the report then separates queueing delay
+// (scheduled arrival to dispatch) from service latency (dispatch to
+// completion).
+//
+// The hot path is contention-free: every worker records into its own
+// shard (counters, log-bucketed latency histogram, abort-by-reason map)
+// and shards are merged once after all workers exit.
 package bench
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dichotomy/internal/metrics"
-	"dichotomy/internal/occ"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
 )
@@ -21,9 +36,40 @@ type TxSource interface {
 	Next() (*txn.Tx, error)
 }
 
+// Mode selects the load-generation discipline.
+type Mode int
+
+const (
+	// ClosedLoop workers issue the next transaction when the previous
+	// one returns; offered load tracks system speed.
+	ClosedLoop Mode = iota
+	// OpenLoop transactions arrive on a schedule independent of
+	// completions; latency under overload becomes visible as queueing.
+	OpenLoop
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	if m == OpenLoop {
+		return "open-loop"
+	}
+	return "closed-loop"
+}
+
+// Arrival selects the open-loop inter-arrival process.
+type Arrival int
+
+const (
+	// Poisson draws exponential inter-arrival gaps (memoryless clients).
+	Poisson Arrival = iota
+	// FixedInterval spaces arrivals exactly 1/TargetRate apart.
+	FixedInterval
+)
+
 // Options configures one measurement run.
 type Options struct {
-	// Workers is the closed-loop client count.
+	// Workers is the client count (closed-loop clients, or open-loop
+	// dispatch concurrency).
 	Workers int
 	// Duration is the measured window (after warm-up).
 	Duration time.Duration
@@ -32,6 +78,20 @@ type Options struct {
 	// MaxTxs optionally caps the number of measured transactions (0 = no
 	// cap); the run still respects Duration.
 	MaxTxs int
+
+	// Mode selects closed-loop (default) or open-loop driving.
+	Mode Mode
+	// TargetRate is the aggregate open-loop arrival rate in tx/s.
+	TargetRate float64
+	// Arrival is the open-loop inter-arrival process.
+	Arrival Arrival
+	// Seed makes the open-loop arrival schedule deterministic; runs with
+	// equal Seed, TargetRate, and Arrival produce identical schedules.
+	Seed int64
+	// MaxInFlight bounds the open-loop dispatch queue; a full queue
+	// back-pressures the arrival generator and the wait is accounted as
+	// queueing delay. Defaults to 4×Workers.
+	MaxInFlight int
 }
 
 func (o Options) withDefaults() Options {
@@ -41,20 +101,44 @@ func (o Options) withDefaults() Options {
 	if o.Duration <= 0 {
 		o.Duration = 2 * time.Second
 	}
+	if o.Mode == OpenLoop {
+		if o.TargetRate <= 0 {
+			o.TargetRate = 1000
+		}
+		if o.MaxInFlight <= 0 {
+			o.MaxInFlight = 4 * o.Workers
+		}
+		if o.Seed == 0 {
+			o.Seed = 1
+		}
+	}
 	return o
 }
 
 // Report is the outcome of one run.
 type Report struct {
 	System    string
+	Mode      Mode
 	Committed uint64
 	Aborted   uint64
 	Errors    uint64
-	Elapsed   time.Duration
+	// Elapsed is the measured window: warm-up end to the last recorded
+	// sample, so in-flight transactions finishing past the deadline count
+	// in both the numerator and the denominator of TPS.
+	Elapsed time.Duration
 	// TPS is committed transactions per second over the measured window.
 	TPS float64
-	// Latency summarizes commit latencies.
+	// Latency summarizes service latency (dispatch to completion) of
+	// committed transactions.
 	Latency metrics.Snapshot
+	// QueueDelay summarizes scheduled-arrival-to-dispatch delay of every
+	// measured transaction. Only populated in open-loop mode.
+	QueueDelay metrics.Snapshot
+	// TargetRate echoes the configured open-loop arrival rate (tx/s).
+	TargetRate float64
+	// Offered counts open-loop arrivals scheduled inside the measured
+	// window.
+	Offered uint64
 	// AbortBy decomposes aborts by reason.
 	AbortBy map[string]uint64
 	// Phases aggregates per-phase means across transactions.
@@ -70,85 +154,111 @@ func (r Report) AbortRate() float64 {
 	return 100 * float64(r.Aborted) / float64(total)
 }
 
-// Run drives sys with Workers closed-loop clients for the configured
-// duration and reports throughput, latency, and abort decomposition.
-// sources must supply at least Workers elements.
+// Run drives sys with Workers clients for the configured duration and
+// reports throughput, latency, and abort decomposition. sources must
+// supply at least Workers elements.
 func Run(sys system.System, sources []TxSource, opt Options) Report {
 	opt = opt.withDefaults()
-	report := Report{
-		System:  sys.Name(),
-		AbortBy: make(map[string]uint64),
-		Phases:  metrics.NewBreakdown(),
-	}
-	var hist metrics.Histogram
-	var mu sync.Mutex
-	var committed, aborted, errs uint64
-	var measured uint64
 
 	start := time.Now()
 	measureFrom := start.Add(opt.Warmup)
-	deadline := start.Add(opt.Warmup + opt.Duration)
+	deadline := measureFrom.Add(opt.Duration)
 
+	shards := make([]*shard, opt.Workers)
+	for i := range shards {
+		shards[i] = newShard()
+	}
+	// MaxTxs is the one cross-worker coordination point; a single atomic
+	// decrement per measured transaction, allocated only when capped.
+	var budget *atomic.Int64
+	if opt.MaxTxs > 0 {
+		budget = new(atomic.Int64)
+		budget.Store(int64(opt.MaxTxs))
+	}
+
+	var offered uint64
 	var wg sync.WaitGroup
-	for w := 0; w < opt.Workers; w++ {
-		wg.Add(1)
-		go func(src TxSource) {
-			defer wg.Done()
-			for time.Now().Before(deadline) {
-				t, err := src.Next()
-				if err != nil {
-					return
-				}
-				txStart := time.Now()
-				r := sys.Execute(t)
-				elapsed := time.Since(txStart)
-				if txStart.Before(measureFrom) {
-					continue // warm-up
-				}
-				mu.Lock()
-				if opt.MaxTxs > 0 && measured >= uint64(opt.MaxTxs) {
-					mu.Unlock()
-					return
-				}
-				measured++
-				switch {
-				case r.Committed:
-					committed++
-					hist.Record(elapsed)
-				case r.Err != nil && r.Reason == occ.OK:
-					errs++
-				default:
-					aborted++
-					report.AbortBy[r.Reason.String()]++
-				}
-				mu.Unlock()
-				report.Phases.Merge(t.Trace)
-			}
-		}(sources[w])
+	switch opt.Mode {
+	case OpenLoop:
+		arrivals := make(chan time.Time, opt.MaxInFlight)
+		for w := 0; w < opt.Workers; w++ {
+			wg.Add(1)
+			go func(src TxSource, sh *shard) {
+				defer wg.Done()
+				openWorker(sys, src, sh, arrivals, measureFrom, budget)
+			}(sources[w], shards[w])
+		}
+		workersExited := make(chan struct{})
+		go func() {
+			wg.Wait()
+			close(workersExited)
+		}()
+		offered = generateArrivals(arrivals, opt, start, measureFrom, deadline, workersExited)
+		close(arrivals)
+		<-workersExited
+	default:
+		for w := 0; w < opt.Workers; w++ {
+			wg.Add(1)
+			go func(src TxSource, sh *shard) {
+				defer wg.Done()
+				closedWorker(sys, src, sh, measureFrom, deadline, budget)
+			}(sources[w], shards[w])
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
-	report.Elapsed = time.Since(measureFrom)
-	if report.Elapsed > opt.Duration {
-		report.Elapsed = opt.Duration
+	return buildReport(sys.Name(), opt, measureFrom, offered, shards)
+}
+
+// buildReport merges the per-worker shards into one Report. It runs once,
+// after every worker has exited, so the shards are quiescent.
+func buildReport(name string, opt Options, measureFrom time.Time, offered uint64, shards []*shard) Report {
+	report := Report{
+		System:  name,
+		Mode:    opt.Mode,
+		AbortBy: make(map[string]uint64),
+		Phases:  metrics.NewBreakdown(),
 	}
-	report.Committed = committed
-	report.Aborted = aborted
-	report.Errors = errs
+	var lat, qdelay metrics.LocalHistogram
+	var last time.Time
+	for _, sh := range shards {
+		report.Committed += sh.committed
+		report.Aborted += sh.aborted
+		report.Errors += sh.errs
+		lat.Merge(&sh.lat)
+		qdelay.Merge(&sh.qdelay)
+		for reason, n := range sh.abortBy {
+			report.AbortBy[reason] += n
+		}
+		report.Phases.MergeFrom(sh.phases)
+		if sh.last.After(last) {
+			last = sh.last
+		}
+	}
+	if last.After(measureFrom) {
+		report.Elapsed = last.Sub(measureFrom)
+	}
 	if report.Elapsed > 0 {
-		report.TPS = float64(committed) / report.Elapsed.Seconds()
+		report.TPS = float64(report.Committed) / report.Elapsed.Seconds()
 	}
-	report.Latency = hist.Snapshot()
+	report.Latency = lat.Snapshot()
+	if opt.Mode == OpenLoop {
+		report.QueueDelay = qdelay.Snapshot()
+		report.TargetRate = opt.TargetRate
+		report.Offered = offered
+	}
 	return report
 }
 
-// Preload feeds transactions through the system sequentially batched over
-// a few workers, for populating state before measurement.
+// Preload feeds transactions through the system batched over a few
+// workers, for populating state before measurement. The first failure
+// stops all workers; every distinct error observed is returned joined.
 func Preload(sys system.System, txs []*txn.Tx, workers int) error {
 	if workers <= 0 {
 		workers = 8
 	}
-	errCh := make(chan error, workers)
+	var stop atomic.Bool
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	chunk := (len(txs) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -158,49 +268,20 @@ func Preload(sys system.System, txs []*txn.Tx, workers int) error {
 			break
 		}
 		wg.Add(1)
-		go func(part []*txn.Tx) {
+		go func(slot int, part []*txn.Tx) {
 			defer wg.Done()
 			for _, t := range part {
+				if stop.Load() {
+					return
+				}
 				if r := sys.Execute(t); r.Err != nil {
-					errCh <- r.Err
+					errs[slot] = r.Err
+					stop.Store(true)
 					return
 				}
 			}
-		}(txs[lo:hi])
+		}(w, txs[lo:hi])
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
-
-// SliceSource adapts a pre-built transaction list to TxSource; it stops
-// (returns an error) when exhausted.
-type SliceSource struct {
-	txs []*txn.Tx
-	pos int
-}
-
-// NewSliceSource wraps txs.
-func NewSliceSource(txs []*txn.Tx) *SliceSource { return &SliceSource{txs: txs} }
-
-// Next implements TxSource.
-func (s *SliceSource) Next() (*txn.Tx, error) {
-	if s.pos >= len(s.txs) {
-		return nil, errExhausted
-	}
-	t := s.txs[s.pos]
-	s.pos++
-	return t, nil
-}
-
-var errExhausted = exhaustedError{}
-
-type exhaustedError struct{}
-
-func (exhaustedError) Error() string { return "bench: transaction source exhausted" }
-
-// FuncSource adapts a closure to TxSource.
-type FuncSource func() (*txn.Tx, error)
-
-// Next implements TxSource.
-func (f FuncSource) Next() (*txn.Tx, error) { return f() }

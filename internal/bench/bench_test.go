@@ -2,6 +2,7 @@ package bench
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -129,16 +130,45 @@ func TestPreload(t *testing.T) {
 // errSystem fails every execution with an infrastructure error.
 type errSystem struct{ stubSystem }
 
+var errBoom = errors.New("boom")
+
 func (e *errSystem) Execute(*txn.Tx) system.Result {
-	return system.Result{Err: errors.New("boom")}
+	e.count.Add(1)
+	return system.Result{Err: errBoom}
 }
 
 func TestPreloadSurfacesError(t *testing.T) {
 	client := cryptoutil.MustNewSigner("c")
 	tx, _ := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
 		Args: [][]byte{[]byte("k"), []byte("v")}})
-	if err := Preload(&errSystem{}, []*txn.Tx{tx}, 2); err == nil {
+	err := Preload(&errSystem{}, []*txn.Tx{tx}, 2)
+	if err == nil {
 		t.Fatal("preload error swallowed")
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("joined error %v does not wrap the worker failure", err)
+	}
+}
+
+func TestPreloadStopsEarlyOnFailure(t *testing.T) {
+	sys := &errSystem{}
+	client := cryptoutil.MustNewSigner("c")
+	txs := make([]*txn.Tx, 1000)
+	for i := range txs {
+		tx, err := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+			Args: [][]byte{[]byte{byte(i)}, []byte("v")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	if err := Preload(sys, txs, 4); err == nil {
+		t.Fatal("preload error swallowed")
+	}
+	// Every worker fails on its first transaction and the shared stop flag
+	// halts the rest of each chunk: executions stay near worker count.
+	if got := sys.count.Load(); got > 8 {
+		t.Fatalf("executed %d transactions after failure, want early stop", got)
 	}
 }
 
@@ -162,5 +192,126 @@ func TestRunErrorsCountedSeparately(t *testing.T) {
 	}
 	if r.Aborted != 0 {
 		t.Fatal("errors miscounted as aborts")
+	}
+}
+
+func TestRunElapsedCoversLateSamples(t *testing.T) {
+	// An 80ms service time against a 100ms window guarantees the last
+	// transaction starts before the deadline and finishes well after it.
+	// The sample is recorded, so the TPS denominator must stretch with it
+	// instead of being clamped to Duration.
+	sys := &stubSystem{latency: 80 * time.Millisecond}
+	opt := Options{Workers: 1, Duration: 100 * time.Millisecond}
+	r := Run(sys, sources(1), opt)
+	if r.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if r.Elapsed <= opt.Duration {
+		t.Fatalf("Elapsed = %v clamped to Duration %v despite late samples", r.Elapsed, opt.Duration)
+	}
+	if want := float64(r.Committed) / r.Elapsed.Seconds(); r.TPS != want {
+		t.Fatalf("TPS %v inconsistent with Committed/Elapsed %v", r.TPS, want)
+	}
+}
+
+// TestMergeShardsMatchesSequentialReference checks that merging per-worker
+// shards reproduces exactly what a single-threaded run recording the same
+// samples into one shard would report.
+func TestMergeShardsMatchesSequentialReference(t *testing.T) {
+	outcomes := []system.Result{
+		{Committed: true},
+		{Reason: occ.ReadWriteConflict},
+		{Committed: true},
+		{Err: errors.New("infra"), Reason: occ.OK},
+		{Reason: occ.WriteWriteConflict},
+	}
+	client := cryptoutil.MustNewSigner("c")
+	base := time.Now()
+	reference := newShard()
+	workers := make([]*shard, 4)
+	for i := range workers {
+		workers[i] = newShard()
+	}
+	for i := 0; i < 1000; i++ {
+		tx, err := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+			Args: [][]byte{[]byte("k"), []byte("v")}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := outcomes[i%len(outcomes)]
+		service := time.Duration(i+1) * time.Microsecond
+		end := base.Add(time.Duration(i) * time.Millisecond)
+		reference.record(tx, res, service, end)
+		workers[i%len(workers)].record(tx, res, service, end)
+	}
+	opt := Options{Workers: 4}.withDefaults()
+	got := buildReport("stub", opt, base, 0, workers)
+	want := buildReport("stub", opt, base, 0, []*shard{reference})
+	if got.Committed != want.Committed || got.Aborted != want.Aborted || got.Errors != want.Errors {
+		t.Fatalf("counts diverge: got %d/%d/%d, want %d/%d/%d",
+			got.Committed, got.Aborted, got.Errors, want.Committed, want.Aborted, want.Errors)
+	}
+	if got.Latency != want.Latency {
+		t.Fatalf("latency snapshots diverge: got %+v, want %+v", got.Latency, want.Latency)
+	}
+	if got.Elapsed != want.Elapsed {
+		t.Fatalf("elapsed diverges: got %v, want %v", got.Elapsed, want.Elapsed)
+	}
+	for reason, n := range want.AbortBy {
+		if got.AbortBy[reason] != n {
+			t.Fatalf("abort decomposition diverges for %s: got %d, want %d", reason, got.AbortBy[reason], n)
+		}
+	}
+}
+
+// TestRunConcurrencyClean hammers both modes with many workers on a no-op
+// system; run with -race in CI, it proves the hot path shares no mutable
+// state across workers.
+func TestRunConcurrencyClean(t *testing.T) {
+	for _, mode := range []Mode{ClosedLoop, OpenLoop} {
+		r := Run(&stubSystem{}, sources(16), Options{
+			Workers:     16,
+			Duration:    150 * time.Millisecond,
+			Mode:        mode,
+			TargetRate:  20_000,
+			MaxInFlight: 64,
+		})
+		if r.Committed == 0 {
+			t.Fatalf("%v: nothing committed", mode)
+		}
+		if r.Latency.Count != r.Committed {
+			t.Fatalf("%v: latency count %d != committed %d", mode, r.Latency.Count, r.Committed)
+		}
+	}
+}
+
+// BenchmarkRunScaling measures harness throughput on a no-op system at
+// growing worker counts: with per-worker shards the tps metric should
+// scale with available cores instead of flattening on a shared lock.
+// Each worker replays its own pre-signed transaction so the benchmark
+// exercises the record path, not signature generation.
+func BenchmarkRunScaling(b *testing.B) {
+	client := cryptoutil.MustNewSigner("c")
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srcs := make([]TxSource, workers)
+			for i := range srcs {
+				tx, err := txn.Sign(client, txn.Invocation{Contract: "kv", Method: "put",
+					Args: [][]byte{[]byte("k"), []byte("v")}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srcs[i] = FuncSource(func() (*txn.Tx, error) { return tx, nil })
+			}
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r := Run(&stubSystem{}, srcs, Options{
+					Workers:  workers,
+					Duration: 100 * time.Millisecond,
+				})
+				total += r.TPS
+			}
+			b.ReportMetric(total/float64(b.N), "tps")
+		})
 	}
 }

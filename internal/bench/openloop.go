@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+// interArrival draws the next gap of the arrival process. With a fixed
+// seed the sequence of gaps — and therefore the whole offered schedule —
+// is deterministic regardless of how the system under test behaves.
+// Gaps are clamped to ≥ 1ns: a gap that truncated to zero (TargetRate
+// beyond 1e9, or a tiny Poisson draw) would stop `next` from advancing
+// and leave the generator looping forever.
+func interArrival(rng *rand.Rand, arrival Arrival, rate float64) time.Duration {
+	var gap time.Duration
+	switch arrival {
+	case FixedInterval:
+		gap = time.Duration(float64(time.Second) / rate)
+	default: // Poisson: exponential gaps with mean 1/rate
+		gap = time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+	}
+	return max(gap, time.Nanosecond)
+}
+
+// arrivalSchedule returns the first n inter-arrival gaps the generator
+// would produce for the given process. Exposed for determinism tests and
+// offline analysis of a run's offered schedule.
+func arrivalSchedule(arrival Arrival, rate float64, seed int64, n int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	gaps := make([]time.Duration, n)
+	for i := range gaps {
+		gaps[i] = interArrival(rng, arrival, rate)
+	}
+	return gaps
+}
+
+// generateArrivals feeds scheduled arrival times into the dispatch queue
+// until the deadline, and returns how many arrivals fell inside the
+// measured window. Scheduled times advance by the deterministic gap
+// sequence even when the bounded queue back-pressures the send, so a slow
+// system shows up as queueing delay rather than a silently reduced rate.
+// abort unblocks the generator if every worker has already exited.
+func generateArrivals(ch chan<- time.Time, opt Options, start, measureFrom, deadline time.Time, abort <-chan struct{}) uint64 {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var offered uint64
+	next := start
+	for next.Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		// Check abort before the send: when the queue has free space both
+		// select cases are ready and the choice is random, which would
+		// let the generator keep enqueuing (and counting) arrivals no
+		// worker will ever execute.
+		select {
+		case <-abort:
+			return offered
+		default:
+		}
+		select {
+		case ch <- next:
+			if !next.Before(measureFrom) {
+				offered++
+			}
+		case <-abort:
+			return offered
+		}
+		next = next.Add(interArrival(rng, opt.Arrival, opt.TargetRate))
+	}
+	return offered
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalScheduleDeterministic(t *testing.T) {
+	a := arrivalSchedule(Poisson, 1000, 42, 256)
+	b := arrivalSchedule(Poisson, 1000, 42, 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d diverges under equal seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := arrivalSchedule(Poisson, 1000, 43, 256)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestArrivalSchedulePoissonMean(t *testing.T) {
+	const rate = 1000.0
+	gaps := arrivalSchedule(Poisson, rate, 7, 20_000)
+	var sum time.Duration
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	mean := sum / time.Duration(len(gaps))
+	want := time.Duration(float64(time.Second) / rate)
+	if mean < want*9/10 || mean > want*11/10 {
+		t.Fatalf("mean gap %v, want ~%v for rate %.0f", mean, want, rate)
+	}
+}
+
+func TestArrivalGapNeverZero(t *testing.T) {
+	// A rate beyond 1e9 tx/s truncates the fixed gap to 0ns, which would
+	// keep the generator's clock from ever advancing toward the deadline.
+	for _, g := range arrivalSchedule(FixedInterval, 2e9, 1, 4) {
+		if g < time.Nanosecond {
+			t.Fatalf("fixed gap %v would stall the arrival clock", g)
+		}
+	}
+	for _, g := range arrivalSchedule(Poisson, 2e9, 1, 1024) {
+		if g < time.Nanosecond {
+			t.Fatalf("poisson gap %v would stall the arrival clock", g)
+		}
+	}
+}
+
+func TestArrivalScheduleFixedInterval(t *testing.T) {
+	gaps := arrivalSchedule(FixedInterval, 500, 1, 16)
+	want := 2 * time.Millisecond
+	for i, g := range gaps {
+		if g != want {
+			t.Fatalf("gap %d = %v, want %v", i, g, want)
+		}
+	}
+}
+
+func TestOpenLoopUnderloadedTracksTargetRate(t *testing.T) {
+	sys := &stubSystem{latency: time.Millisecond}
+	opt := Options{
+		Workers:    4,
+		Duration:   400 * time.Millisecond,
+		Warmup:     100 * time.Millisecond,
+		Mode:       OpenLoop,
+		TargetRate: 500,
+		Arrival:    FixedInterval,
+		Seed:       1,
+	}
+	r := Run(sys, sources(4), opt)
+	if r.Mode != OpenLoop || r.TargetRate != 500 {
+		t.Fatalf("report does not echo open-loop config: %+v", r)
+	}
+	// 500 tx/s over a 400ms window ≈ 200 arrivals; 4 workers at 1ms
+	// service keep up easily, so committed tracks offered.
+	if r.Offered < 150 || r.Offered > 250 {
+		t.Fatalf("offered %d arrivals, want ~200", r.Offered)
+	}
+	if r.Committed < r.Offered*8/10 {
+		t.Fatalf("committed %d lags offered %d in an underloaded run", r.Committed, r.Offered)
+	}
+	if r.QueueDelay.Count == 0 {
+		t.Fatal("queueing delay unrecorded")
+	}
+	if r.Latency.Count != r.Committed {
+		t.Fatalf("service latency count %d != committed %d", r.Latency.Count, r.Committed)
+	}
+	// An underloaded open-loop run should see queueing well below service
+	// time.
+	if r.QueueDelay.P50 > r.Latency.P50*2+time.Millisecond {
+		t.Fatalf("median queue delay %v implausibly high vs service %v", r.QueueDelay.P50, r.Latency.P50)
+	}
+}
+
+func TestOpenLoopOverloadShowsQueueing(t *testing.T) {
+	// Capacity is 2 workers / 5ms ≈ 400 tx/s; offering 4000 tx/s must
+	// surface as queueing delay, not as inflated service latency.
+	sys := &stubSystem{latency: 5 * time.Millisecond}
+	r := Run(sys, sources(2), Options{
+		Workers:     2,
+		Duration:    300 * time.Millisecond,
+		Mode:        OpenLoop,
+		TargetRate:  4000,
+		Arrival:     FixedInterval,
+		Seed:        1,
+		MaxInFlight: 16,
+	})
+	if r.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if r.QueueDelay.Mean <= r.Latency.Mean {
+		t.Fatalf("overload hidden: queue delay %v not above service latency %v",
+			r.QueueDelay.Mean, r.Latency.Mean)
+	}
+	if r.Latency.Mean > 20*time.Millisecond {
+		t.Fatalf("service latency %v polluted by queueing", r.Latency.Mean)
+	}
+}
+
+func TestOpenLoopSourceExhaustionTerminates(t *testing.T) {
+	// All sources run dry immediately: every worker exits, and the
+	// generator must notice instead of blocking on a full queue forever.
+	done := make(chan Report, 1)
+	go func() {
+		done <- Run(&stubSystem{}, []TxSource{NewSliceSource(nil), NewSliceSource(nil)}, Options{
+			Workers:     2,
+			Duration:    200 * time.Millisecond,
+			Mode:        OpenLoop,
+			TargetRate:  10_000,
+			MaxInFlight: 4,
+		})
+	}()
+	select {
+	case r := <-done:
+		if r.Committed != 0 {
+			t.Fatalf("committed %d from empty sources", r.Committed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("open-loop run hung after workers exited")
+	}
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/occ"
+	"dichotomy/internal/system"
+	"dichotomy/internal/txn"
+)
+
+// shard is one worker's private accumulator. Workers never share a shard,
+// so the record path takes no locks and touches no cross-core cache
+// lines; buildReport merges shards once after wg.Wait().
+type shard struct {
+	committed uint64
+	aborted   uint64
+	errs      uint64
+	// lat holds service latency (dispatch to completion) of commits.
+	lat metrics.LocalHistogram
+	// qdelay holds scheduled-arrival-to-dispatch delay (open loop only).
+	qdelay  metrics.LocalHistogram
+	abortBy map[string]uint64
+	// phases is per-worker; its internal mutex is never contended.
+	phases *metrics.Breakdown
+	// last is the completion time of the newest recorded sample; the
+	// merged maximum defines the true end of the measured window.
+	last time.Time
+}
+
+func newShard() *shard {
+	return &shard{
+		abortBy: make(map[string]uint64),
+		phases:  metrics.NewBreakdown(),
+	}
+}
+
+// record books one measured transaction outcome into the shard.
+func (sh *shard) record(t *txn.Tx, r system.Result, service time.Duration, end time.Time) {
+	switch {
+	case r.Committed:
+		sh.committed++
+		sh.lat.Record(service)
+	case r.Err != nil && r.Reason == occ.OK:
+		sh.errs++
+	default:
+		sh.aborted++
+		sh.abortBy[r.Reason.String()]++
+	}
+	sh.last = end
+	sh.phases.Merge(t.Trace)
+}
+
+// closedWorker issues transactions back-to-back until the deadline. A
+// transaction started before the deadline may finish after it and is
+// still recorded; Elapsed accounts for that.
+func closedWorker(sys system.System, src TxSource, sh *shard, measureFrom, deadline time.Time, budget *atomic.Int64) {
+	for time.Now().Before(deadline) {
+		t, err := src.Next()
+		if err != nil {
+			return
+		}
+		txStart := time.Now()
+		r := sys.Execute(t)
+		end := time.Now()
+		if txStart.Before(measureFrom) {
+			continue // warm-up
+		}
+		if budget != nil && budget.Add(-1) < 0 {
+			return
+		}
+		sh.record(t, r, end.Sub(txStart), end)
+	}
+}
+
+// openWorker dispatches transactions from the arrival queue. Queueing
+// delay (scheduled arrival to dispatch) is recorded separately from
+// service latency. The next transaction is generated before waiting on
+// the queue — like a client preparing its request ahead of the send
+// slot — so generation cost (e.g. signing) is charged to neither
+// queueing delay nor service latency, matching the closed-loop path.
+func openWorker(sys system.System, src TxSource, sh *shard, arrivals <-chan time.Time, measureFrom time.Time, budget *atomic.Int64) {
+	for {
+		t, err := src.Next()
+		if err != nil {
+			return
+		}
+		sched, ok := <-arrivals
+		if !ok {
+			return
+		}
+		dispatch := time.Now()
+		delay := dispatch.Sub(sched)
+		if delay < 0 {
+			delay = 0
+		}
+		r := sys.Execute(t)
+		end := time.Now()
+		if sched.Before(measureFrom) {
+			continue // warm-up
+		}
+		if budget != nil && budget.Add(-1) < 0 {
+			return
+		}
+		sh.qdelay.Record(delay)
+		sh.record(t, r, end.Sub(dispatch), end)
+	}
+}

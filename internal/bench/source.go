@@ -1,0 +1,35 @@
+package bench
+
+import "dichotomy/internal/txn"
+
+// SliceSource adapts a pre-built transaction list to TxSource; it stops
+// (returns an error) when exhausted.
+type SliceSource struct {
+	txs []*txn.Tx
+	pos int
+}
+
+// NewSliceSource wraps txs.
+func NewSliceSource(txs []*txn.Tx) *SliceSource { return &SliceSource{txs: txs} }
+
+// Next implements TxSource.
+func (s *SliceSource) Next() (*txn.Tx, error) {
+	if s.pos >= len(s.txs) {
+		return nil, errExhausted
+	}
+	t := s.txs[s.pos]
+	s.pos++
+	return t, nil
+}
+
+var errExhausted = exhaustedError{}
+
+type exhaustedError struct{}
+
+func (exhaustedError) Error() string { return "bench: transaction source exhausted" }
+
+// FuncSource adapts a closure to TxSource.
+type FuncSource func() (*txn.Tx, error)
+
+// Next implements TxSource.
+func (f FuncSource) Next() (*txn.Tx, error) { return f() }

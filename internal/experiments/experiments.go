@@ -150,21 +150,47 @@ func PreloadYCSB(sys system.System, cfg ycsb.Config, client *cryptoutil.Signer) 
 	return bench.Preload(sys, txs, 16)
 }
 
-// RunYCSB drives the workload and returns the report.
-func RunYCSB(sys system.System, cfg ycsb.Config, sc Scale, workers int, client *cryptoutil.Signer) bench.Report {
+// BenchOptions builds the closed-loop harness options for sc; workers ≤ 0
+// selects the scale's saturation worker count.
+func BenchOptions(sc Scale, workers int) bench.Options {
 	if workers <= 0 {
 		workers = sc.Workers
 	}
-	sources := make([]bench.TxSource, workers)
+	return bench.Options{
+		Workers:  workers,
+		Duration: sc.Duration,
+		Warmup:   sc.Warmup,
+	}
+}
+
+// RunYCSB drives the workload closed-loop and returns the report.
+func RunYCSB(sys system.System, cfg ycsb.Config, sc Scale, workers int, client *cryptoutil.Signer) bench.Report {
+	return RunYCSBOptions(sys, cfg, BenchOptions(sc, workers), client)
+}
+
+// RunYCSBOpenLoop drives the workload with Poisson arrivals at rate tx/s
+// (deterministic seed) and returns a report separating queueing delay
+// from service latency.
+func RunYCSBOpenLoop(sys system.System, cfg ycsb.Config, sc Scale, workers int, rate float64, client *cryptoutil.Signer) bench.Report {
+	opt := BenchOptions(sc, workers)
+	opt.Mode = bench.OpenLoop
+	opt.TargetRate = rate
+	opt.Arrival = bench.Poisson
+	opt.Seed = 1
+	return RunYCSBOptions(sys, cfg, opt, client)
+}
+
+// RunYCSBOptions drives the workload with fully explicit harness options.
+func RunYCSBOptions(sys system.System, cfg ycsb.Config, opt bench.Options, client *cryptoutil.Signer) bench.Report {
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	sources := make([]bench.TxSource, opt.Workers)
 	for i := range sources {
 		gen := ycsb.NewGenerator(withSeed(cfg, int64(i+1)), client)
 		sources[i] = bench.FuncSource(gen.Next)
 	}
-	return bench.Run(sys, sources, bench.Options{
-		Workers:  workers,
-		Duration: sc.Duration,
-		Warmup:   sc.Warmup,
-	})
+	return bench.Run(sys, sources, opt)
 }
 
 func withSeed(cfg ycsb.Config, seed int64) ycsb.Config {

@@ -73,6 +73,24 @@ func TestFig15PredictionsPrinted(t *testing.T) {
 	}
 }
 
+func TestPeakOpenLoopRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two systems across load points")
+	}
+	var buf bytes.Buffer
+	sc := tiny()
+	Peak(&buf, sc, []float64{0.5})
+	out := buf.String()
+	for _, want := range []string{"Peak:", "queue-p99", "quorum-raft", "etcd"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("peak output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "preload-error") || strings.Contains(out, "no-peak") {
+		t.Fatalf("peak sweep failed to calibrate:\n%s", out)
+	}
+}
+
 func TestFig4Runs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spins five systems")

@@ -48,10 +48,11 @@ func Fig4(w io.Writer, sc Scale) {
 }
 
 // Fig5 reproduces "Latency of YCSB workload": unsaturated latency (single
-// closed-loop client) for the same systems and workloads.
+// closed-loop client) for the same systems and workloads, with the P99
+// tail alongside the paper's means.
 func Fig5(w io.Writer, sc Scale) {
 	Header(w, "Fig 5: YCSB latency, unsaturated (update / query)")
-	Row(w, "system", "update-mean", "query-mean")
+	Row(w, "system", "update-mean", "update-p99", "query-mean", "query-p99")
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
 	for _, build := range fig4Systems(sc, client) {
@@ -64,7 +65,50 @@ func Fig5(w io.Writer, sc Scale) {
 		queryCfg := cfg
 		queryCfg.ReadFraction = 1
 		query := RunYCSB(sys, queryCfg, sc, 1, client)
-		Row(w, sys.Name(), update.Latency.Mean, query.Latency.Mean)
+		Row(w, sys.Name(), update.Latency.Mean, update.Latency.P99,
+			query.Latency.Mean, query.Latency.P99)
+		sys.Close()
+	}
+}
+
+// Peak sweeps offered load against each system with the open-loop driver:
+// the closed-loop saturation throughput calibrates a set of target rates
+// (fractions of peak), and each rate reports delivered tps, service
+// latency, and queueing delay separately — the latency-vs-offered-load
+// curve a closed-loop harness structurally cannot produce (arrivals keep
+// coming when the system slows down, so overload shows up as queueing).
+func Peak(w io.Writer, sc Scale, fracs []float64) {
+	Header(w, "Peak: open-loop latency vs offered load (Poisson arrivals)")
+	Row(w, "system", "frac", "rate", "tps", "svc-p50", "svc-p99", "queue-p50", "queue-p99")
+	if len(fracs) == 0 {
+		fracs = []float64{0.5, 0.9, 1.2}
+	}
+	client := Client()
+	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
+	builds := []func() system.System{
+		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() system.System { return BuildEtcd(3) },
+	}
+	for _, build := range builds {
+		sys := build()
+		if err := PreloadYCSB(sys, cfg, client); err != nil {
+			Row(w, sys.Name(), "preload-error", err.Error())
+			sys.Close()
+			continue
+		}
+		peak := RunYCSB(sys, cfg, sc, 0, client).TPS
+		if peak <= 0 {
+			Row(w, sys.Name(), "no-peak")
+			sys.Close()
+			continue
+		}
+		for _, frac := range fracs {
+			rate := peak * frac
+			r := RunYCSBOpenLoop(sys, cfg, sc, 0, rate, client)
+			Row(w, sys.Name(), frac, rate, r.TPS,
+				r.Latency.P50, r.Latency.P99,
+				r.QueueDelay.P50, r.QueueDelay.P99)
+		}
 		sys.Close()
 	}
 }
@@ -78,11 +122,7 @@ func RunSmallbank(sys system.System, cfg smallbank.Config, sc Scale, client *cry
 		gen := smallbank.NewGenerator(c, client)
 		sources[i] = bench.FuncSource(gen.Next)
 	}
-	return bench.Run(sys, sources, bench.Options{
-		Workers:  sc.Workers,
-		Duration: sc.Duration,
-		Warmup:   sc.Warmup,
-	})
+	return bench.Run(sys, sources, BenchOptions(sc, sc.Workers))
 }
 
 // Fig6 reproduces "Throughput of the skewed Smallbank workload": fabric,

@@ -33,6 +33,13 @@ func (c *Counter) Load() uint64 { return c.v.Load() }
 // HDR histogram: 64 major buckets (powers of two of microseconds), each
 // split into 16 linear sub-buckets, bounding relative error at ~6%.
 // The zero value is ready to use and safe for concurrent Record calls.
+//
+// Histogram is the shared-writer variant, for recorders that cannot be
+// given private state (live monitoring of a long-running component).
+// Hot paths that can shard per worker should prefer LocalHistogram and
+// merge once at the end — the benchmark harness does exactly that. The
+// two implement the same bucket scheme and their snapshots are
+// interchangeable (asserted by tests).
 type Histogram struct {
 	buckets [64 * 16]atomic.Uint64
 	count   atomic.Uint64
@@ -91,7 +98,13 @@ func (h *Histogram) Max() time.Duration {
 
 // Percentile returns the approximate p-th percentile (0 < p ≤ 100).
 func (h *Histogram) Percentile(p float64) time.Duration {
-	total := h.count.Load()
+	return percentileOver(h.count.Load(), p, func(i int) uint64 { return h.buckets[i].Load() }, h.Max())
+}
+
+// percentileOver walks buckets (indexed by the shared bucketIndex scheme)
+// until the rank for percentile p is reached; max is returned when the
+// rank falls past the last bucket.
+func percentileOver(total uint64, p float64, bucket func(int) uint64, max time.Duration) time.Duration {
 	if total == 0 {
 		return 0
 	}
@@ -100,13 +113,13 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 		rank = 1
 	}
 	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
+	for i := 0; i < numBuckets; i++ {
+		seen += bucket(i)
 		if seen >= rank {
 			return bucketValue(i)
 		}
 	}
-	return h.Max()
+	return max
 }
 
 // bucketValue is the inverse of bucketIndex: the lower bound of slot idx.
@@ -132,6 +145,76 @@ type Snapshot struct {
 
 // Snapshot returns the current summary.
 func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
+// LocalHistogram is the unsynchronized counterpart of Histogram for
+// single-goroutine accumulation: same bucket scheme and error bound, plain
+// uint64 slots instead of atomics. The benchmark harness gives each worker
+// one LocalHistogram and merges them after the run, keeping the record
+// path free of cross-core cache traffic. The zero value is ready to use.
+type LocalHistogram struct {
+	buckets [numBuckets]uint64
+	count   uint64
+	sum     uint64 // microseconds
+	maxUS   uint64
+}
+
+// Record adds one observation.
+func (h *LocalHistogram) Record(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	h.buckets[bucketIndex(us)]++
+	h.count++
+	h.sum += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+}
+
+// Merge folds o into h. Neither histogram may be concurrently mutated.
+func (h *LocalHistogram) Merge(o *LocalHistogram) {
+	if o == nil {
+		return
+	}
+	for i := range o.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.maxUS > h.maxUS {
+		h.maxUS = o.maxUS
+	}
+}
+
+// Count returns the number of observations.
+func (h *LocalHistogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation.
+func (h *LocalHistogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum/h.count) * time.Microsecond
+}
+
+// Max returns the largest observation.
+func (h *LocalHistogram) Max() time.Duration {
+	return time.Duration(h.maxUS) * time.Microsecond
+}
+
+// Percentile returns the approximate p-th percentile (0 < p ≤ 100).
+func (h *LocalHistogram) Percentile(p float64) time.Duration {
+	return percentileOver(h.count, p, func(i int) uint64 { return h.buckets[i] }, h.Max())
+}
+
+// Snapshot returns the current summary.
+func (h *LocalHistogram) Snapshot() Snapshot {
 	return Snapshot{
 		Count: h.Count(),
 		Mean:  h.Mean(),
@@ -231,6 +314,36 @@ func (b *Breakdown) Merge(t *Trace) {
 		b.totals[name] += d
 		b.counts[name]++
 		b.mu.Unlock()
+	}
+}
+
+// MergeFrom folds another aggregate into b. Used by the benchmark
+// harness to combine per-worker breakdowns after a run. The source is
+// snapshotted before b locks, so the two mutexes are never held together
+// (no lock-order inversion between concurrent cross-merges, and
+// b.MergeFrom(b) is a no-op rather than a self-deadlock).
+func (b *Breakdown) MergeFrom(o *Breakdown) {
+	if o == nil || o == b {
+		return
+	}
+	o.mu.Lock()
+	totals := make(map[string]time.Duration, len(o.totals))
+	counts := make(map[string]uint64, len(o.counts))
+	for name, d := range o.totals {
+		totals[name] = d
+	}
+	for name, n := range o.counts {
+		counts[name] = n
+	}
+	o.mu.Unlock()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for name, d := range totals {
+		b.totals[name] += d
+	}
+	for name, n := range counts {
+		b.counts[name] += n
 	}
 }
 

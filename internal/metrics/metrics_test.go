@@ -172,6 +172,61 @@ func TestBreakdownPhasesSorted(t *testing.T) {
 	}
 }
 
+func TestLocalHistogramMatchesHistogram(t *testing.T) {
+	var atomic Histogram
+	var local LocalHistogram
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		atomic.Record(d)
+		local.Record(d)
+	}
+	want, got := atomic.Snapshot(), local.Snapshot()
+	if want != got {
+		t.Fatalf("snapshots diverge: atomic %+v, local %+v", want, got)
+	}
+}
+
+func TestLocalHistogramMerge(t *testing.T) {
+	var whole LocalHistogram
+	parts := make([]LocalHistogram, 4)
+	for i := 1; i <= 400; i++ {
+		d := time.Duration(i) * time.Millisecond
+		whole.Record(d)
+		parts[i%len(parts)].Record(d)
+	}
+	var merged LocalHistogram
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	merged.Merge(nil)
+	if whole.Snapshot() != merged.Snapshot() {
+		t.Fatalf("merge diverges: whole %+v, merged %+v", whole.Snapshot(), merged.Snapshot())
+	}
+}
+
+func TestLocalHistogramEmpty(t *testing.T) {
+	var h LocalHistogram
+	if h.Mean() != 0 || h.Percentile(99) != 0 || h.Max() != 0 {
+		t.Fatal("empty local histogram should report zeros")
+	}
+}
+
+func TestBreakdownMergeFrom(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Observe(PhaseCommit, 10*time.Millisecond)
+	b.Observe(PhaseCommit, 20*time.Millisecond)
+	b.Observe(PhaseOrder, 4*time.Millisecond)
+	a.MergeFrom(b)
+	a.MergeFrom(nil)
+	a.MergeFrom(a) // self-merge must be a no-op, not a deadlock
+	if got := a.Mean(PhaseCommit); got != 15*time.Millisecond {
+		t.Fatalf("commit mean = %v, want 15ms", got)
+	}
+	if got := a.Mean(PhaseOrder); got != 4*time.Millisecond {
+		t.Fatalf("order mean = %v, want 4ms", got)
+	}
+}
+
 func TestBucketValueMonotone(t *testing.T) {
 	prev := time.Duration(-1)
 	for i := 0; i < 64*16; i++ {
