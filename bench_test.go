@@ -9,11 +9,18 @@
 package main
 
 import (
+	"fmt"
+	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dichotomy/internal/experiments"
+	"dichotomy/internal/state"
+	"dichotomy/internal/storage/memdb"
+	"dichotomy/internal/txn"
 )
 
 // benchScale keeps testing.B iterations fast while exercising the full
@@ -108,4 +115,88 @@ func BenchmarkFig15HybridFramework(b *testing.B) {
 func BenchmarkPeakOpenLoop(b *testing.B) {
 	sc := benchScale()
 	runOnce(b, func() { experiments.Peak(os.Stderr, sc, []float64{0.5, 1.2}) })
+}
+
+func BenchmarkContentionSweep(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Contention(os.Stderr, sc, []int{1, 4}) })
+}
+
+// BenchmarkStateScaling measures the shared state layer's worker scaling:
+// a single-stripe store (the old per-system global lock, reproduced
+// exactly by shards=1) against the striped default, at 1/4/16 workers
+// running the layer's operation mix — point reads, version lookups,
+// per-key version CAS, and small block commits. Striped throughput
+// pulling away from the global baseline as workers grow is the refactor's
+// acceptance check; the separation needs parallel hardware (GOMAXPROCS
+// > 1) — on a single-CPU host both variants serialize and the numbers
+// converge to per-op overhead parity.
+func BenchmarkStateScaling(b *testing.B) {
+	layouts := []struct {
+		name   string
+		shards int
+	}{
+		{"global", 1},
+		{"striped", 64},
+	}
+	for _, layout := range layouts {
+		for _, workers := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/workers=%d", layout.name, workers), func(b *testing.B) {
+				st := state.New(memdb.New(), layout.shards)
+				defer st.Close()
+				keys := make([]string, 4096)
+				seed := st.NewBlock()
+				for i := range keys {
+					keys[i] = fmt.Sprintf("key-%04d", i)
+					seed.Stage(txn.Write{Key: keys[i], Value: []byte("seed")},
+						txn.Version{BlockNum: 1, TxNum: uint32(i)})
+				}
+				if err := seed.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				var blockNum atomic.Uint64
+				blockNum.Store(1)
+				per := b.N/workers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(w) + 1))
+						value := []byte("value")
+						for i := 0; i < per; i++ {
+							k := keys[rng.Intn(len(keys))]
+							switch i % 8 {
+							case 0: // block commit: a small multi-key write group
+								bn := blockNum.Add(1)
+								block := []state.VersionedWrite{
+									{Write: txn.Write{Key: k, Value: value},
+										Version: txn.Version{BlockNum: bn}},
+									{Write: txn.Write{Key: keys[rng.Intn(len(keys))], Value: value},
+										Version: txn.Version{BlockNum: bn, TxNum: 1}},
+								}
+								if err := st.ApplyBlock(block); err != nil {
+									b.Error(err)
+									return
+								}
+							case 2: // validation: read-version + CAS
+								cur, _ := st.CommittedVersion(k)
+								st.CompareAndSetVersion(k, cur,
+									txn.Version{BlockNum: blockNum.Add(1)})
+							case 4, 6: // point read through the engine
+								if _, _, err := st.Get(k); err != nil {
+									b.Error(err)
+									return
+								}
+							default: // version lookup (the validation read path)
+								st.CommittedVersion(k)
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
 }

@@ -6,7 +6,11 @@
 //	dichotomy-bench all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table4 table5 peak.
+// fig14 fig15 table4 table5 peak contention.
+//
+// contention sweeps closed-loop worker counts per system and reports
+// throughput with tail latency — the lock-convoy diagnostic behind the
+// shared internal/state layer.
 //
 // peak is the open-loop latency-under-load sweep: it calibrates each
 // system's closed-loop saturation throughput, then offers Poisson
@@ -31,7 +35,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -48,6 +52,7 @@ func main() {
 		sizes  = []int{10, 100, 1000, 5000}
 		shards = []int{1, 2, 4}
 		fracs  = []float64{0.5, 0.9, 1.2}
+		conc   = []int{1, 4, 16}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -58,27 +63,30 @@ func main() {
 		ops = []int{1, 2, 4, 6, 8, 10}
 		shards = []int{1, 2, 4, 8, 16}
 		fracs = []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.2}
+		conc = []int{1, 4, 16, 64}
 	}
 
 	runners := map[string]func(){
-		"fig4":   func() { experiments.Fig4(os.Stdout, sc) },
-		"fig5":   func() { experiments.Fig5(os.Stdout, sc) },
-		"fig6":   func() { experiments.Fig6(os.Stdout, sc) },
-		"fig7":   func() { experiments.Fig7(os.Stdout, sc, fs) },
-		"fig8":   func() { experiments.Fig8(os.Stdout, sc) },
-		"fig9":   func() { experiments.Fig9(os.Stdout, sc, thetas) },
-		"fig10":  func() { experiments.Fig10(os.Stdout, sc, ops) },
-		"fig11":  func() { experiments.Fig11(os.Stdout, sc, sizes) },
-		"fig12":  func() { experiments.Fig12(os.Stdout, sc, sizes) },
-		"fig13":  func() { experiments.Fig13(os.Stdout, sc, sizes) },
-		"fig14":  func() { experiments.Fig14(os.Stdout, sc, shards) },
-		"fig15":  func() { experiments.Fig15(os.Stdout, sc) },
-		"table4": func() { experiments.Table4(os.Stdout, sc, nodes) },
-		"table5": func() { experiments.Table5(os.Stdout, sc, grid) },
-		"peak":   func() { experiments.Peak(os.Stdout, sc, fracs) },
+		"fig4":       func() { experiments.Fig4(os.Stdout, sc) },
+		"fig5":       func() { experiments.Fig5(os.Stdout, sc) },
+		"fig6":       func() { experiments.Fig6(os.Stdout, sc) },
+		"fig7":       func() { experiments.Fig7(os.Stdout, sc, fs) },
+		"fig8":       func() { experiments.Fig8(os.Stdout, sc) },
+		"fig9":       func() { experiments.Fig9(os.Stdout, sc, thetas) },
+		"fig10":      func() { experiments.Fig10(os.Stdout, sc, ops) },
+		"fig11":      func() { experiments.Fig11(os.Stdout, sc, sizes) },
+		"fig12":      func() { experiments.Fig12(os.Stdout, sc, sizes) },
+		"fig13":      func() { experiments.Fig13(os.Stdout, sc, sizes) },
+		"fig14":      func() { experiments.Fig14(os.Stdout, sc, shards) },
+		"fig15":      func() { experiments.Fig15(os.Stdout, sc) },
+		"table4":     func() { experiments.Table4(os.Stdout, sc, nodes) },
+		"table5":     func() { experiments.Table5(os.Stdout, sc, grid) },
+		"peak":       func() { experiments.Peak(os.Stdout, sc, fracs) },
+		"contention": func() { experiments.Contention(os.Stdout, sc, conc) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
-		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak"}
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
+		"contention"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

@@ -11,7 +11,7 @@ import (
 	"dichotomy/internal/contract"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
-	"dichotomy/internal/storage"
+	"dichotomy/internal/state"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -48,16 +48,17 @@ func (c BigchainConfig) withDefaults() BigchainConfig {
 	return c
 }
 
+// bigchainNode executes the ordered ledger against its replica of state
+// in the shared striped state layer; the apply loop is the only accessor,
+// so no node-level lock is needed.
 type bigchainNode struct {
-	b        *Bigchain
-	cons     consensus.Node
-	engine   storage.Engine
-	stateMu  sync.Mutex
-	versions map[string]txn.Version
-	reg      *contract.Registry
-	height   uint64
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
+	b      *Bigchain
+	cons   consensus.Node
+	st     *state.Store
+	reg    *contract.Registry
+	height uint64
+	stopCh chan struct{}
+	wg     sync.WaitGroup
 }
 
 var _ system.System = (*Bigchain)(nil)
@@ -77,11 +78,10 @@ func NewBigchain(cfg BigchainConfig) *Bigchain {
 	}
 	for _, id := range peers {
 		n := &bigchainNode{
-			b:        b,
-			engine:   memdb.New(),
-			versions: make(map[string]txn.Version),
-			reg:      contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
-			stopCh:   make(chan struct{}),
+			b:      b,
+			st:     state.New(memdb.New(), 0),
+			reg:    contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
+			stopCh: make(chan struct{}),
 		}
 		n.cons = pbft.New(pbft.Config{ID: id, Peers: peers, Endpoint: b.net.Register(id, 8192)})
 		b.nodes = append(b.nodes, n)
@@ -145,22 +145,16 @@ func (n *bigchainNode) apply(e consensus.Entry) {
 		return
 	}
 	t := v.(*txn.Tx)
-	n.stateMu.Lock()
 	n.height++
-	rw, err := n.reg.Execute(n.stateReader(), t.Invocation)
+	rw, err := n.reg.Execute(n.st, t.Invocation)
 	if err == nil {
 		ver := txn.Version{BlockNum: n.height}
-		for _, w := range rw.Writes {
-			if w.Value == nil {
-				_ = n.engine.Delete([]byte(w.Key))
-				delete(n.versions, w.Key)
-				continue
-			}
-			_ = n.engine.Put([]byte(w.Key), w.Value)
-			n.versions[w.Key] = ver
+		vw := make([]state.VersionedWrite, len(rw.Writes))
+		for i, w := range rw.Writes {
+			vw[i] = state.VersionedWrite{Write: w, Version: ver}
 		}
+		err = n.st.ApplyBlock(vw)
 	}
-	n.stateMu.Unlock()
 	r := system.Result{Committed: err == nil}
 	if err != nil {
 		r.Reason = occ.OK
@@ -169,21 +163,15 @@ func (n *bigchainNode) apply(e consensus.Entry) {
 	n.b.waiters.Resolve(string(t.ID[:]), r)
 }
 
-func (n *bigchainNode) stateReader() contract.StateReader { return (*bigchainState)(n) }
-
-type bigchainState bigchainNode
-
-// GetState implements contract.StateReader.
-func (s *bigchainState) GetState(key string) ([]byte, txn.Version, error) {
-	v, err := s.engine.Get([]byte(key))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	if err != nil {
-		return nil, txn.Version{}, err
-	}
-	return v, s.versions[key], nil
+// ReadState returns the committed value of key on the first validator
+// (the uniform inspection surface the shared state layer provides).
+func (b *Bigchain) ReadState(key string) ([]byte, bool) {
+	v, _, err := b.nodes[0].st.Get(key)
+	return v, err == nil
 }
+
+// State exposes validator i's striped state store (tests and inspection).
+func (b *Bigchain) State(i int) *state.Store { return b.nodes[i].st }
 
 // Close implements system.System.
 func (b *Bigchain) Close() {
@@ -194,7 +182,7 @@ func (b *Bigchain) Close() {
 		for _, n := range b.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			n.engine.Close()
+			n.st.Close()
 		}
 		b.net.Close()
 	})

@@ -11,7 +11,7 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/sharedlog"
-	"dichotomy/internal/storage"
+	"dichotomy/internal/state"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -59,11 +59,12 @@ func (c VeritasConfig) withDefaults() VeritasConfig {
 	return c
 }
 
+// veritasNode holds one verifier's replica of state in the shared striped
+// state layer. The apply loop is its only writer; Execute simulates
+// against consistent snapshots. height is owned by the apply loop.
 type veritasNode struct {
 	v        *Veritas
-	engine   storage.Engine
-	stateMu  sync.RWMutex
-	versions map[string]txn.Version
+	st       *state.Store
 	consumer *sharedlog.Consumer
 	height   uint64
 	stopCh   chan struct{}
@@ -87,10 +88,9 @@ func NewVeritas(cfg VeritasConfig) *Veritas {
 	})
 	for i := 0; i < cfg.Verifiers; i++ {
 		n := &veritasNode{
-			v:        v,
-			engine:   memdb.New(),
-			versions: make(map[string]txn.Version),
-			stopCh:   make(chan struct{}),
+			v:      v,
+			st:     state.New(memdb.New(), 0),
+			stopCh: make(chan struct{}),
 		}
 		n.consumer = v.log.Subscribe(1)
 		n.wg.Add(1)
@@ -110,10 +110,10 @@ func (v *Veritas) Execute(t *txn.Tx) system.Result {
 	var rw txn.RWSet
 	var err error
 	t.Trace.Time(metrics.PhaseExecute, func() {
-		n.stateMu.RLock()
-		defer n.stateMu.RUnlock()
+		snap := n.st.Snapshot()
+		defer snap.Release()
 		reg := contract.NewRegistry(contract.KV{}, contract.Smallbank{})
-		rw, err = reg.Execute(n.stateReader(), t.Invocation)
+		rw, err = reg.Execute(snap, t.Invocation)
 	})
 	if err != nil {
 		if errors.Is(err, contract.ErrAbort) {
@@ -158,9 +158,17 @@ func (n *veritasNode) applyLoop() {
 }
 
 func (n *veritasNode) applyBatch(batch sharedlog.Batch) {
-	n.stateMu.Lock()
 	n.height++
 	first := n == n.v.nodes[0]
+	// Validate against the block overlay (so later effects in the batch
+	// see earlier ones), stage valid writes, then flush the whole batch
+	// through the store's grouped block-commit path before acking.
+	stage := n.st.NewBlock()
+	type outcome struct {
+		t       *txn.Tx
+		verdict occ.AbortReason
+	}
+	outcomes := make([]outcome, 0, len(batch.Records))
 	for i, rec := range batch.Records {
 		id, ok := system.HandleID(rec)
 		if !ok {
@@ -171,52 +179,31 @@ func (n *veritasNode) applyBatch(batch sharedlog.Batch) {
 			continue
 		}
 		t := val.(*txn.Tx)
-		verdict := occ.Validate(t.RWSet, n.versionView())
+		verdict := occ.Validate(t.RWSet, stage)
 		if verdict == occ.OK {
-			ver := txn.Version{BlockNum: n.height, TxNum: uint32(i)}
-			for _, w := range t.RWSet.Writes {
-				if w.Value == nil {
-					_ = n.engine.Delete([]byte(w.Key))
-					delete(n.versions, w.Key)
-					continue
-				}
-				_ = n.engine.Put([]byte(w.Key), w.Value)
-				n.versions[w.Key] = ver
-			}
+			stage.StageAll(t.RWSet.Writes, txn.Version{BlockNum: n.height, TxNum: uint32(i)})
 		}
-		if first {
-			n.v.waiters.Resolve(string(t.ID[:]),
-				system.Result{Committed: verdict == occ.OK, Reason: verdict})
-		}
+		outcomes = append(outcomes, outcome{t: t, verdict: verdict})
 	}
-	n.stateMu.Unlock()
+	err := stage.Commit()
+	if !first {
+		return
+	}
+	for _, o := range outcomes {
+		r := system.Result{Committed: o.verdict == occ.OK && err == nil, Reason: o.verdict, Err: err}
+		n.v.waiters.Resolve(string(o.t.ID[:]), r)
+	}
 }
 
-func (n *veritasNode) stateReader() contract.StateReader { return (*veritasState)(n) }
-
-type veritasState veritasNode
-
-// GetState implements contract.StateReader.
-func (s *veritasState) GetState(key string) ([]byte, txn.Version, error) {
-	v, err := s.engine.Get([]byte(key))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	if err != nil {
-		return nil, txn.Version{}, err
-	}
-	return v, s.versions[key], nil
+// ReadState returns the committed value of key on the first verifier (the
+// uniform inspection surface the shared state layer provides).
+func (v *Veritas) ReadState(key string) ([]byte, bool) {
+	val, _, err := v.nodes[0].st.Get(key)
+	return val, err == nil
 }
 
-func (n *veritasNode) versionView() occ.VersionSource { return (*veritasVersions)(n) }
-
-type veritasVersions veritasNode
-
-// CommittedVersion implements occ.VersionSource.
-func (s *veritasVersions) CommittedVersion(key string) (txn.Version, bool) {
-	v, ok := s.versions[key]
-	return v, ok
-}
+// State exposes verifier i's striped state store (tests and inspection).
+func (v *Veritas) State(i int) *state.Store { return v.nodes[i].st }
 
 // Close implements system.System.
 func (v *Veritas) Close() {
@@ -227,7 +214,7 @@ func (v *Veritas) Close() {
 		}
 		for _, n := range v.nodes {
 			n.wg.Wait()
-			n.engine.Close()
+			n.st.Close()
 		}
 		v.net.Close()
 	})

@@ -5,13 +5,19 @@
 // below their snapshot timestamp and block on (here: abort at) conflicting
 // locks. The latch contention this creates on hot primary records is the
 // mechanism behind TiDB's collapse under skew in Fig 9.
+//
+// The store is built on the lock-striped shard map of internal/state:
+// each key's version chain and Percolator lock live in one entry whose
+// stripe lock scopes every per-key operation, so transactions touching
+// different keys no longer funnel through a single store-wide mutex.
 package mvcc
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"sync"
+	"slices"
+
+	"dichotomy/internal/state"
 )
 
 // ErrLocked is returned when a read or prewrite encounters another
@@ -41,36 +47,28 @@ type lock struct {
 	delete_ bool
 }
 
-// Store is a multi-version key space. Safe for concurrent use.
+// keyEntry is one key's transactional state: its committed version chain
+// (ascending commitTS) and its current Percolator lock, if any. Keeping
+// both in one striped-map entry makes the combined lock-then-version
+// checks atomic under the stripe lock.
+type keyEntry struct {
+	versions []version
+	lock     *lock
+}
+
+// Store is a multi-version key space. Safe for concurrent use; keys hash
+// to independent stripes.
 type Store struct {
-	mu       sync.RWMutex
-	versions map[string][]version // ascending commitTS
-	locks    map[string]*lock
+	keys *state.Map[*keyEntry]
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		versions: make(map[string][]version),
-		locks:    make(map[string]*lock),
-	}
+	return &Store{keys: state.NewMap[*keyEntry](0)}
 }
 
-// Get reads key at snapshot ts. A lock with startTS ≤ ts from another
-// transaction makes the outcome ambiguous; Percolator waits or resolves,
-// TiDB's optimistic path surfaces it — we return ErrLocked and the caller
-// retries or aborts.
-func (s *Store) Get(key string, ts uint64) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if l, ok := s.locks[key]; ok && l.startTS <= ts {
-		return nil, fmt.Errorf("%w: key %q since ts %d", ErrLocked, key, l.startTS)
-	}
-	return s.readVersionLocked(key, ts)
-}
-
-func (s *Store) readVersionLocked(key string, ts uint64) ([]byte, error) {
-	vs := s.versions[key]
+// readVersion returns the newest value at or below ts.
+func readVersion(vs []version, ts uint64) ([]byte, error) {
 	for i := len(vs) - 1; i >= 0; i-- {
 		if vs[i].commitTS <= ts {
 			if vs[i].value == nil {
@@ -82,89 +80,123 @@ func (s *Store) readVersionLocked(key string, ts uint64) ([]byte, error) {
 	return nil, ErrNotFound
 }
 
+// Get reads key at snapshot ts. A lock with startTS ≤ ts from another
+// transaction makes the outcome ambiguous; Percolator waits or resolves,
+// TiDB's optimistic path surfaces it — we return ErrLocked and the caller
+// retries or aborts.
+func (s *Store) Get(key string, ts uint64) ([]byte, error) {
+	val, err := []byte(nil), error(ErrNotFound)
+	s.keys.View(key, func(e *keyEntry, ok bool) {
+		if !ok {
+			return
+		}
+		if e.lock != nil && e.lock.startTS <= ts {
+			err = fmt.Errorf("%w: key %q since ts %d", ErrLocked, key, e.lock.startTS)
+			return
+		}
+		val, err = readVersion(e.versions, ts)
+	})
+	return val, err
+}
+
 // LatestCommitTS returns the newest commit timestamp of key (0 if never
 // written).
 func (s *Store) LatestCommitTS(key string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vs := s.versions[key]
-	if len(vs) == 0 {
-		return 0
-	}
-	return vs[len(vs)-1].commitTS
+	var ts uint64
+	s.keys.View(key, func(e *keyEntry, ok bool) {
+		if ok && len(e.versions) > 0 {
+			ts = e.versions[len(e.versions)-1].commitTS
+		}
+	})
+	return ts
 }
 
 // Prewrite attempts to lock key for the transaction that started at
 // startTS, buffering the new value. primary names the transaction's
 // primary key, whose lock decides the transaction's fate.
 func (s *Store) Prewrite(key string, value []byte, del bool, startTS uint64, primary string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l, ok := s.locks[key]; ok {
-		if l.startTS == startTS {
-			// Idempotent re-prewrite by the same transaction.
-			l.value, l.delete_ = value, del
-			return nil
+	var err error
+	s.keys.Update(key, func(e *keyEntry, ok bool) (*keyEntry, bool) {
+		if !ok {
+			e = &keyEntry{}
 		}
-		return fmt.Errorf("%w: key %q held since ts %d", ErrLocked, key, l.startTS)
-	}
-	// Write-write conflict: someone committed after our snapshot.
-	if vs := s.versions[key]; len(vs) > 0 && vs[len(vs)-1].commitTS > startTS {
-		return fmt.Errorf("%w: key %q committed at %d > start %d",
-			ErrWriteConflict, key, vs[len(vs)-1].commitTS, startTS)
-	}
-	s.locks[key] = &lock{startTS: startTS, primary: primary, value: value, delete_: del}
-	return nil
+		if e.lock != nil {
+			if e.lock.startTS == startTS {
+				// Idempotent re-prewrite by the same transaction.
+				e.lock.value, e.lock.delete_ = value, del
+				return e, true
+			}
+			err = fmt.Errorf("%w: key %q held since ts %d", ErrLocked, key, e.lock.startTS)
+			return e, ok
+		}
+		// Write-write conflict: someone committed after our snapshot.
+		if n := len(e.versions); n > 0 && e.versions[n-1].commitTS > startTS {
+			err = fmt.Errorf("%w: key %q committed at %d > start %d",
+				ErrWriteConflict, key, e.versions[n-1].commitTS, startTS)
+			return e, ok
+		}
+		e.lock = &lock{startTS: startTS, primary: primary, value: value, delete_: del}
+		return e, true
+	})
+	return err
 }
 
 // Commit converts the lock at startTS into a committed version at
 // commitTS. Committing a missing lock is an error (the transaction was
 // rolled back by a conflicting writer).
 func (s *Store) Commit(key string, startTS, commitTS uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	l, ok := s.locks[key]
-	if !ok || l.startTS != startTS {
-		return fmt.Errorf("mvcc: commit of %q at %d: lock gone", key, startTS)
-	}
-	delete(s.locks, key)
-	var val []byte
-	if !l.delete_ {
-		val = l.value
-	}
-	s.versions[key] = append(s.versions[key], version{
-		startTS: startTS, commitTS: commitTS, value: val,
+	var err error
+	s.keys.Update(key, func(e *keyEntry, ok bool) (*keyEntry, bool) {
+		if !ok || e.lock == nil || e.lock.startTS != startTS {
+			err = fmt.Errorf("mvcc: commit of %q at %d: lock gone", key, startTS)
+			return e, ok
+		}
+		l := e.lock
+		e.lock = nil
+		var val []byte
+		if !l.delete_ {
+			val = l.value
+		}
+		e.versions = append(e.versions, version{
+			startTS: startTS, commitTS: commitTS, value: val,
+		})
+		return e, true
 	})
-	return nil
+	return err
 }
 
 // Rollback removes the transaction's lock on key, if held.
 func (s *Store) Rollback(key string, startTS uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if l, ok := s.locks[key]; ok && l.startTS == startTS {
-		delete(s.locks, key)
-	}
+	s.keys.Update(key, func(e *keyEntry, ok bool) (*keyEntry, bool) {
+		if !ok {
+			return e, false
+		}
+		if e.lock != nil && e.lock.startTS == startTS {
+			e.lock = nil
+		}
+		// Drop entries a rollback leaves empty.
+		return e, e.lock != nil || len(e.versions) > 0
+	})
 }
 
 // Locked reports whether key currently carries a lock.
 func (s *Store) Locked(key string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.locks[key]
-	return ok
+	locked := false
+	s.keys.View(key, func(e *keyEntry, ok bool) {
+		locked = ok && e.lock != nil
+	})
+	return locked
 }
 
 // Keys returns the number of distinct keys with at least one live version.
 func (s *Store) Keys() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	n := 0
-	for _, vs := range s.versions {
-		if len(vs) > 0 && vs[len(vs)-1].value != nil {
+	s.keys.Range(func(_ string, e *keyEntry) bool {
+		if len(e.versions) > 0 && e.versions[len(e.versions)-1].value != nil {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -172,31 +204,40 @@ func (s *Store) Keys() int {
 // a database retains; older versions are GC'd in real systems, and Fig 12
 // counts only live state for TiDB).
 func (s *Store) Bytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var total int64
-	for k, vs := range s.versions {
-		if len(vs) > 0 && vs[len(vs)-1].value != nil {
-			total += int64(len(k) + len(vs[len(vs)-1].value))
+	s.keys.Range(func(k string, e *keyEntry) bool {
+		if len(e.versions) > 0 && e.versions[len(e.versions)-1].value != nil {
+			total += int64(len(k) + len(e.versions[len(e.versions)-1].value))
 		}
-	}
+		return true
+	})
 	return total
 }
 
 // Scan returns up to limit live keys ≥ start at snapshot ts, in order.
+// Candidates are collected under the stripe read locks; sorting happens
+// outside any lock.
 func (s *Store) Scan(start string, limit int, ts uint64) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var keys []string
-	for k := range s.versions {
+	s.keys.Range(func(k string, _ *keyEntry) bool {
 		if k >= start {
 			keys = append(keys, k)
 		}
-	}
-	sortStrings(keys)
+		return true
+	})
+	slices.Sort(keys)
 	out := keys[:0]
 	for _, k := range keys {
-		if v, err := s.readVersionLocked(k, ts); err == nil && v != nil {
+		live := false
+		s.keys.View(k, func(e *keyEntry, ok bool) {
+			if !ok {
+				return
+			}
+			if v, err := readVersion(e.versions, ts); err == nil && v != nil {
+				live = true
+			}
+		})
+		if live {
 			out = append(out, k)
 			if len(out) == limit {
 				break
@@ -204,29 +245,4 @@ func (s *Store) Scan(start string, limit int, ts uint64) []string {
 		}
 	}
 	return out
-}
-
-func sortStrings(s []string) {
-	// Insertion sort is fine for scan-sized slices and avoids importing
-	// sort for one call site... but clarity wins: use a simple qsort.
-	if len(s) < 2 {
-		return
-	}
-	pivot := s[len(s)/2]
-	var less, eq, more []string
-	for _, v := range s {
-		switch bytes.Compare([]byte(v), []byte(pivot)) {
-		case -1:
-			less = append(less, v)
-		case 0:
-			eq = append(eq, v)
-		default:
-			more = append(more, v)
-		}
-	}
-	sortStrings(less)
-	sortStrings(more)
-	copy(s, less)
-	copy(s[len(less):], eq)
-	copy(s[len(less)+len(eq):], more)
 }

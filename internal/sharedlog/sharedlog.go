@@ -123,7 +123,18 @@ func (s *Service) Append(record []byte) error {
 // fans them out to consumers.
 func (s *Service) run() {
 	defer close(s.done)
-	// Any single orderer's committed stream is the total order.
+	// Any single orderer's committed stream is the total order. The other
+	// replicas produce identical streams (Raft safety) that exist only
+	// because every replica applies; drain them, or a follower wedges once
+	// its commit buffer fills — it stops reading its inbox, the leader
+	// blocks sending to it, and the whole append path stalls. The drains
+	// exit when Stop closes the nodes' commit channels.
+	for _, o := range s.orderers[1:] {
+		go func(c <-chan consensus.Entry) {
+			for range c {
+			}
+		}(o.Committed())
+	}
 	commits := s.orderers[0].Committed()
 	flush := time.NewTicker(s.cfg.BatchTimeout)
 	defer flush.Stop()

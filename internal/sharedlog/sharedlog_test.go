@@ -150,3 +150,60 @@ func TestStopClosesConsumers(t *testing.T) {
 		t.Fatal("Append after Stop should fail")
 	}
 }
+
+// TestHighVolumeAppendDoesNotWedge regression-tests the follower-drain
+// bug: only orderer 0's committed stream is consumed as the total order,
+// and before the service drained the other replicas' identical streams, a
+// follower wedged once its commit buffer (4096 entries) filled — it
+// stopped reading its inbox, the leader blocked sending to it, and every
+// subsequent append stalled, permanently. Pushing well past that
+// threshold must keep delivering. The producer paces itself against
+// delivery (a closed-loop client's natural backpressure) so the test
+// exercises the drain bug, not the network-layer flow-control limits of
+// an unbounded burst; pre-fix, delivery stalls for good just past 4096
+// records no matter the pacing, so the deadline still trips.
+func TestHighVolumeAppendDoesNotWedge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-volume append test")
+	}
+	svc := service(t, 100)
+	c := svc.Subscribe(1)
+	const records = 6_000 // > CommitBuffer (4096) + slack
+	delivered := make(chan int, 1)
+	go func() {
+		n := 0
+		for b := range c.Batches() {
+			n += len(b.Records)
+			select {
+			case <-delivered:
+			default:
+			}
+			delivered <- n
+			if n >= records {
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(120 * time.Second)
+	seen := 0
+	for i := 0; i < records; i++ {
+		if err := svc.Append([]byte(fmt.Sprintf("r%05d", i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		// Keep at most ~1000 records in flight.
+		for i-seen > 1000 {
+			select {
+			case seen = <-delivered:
+			case <-time.After(time.Until(deadline)):
+				t.Fatalf("wedged at %d appended / %d delivered — follower commit streams not drained?", i, seen)
+			}
+		}
+	}
+	for seen < records {
+		select {
+		case seen = <-delivered:
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("delivered %d/%d records before deadline", seen, records)
+		}
+	}
+}

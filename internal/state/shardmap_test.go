@@ -1,0 +1,108 @@
+package state
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMapShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {32, 32}, {33, 64},
+	} {
+		if got := NewMap[int](tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewMap(%d).ShardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[string](8)
+	m.Set("a", "1")
+	m.Set("b", "2")
+	if v, ok := m.Get("a"); !ok || v != "1" {
+		t.Fatalf("Get a = %q %v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("a survived delete")
+	}
+	seen := map[string]string{}
+	m.Range(func(k, v string) bool { seen[k] = v; return true })
+	if len(seen) != 1 || seen["b"] != "2" {
+		t.Fatalf("Range saw %v", seen)
+	}
+}
+
+func TestMapUpdateSemantics(t *testing.T) {
+	m := NewMap[int](4)
+	// Insert through Update.
+	m.Update("k", func(v int, ok bool) (int, bool) {
+		if ok {
+			t.Fatal("phantom entry")
+		}
+		return 7, true
+	})
+	// Transform.
+	m.Update("k", func(v int, ok bool) (int, bool) { return v + 1, true })
+	if v, _ := m.Get("k"); v != 8 {
+		t.Fatalf("k = %d", v)
+	}
+	// Returning keep=false deletes.
+	m.Update("k", func(v int, ok bool) (int, bool) { return 0, false })
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("k survived delete-update")
+	}
+	// Delete-update of an absent key is a no-op.
+	m.Update("ghost", func(v int, ok bool) (int, bool) { return 0, false })
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMapShardRouting(t *testing.T) {
+	m := NewMap[int](8)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		idx := m.ShardOf(k)
+		if idx < 0 || idx >= m.ShardCount() {
+			t.Fatalf("ShardOf(%q) = %d out of range", k, idx)
+		}
+		if again := m.ShardOf(k); again != idx {
+			t.Fatalf("ShardOf(%q) unstable: %d then %d", k, idx, again)
+		}
+	}
+	// The stripes should all see traffic for a non-adversarial key set.
+	used := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		used[m.ShardOf(fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(used) != m.ShardCount() {
+		t.Fatalf("only %d/%d stripes used", len(used), m.ShardCount())
+	}
+}
+
+func TestMapConcurrentCounters(t *testing.T) {
+	m := NewMap[int](16)
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := fmt.Sprintf("ctr-%d", i%10)
+				m.Update(k, func(v int, ok bool) (int, bool) { return v + 1, true })
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	m.Range(func(_ string, v int) bool { total += v; return true })
+	if total != workers*iters {
+		t.Fatalf("lost updates: total = %d, want %d", total, workers*iters)
+	}
+}

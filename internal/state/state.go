@@ -1,0 +1,346 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/txn"
+)
+
+// Store is a concurrent versioned key-value store: values live in the
+// underlying storage.Engine, per-key version metadata lives in a
+// lock-striped Map. It implements both contract.StateReader (GetState)
+// and occ.VersionSource (CommittedVersion), so contract simulation and
+// MVCC validation read it directly.
+//
+// Concurrency contract:
+//   - Get / GetState / CommittedVersion / CompareAndSetVersion lock only
+//     the key's stripe.
+//   - Snapshot pins a block-boundary-consistent view for the duration of
+//     a simulation: it holds the commit gate shared, which excludes
+//     ApplyBlock (the only multi-key mutator) but not point reads, CAS,
+//     or other snapshots. One shared lock per snapshot — not one per
+//     stripe — so many concurrent simulators do not convoy with the
+//     commit path.
+//   - ApplyBlock takes the commit gate exclusively, then each touched
+//     stripe's write lock group by group.
+type Store struct {
+	engine   storage.Engine
+	versions *Map[txn.Version]
+	// gate orders block commits against snapshots: commits hold it
+	// exclusively, snapshots share it. Point operations skip it — their
+	// consistency unit is the single key, guarded by its stripe.
+	gate sync.RWMutex
+}
+
+// New layers a versioned store over engine with the given stripe count
+// (≤ 0 selects DefaultShards; 1 is the global-lock baseline).
+func New(engine storage.Engine, shards int) *Store {
+	return &Store{engine: engine, versions: NewMap[txn.Version](shards)}
+}
+
+// Engine exposes the underlying engine (for footprint accounting).
+func (s *Store) Engine() storage.Engine { return s.engine }
+
+// Shards returns the stripe count.
+func (s *Store) Shards() int { return s.versions.ShardCount() }
+
+// Get returns the committed value and version of key, or
+// storage.ErrNotFound. Value and version are read together under the
+// key's stripe lock, so they are mutually consistent even against a
+// concurrent block commit.
+func (s *Store) Get(key string) ([]byte, txn.Version, error) {
+	var (
+		val []byte
+		ver txn.Version
+		err error
+	)
+	s.versions.View(key, func(v txn.Version, ok bool) {
+		val, err = s.engine.Get([]byte(key))
+		if ok {
+			ver = v
+		}
+	})
+	return val, ver, err
+}
+
+// GetState implements contract.StateReader.
+func (s *Store) GetState(key string) ([]byte, txn.Version, error) {
+	v, ver, err := s.Get(key)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, txn.Version{}, contract.ErrNotFound
+	}
+	return v, ver, err
+}
+
+// CommittedVersion implements occ.VersionSource.
+func (s *Store) CommittedVersion(key string) (txn.Version, bool) {
+	return s.versions.Get(key)
+}
+
+// CompareAndSetVersion installs next as key's version iff the current
+// version equals expect (the zero Version matches an absent key). A zero
+// next deletes the entry. It returns whether the swap happened — the
+// per-key CAS validation primitive.
+func (s *Store) CompareAndSetVersion(key string, expect, next txn.Version) bool {
+	swapped := false
+	s.versions.Update(key, func(cur txn.Version, ok bool) (txn.Version, bool) {
+		if !ok {
+			cur = txn.Version{}
+		}
+		if cur != expect {
+			return cur, ok
+		}
+		swapped = true
+		if next == (txn.Version{}) {
+			return cur, false
+		}
+		return next, true
+	})
+	return swapped
+}
+
+// Range iterates the committed key-value pairs in engine order (a test
+// and inspection surface; it observes the engine's iterator snapshot
+// semantics).
+func (s *Store) Range(fn func(key string, value []byte) bool) {
+	it := s.engine.NewIterator(nil)
+	defer it.Close()
+	for it.Next() {
+		if !fn(string(it.Key()), it.Value()) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live keys in the engine.
+func (s *Store) Len() int { return s.engine.Len() }
+
+// ApproxSize returns the engine's resident data size in bytes.
+func (s *Store) ApproxSize() int64 { return s.engine.ApproxSize() }
+
+// Close releases the underlying engine.
+func (s *Store) Close() error { return s.engine.Close() }
+
+// VersionedWrite couples one write with the version it installs.
+type VersionedWrite struct {
+	txn.Write
+	Version txn.Version
+}
+
+// ApplyBlock commits a block of writes atomically: it takes the commit
+// gate exclusively (excluding snapshots), groups the writes by stripe,
+// acquires every touched stripe's write lock at once (ascending; the
+// gate serializes commits, so multi-lock acquisition cannot deadlock),
+// and flushes each group through the engine's storage.Batch fast path —
+// so neither snapshots nor point readers ever observe half a block.
+// Writes are applied in slice order within each stripe, so a later write
+// of the same key wins. A nil Value deletes the key and its version.
+//
+// Error contract: a failing stripe group stops the commit, and groups
+// applied before it remain committed. With the repo's in-memory engines
+// an error implies the engine is closed, so no reader observes the
+// partial state; a fallible engine would need an undo log here.
+func (s *Store) ApplyBlock(writes []VersionedWrite) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	s.gate.Lock()
+	defer s.gate.Unlock()
+
+	// Small blocks: stripe ids on the stack, grouped by rescanning the
+	// write slice per stripe. Large blocks: one-pass map bucketing.
+	const smallBlock = 64
+	if len(writes) <= smallBlock {
+		var idxArr, bufArr [smallBlock]int
+		idxs := idxArr[:0]
+		for _, w := range writes {
+			idxs = append(idxs, s.versions.ShardOf(w.Key))
+		}
+		sorted := append(bufArr[:0], idxs...)
+		slices.Sort(sorted)
+		stripes := slices.Compact(sorted)
+		s.versions.lockShards(stripes)
+		defer s.versions.unlockShards(stripes)
+		if len(stripes) == 1 {
+			return s.applyGroup(stripes[0], writes)
+		}
+		group := make([]VersionedWrite, 0, len(writes))
+		for _, idx := range stripes {
+			group = group[:0]
+			for i, w := range writes {
+				if idxs[i] == idx {
+					group = append(group, w)
+				}
+			}
+			if err := s.applyGroup(idx, group); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	groups := make(map[int][]VersionedWrite, 8)
+	for _, w := range writes {
+		idx := s.versions.ShardOf(w.Key)
+		groups[idx] = append(groups[idx], w)
+	}
+	stripes := make([]int, 0, len(groups))
+	for idx := range groups {
+		stripes = append(stripes, idx)
+	}
+	slices.Sort(stripes)
+	s.versions.lockShards(stripes)
+	defer s.versions.unlockShards(stripes)
+	for _, idx := range stripes {
+		if err := s.applyGroup(idx, groups[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyGroup flushes one stripe's write group through the engine batch
+// path and installs its version metadata; the caller holds the commit
+// gate and the stripe's write lock.
+func (s *Store) applyGroup(idx int, group []VersionedWrite) error {
+	batch := make([]storage.Write, len(group))
+	for i, w := range group {
+		batch[i] = storage.Write{Key: []byte(w.Key), Value: w.Value}
+	}
+	if err := storage.ApplyWrites(s.engine, batch); err != nil {
+		return fmt.Errorf("state: block commit (stripe %d): %w", idx, err)
+	}
+	m := s.versions.shardMap(idx)
+	for _, w := range group {
+		if w.Value == nil {
+			delete(m, w.Key)
+		} else {
+			m[w.Key] = w.Version
+		}
+	}
+	return nil
+}
+
+// Snapshot pins a block-boundary-consistent read view: the commit gate is
+// held shared until Release, which excludes ApplyBlock (but not point
+// reads, per-key CAS, or other snapshots) for the snapshot's lifetime.
+// This is the view contract simulation and endorsement run against.
+type Snapshot struct {
+	s        *Store
+	released bool
+}
+
+// Snapshot returns a consistent view of the store. The caller must
+// Release it; reads through a released snapshot are invalid.
+func (s *Store) Snapshot() *Snapshot {
+	s.gate.RLock()
+	return &Snapshot{s: s}
+}
+
+// Get returns the value and version of key in the snapshot.
+func (sn *Snapshot) Get(key string) ([]byte, txn.Version, error) {
+	// Block commits are excluded by the gate; the per-key stripe lock
+	// inside Store.Get keeps the read atomic against concurrent CAS.
+	return sn.s.Get(key)
+}
+
+// GetState implements contract.StateReader over the snapshot.
+func (sn *Snapshot) GetState(key string) ([]byte, txn.Version, error) {
+	return sn.s.GetState(key)
+}
+
+// CommittedVersion implements occ.VersionSource over the snapshot.
+func (sn *Snapshot) CommittedVersion(key string) (txn.Version, bool) {
+	return sn.s.CommittedVersion(key)
+}
+
+// Release unpins the snapshot. Safe to call more than once.
+func (sn *Snapshot) Release() {
+	if sn.released {
+		return
+	}
+	sn.released = true
+	sn.s.gate.RUnlock()
+}
+
+// Block stages a block commit: writes accumulate with their versions and
+// overlay reads, so order-execute systems re-executing a block see their
+// own earlier writes (read-your-block-writes) before anything touches the
+// store. Commit flushes the staged writes through ApplyBlock in one
+// multi-stripe critical section. A Block is used by a single committer
+// goroutine and is not safe for concurrent use.
+type Block struct {
+	s      *Store
+	dirty  map[string]stagedWrite
+	writes []VersionedWrite
+}
+
+type stagedWrite struct {
+	value []byte
+	ver   txn.Version
+	del   bool
+}
+
+// NewBlock starts staging a block commit against s.
+func (s *Store) NewBlock() *Block {
+	return &Block{s: s, dirty: make(map[string]stagedWrite)}
+}
+
+// Stage buffers one write at the given version.
+func (b *Block) Stage(w txn.Write, ver txn.Version) {
+	b.writes = append(b.writes, VersionedWrite{Write: w, Version: ver})
+	b.dirty[w.Key] = stagedWrite{value: w.Value, ver: ver, del: w.Value == nil}
+}
+
+// StageAll buffers a write set at the given version.
+func (b *Block) StageAll(ws []txn.Write, ver txn.Version) {
+	for _, w := range ws {
+		b.Stage(w, ver)
+	}
+}
+
+// Pending returns the number of staged writes.
+func (b *Block) Pending() int { return len(b.writes) }
+
+// GetState implements contract.StateReader: staged writes shadow the
+// store, giving in-block read-your-writes.
+func (b *Block) GetState(key string) ([]byte, txn.Version, error) {
+	if w, ok := b.dirty[key]; ok {
+		if w.del {
+			return nil, txn.Version{}, contract.ErrNotFound
+		}
+		return w.value, w.ver, nil
+	}
+	return b.s.GetState(key)
+}
+
+// CommittedVersion implements occ.VersionSource with the staged overlay,
+// so in-block validation sees earlier in-block writes (Fabric's serial
+// block semantics).
+func (b *Block) CommittedVersion(key string) (txn.Version, bool) {
+	if w, ok := b.dirty[key]; ok {
+		if w.del {
+			return txn.Version{}, false
+		}
+		return w.ver, true
+	}
+	return b.s.CommittedVersion(key)
+}
+
+// Commit applies the staged writes through the store's grouped batch
+// path. On success the block resets for reuse; on error the staged
+// writes are preserved so the caller can inspect or retry (see
+// ApplyBlock's error contract).
+func (b *Block) Commit() error {
+	if err := b.s.ApplyBlock(b.writes); err != nil {
+		return err
+	}
+	b.writes = b.writes[:0]
+	clear(b.dirty)
+	return nil
+}

@@ -1,0 +1,226 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/memdb"
+	"dichotomy/internal/txn"
+)
+
+func put(k, v string) txn.Write { return txn.Write{Key: k, Value: []byte(v)} }
+
+func ver(block uint64, tx uint32) txn.Version { return txn.Version{BlockNum: block, TxNum: tx} }
+
+func TestStoreApplyBlockAndGet(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("a", "1"), Version: ver(1, 0)},
+		{Write: put("b", "2"), Version: ver(1, 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, vv, err := s.Get("a")
+	if err != nil || string(v) != "1" || vv != ver(1, 0) {
+		t.Fatalf("Get a = %q %v %v", v, vv, err)
+	}
+	// Overwrite and delete in one block; later writes of a key win.
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("a", "old"), Version: ver(2, 0)},
+		{Write: put("a", "new"), Version: ver(2, 1)},
+		{Write: txn.Write{Key: "b"}, Version: ver(2, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	v, vv, _ = s.Get("a")
+	if string(v) != "new" || vv != ver(2, 1) {
+		t.Fatalf("a = %q %v after overwrite", v, vv)
+	}
+	if _, _, err := s.Get("b"); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("deleted b: err = %v", err)
+	}
+	if _, ok := s.CommittedVersion("b"); ok {
+		t.Fatal("deleted b retains a version")
+	}
+	if _, _, err := s.GetState("b"); !errors.Is(err, contract.ErrNotFound) {
+		t.Fatalf("GetState of absent key: %v", err)
+	}
+}
+
+func TestCompareAndSetVersion(t *testing.T) {
+	s := New(memdb.New(), 4)
+	defer s.Close()
+	// Zero expect matches an absent key.
+	if !s.CompareAndSetVersion("k", txn.Version{}, ver(1, 0)) {
+		t.Fatal("CAS from absent failed")
+	}
+	if s.CompareAndSetVersion("k", txn.Version{}, ver(9, 9)) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if !s.CompareAndSetVersion("k", ver(1, 0), ver(2, 0)) {
+		t.Fatal("CAS from current failed")
+	}
+	// Zero next deletes the entry.
+	if !s.CompareAndSetVersion("k", ver(2, 0), txn.Version{}) {
+		t.Fatal("CAS delete failed")
+	}
+	if _, ok := s.CommittedVersion("k"); ok {
+		t.Fatal("entry survived CAS delete")
+	}
+}
+
+// TestSnapshotExcludesBlockCommit pins a snapshot, lets a block commit
+// race against it, and checks the snapshot never observes any part of the
+// block.
+func TestSnapshotExcludesBlockCommit(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	const n = 64
+	var block []VersionedWrite
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if err := s.ApplyBlock([]VersionedWrite{{Write: put(k, "old"), Version: ver(1, uint32(i))}}); err != nil {
+			t.Fatal(err)
+		}
+		block = append(block, VersionedWrite{Write: put(k, "new"), Version: ver(2, uint32(i))})
+	}
+	snap := s.Snapshot()
+	committed := make(chan error, 1)
+	go func() { committed <- s.ApplyBlock(block) }()
+	for i := 0; i < n; i++ {
+		v, vv, err := snap.Get(fmt.Sprintf("k%02d", i))
+		if err != nil || string(v) != "old" || vv.BlockNum != 1 {
+			t.Errorf("snapshot saw k%02d = %q %v %v mid-commit", i, v, vv, err)
+		}
+	}
+	snap.Release()
+	if err := <-committed; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, _, _ := s.Get(fmt.Sprintf("k%02d", i)); string(v) != "new" {
+			t.Fatalf("k%02d = %q after release", i, v)
+		}
+	}
+}
+
+func TestBlockReadYourWrites(t *testing.T) {
+	s := New(memdb.New(), 4)
+	defer s.Close()
+	if err := s.ApplyBlock([]VersionedWrite{{Write: put("x", "base"), Version: ver(1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	b := s.NewBlock()
+	b.Stage(put("x", "staged"), ver(2, 0))
+	b.Stage(txn.Write{Key: "y"}, ver(2, 1)) // staged delete of an absent key
+	if v, vv, err := b.GetState("x"); err != nil || string(v) != "staged" || vv != ver(2, 0) {
+		t.Fatalf("block read x = %q %v %v", v, vv, err)
+	}
+	if _, _, err := b.GetState("y"); !errors.Is(err, contract.ErrNotFound) {
+		t.Fatalf("staged delete visible: %v", err)
+	}
+	if _, ok := b.CommittedVersion("y"); ok {
+		t.Fatal("staged delete has a version")
+	}
+	// The store is untouched until Commit.
+	if v, _, _ := s.Get("x"); string(v) != "base" {
+		t.Fatalf("store saw staged write: %q", v)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := s.Get("x"); string(v) != "staged" {
+		t.Fatalf("x = %q after commit", v)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("block not reset: %d pending", b.Pending())
+	}
+}
+
+// batchCountingEngine wraps memdb and counts ApplyBatch calls, verifying
+// the block-commit path uses the engine's batch fast path per stripe.
+type batchCountingEngine struct {
+	*memdb.DB
+	mu      sync.Mutex
+	batches int
+}
+
+func (e *batchCountingEngine) ApplyBatch(writes []storage.Write) error {
+	e.mu.Lock()
+	e.batches++
+	e.mu.Unlock()
+	return e.DB.ApplyBatch(writes)
+}
+
+func TestApplyBlockGroupsPerStripe(t *testing.T) {
+	eng := &batchCountingEngine{DB: memdb.New()}
+	s := New(eng, 8)
+	defer s.Close()
+	var block []VersionedWrite
+	stripes := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		block = append(block, VersionedWrite{Write: put(k, "v"), Version: ver(1, uint32(i))})
+		stripes[s.versions.ShardOf(k)] = true
+	}
+	if err := s.ApplyBlock(block); err != nil {
+		t.Fatal(err)
+	}
+	if eng.batches != len(stripes) {
+		t.Fatalf("ApplyBatch called %d times, want one per touched stripe (%d)", eng.batches, len(stripes))
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+// TestConcurrentMixedOps drives reads, CAS, snapshots and block commits
+// from many goroutines; run under -race this is the layer's thread-safety
+// proof.
+func TestConcurrentMixedOps(t *testing.T) {
+	s := New(memdb.New(), 16)
+	defer s.Close()
+	keys := make([]string, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", i)
+		if err := s.ApplyBlock([]VersionedWrite{{Write: put(keys[i], "0"), Version: ver(1, uint32(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := keys[(w*131+i)%len(keys)]
+				switch i % 4 {
+				case 0:
+					if _, _, err := s.Get(k); err != nil && !errors.Is(err, storage.ErrNotFound) {
+						t.Errorf("get %s: %v", k, err)
+					}
+				case 1:
+					cur, _ := s.CommittedVersion(k)
+					s.CompareAndSetVersion(k, cur, ver(uint64(w+2), uint32(i)))
+				case 2:
+					snap := s.Snapshot()
+					_, _, _ = snap.Get(k)
+					snap.Release()
+				default:
+					if err := s.ApplyBlock([]VersionedWrite{{Write: put(k, "w"), Version: ver(uint64(w+2), uint32(i))}}); err != nil {
+						t.Errorf("apply %s: %v", k, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
+	}
+}

@@ -8,6 +8,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 )
 
 // ErrNotFound is returned by Get when the key has never been written or was
@@ -67,7 +68,9 @@ type Write struct {
 }
 
 // ApplyWrites applies a batch through the Batch fast path when the engine
-// provides one, falling back to individual operations.
+// provides one, falling back to individual operations. The fallback stops
+// at the first failed write and returns an error naming its key, so a
+// partial apply is never silently reported as success.
 func ApplyWrites(e Engine, writes []Write) error {
 	if b, ok := e.(Batch); ok {
 		return b.ApplyBatch(writes)
@@ -80,7 +83,7 @@ func ApplyWrites(e Engine, writes []Write) error {
 			err = e.Put(w.Key, w.Value)
 		}
 		if err != nil {
-			return err
+			return fmt.Errorf("storage: apply write %q: %w", w.Key, err)
 		}
 	}
 	return nil

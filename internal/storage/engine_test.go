@@ -1,0 +1,75 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// flakyEngine fails writes to a designated key and records the operations
+// it received. It deliberately does not implement Batch, exercising
+// ApplyWrites' fallback path.
+type flakyEngine struct {
+	failKey string
+	applied []string
+}
+
+var errInjected = errors.New("injected failure")
+
+func (e *flakyEngine) Get(key []byte) ([]byte, error) { return nil, ErrNotFound }
+
+func (e *flakyEngine) Put(key, value []byte) error {
+	if string(key) == e.failKey {
+		return errInjected
+	}
+	e.applied = append(e.applied, string(key))
+	return nil
+}
+
+func (e *flakyEngine) Delete(key []byte) error {
+	if string(key) == e.failKey {
+		return errInjected
+	}
+	e.applied = append(e.applied, string(key))
+	return nil
+}
+
+func (e *flakyEngine) NewIterator(start []byte) Iterator { return nil }
+func (e *flakyEngine) ApproxSize() int64                 { return 0 }
+func (e *flakyEngine) Len() int                          { return len(e.applied) }
+func (e *flakyEngine) Close() error                      { return nil }
+
+func TestApplyWritesFallbackStopsAtFirstFailure(t *testing.T) {
+	e := &flakyEngine{failKey: "bad"}
+	err := ApplyWrites(e, []Write{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("bad"), Value: []byte("2")},
+		{Key: []byte("c"), Value: nil}, // must never be attempted
+	})
+	if err == nil {
+		t.Fatal("partial apply reported success")
+	}
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("cause not wrapped: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("error does not name the failed key: %v", err)
+	}
+	if len(e.applied) != 1 || e.applied[0] != "a" {
+		t.Fatalf("writes after the failure were applied: %v", e.applied)
+	}
+}
+
+func TestApplyWritesFallbackAppliesAll(t *testing.T) {
+	e := &flakyEngine{}
+	err := ApplyWrites(e, []Write{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.applied) != 2 {
+		t.Fatalf("applied %v", e.applied)
+	}
+}

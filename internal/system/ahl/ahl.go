@@ -21,6 +21,8 @@ import (
 	"dichotomy/internal/contract"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/sharding"
+	"dichotomy/internal/state"
+	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/twopc"
 	"dichotomy/internal/txn"
@@ -76,16 +78,18 @@ type Cluster struct {
 
 var _ system.System = (*Cluster)(nil)
 
-// shard is one PBFT committee plus its slice of the key space.
+// shard is one PBFT committee plus its slice of the key space. Committed
+// state lives in the shared striped state layer, which cross-shard
+// simulation reads concurrently; the 2PC bookkeeping (prepared writes and
+// prepare locks) plus the height counter are owned exclusively by the
+// primary applier goroutine and need no lock.
 type shard struct {
 	idx     int
 	nodes   []*pbft.Node
 	waiters *system.Waiters
 	box     *system.PayloadBox
 
-	stateMu  sync.Mutex
-	state    map[string][]byte
-	versions map[string]txn.Version
+	st *state.Store
 	// prepared holds writes locked by in-flight cross-shard transactions.
 	prepared map[string][]txn.Write
 	locks    map[string]string // key → txID holding the prepare lock
@@ -129,8 +133,7 @@ func New(cfg Config) *Cluster {
 			idx:      s,
 			waiters:  system.NewWaiters(),
 			box:      system.NewPayloadBox(),
-			state:    make(map[string][]byte),
-			versions: make(map[string]txn.Version),
+			st:       state.New(memdb.New(), 0),
 			prepared: make(map[string][]txn.Write),
 			locks:    make(map[string]string),
 			reg:      contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
@@ -215,12 +218,10 @@ func (sh *shard) apply(e consensus.Entry, c *Cluster) {
 		return
 	}
 	cmd := v.(*shardCmd)
-	sh.stateMu.Lock()
-	defer sh.stateMu.Unlock()
 	sh.height++
 	switch cmd.kind {
 	case cmdExecute:
-		rw, err := sh.reg.Execute(sh.stateReader(), cmd.inv)
+		rw, err := sh.reg.Execute(sh.st, cmd.inv)
 		if err != nil {
 			sh.waiters.Resolve(waitKey(cmd.reqID), system.Result{Err: err})
 			return
@@ -265,15 +266,17 @@ func (sh *shard) apply(e consensus.Entry, c *Cluster) {
 }
 
 func (sh *shard) applyWrites(writes []txn.Write) {
+	if len(writes) == 0 {
+		return
+	}
 	ver := txn.Version{BlockNum: sh.height}
-	for _, w := range writes {
-		if w.Value == nil {
-			delete(sh.state, w.Key)
-			delete(sh.versions, w.Key)
-			continue
-		}
-		sh.state[w.Key] = w.Value
-		sh.versions[w.Key] = ver
+	vw := make([]state.VersionedWrite, len(writes))
+	for i, w := range writes {
+		vw[i] = state.VersionedWrite{Write: w, Version: ver}
+	}
+	// memdb cannot fail a batch while open; a failure here is a bug.
+	if err := sh.st.ApplyBlock(vw); err != nil {
+		panic(fmt.Sprintf("ahl shard %d: apply: %v", sh.idx, err))
 	}
 }
 
@@ -310,20 +313,6 @@ func (sh *shard) sequence(cmd *shardCmd) system.Result {
 		sh.waiters.Cancel(waitKey(cmd.reqID))
 		return system.Result{Err: errors.New("ahl: shard timeout")}
 	}
-}
-
-// stateReader adapts shard state for contracts. Callers hold stateMu.
-func (sh *shard) stateReader() contract.StateReader { return (*shardState)(sh) }
-
-type shardState shard
-
-// GetState implements contract.StateReader.
-func (s *shardState) GetState(key string) ([]byte, txn.Version, error) {
-	v, ok := s.state[key]
-	if !ok {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	return v, s.versions[key], nil
 }
 
 // Execute implements system.System.
@@ -402,16 +391,10 @@ func (c *Cluster) simulate(inv txn.Invocation) (txn.RWSet, error) {
 
 type unionState struct{ c *Cluster }
 
-// GetState implements contract.StateReader across shards.
+// GetState implements contract.StateReader across shards; the striped
+// stores make this safe without serializing against the shard pipelines.
 func (u *unionState) GetState(key string) ([]byte, txn.Version, error) {
-	sh := u.c.shards[u.c.part.Shard(key)]
-	sh.stateMu.Lock()
-	defer sh.stateMu.Unlock()
-	v, ok := sh.state[key]
-	if !ok {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	return v, sh.versions[key], nil
+	return u.c.shards[u.c.part.Shard(key)].st.GetState(key)
 }
 
 // shardParticipant adapts a shard to the 2PC participant interface; each
@@ -473,6 +456,16 @@ func invocationKeys(inv txn.Invocation) []string {
 	return nil
 }
 
+// ReadState returns the committed value of key, routed to its owning
+// shard — the uniform inspection surface the shared state layer provides.
+func (c *Cluster) ReadState(key string) ([]byte, bool) {
+	v, _, err := c.shards[c.part.Shard(key)].st.Get(key)
+	return v, err == nil
+}
+
+// ShardState exposes shard i's striped state store (tests and inspection).
+func (c *Cluster) ShardState(i int) *state.Store { return c.shards[i].st }
+
 // Rotations reports completed reconfigurations (0 when disabled).
 func (c *Cluster) Rotations() int {
 	if c.recfg == nil {
@@ -496,6 +489,7 @@ func (c *Cluster) Close() {
 				n.Stop()
 			}
 			sh.wg.Wait()
+			sh.st.Close()
 		}
 		c.net.Close()
 	})

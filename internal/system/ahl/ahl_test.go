@@ -63,11 +63,7 @@ func TestCrossShardTransactionAtomic(t *testing.T) {
 	}
 	// Both writes visible.
 	for _, k := range []string{k1, k2} {
-		sh := c.shards[c.part.Shard(k)]
-		sh.stateMu.Lock()
-		_, ok := sh.state[k]
-		sh.stateMu.Unlock()
-		if !ok {
+		if _, ok := c.ReadState(k); !ok {
 			t.Fatalf("key %s missing after cross-shard commit", k)
 		}
 	}
@@ -95,13 +91,12 @@ func TestSmallbankOnShards(t *testing.T) {
 	// Balance conservation across shards.
 	total := int64(0)
 	for _, sh := range c.shards {
-		sh.stateMu.Lock()
-		for k, v := range sh.state {
+		sh.st.Range(func(k string, v []byte) bool {
 			if len(k) > 4 && (k[:4] == "chk:" || k[:4] == "sav:") {
 				total += contract.DecodeInt64(v)
 			}
-		}
-		sh.stateMu.Unlock()
+			return true
+		})
 	}
 	if total != 300 {
 		t.Fatalf("total balance = %d, want 300", total)

@@ -34,7 +34,7 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/sharedlog"
-	"dichotomy/internal/storage"
+	"dichotomy/internal/state"
 	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -98,16 +98,18 @@ type Network struct {
 
 var _ system.System = (*Network)(nil)
 
-// peer is one endorsing/committing peer.
+// peer is one endorsing/committing peer. Committed state lives in the
+// shared striped state layer: endorsement simulates against a consistent
+// snapshot while validation and block commit go through the store's
+// grouped batch path, so signature verification no longer serializes
+// endorsements behind a global state lock.
 type peer struct {
 	name     string
 	nw       *Network
 	signer   *cryptoutil.Signer
 	reg      *contract.Registry
 	ledger   *ledger.Ledger
-	engine   storage.Engine
-	stateMu  sync.RWMutex
-	versions map[string]txn.Version
+	st       *state.Store
 	consumer *sharedlog.Consumer
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
@@ -138,14 +140,13 @@ func New(cfg Config) (*Network, error) {
 			return nil, err
 		}
 		p := &peer{
-			name:     name,
-			nw:       nw,
-			signer:   signer,
-			reg:      contract.NewRegistry(cfg.Contracts...),
-			ledger:   ledger.New(),
-			engine:   lsm.MustOpenMemory(),
-			versions: make(map[string]txn.Version),
-			stopCh:   make(chan struct{}),
+			name:   name,
+			nw:     nw,
+			signer: signer,
+			reg:    contract.NewRegistry(cfg.Contracts...),
+			ledger: ledger.New(),
+			st:     state.New(lsm.MustOpenMemory(), 0),
+			stopCh: make(chan struct{}),
 		}
 		nw.peerKeys[name] = signer.Public()
 		nw.peers = append(nw.peers, p)
@@ -250,9 +251,7 @@ func (p *peer) readValue(inv txn.Invocation) []byte {
 	if inv.Contract != "kv" || inv.Method != "get" || len(inv.Args) != 1 {
 		return nil
 	}
-	p.stateMu.RLock()
-	defer p.stateMu.RUnlock()
-	v, err := p.engine.Get(inv.Args[0])
+	v, _, err := p.st.Get(string(inv.Args[0]))
 	if err != nil {
 		return nil
 	}
@@ -276,9 +275,9 @@ func (p *peer) endorse(t *txn.Tx) (txn.RWSet, cryptoutil.Signature, error) {
 	var rw txn.RWSet
 	var simErr error
 	t.Trace.Time(metrics.PhaseSimulate, func() {
-		p.stateMu.RLock()
-		defer p.stateMu.RUnlock()
-		rw, simErr = p.reg.Execute(p.stateView(), t.Invocation)
+		snap := p.st.Snapshot()
+		defer snap.Release()
+		rw, simErr = p.reg.Execute(snap, t.Invocation)
 	})
 	if simErr != nil {
 		if errors.Is(simErr, contract.ErrAbort) {
@@ -332,7 +331,6 @@ func (p *peer) applyBlock(batch sharedlog.Batch) {
 	}
 
 	validateStart := time.Now()
-	p.stateMu.Lock()
 	blockNum := p.ledger.Height() + 1
 
 	// Serial validation: endorsement signature checks dominate (Fig 8).
@@ -353,31 +351,29 @@ func (p *peer) applyBlock(batch sharedlog.Batch) {
 		sets[i] = t.RWSet
 		verdicts[i] = occ.OK
 	}
-	// MVCC check in block order, honouring intra-block dependencies.
-	mvccVerdicts := occ.ValidateBlock(sets, p.versionView(), blockNum)
+	// MVCC check in block order, honouring intra-block dependencies. The
+	// commit loop is the store's only writer, so validating against the
+	// live store is stable without holding any lock across the block.
+	mvccVerdicts := occ.ValidateBlock(sets, p.st, blockNum)
 	for i := range verdicts {
 		if verdicts[i] == occ.OK {
 			verdicts[i] = mvccVerdicts[i]
 		}
 	}
 
-	// Serial commit of valid write sets.
+	// Stage valid write sets and commit them as one block: grouped by
+	// stripe, flushed through the engine's batch fast path.
+	blk := p.st.NewBlock()
 	payloads := make([][]byte, len(txs))
 	for i, t := range txs {
 		payloads[i] = t.ID[:]
 		if verdicts[i] != occ.OK {
 			continue
 		}
-		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
-		for _, w := range t.RWSet.Writes {
-			if w.Value == nil {
-				_ = p.engine.Delete([]byte(w.Key))
-				delete(p.versions, w.Key)
-				continue
-			}
-			_ = p.engine.Put([]byte(w.Key), w.Value)
-			p.versions[w.Key] = ver
-		}
+		blk.StageAll(t.RWSet.Writes, txn.Version{BlockNum: blockNum, TxNum: uint32(i)})
+	}
+	if err := blk.Commit(); err != nil {
+		panic(fmt.Sprintf("fabric %s: block commit: %v", p.name, err))
 	}
 	var parent cryptoutil.Hash
 	if head := p.ledger.Head(); head != nil {
@@ -394,7 +390,6 @@ func (p *peer) applyBlock(batch sharedlog.Batch) {
 	if err := p.ledger.Append(lb); err != nil {
 		panic(fmt.Sprintf("fabric %s: ledger append: %v", p.name, err))
 	}
-	p.stateMu.Unlock()
 
 	validate := time.Since(validateStart)
 	p.nw.Breakdown.Observe(metrics.PhaseValidate, validate)
@@ -407,41 +402,15 @@ func (p *peer) applyBlock(batch sharedlog.Batch) {
 	}
 }
 
-// stateView adapts committed state to contract.StateReader.
-func (p *peer) stateView() contract.StateReader { return (*peerState)(p) }
-
-type peerState peer
-
-// GetState implements contract.StateReader.
-func (s *peerState) GetState(key string) ([]byte, txn.Version, error) {
-	v, err := s.engine.Get([]byte(key))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	if err != nil {
-		return nil, txn.Version{}, err
-	}
-	return v, s.versions[key], nil
-}
-
-// versionView adapts the version map to occ.VersionSource. Callers hold
-// stateMu.
-func (p *peer) versionView() occ.VersionSource { return (*peerVersions)(p) }
-
-type peerVersions peer
-
-// CommittedVersion implements occ.VersionSource.
-func (s *peerVersions) CommittedVersion(key string) (txn.Version, bool) {
-	v, ok := s.versions[key]
-	return v, ok
-}
+// State exposes peer i's striped state store (tests and inspection).
+func (nw *Network) State(i int) *state.Store { return nw.peers[i].st }
 
 // Ledger exposes peer i's ledger.
 func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.peers[i].ledger }
 
 // StateBytes returns peer 0's state footprint; BlockBytes its ledger
 // footprint (Fig 12's two series).
-func (nw *Network) StateBytes() int64 { return nw.peers[0].engine.ApproxSize() }
+func (nw *Network) StateBytes() int64 { return nw.peers[0].st.ApproxSize() }
 
 // BlockBytes returns peer 0's ledger storage footprint.
 func (nw *Network) BlockBytes() int64 { return nw.peers[0].ledger.StorageSize() }
@@ -455,7 +424,7 @@ func (nw *Network) Close() {
 		}
 		for _, p := range nw.peers {
 			p.wg.Wait()
-			p.engine.Close()
+			p.st.Close()
 		}
 		nw.net.Close()
 	})

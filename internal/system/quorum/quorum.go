@@ -32,7 +32,7 @@ import (
 	"dichotomy/internal/ledger"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
-	"dichotomy/internal/storage"
+	"dichotomy/internal/state"
 	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -96,17 +96,19 @@ type Network struct {
 
 var _ system.System = (*Network)(nil)
 
-// node is one Quorum validator.
+// node is one Quorum validator. Committed state lives in the shared
+// striped state layer; the MPT commitment is node-local and guarded by
+// its own mutex (it is only touched by the serial commit loop and the
+// state-root accessors).
 type node struct {
 	id        cluster.NodeID
 	nw        *Network
 	cons      consensus.Node
 	reg       *contract.Registry
 	ledger    *ledger.Ledger
-	engine    storage.Engine
+	st        *state.Store
+	trieMu    sync.Mutex
 	trie      *mpt.Trie
-	stateMu   sync.Mutex
-	versions  map[string]txn.Version
 	pendingMu sync.Mutex
 	pending   []*txn.Tx
 	stopCh    chan struct{}
@@ -138,14 +140,13 @@ func New(cfg Config) (*Network, error) {
 	}
 	for _, id := range peers {
 		n := &node{
-			id:       id,
-			nw:       nw,
-			reg:      contract.NewRegistry(cfg.Contracts...),
-			ledger:   ledger.New(),
-			engine:   lsm.MustOpenMemory(),
-			trie:     mpt.New(),
-			versions: make(map[string]txn.Version),
-			stopCh:   make(chan struct{}),
+			id:     id,
+			nw:     nw,
+			reg:    contract.NewRegistry(cfg.Contracts...),
+			ledger: ledger.New(),
+			st:     state.New(lsm.MustOpenMemory(), 0),
+			trie:   mpt.New(),
+			stopCh: make(chan struct{}),
 		}
 		ep := nw.net.Register(id, 8192)
 		switch cfg.Consensus {
@@ -231,11 +232,11 @@ func (n *node) executeReadOnly(t *txn.Tx) system.Result {
 	var err error
 	var value []byte
 	t.Trace.Time(metrics.PhaseSimulate, func() {
-		n.stateMu.Lock()
-		defer n.stateMu.Unlock()
-		rw, err = n.reg.Execute(n.stateView(), t.Invocation)
+		snap := n.st.Snapshot()
+		defer snap.Release()
+		rw, err = n.reg.Execute(snap, t.Invocation)
 		if inv := t.Invocation; err == nil && inv.Contract == "kv" && inv.Method == "get" && len(inv.Args) == 1 {
-			if v, gerr := n.engine.Get(inv.Args[0]); gerr == nil {
+			if v, _, gerr := snap.Get(string(inv.Args[0])); gerr == nil {
 				value = v
 			}
 		}
@@ -311,9 +312,9 @@ func (n *node) proposeLoop() {
 		size := 0
 		for _, t := range batch {
 			start := time.Now()
-			n.stateMu.Lock()
-			_, _ = n.reg.Execute(n.stateView(), t.Invocation)
-			n.stateMu.Unlock()
+			snap := n.st.Snapshot()
+			_, _ = n.reg.Execute(snap, t.Invocation)
+			snap.Release()
 			t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
 			size += t.Size()
 		}
@@ -355,11 +356,15 @@ func (n *node) applyEntry(e consensus.Entry) {
 	}
 	blk := v.(*block)
 
-	n.stateMu.Lock()
 	blockNum := n.ledger.Height() + 1
 	results := make([]system.Result, len(blk.txs))
 	payloads := make([][]byte, len(blk.txs))
-	// Serial re-execution — every node replays every transaction.
+	// Serial re-execution — every node replays every transaction. Writes
+	// are staged in a block overlay so later transactions read earlier
+	// in-block writes, then flushed once, grouped by stripe, through the
+	// engine's batch fast path.
+	stage := n.st.NewBlock()
+	n.trieMu.Lock()
 	for i, t := range blk.txs {
 		commitStart := time.Now()
 		if err := n.verifyClient(t); err != nil {
@@ -367,7 +372,7 @@ func (n *node) applyEntry(e consensus.Entry) {
 			payloads[i] = t.ID[:]
 			continue
 		}
-		rw, err := n.reg.Execute(n.stateView(), t.Invocation)
+		rw, err := n.reg.Execute(stage, t.Invocation)
 		if err != nil {
 			results[i] = system.Result{Reason: occ.OK, Err: err}
 			payloads[i] = t.ID[:]
@@ -375,15 +380,12 @@ func (n *node) applyEntry(e consensus.Entry) {
 		}
 		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
 		for _, w := range rw.Writes {
+			stage.Stage(w, ver)
 			if w.Value == nil {
-				_ = n.engine.Delete([]byte(w.Key))
 				n.trie.Delete([]byte(w.Key))
-				delete(n.versions, w.Key)
-				continue
+			} else {
+				n.trie.Put([]byte(w.Key), w.Value)
 			}
-			_ = n.engine.Put([]byte(w.Key), w.Value)
-			n.trie.Put([]byte(w.Key), w.Value)
-			n.versions[w.Key] = ver
 		}
 		results[i] = system.Result{Committed: true}
 		payloads[i] = t.ID[:]
@@ -391,8 +393,12 @@ func (n *node) applyEntry(e consensus.Entry) {
 			t.Trace.Observe(metrics.PhaseExecute, time.Since(commitStart))
 		}
 	}
+	if err := stage.Commit(); err != nil {
+		panic(fmt.Sprintf("quorum node %d: block commit: %v", n.id, err))
+	}
 	// MPT reconstruction: the per-block state commitment.
 	stateRoot := n.trie.RootHash()
+	n.trieMu.Unlock()
 	var parent cryptoutil.Hash
 	if head := n.ledger.Head(); head != nil {
 		parent = head.Hash()
@@ -411,7 +417,6 @@ func (n *node) applyEntry(e consensus.Entry) {
 		// surface it loudly in tests.
 		panic(fmt.Sprintf("quorum node %d: ledger append: %v", n.id, err))
 	}
-	n.stateMu.Unlock()
 
 	// The proposer resolves the waiting clients once its own commit is
 	// durable (clients connect round-robin but wait on the shared map).
@@ -420,22 +425,8 @@ func (n *node) applyEntry(e consensus.Entry) {
 	}
 }
 
-// stateView adapts the node's committed state to contract.StateReader.
-func (n *node) stateView() contract.StateReader { return (*nodeState)(n) }
-
-type nodeState node
-
-// GetState implements contract.StateReader.
-func (s *nodeState) GetState(key string) ([]byte, txn.Version, error) {
-	v, err := s.engine.Get([]byte(key))
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, txn.Version{}, contract.ErrNotFound
-	}
-	if err != nil {
-		return nil, txn.Version{}, err
-	}
-	return v, s.versions[key], nil
-}
+// State exposes node i's striped state store (tests and inspection).
+func (nw *Network) State(i int) *state.Store { return nw.nodes[i].st }
 
 // Ledger exposes a node's ledger for verification in tests and examples.
 func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.nodes[i].ledger }
@@ -443,8 +434,8 @@ func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.nodes[i].ledger }
 // StateRoot returns node i's current MPT commitment.
 func (nw *Network) StateRoot(i int) cryptoutil.Hash {
 	n := nw.nodes[i]
-	n.stateMu.Lock()
-	defer n.stateMu.Unlock()
+	n.trieMu.Lock()
+	defer n.trieMu.Unlock()
 	return n.trie.RootHash()
 }
 
@@ -452,9 +443,9 @@ func (nw *Network) StateRoot(i int) cryptoutil.Hash {
 // MPT node store), for the storage experiments.
 func (nw *Network) StateBytes() int64 {
 	n := nw.nodes[0]
-	n.stateMu.Lock()
-	defer n.stateMu.Unlock()
-	return n.engine.ApproxSize() + n.trie.StorageBytes()
+	n.trieMu.Lock()
+	defer n.trieMu.Unlock()
+	return n.st.ApproxSize() + n.trie.StorageBytes()
 }
 
 // Close implements system.System.
@@ -466,7 +457,7 @@ func (nw *Network) Close() {
 		for _, n := range nw.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			n.engine.Close()
+			n.st.Close()
 		}
 		nw.net.Close()
 	})

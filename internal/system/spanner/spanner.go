@@ -379,6 +379,12 @@ func (p *participant) Abort(txID string) error {
 	return p.sh.replicate(&shardCmd{phase: phaseFinish, txID: txID, commit: false})
 }
 
+// ReadState returns the committed value of key, routed to its owning
+// shard (tests and inspection).
+func (c *Cluster) ReadState(key string) ([]byte, bool) {
+	return c.shards[c.part.Shard(key)].read(key)
+}
+
 // simulate runs the contract against cross-shard committed state and also
 // returns the full set of touched keys (reads ∪ writes) for locking.
 func (c *Cluster) simulate(inv txn.Invocation) (txn.RWSet, []string, error) {
