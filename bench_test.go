@@ -122,6 +122,21 @@ func BenchmarkContentionSweep(b *testing.B) {
 	runOnce(b, func() { experiments.Contention(os.Stderr, sc, []int{1, 4}) })
 }
 
+// BenchmarkBlockShape sweeps Fabric's block-processing pipeline shape:
+// the serial baseline (workers=1, depth=1) against parallel intra-block
+// validation with cross-block pipelining (workers=4, depth=2) at the
+// default block size. On multi-core hardware the parallel rows should
+// beat the serial row — the refactor's acceptance check, turning the
+// paper's validation-bottleneck observation (Fig 8) into a measurable
+// speedup; on a single-CPU host both converge, like
+// BenchmarkStateScaling.
+func BenchmarkBlockShape(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() {
+		experiments.BlockShape(os.Stderr, sc, []int{100}, []int{1, 4}, []int{1, 2})
+	})
+}
+
 // BenchmarkStateScaling measures the shared state layer's worker scaling:
 // a single-stripe store (the old per-system global lock, reproduced
 // exactly by shards=1) against the striped default, at 1/4/16 workers

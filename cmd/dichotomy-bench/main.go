@@ -6,11 +6,17 @@
 //	dichotomy-bench all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table4 table5 peak contention.
+// fig14 fig15 table4 table5 peak contention blockshape.
 //
 // contention sweeps closed-loop worker counts per system and reports
 // throughput with tail latency — the lock-convoy diagnostic behind the
 // shared internal/state layer.
+//
+// blockshape sweeps Fabric's block-processing pipeline shape — block
+// size × validation workers × cross-block pipeline depth — against the
+// serial baseline (workers=1, depth=1), measuring what the shared
+// internal/pipeline layer recovers from the paper's validation
+// bottleneck.
 //
 // peak is the open-loop latency-under-load sweep: it calibrates each
 // system's closed-loop saturation throughput, then offers Poisson
@@ -35,7 +41,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -53,6 +59,9 @@ func main() {
 		shards = []int{1, 2, 4}
 		fracs  = []float64{0.5, 0.9, 1.2}
 		conc   = []int{1, 4, 16}
+		bsizes = []int{50, 200}
+		vwork  = []int{1, 4}
+		depths = []int{1, 2}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -64,6 +73,9 @@ func main() {
 		shards = []int{1, 2, 4, 8, 16}
 		fracs = []float64{0.25, 0.5, 0.75, 0.9, 1.0, 1.2}
 		conc = []int{1, 4, 16, 64}
+		bsizes = []int{50, 100, 500, 1000}
+		vwork = []int{1, 2, 4, 8}
+		depths = []int{1, 2, 4}
 	}
 
 	runners := map[string]func(){
@@ -83,10 +95,11 @@ func main() {
 		"table5":     func() { experiments.Table5(os.Stdout, sc, grid) },
 		"peak":       func() { experiments.Peak(os.Stdout, sc, fracs) },
 		"contention": func() { experiments.Contention(os.Stdout, sc, conc) },
+		"blockshape": func() { experiments.BlockShape(os.Stdout, sc, bsizes, vwork, depths) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention"}
+		"contention", "blockshape"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

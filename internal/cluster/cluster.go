@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -94,6 +95,7 @@ func (ZeroLink) Delay(NodeID, NodeID, int) time.Duration { return 0 }
 // Network connects a set of nodes. Create one per simulated cluster.
 type Network struct {
 	link LinkModel
+	quit chan struct{} // closed on Close; stops endpoint pumps
 
 	mu        sync.RWMutex
 	endpoints map[NodeID]*Endpoint
@@ -109,6 +111,7 @@ func NewNetwork(link LinkModel) *Network {
 	}
 	return &Network{
 		link:      link,
+		quit:      make(chan struct{}),
 		endpoints: make(map[NodeID]*Endpoint),
 		down:      make(map[NodeID]bool),
 		cut:       make(map[[2]NodeID]bool),
@@ -118,10 +121,19 @@ func NewNetwork(link LinkModel) *Network {
 // ErrClosed is returned when sending through a closed network or endpoint.
 var ErrClosed = errors.New("cluster: network closed")
 
+// ErrBackpressure is returned by Send when the sender's bounded outbound
+// queue is full — the network-card analogue of a full transmit ring.
+// Protocol messages treat it as loss (retransmission recovers); proposal
+// forwarding propagates it so clients retry, which is the flow control
+// that keeps unbounded bursts from wedging a consensus state machine.
+var ErrBackpressure = errors.New("cluster: send queue full")
+
 // Register attaches a node to the network and returns its endpoint. The
-// inbox holds up to queue messages; deliveries beyond that block the
-// delivery goroutine, applying natural backpressure. Registering the same
-// id twice panics: it is a programming error in cluster assembly.
+// inbox holds up to queue messages, and the outbound queue is bounded to
+// the same depth: Send never blocks the caller — when the outbox is full
+// it fails fast with ErrBackpressure instead of stalling a state machine
+// that may be holding its own lock. Registering the same id twice panics:
+// it is a programming error in cluster assembly.
 func (n *Network) Register(id NodeID, queue int) *Endpoint {
 	if queue <= 0 {
 		queue = 4096
@@ -137,7 +149,9 @@ func (n *Network) Register(id NodeID, queue int) *Endpoint {
 	ep := &Endpoint{
 		id:    id,
 		net:   n,
+		queue: queue,
 		inbox: make(chan Envelope, queue),
+		outs:  make(map[NodeID]*conn),
 	}
 	n.endpoints[id] = ep
 	return ep
@@ -198,8 +212,8 @@ func pairKey(a, b NodeID) [2]NodeID {
 	return [2]NodeID{a, b}
 }
 
-// Close shuts the network down; all inboxes are closed and further sends
-// return ErrClosed.
+// Close shuts the network down; endpoint pumps stop, all inboxes are
+// closed, and further sends are dropped.
 func (n *Network) Close() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -207,6 +221,7 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
+	close(n.quit)
 	for _, ep := range n.endpoints {
 		ep.closeInbox()
 	}
@@ -231,11 +246,42 @@ func (n *Network) endpoint(id NodeID) *Endpoint {
 
 // Endpoint is one node's attachment to the network.
 type Endpoint struct {
-	id    NodeID
-	net   *Network
-	inbox chan Envelope
+	id      NodeID
+	net     *Network
+	queue   int
+	inbox   chan Envelope
+	dropped atomic.Uint64
 
-	closeOnce sync.Once
+	// outs holds one bounded outbound connection per destination — the
+	// simulation's analogue of a TCP connection per peer. Each queue is
+	// drained by its own pump goroutine, so one slow receiver never
+	// head-of-line-blocks traffic to the others.
+	outMu sync.Mutex
+	outs  map[NodeID]*conn
+
+	// sendMu guards inbox against close-during-send: deliverers hold it
+	// shared, closeInbox holds it exclusively. Deliverers never hold it
+	// across shutdown — the quit channel (closed before any inbox)
+	// unblocks them first.
+	sendMu      sync.RWMutex
+	inboxClosed bool
+	closeOnce   sync.Once
+}
+
+// outbound is one queued send: the envelope and the instant the link
+// model says it arrives.
+type outbound struct {
+	env Envelope
+	due time.Time
+}
+
+// conn is one sender→destination link: a bounded queue plus the count of
+// messages accepted but not yet delivered. inflight gates the inline
+// fast path — a zero-delay send may skip the queue only when nothing is
+// pending on it, which preserves the link's FIFO order.
+type conn struct {
+	ch       chan outbound
+	inflight atomic.Int64
 }
 
 // ID returns the node id of this endpoint.
@@ -246,13 +292,33 @@ func (e *Endpoint) ID() NodeID { return e.id }
 func (e *Endpoint) Inbox() <-chan Envelope { return e.inbox }
 
 func (e *Endpoint) closeInbox() {
-	e.closeOnce.Do(func() { close(e.inbox) })
+	e.closeOnce.Do(func() {
+		e.sendMu.Lock()
+		e.inboxClosed = true
+		close(e.inbox)
+		e.sendMu.Unlock()
+	})
 }
 
-// Send delivers msg to the destination node after the modeled link delay.
-// Delivery is asynchronous: Send returns immediately. Messages between the
-// same pair of nodes are delivered in send order (FIFO links), which Raft
-// and PBFT both assume of their transport.
+// Send delivers (or queues) msg toward the destination node after the
+// modeled link delay. Send never blocks and its memory footprint is
+// bounded — a consensus state machine holding its own mutex must never
+// wedge on a slow peer's inbox, the flow-control gap an unbounded burst
+// used to expose:
+//
+//   - Fast path: a zero-delay send with nothing pending on the link goes
+//     straight into the destination inbox when there is room. This keeps
+//     the global enqueue order of concurrent broadcasts causally
+//     consistent — the lockstep the height-sequential BFT protocols rely
+//     on, since they drop other-height messages rather than backlog them.
+//   - Queued path: delayed sends, and sends the inbox can't take right
+//     now, enter the link's fixed-size queue, drained in FIFO order by
+//     the link's pump. A full queue fails fast with ErrBackpressure;
+//     protocol messages treat that as loss (retransmission recovers) and
+//     proposal forwarding propagates it so clients retry.
+//
+// Messages between the same pair of nodes are delivered in send order
+// (FIFO links), which Raft and PBFT both assume of their transport.
 func (e *Endpoint) Send(to NodeID, msg Message) error {
 	dst := e.net.endpoint(to)
 	if dst == nil {
@@ -264,30 +330,100 @@ func (e *Endpoint) Send(to NodeID, msg Message) error {
 	}
 	delay := e.net.link.Delay(e.id, to, msg.Size())
 	env := Envelope{From: e.id, Msg: msg}
-	if delay == 0 {
-		dst.deliver(env)
+	c := e.connTo(to)
+	if delay == 0 && c.inflight.Load() == 0 && dst.tryDeliver(env) {
 		return nil
 	}
-	// A per-destination delivery queue would preserve FIFO under delay;
-	// with a uniform link model equal delays preserve order through the
-	// timer heap, so a goroutine per message suffices and keeps the
-	// implementation simple. Jittered links may reorder, which consensus
-	// protocols must tolerate anyway.
-	time.AfterFunc(delay, func() {
-		if e.net.reachable(e.id, to) {
-			dst.deliver(env)
-		}
-	})
-	return nil
+	c.inflight.Add(1)
+	select {
+	case c.ch <- outbound{env: env, due: time.Now().Add(delay)}:
+		return nil
+	default:
+		c.inflight.Add(-1)
+		e.dropped.Add(1)
+		return ErrBackpressure
+	}
 }
 
-func (e *Endpoint) deliver(env Envelope) {
-	defer func() {
-		// Recover from send-on-closed when the network shuts down while
-		// timers are in flight; losing messages at shutdown is fine.
-		_ = recover()
-	}()
-	e.inbox <- env
+// Dropped reports how many messages Send rejected with ErrBackpressure.
+func (e *Endpoint) Dropped() uint64 { return e.dropped.Load() }
+
+// connTo returns the link toward one destination, starting its pump on
+// first use.
+func (e *Endpoint) connTo(to NodeID) *conn {
+	e.outMu.Lock()
+	defer e.outMu.Unlock()
+	c, ok := e.outs[to]
+	if !ok {
+		c = &conn{ch: make(chan outbound, e.queue)}
+		e.outs[to] = c
+		go e.pump(to, c)
+	}
+	return c
+}
+
+// pump drains one link's queue in order, waits out each message's link
+// delay, and delivers it. Per-pair FIFO is exact; a jittered link
+// inflates a reordered message's delay to its predecessor's instead of
+// reordering, which is within the model's tolerance. Delivery into a
+// full destination inbox blocks only this pair's pump — the receiver's
+// backpressure propagates to this one queue, never into the sender's
+// state machine and never across its other links.
+func (e *Endpoint) pump(to NodeID, c *conn) {
+	for {
+		select {
+		case <-e.net.quit:
+			return
+		case out := <-c.ch:
+			if wait := time.Until(out.due); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-e.net.quit:
+					timer.Stop()
+					return
+				}
+			}
+			// Reachability is evaluated at delivery time, so a crash or
+			// partition that lands mid-flight still drops the message.
+			if e.net.reachable(e.id, to) {
+				if dst := e.net.endpoint(to); dst != nil {
+					dst.deliver(out.env, e.net.quit)
+				}
+			}
+			c.inflight.Add(-1)
+		}
+	}
+}
+
+// tryDeliver lands the envelope in the inbox only if there is room right
+// now.
+func (e *Endpoint) tryDeliver(env Envelope) bool {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.inboxClosed {
+		return true // swallowed, like any delivery racing shutdown
+	}
+	select {
+	case e.inbox <- env:
+		return true
+	default:
+		return false
+	}
+}
+
+// deliver blocks until the envelope lands in the inbox or the network
+// shuts down; losing messages at shutdown is fine.
+func (e *Endpoint) deliver(env Envelope, quit <-chan struct{}) {
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
+	if e.inboxClosed {
+		return
+	}
+	select {
+	case e.inbox <- env:
+	case <-quit:
+	}
 }
 
 // Broadcast sends msg to every other registered node.

@@ -14,6 +14,7 @@ package raft
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sync"
 	"time"
 
@@ -494,22 +495,23 @@ func (n *Node) onAppendResponse(from cluster.NodeID, msg appendResponse) {
 }
 
 // advanceCommitLocked applies the §5.4.2 rule: an index commits when a
-// majority has it and it belongs to the current term.
+// majority has it and it belongs to the current term. The highest index a
+// majority holds is the quorum'th-largest match index, so one sort of the
+// match vector finds it — O(peers log peers) per call, where scanning
+// down from lastIndex is O(backlog) and turns a deep replication backlog
+// into quadratic work (the livelock an unbounded append burst exposed).
+// Terms are nondecreasing along the log, so a single term check on that
+// index is equivalent to the descending scan's current-term guard.
 func (n *Node) advanceCommitLocked() {
-	for idx := n.lastIndex(); idx > n.commitIndex; idx-- {
-		if n.log[idx].Term != n.term {
-			break
-		}
-		count := 0
-		for _, p := range n.cfg.Peers {
-			if n.matchIndex[p] >= idx {
-				count++
-			}
-		}
-		if n.quorum(count) {
-			n.commitIndex = idx
-			break
-		}
+	matches := make([]uint64, 0, 8)
+	for _, p := range n.cfg.Peers {
+		matches = append(matches, n.matchIndex[p])
+	}
+	slices.Sort(matches)
+	q := len(n.cfg.Peers)/2 + 1
+	idx := matches[len(matches)-q]
+	if idx > n.commitIndex && n.log[idx].Term == n.term {
+		n.commitIndex = idx
 	}
 	n.applyLocked()
 }

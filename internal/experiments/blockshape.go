@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+
+	"dichotomy/internal/system/fabric"
+	"dichotomy/internal/workload/ycsb"
+)
+
+// BlockShape sweeps the block-processing pipeline's shape axes on Fabric
+// under YCSB updates: block size × validation workers × pipeline depth.
+// It is the experiment the shared internal/pipeline refactor exists for —
+// the paper identifies serial validation (endorsement signature checks,
+// Fig 8) as Fabric's commit-path bottleneck, and this sweep measures how
+// much of it parallel intra-block validation and cross-block pipelining
+// claw back, and how block size trades against both. workers=1 ×
+// depth=1 is the paper-faithful serial baseline; the separation from it
+// needs parallel hardware (GOMAXPROCS > 1), like the state-layer sweep.
+func BlockShape(w io.Writer, sc Scale, blockSizes, workerCounts, depths []int) {
+	Header(w, "BlockShape: Fabric YCSB throughput vs block size × validation workers × pipeline depth")
+	Row(w, "system", "blocksize", "workers", "depth", "tps", "p50", "p99", "abort%")
+	if len(blockSizes) == 0 {
+		blockSizes = []int{50, 200}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4}
+	}
+	if len(depths) == 0 {
+		depths = []int{1, 2}
+	}
+	client := Client()
+	cfg := ycsb.Config{Records: sc.Records, RecordSize: 100}
+	for _, bs := range blockSizes {
+		for _, workers := range workerCounts {
+			for _, depth := range depths {
+				nw, err := fabric.New(fabric.Config{
+					Peers:             sc.Nodes,
+					BlockSize:         bs,
+					ValidationWorkers: workers,
+					PipelineDepth:     depth,
+				})
+				if err != nil {
+					panic(err)
+				}
+				nw.RegisterClient(client.Name(), client.Public())
+				if err := PreloadYCSB(nw, cfg, client); err != nil {
+					nw.Close()
+					continue
+				}
+				r := RunYCSB(nw, cfg, sc, 0, client)
+				Row(w, nw.Name(), bs, workers, depth,
+					r.TPS, r.Latency.P50, r.Latency.P99, r.AbortRate())
+				nw.Close()
+			}
+		}
+	}
+}

@@ -107,3 +107,26 @@ func TestFig4Runs(t *testing.T) {
 		t.Fatalf("preload failed:\n%s", out)
 	}
 }
+
+func TestBlockShapeRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-cell sweep")
+	}
+	var buf bytes.Buffer
+	BlockShape(&buf, tiny(), []int{100}, []int{1, 4}, []int{2})
+	out := buf.String()
+	if !strings.Contains(out, "BlockShape") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	// One row per (blocksize × workers × depth) cell plus the two header
+	// lines; every cell must have produced a row even on 1-CPU hosts.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 2+2; got != want {
+		t.Fatalf("got %d output lines, want %d:\n%s", got, want, out)
+	}
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(line, "fabric") {
+			t.Fatalf("unexpected row %q", line)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dichotomy/internal/contract"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/pipeline"
 	"dichotomy/internal/state"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
@@ -49,13 +50,18 @@ func (c BigchainConfig) withDefaults() BigchainConfig {
 }
 
 // bigchainNode executes the ordered ledger against its replica of state
-// in the shared striped state layer; the apply loop is the only accessor,
-// so no node-level lock is needed.
+// in the shared striped state layer; the apply pipeline is the only
+// accessor, so no node-level lock is needed. Each consensus entry carries
+// one whole transaction — the BigchainDB archetype's concurrency ceiling
+// — so the shared pipeline runs with single-transaction blocks: it keeps
+// the drain/decode/commit skeleton uniform, and execution concurrency
+// stays capped by the ledger order, as the paper's model demands.
 type bigchainNode struct {
 	b      *Bigchain
 	cons   consensus.Node
 	st     *state.Store
 	reg    *contract.Registry
+	pipe   *pipeline.Pipeline[consensus.Entry, *txn.Tx]
 	height uint64
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -83,6 +89,11 @@ func NewBigchain(cfg BigchainConfig) *Bigchain {
 			reg:    contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
 			stopCh: make(chan struct{}),
 		}
+		n.pipe = pipeline.New(pipeline.Config{Workers: 1, Depth: 1},
+			pipeline.Stages[consensus.Entry, *txn.Tx]{
+				Decode: n.decodeEntry,
+				Apply:  n.apply,
+			})
 		n.cons = pbft.New(pbft.Config{ID: id, Peers: peers, Endpoint: b.net.Register(id, 8192)})
 		b.nodes = append(b.nodes, n)
 	}
@@ -117,34 +128,33 @@ func (b *Bigchain) Execute(t *txn.Tx) system.Result {
 	}
 }
 
+// applyLoop drives the node's pipeline over the consensus commit stream
+// until shutdown.
 func (n *bigchainNode) applyLoop() {
 	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case e, ok := <-n.cons.Committed():
-			if !ok {
-				return
-			}
-			n.apply(e)
-		}
-	}
+	n.pipe.Run(n.cons.Committed(), n.stopCh)
 }
 
-func (n *bigchainNode) apply(e consensus.Entry) {
+// decodeEntry resolves a committed entry's payload handle (pipeline
+// Decode stage); view-change no-ops are skipped.
+func (n *bigchainNode) decodeEntry(e consensus.Entry) (*txn.Tx, bool) {
 	if len(e.Data) == 0 {
-		return // view-change no-op
+		return nil, false // view-change no-op
 	}
 	id, ok := system.HandleID(e.Data)
 	if !ok {
-		return
+		return nil, false
 	}
 	v, ok := n.b.box.Take(id)
 	if !ok {
-		return
+		return nil, false
 	}
-	t := v.(*txn.Tx)
+	return v.(*txn.Tx), true
+}
+
+// apply executes one ordered transaction against the local database
+// (pipeline Apply stage).
+func (n *bigchainNode) apply(t *txn.Tx) {
 	n.height++
 	rw, err := n.reg.Execute(n.st, t.Invocation)
 	if err == nil {

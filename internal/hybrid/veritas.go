@@ -10,6 +10,7 @@ import (
 	"dichotomy/internal/contract"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/pipeline"
 	"dichotomy/internal/sharedlog"
 	"dichotomy/internal/state"
 	"dichotomy/internal/storage/memdb"
@@ -42,6 +43,14 @@ type VeritasConfig struct {
 	// BatchSize and BatchTimeout shape the shared log's batches.
 	BatchSize    int
 	BatchTimeout time.Duration
+	// ValidationWorkers sizes each verifier's read-set validation pool:
+	// the batch's effects validate as key-scheduled waves instead of in
+	// strict log order. ≤ 0 selects 1 — the prototype's serial apply, so
+	// the modelled system stays faithful unless parallelism is asked for.
+	ValidationWorkers int
+	// PipelineDepth is how many batches a verifier keeps in flight. ≤ 0
+	// selects 1 — no cross-batch overlap.
+	PipelineDepth int
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -56,19 +65,35 @@ func (c VeritasConfig) withDefaults() VeritasConfig {
 	if c.BatchTimeout <= 0 {
 		c.BatchTimeout = 5 * time.Millisecond
 	}
+	if c.ValidationWorkers <= 0 {
+		c.ValidationWorkers = 1
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
+	}
 	return c
 }
 
 // veritasNode holds one verifier's replica of state in the shared striped
-// state layer. The apply loop is its only writer; Execute simulates
-// against consistent snapshots. height is owned by the apply loop.
+// state layer. The apply pipeline is its only writer; Execute simulates
+// against consistent snapshots. height is owned by the pipeline's Apply
+// stage.
 type veritasNode struct {
 	v        *Veritas
 	st       *state.Store
 	consumer *sharedlog.Consumer
+	pipe     *pipeline.Pipeline[sharedlog.Batch, *veritasBatch]
 	height   uint64
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+}
+
+// veritasBatch is one decoded log batch moving through a verifier's
+// pipeline.
+type veritasBatch struct {
+	txs      []*txn.Tx
+	verdicts []occ.AbortReason
+	applyErr error
 }
 
 var _ system.System = (*Veritas)(nil)
@@ -92,6 +117,14 @@ func NewVeritas(cfg VeritasConfig) *Veritas {
 			st:     state.New(memdb.New(), 0),
 			stopCh: make(chan struct{}),
 		}
+		n.pipe = pipeline.New(pipeline.Config{
+			Workers: cfg.ValidationWorkers,
+			Depth:   cfg.PipelineDepth,
+		}, pipeline.Stages[sharedlog.Batch, *veritasBatch]{
+			Decode: n.decodeBatch,
+			Apply:  n.applyBatch,
+			Seal:   n.sealBatch,
+		})
 		n.consumer = v.log.Subscribe(1)
 		n.wg.Add(1)
 		go n.applyLoop()
@@ -142,34 +175,18 @@ func (v *Veritas) Execute(t *txn.Tx) system.Result {
 	}
 }
 
+// applyLoop drives the verifier's batch pipeline over the shared log
+// until shutdown.
 func (n *veritasNode) applyLoop() {
 	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case batch, ok := <-n.consumer.Batches():
-			if !ok {
-				return
-			}
-			n.applyBatch(batch)
-		}
-	}
+	n.pipe.Run(n.consumer.Batches(), n.stopCh)
 }
 
-func (n *veritasNode) applyBatch(batch sharedlog.Batch) {
-	n.height++
-	first := n == n.v.nodes[0]
-	// Validate against the block overlay (so later effects in the batch
-	// see earlier ones), stage valid writes, then flush the whole batch
-	// through the store's grouped block-commit path before acking.
-	stage := n.st.NewBlock()
-	type outcome struct {
-		t       *txn.Tx
-		verdict occ.AbortReason
-	}
-	outcomes := make([]outcome, 0, len(batch.Records))
-	for i, rec := range batch.Records {
+// decodeBatch resolves a log batch's payload handles (pipeline Decode
+// stage).
+func (n *veritasNode) decodeBatch(batch sharedlog.Batch) (*veritasBatch, bool) {
+	txs := make([]*txn.Tx, 0, len(batch.Records))
+	for _, rec := range batch.Records {
 		id, ok := system.HandleID(rec)
 		if !ok {
 			continue
@@ -178,20 +195,48 @@ func (n *veritasNode) applyBatch(batch sharedlog.Batch) {
 		if !ok {
 			continue
 		}
-		t := val.(*txn.Tx)
-		verdict := occ.Validate(t.RWSet, stage)
-		if verdict == occ.OK {
+		txs = append(txs, val.(*txn.Tx))
+	}
+	if len(txs) == 0 {
+		return nil, false
+	}
+	return &veritasBatch{txs: txs}, true
+}
+
+// applyBatch validates the batch's effects and commits them (pipeline
+// Apply stage, strict log order). The optimistic read-set check runs as
+// key-scheduled waves — later effects still observe earlier in-batch
+// writes exactly as the serial log-order pass would — then valid writes
+// flush through the store's grouped block-commit path before acking.
+func (n *veritasNode) applyBatch(vb *veritasBatch) {
+	n.height++
+	sets := make([]txn.RWSet, len(vb.txs))
+	for i, t := range vb.txs {
+		sets[i] = t.RWSet
+	}
+	vb.verdicts = pipeline.ValidateWaves(sets, n.st, n.height, n.pipe.Workers())
+	stage := n.st.NewBlock()
+	for i, t := range vb.txs {
+		if vb.verdicts[i] == occ.OK {
 			stage.StageAll(t.RWSet.Writes, txn.Version{BlockNum: n.height, TxNum: uint32(i)})
 		}
-		outcomes = append(outcomes, outcome{t: t, verdict: verdict})
 	}
-	err := stage.Commit()
-	if !first {
+	vb.applyErr = stage.Commit()
+}
+
+// sealBatch acks the batch's clients; only the first verifier resolves
+// (pipeline Seal stage).
+func (n *veritasNode) sealBatch(vb *veritasBatch) {
+	if n != n.v.nodes[0] {
 		return
 	}
-	for _, o := range outcomes {
-		r := system.Result{Committed: o.verdict == occ.OK && err == nil, Reason: o.verdict, Err: err}
-		n.v.waiters.Resolve(string(o.t.ID[:]), r)
+	for i, t := range vb.txs {
+		r := system.Result{
+			Committed: vb.verdicts[i] == occ.OK && vb.applyErr == nil,
+			Reason:    vb.verdicts[i],
+			Err:       vb.applyErr,
+		}
+		n.v.waiters.Resolve(string(t.ID[:]), r)
 	}
 }
 

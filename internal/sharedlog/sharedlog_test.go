@@ -207,3 +207,42 @@ func TestHighVolumeAppendDoesNotWedge(t *testing.T) {
 		}
 	}
 }
+
+// TestUnpacedBurstAppendDoesNotWedge regression-tests the network-layer
+// flow-control gap left open by the follower-drain fix above: with an
+// unbounded burst — no pacing at all — a follower's inbox eventually
+// fills, and Endpoint.Send used to block the leader inside its own raft
+// mutex, wedging the whole ordering service. The bounded send path now
+// fails fast with backpressure instead (Append absorbs it through its
+// retry loop), so a full-speed burst far past every buffer must still
+// land every accepted record. The pre-fix symptom is a permanent stall,
+// so the deadline trips.
+func TestUnpacedBurstAppendDoesNotWedge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-volume burst test")
+	}
+	svc := service(t, 100)
+	c := svc.Subscribe(1)
+	const records = 10_000 // > raft CommitBuffer (4096) and inbox (8192)
+	deadline := time.Now().Add(120 * time.Second)
+	for i := 0; i < records; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("burst wedged at append %d — send path blocking?", i)
+		}
+		if err := svc.Append([]byte(fmt.Sprintf("b%05d", i))); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	seen := 0
+	for seen < records {
+		select {
+		case b, ok := <-c.Batches():
+			if !ok {
+				t.Fatalf("consumer closed at %d/%d records", seen, records)
+			}
+			seen += len(b.Records)
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("delivered %d/%d records before deadline", seen, records)
+		}
+	}
+}

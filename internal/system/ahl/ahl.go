@@ -20,6 +20,7 @@ import (
 	"dichotomy/internal/consensus/pbft"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/pipeline"
 	"dichotomy/internal/sharding"
 	"dichotomy/internal/state"
 	"dichotomy/internal/storage/memdb"
@@ -183,41 +184,48 @@ func (c *Cluster) Name() string {
 	return "ahl-fixed"
 }
 
-// applyLoop consumes one PBFT replica's commits. Only the first replica's
-// loop mutates shard state and resolves waiters (they all deliver the same
-// order; mutating once stands in for each replica holding its own copy,
-// and keeps the memory footprint of large experiments manageable).
+// applyLoop consumes one PBFT replica's commits through the shared block
+// pipeline. Only the first replica's loop mutates shard state and
+// resolves waiters (they all deliver the same order; mutating once stands
+// in for each replica holding its own copy, and keeps the memory
+// footprint of large experiments manageable); the redundant replica
+// streams ride pipeline.Drain so they never backpressure the group. A
+// shard's unit of work is a single sequenced command — 2PC phases
+// interleave with execution, so there is no stateless stage to fan out —
+// which makes this the pipeline's degenerate depth-1 instantiation.
 func (sh *shard) applyLoop(n *pbft.Node, c *Cluster) {
 	defer sh.wg.Done()
-	primary := n == sh.nodes[0]
-	for {
-		select {
-		case <-sh.stopCh:
-			return
-		case e, ok := <-n.Committed():
-			if !ok {
-				return
-			}
-			if primary {
-				sh.apply(e, c)
-			}
-		}
+	if n != sh.nodes[0] {
+		pipeline.Drain(n.Committed(), sh.stopCh)
+		return
 	}
+	pipe := pipeline.New(pipeline.Config{Workers: 1, Depth: 1},
+		pipeline.Stages[consensus.Entry, *shardCmd]{
+			Decode: sh.decodeCmd,
+			Apply:  func(cmd *shardCmd) { sh.apply(cmd, c) },
+		})
+	pipe.Run(n.Committed(), sh.stopCh)
 }
 
-func (sh *shard) apply(e consensus.Entry, c *Cluster) {
+// decodeCmd resolves a committed entry's payload handle (pipeline Decode
+// stage); view-change no-ops are skipped.
+func (sh *shard) decodeCmd(e consensus.Entry) (*shardCmd, bool) {
 	if len(e.Data) == 0 {
-		return // view-change no-op
+		return nil, false // view-change no-op
 	}
 	id, ok := system.HandleID(e.Data)
 	if !ok {
-		return
+		return nil, false
 	}
 	v, ok := sh.box.Take(id)
 	if !ok {
-		return
+		return nil, false
 	}
-	cmd := v.(*shardCmd)
+	return v.(*shardCmd), true
+}
+
+// apply sequences one shard command (pipeline Apply stage).
+func (sh *shard) apply(cmd *shardCmd, c *Cluster) {
 	sh.height++
 	switch cmd.kind {
 	case cmdExecute:

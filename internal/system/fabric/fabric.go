@@ -12,12 +12,17 @@
 //     divergence is the "inconsistent read" abort of Fig 10.
 //  3. The assembled transaction goes to the ordering service (three Raft
 //     orderers behind a shared-log facade), which batches it into blocks.
-//  4. Every peer pulls blocks and validates them *serially*: it verifies
-//     every endorsement signature (the 42%-of-validation cost in Fig 8)
-//     and applies Fabric's MVCC read-set check; stale reads abort
-//     (read-write conflicts). Valid writes commit to the LSM-backed state
-//     sequentially. Fabric v2 has no Merkle index on state — tamper
-//     evidence comes from the ledger alone.
+//  4. Every peer pulls blocks and validates them through the shared
+//     block pipeline (internal/pipeline). By default validation is
+//     serial, as in the modelled system — endorsement signature checks
+//     are the 42%-of-validation cost Fig 8 identifies. With
+//     ValidationWorkers > 1 the signature checks fan out across a worker
+//     pool (and overlap the previous block's commit at PipelineDepth
+//     ≥ 2), and the MVCC read-set check runs as key-scheduled waves
+//     with verdicts identical to the serial block order; stale reads
+//     abort (read-write conflicts). Valid writes commit to the
+//     LSM-backed state as one batch. Fabric v2 has no Merkle index on
+//     state — tamper evidence comes from the ledger alone.
 package fabric
 
 import (
@@ -33,6 +38,7 @@ import (
 	"dichotomy/internal/ledger"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/pipeline"
 	"dichotomy/internal/sharedlog"
 	"dichotomy/internal/state"
 	"dichotomy/internal/storage/lsm"
@@ -53,6 +59,16 @@ type Config struct {
 	// EndorsementsNeeded is how many endorsements a transaction must carry
 	// to validate; the paper's policy requires all peers. 0 means all.
 	EndorsementsNeeded int
+	// ValidationWorkers sizes each peer's block-validation worker pool
+	// (endorsement signature checks and MVCC wave scheduling). ≤ 0
+	// selects 1 — the paper's serial validation, so the modelled system
+	// stays faithful unless parallelism is asked for (the blockshape
+	// experiment sweeps it).
+	ValidationWorkers int
+	// PipelineDepth is how many blocks a peer keeps in flight: validation
+	// of block N+1 overlaps commit of block N at depth ≥ 2. ≤ 0 selects
+	// 1 — no cross-block overlap, as in the real system.
+	PipelineDepth int
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -71,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockTimeout <= 0 {
 		c.BlockTimeout = 5 * time.Millisecond
+	}
+	if c.ValidationWorkers <= 0 {
+		c.ValidationWorkers = 1
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
 	}
 	if c.Contracts == nil {
 		c.Contracts = []contract.Contract{contract.KV{}, contract.Smallbank{}}
@@ -102,7 +124,11 @@ var _ system.System = (*Network)(nil)
 // shared striped state layer: endorsement simulates against a consistent
 // snapshot while validation and block commit go through the store's
 // grouped batch path, so signature verification no longer serializes
-// endorsements behind a global state lock.
+// endorsements behind a global state lock. Block processing runs on the
+// shared staged pipeline: signature verification fans out across the
+// validation worker pool (and overlaps the previous block's commit at
+// depth ≥ 2), while the MVCC check and state/ledger commit stay in
+// strict block order on the committer side.
 type peer struct {
 	name     string
 	nw       *Network
@@ -111,8 +137,25 @@ type peer struct {
 	ledger   *ledger.Ledger
 	st       *state.Store
 	consumer *sharedlog.Consumer
+	pipe     *pipeline.Pipeline[sharedlog.Batch, *fabricBlock]
 	stopCh   chan struct{}
 	wg       sync.WaitGroup
+}
+
+// fabricBlock is one decoded block moving through a peer's pipeline.
+type fabricBlock struct {
+	txs      []*txn.Tx
+	verdicts []occ.AbortReason
+	// valDur and applyStart together measure the validate phase as time
+	// spent in the Validate and Apply/Seal stages only — at depth ≥ 2 a
+	// block can also sit queued behind its predecessor's commit, and that
+	// wait is pipeline occupancy, not validation cost.
+	valDur     time.Duration
+	applyStart time.Time
+	sigNanos   atomic.Int64 // summed endorsement-verification CPU time
+	// commitErr surfaces a failed state or ledger commit to the block's
+	// clients instead of panicking the peer.
+	commitErr error
 }
 
 // New assembles and starts a Fabric network.
@@ -148,6 +191,15 @@ func New(cfg Config) (*Network, error) {
 			st:     state.New(lsm.MustOpenMemory(), 0),
 			stopCh: make(chan struct{}),
 		}
+		p.pipe = pipeline.New(pipeline.Config{
+			Workers: cfg.ValidationWorkers,
+			Depth:   cfg.PipelineDepth,
+		}, pipeline.Stages[sharedlog.Batch, *fabricBlock]{
+			Decode:   p.decodeBlock,
+			Validate: p.validateBlock,
+			Apply:    p.applyBlock,
+			Seal:     p.sealBlock,
+		})
 		nw.peerKeys[name] = signer.Public()
 		nw.peers = append(nw.peers, p)
 	}
@@ -297,23 +349,16 @@ func (p *peer) endorse(t *txn.Tx) (txn.RWSet, cryptoutil.Signature, error) {
 	return rw, sig, sigErr
 }
 
-// commitLoop validates and commits ordered blocks serially.
+// commitLoop drives the peer's block pipeline over the ordering service's
+// batch stream until shutdown.
 func (p *peer) commitLoop() {
 	defer p.wg.Done()
-	for {
-		select {
-		case <-p.stopCh:
-			return
-		case batch, ok := <-p.consumer.Batches():
-			if !ok {
-				return
-			}
-			p.applyBlock(batch)
-		}
-	}
+	p.pipe.Run(p.consumer.Batches(), p.stopCh)
 }
 
-func (p *peer) applyBlock(batch sharedlog.Batch) {
+// decodeBlock resolves a batch's payload handles into the block's
+// transactions (pipeline Decode stage).
+func (p *peer) decodeBlock(batch sharedlog.Batch) (*fabricBlock, bool) {
 	txs := make([]*txn.Tx, 0, len(batch.Records))
 	for _, rec := range batch.Records {
 		id, ok := system.HandleID(rec)
@@ -327,77 +372,105 @@ func (p *peer) applyBlock(batch sharedlog.Batch) {
 		txs = append(txs, v.(*txn.Tx))
 	}
 	if len(txs) == 0 {
-		return
+		return nil, false
 	}
+	return &fabricBlock{txs: txs}, true
+}
 
-	validateStart := time.Now()
-	blockNum := p.ledger.Height() + 1
-
-	// Serial validation: endorsement signature checks dominate (Fig 8).
-	verdicts := make([]occ.AbortReason, len(txs))
-	sets := make([]txn.RWSet, len(txs))
-	sigTime := time.Duration(0)
-	for i, t := range txs {
+// validateBlock runs the stateless half of validation — the endorsement
+// signature checks that dominate Fig 8 — across the worker pool (pipeline
+// Validate stage). At depth ≥ 2 this overlaps the previous block's commit.
+func (p *peer) validateBlock(b *fabricBlock) {
+	start := time.Now()
+	defer func() { b.valDur = time.Since(start) }()
+	b.verdicts = make([]occ.AbortReason, len(b.txs))
+	pipeline.Parallel(p.pipe.Workers(), len(b.txs), func(i int) {
 		sigStart := time.Now()
-		err := t.VerifyEndorsements(func(name string) (cryptoutil.PublicKey, bool) {
+		err := b.txs[i].VerifyEndorsements(func(name string) (cryptoutil.PublicKey, bool) {
 			pub, ok := p.nw.peerKeys[name]
 			return pub, ok
 		}, p.nw.needed())
-		sigTime += time.Since(sigStart)
+		b.sigNanos.Add(int64(time.Since(sigStart)))
 		if err != nil {
-			verdicts[i] = occ.InconsistentRead // endorsement failure
-			continue
+			b.verdicts[i] = occ.InconsistentRead // endorsement failure
 		}
-		sets[i] = t.RWSet
-		verdicts[i] = occ.OK
+	})
+}
+
+// applyBlock validates reads and commits state (pipeline Apply stage,
+// strict block order). The MVCC check runs as key-scheduled waves with
+// verdicts identical to the serial in-block-order pass; the commit loop
+// is the store's only writer, so validating against the live store is
+// stable without holding any lock across the block.
+func (p *peer) applyBlock(b *fabricBlock) {
+	b.applyStart = time.Now()
+	blockNum := p.ledger.Height() + 1
+	sets := make([]txn.RWSet, len(b.txs))
+	for i, t := range b.txs {
+		if b.verdicts[i] == occ.OK {
+			sets[i] = t.RWSet
+		}
 	}
-	// MVCC check in block order, honouring intra-block dependencies. The
-	// commit loop is the store's only writer, so validating against the
-	// live store is stable without holding any lock across the block.
-	mvccVerdicts := occ.ValidateBlock(sets, p.st, blockNum)
-	for i := range verdicts {
-		if verdicts[i] == occ.OK {
-			verdicts[i] = mvccVerdicts[i]
+	mvccVerdicts := pipeline.ValidateWaves(sets, p.st, blockNum, p.pipe.Workers())
+	for i := range b.verdicts {
+		if b.verdicts[i] == occ.OK {
+			b.verdicts[i] = mvccVerdicts[i]
 		}
 	}
 
 	// Stage valid write sets and commit them as one block: grouped by
-	// stripe, flushed through the engine's batch fast path.
+	// stripe, flushed through the engine's batch fast path. A failed
+	// commit no longer panics the peer: the error travels to Seal, which
+	// reports it to every client waiting on the block.
 	blk := p.st.NewBlock()
-	payloads := make([][]byte, len(txs))
-	for i, t := range txs {
-		payloads[i] = t.ID[:]
-		if verdicts[i] != occ.OK {
+	for i, t := range b.txs {
+		if b.verdicts[i] != occ.OK {
 			continue
 		}
 		blk.StageAll(t.RWSet.Writes, txn.Version{BlockNum: blockNum, TxNum: uint32(i)})
 	}
 	if err := blk.Commit(); err != nil {
-		panic(fmt.Sprintf("fabric %s: block commit: %v", p.name, err))
+		b.commitErr = fmt.Errorf("fabric %s: block commit: %w", p.name, err)
 	}
-	var parent cryptoutil.Hash
-	if head := p.ledger.Head(); head != nil {
-		parent = head.Hash()
+}
+
+// sealBlock appends the ledger block and resolves the waiting clients
+// (pipeline Seal stage, strict block order).
+func (p *peer) sealBlock(b *fabricBlock) {
+	payloads := make([][]byte, len(b.txs))
+	for i, t := range b.txs {
+		payloads[i] = t.ID[:]
 	}
-	lb := &ledger.Block{
-		Header: ledger.Header{
-			Number:     blockNum,
-			ParentHash: parent,
-			TxRoot:     ledger.ComputeTxRoot(payloads),
-		},
-		Txs: payloads,
-	}
-	if err := p.ledger.Append(lb); err != nil {
-		panic(fmt.Sprintf("fabric %s: ledger append: %v", p.name, err))
+	if b.commitErr == nil {
+		var parent cryptoutil.Hash
+		if head := p.ledger.Head(); head != nil {
+			parent = head.Hash()
+		}
+		lb := &ledger.Block{
+			Header: ledger.Header{
+				Number:     p.ledger.Height() + 1,
+				ParentHash: parent,
+				TxRoot:     ledger.ComputeTxRoot(payloads),
+			},
+			Txs: payloads,
+		}
+		if err := p.ledger.Append(lb); err != nil {
+			b.commitErr = fmt.Errorf("fabric %s: ledger append: %w", p.name, err)
+		}
 	}
 
-	validate := time.Since(validateStart)
+	validate := b.valDur + time.Since(b.applyStart)
 	p.nw.Breakdown.Observe(metrics.PhaseValidate, validate)
-	p.nw.Breakdown.Observe("validate-sig", sigTime)
+	p.nw.Breakdown.Observe("validate-sig", time.Duration(b.sigNanos.Load()))
 
-	for i, t := range txs {
+	for i, t := range b.txs {
 		t.Trace.Observe(metrics.PhaseValidate, validate)
-		r := system.Result{Committed: verdicts[i] == occ.OK, Reason: verdicts[i]}
+		var r system.Result
+		if b.commitErr != nil {
+			r = system.Result{Reason: b.verdicts[i], Err: b.commitErr}
+		} else {
+			r = system.Result{Committed: b.verdicts[i] == occ.OK, Reason: b.verdicts[i]}
+		}
 		p.nw.waiters.Resolve(string(t.ID[:]), r)
 	}
 }

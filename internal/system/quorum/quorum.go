@@ -10,10 +10,15 @@
 //     the ledger tip — block construction is sequential, which is why
 //     Quorum cannot exploit concurrency — and batches them into a block.
 //  3. The block goes through consensus (Raft or IBFT).
-//  4. Every node re-executes the block's transactions serially ("double
-//     execution"), applies writes to the LSM-backed state, reconstructs
-//     the MPT commitment (the per-commit hashing the paper blames for the
-//     record-size collapse in Fig 11), and appends the block.
+//  4. Every node re-executes the block's transactions ("double
+//     execution") through the shared block pipeline: client signatures
+//     verify across a worker pool, write-disjoint transactions re-execute
+//     speculatively in parallel (with a deterministic serial fix-up for
+//     conflicting ones, so every replica still reaches the identical
+//     state), writes land in the LSM-backed state as one batch, the node
+//     reconstructs the MPT commitment (the per-commit hashing the paper
+//     blames for the record-size collapse in Fig 11), and appends the
+//     block.
 package quorum
 
 import (
@@ -32,6 +37,7 @@ import (
 	"dichotomy/internal/ledger"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/pipeline"
 	"dichotomy/internal/state"
 	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/system"
@@ -58,6 +64,16 @@ type Config struct {
 	BlockSize int
 	// BlockInterval cuts a non-full block after this delay. Default 5ms.
 	BlockInterval time.Duration
+	// ExecutionWorkers sizes each node's block re-execution worker pool:
+	// write-disjoint transactions replay speculatively in parallel, with a
+	// deterministic serial fix-up for conflicting ones. ≤ 0 selects 1 —
+	// the real system's serial double execution, so the modelled system
+	// stays faithful unless parallelism is asked for.
+	ExecutionWorkers int
+	// PipelineDepth is how many blocks a node keeps in flight: client
+	// authentication of block N+1 overlaps commit of block N at depth
+	// ≥ 2. ≤ 0 selects 1 — no cross-block overlap, as in the real system.
+	PipelineDepth int
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -73,6 +89,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockInterval <= 0 {
 		c.BlockInterval = 5 * time.Millisecond
+	}
+	if c.ExecutionWorkers <= 0 {
+		c.ExecutionWorkers = 1
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
 	}
 	if c.Contracts == nil {
 		c.Contracts = []contract.Contract{contract.KV{}, contract.Smallbank{}}
@@ -109,17 +131,30 @@ type node struct {
 	st        *state.Store
 	trieMu    sync.Mutex
 	trie      *mpt.Trie
+	pipe      *pipeline.Pipeline[consensus.Entry, *nodeBlock]
 	pendingMu sync.Mutex
 	pending   []*txn.Tx
 	stopCh    chan struct{}
 	wg        sync.WaitGroup
 }
 
-// block is the consensus payload (passed by handle through the box).
+// block is the consensus payload (passed by handle through the box). It
+// is shared read-only by every node's pipeline; per-node processing state
+// lives in nodeBlock.
 type block struct {
 	proposer cluster.NodeID
 	txs      []*txn.Tx
 	size     int
+}
+
+// nodeBlock is one node's in-flight view of a committed block moving
+// through its pipeline.
+type nodeBlock struct {
+	blk *block
+	// authErrs holds per-transaction client-authentication failures
+	// (pipeline Validate stage, stateless and worker-pooled).
+	authErrs []error
+	results  []system.Result
 }
 
 // New assembles and starts a Quorum network.
@@ -148,6 +183,15 @@ func New(cfg Config) (*Network, error) {
 			trie:   mpt.New(),
 			stopCh: make(chan struct{}),
 		}
+		n.pipe = pipeline.New(pipeline.Config{
+			Workers: cfg.ExecutionWorkers,
+			Depth:   cfg.PipelineDepth,
+		}, pipeline.Stages[consensus.Entry, *nodeBlock]{
+			Decode:   n.decodeBlock,
+			Validate: n.validateBlock,
+			Apply:    n.applyBlock,
+			Seal:     n.sealBlock,
+		})
 		ep := nw.net.Register(id, 8192)
 		switch cfg.Consensus {
 		case Raft:
@@ -328,58 +372,78 @@ func (n *node) proposeLoop() {
 	}
 }
 
-// commitLoop applies committed blocks: serial re-execution, state write,
-// MPT reconstruction, ledger append.
+// commitLoop drives the node's block pipeline over the consensus commit
+// stream until shutdown.
 func (n *node) commitLoop() {
 	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopCh:
-			return
-		case e, ok := <-n.cons.Committed():
-			if !ok {
-				return
-			}
-			n.applyEntry(e)
-		}
-	}
+	n.pipe.Run(n.cons.Committed(), n.stopCh)
 }
 
-func (n *node) applyEntry(e consensus.Entry) {
+// decodeBlock resolves a committed entry's payload handle (pipeline
+// Decode stage).
+func (n *node) decodeBlock(e consensus.Entry) (*nodeBlock, bool) {
 	id, ok := system.HandleID(e.Data)
 	if !ok {
-		return
+		return nil, false
 	}
 	v, ok := n.nw.box.Take(id)
 	if !ok {
-		return
+		return nil, false
 	}
-	blk := v.(*block)
+	return &nodeBlock{blk: v.(*block)}, true
+}
 
+// validateBlock authenticates the block's clients across the worker pool
+// (pipeline Validate stage) — the stateless check that can overlap the
+// previous block's commit.
+func (n *node) validateBlock(nb *nodeBlock) {
+	nb.authErrs = make([]error, len(nb.blk.txs))
+	pipeline.Parallel(n.pipe.Workers(), len(nb.blk.txs), func(i int) {
+		nb.authErrs[i] = n.verifyClient(nb.blk.txs[i])
+	})
+}
+
+// applyBlock re-executes the block and commits state (pipeline Apply
+// stage, strict block order). Re-execution is speculative: every
+// transaction replays in parallel against the block's base state, and a
+// deterministic serial fix-up re-runs only those whose reads overlap an
+// earlier transaction's writes — so write-disjoint transactions replay
+// concurrently while every replica still reaches the state the serial
+// "double execution" would have produced.
+func (n *node) applyBlock(nb *nodeBlock) {
+	blk := nb.blk
 	blockNum := n.ledger.Height() + 1
-	results := make([]system.Result, len(blk.txs))
-	payloads := make([][]byte, len(blk.txs))
-	// Serial re-execution — every node replays every transaction. Writes
-	// are staged in a block overlay so later transactions read earlier
-	// in-block writes, then flushed once, grouped by stripe, through the
-	// engine's batch fast path.
+	nb.results = make([]system.Result, len(blk.txs))
+
+	// Per-transaction execution cost for the proposer's trace; a
+	// conflicted transaction's serial re-run overwrites its speculative
+	// timing, so the recorded cost is the authoritative execution's.
+	execDur := make([]time.Duration, len(blk.txs))
+	rws, errs := pipeline.ExecuteBlock(len(blk.txs), n.pipe.Workers(), blockNum, n.st,
+		func(i int, view contract.StateReader) (txn.RWSet, error) {
+			start := time.Now()
+			defer func() { execDur[i] = time.Since(start) }()
+			if err := nb.authErrs[i]; err != nil {
+				return txn.RWSet{}, err
+			}
+			return n.reg.Execute(view, blk.txs[i].Invocation)
+		})
+
+	// Stage writes in block order (later writers win) and rebuild the MPT
+	// commitment — the per-block hashing of Fig 11.
 	stage := n.st.NewBlock()
 	n.trieMu.Lock()
 	for i, t := range blk.txs {
-		commitStart := time.Now()
-		if err := n.verifyClient(t); err != nil {
-			results[i] = system.Result{Err: err}
-			payloads[i] = t.ID[:]
-			continue
-		}
-		rw, err := n.reg.Execute(stage, t.Invocation)
-		if err != nil {
-			results[i] = system.Result{Reason: occ.OK, Err: err}
-			payloads[i] = t.ID[:]
+		if err := errs[i]; err != nil {
+			if nb.authErrs[i] != nil {
+				nb.results[i] = system.Result{Err: err}
+			} else {
+				nb.results[i] = system.Result{Reason: occ.OK, Err: err}
+			}
 			continue
 		}
 		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
-		for _, w := range rw.Writes {
+		for _, w := range rws[i].Writes {
 			stage.Stage(w, ver)
 			if w.Value == nil {
 				n.trie.Delete([]byte(w.Key))
@@ -387,16 +451,27 @@ func (n *node) applyEntry(e consensus.Entry) {
 				n.trie.Put([]byte(w.Key), w.Value)
 			}
 		}
-		results[i] = system.Result{Committed: true}
-		payloads[i] = t.ID[:]
+		nb.results[i] = system.Result{Committed: true}
 		if n.id == blk.proposer {
-			t.Trace.Observe(metrics.PhaseExecute, time.Since(commitStart))
+			t.Trace.Observe(metrics.PhaseExecute, execDur[i])
 		}
 	}
 	if err := stage.Commit(); err != nil {
 		panic(fmt.Sprintf("quorum node %d: block commit: %v", n.id, err))
 	}
-	// MPT reconstruction: the per-block state commitment.
+	n.trieMu.Unlock()
+}
+
+// sealBlock appends the ledger block and resolves the waiting clients
+// (pipeline Seal stage, strict block order).
+func (n *node) sealBlock(nb *nodeBlock) {
+	blk := nb.blk
+	payloads := make([][]byte, len(blk.txs))
+	for i, t := range blk.txs {
+		payloads[i] = t.ID[:]
+	}
+	// MPT reconstruction result: the per-block state commitment.
+	n.trieMu.Lock()
 	stateRoot := n.trie.RootHash()
 	n.trieMu.Unlock()
 	var parent cryptoutil.Hash
@@ -405,7 +480,7 @@ func (n *node) applyEntry(e consensus.Entry) {
 	}
 	lb := &ledger.Block{
 		Header: ledger.Header{
-			Number:     blockNum,
+			Number:     n.ledger.Height() + 1,
 			ParentHash: parent,
 			TxRoot:     ledger.ComputeTxRoot(payloads),
 			StateRoot:  stateRoot,
@@ -421,7 +496,7 @@ func (n *node) applyEntry(e consensus.Entry) {
 	// The proposer resolves the waiting clients once its own commit is
 	// durable (clients connect round-robin but wait on the shared map).
 	for i, t := range blk.txs {
-		n.nw.waiters.Resolve(string(t.ID[:]), results[i])
+		n.nw.waiters.Resolve(string(t.ID[:]), nb.results[i])
 	}
 }
 
