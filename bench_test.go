@@ -137,6 +137,19 @@ func BenchmarkBlockShape(b *testing.B) {
 	})
 }
 
+// BenchmarkRecovery runs the checkpoint-interval × crash-height sweep at
+// one representative point: a durable Fabric network checkpointing every
+// 8 blocks, crashed at the tip, recovered from checkpoint + ledger-tail
+// replay and verified byte-identical to a healthy replica. The printed
+// rows carry the restore/replay split; the benchmark's ns/op tracks the
+// whole load-crash-recover cycle in the CI bench trajectory.
+func BenchmarkRecovery(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() {
+		experiments.Recovery(os.Stderr, sc, []uint64{8}, []float64{1.0})
+	})
+}
+
 // BenchmarkStateScaling measures the shared state layer's worker scaling:
 // a single-stripe store (the old per-system global lock, reproduced
 // exactly by shards=1) against the striped default, at 1/4/16 workers

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, res, ok := parseLine("BenchmarkStateScaling/striped/workers=4-8  \t 1250\t    912345 ns/op\t  42.5 tps")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "BenchmarkStateScaling/striped/workers=4" {
+		t.Fatalf("name %q (cpu suffix not stripped?)", name)
+	}
+	if res.Iterations != 1250 {
+		t.Fatalf("iterations %d", res.Iterations)
+	}
+	if res.Metrics["ns/op"] != 912345 || res.Metrics["tps"] != 42.5 {
+		t.Fatalf("metrics %v", res.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \tdichotomy\t12.3s",
+		"interval  tip  crash@",
+		"4   227   113   112", // experiment table row, no Benchmark prefix
+		"BenchmarkBroken notanumber 5 ns/op",
+		"BenchmarkNoMetrics 5",
+	} {
+		if name, _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q as benchmark %q", line, name)
+		}
+	}
+}

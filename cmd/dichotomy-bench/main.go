@@ -6,7 +6,7 @@
 //	dichotomy-bench all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table4 table5 peak contention blockshape.
+// fig14 fig15 table4 table5 peak contention blockshape recovery.
 //
 // contention sweeps closed-loop worker counts per system and reports
 // throughput with tail latency — the lock-convoy diagnostic behind the
@@ -22,6 +22,13 @@
 // system's closed-loop saturation throughput, then offers Poisson
 // arrivals at fractions of that peak and reports delivered tps with
 // service latency and queueing delay separated.
+//
+// recovery sweeps checkpoint interval × crash height on a durable
+// Fabric network: each recovery restores the newest checkpoint at or
+// below the crash height and replays the ledger tail through the live
+// pipeline stages, reporting replayed blocks, checkpoint bytes, and
+// restore/replay time, with the recovered replica verified
+// byte-identical to a healthy one.
 //
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
@@ -41,7 +48,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -50,18 +57,20 @@ func main() {
 	}
 	sc := experiments.Quick()
 	var (
-		fs     = []int{1, 2}
-		nodes  = []int{3, 7, 11}
-		grid   = []int{1, 3, 5}
-		thetas = []float64{0, 0.6, 1.0}
-		ops    = []int{1, 4, 10}
-		sizes  = []int{10, 100, 1000, 5000}
-		shards = []int{1, 2, 4}
-		fracs  = []float64{0.5, 0.9, 1.2}
-		conc   = []int{1, 4, 16}
-		bsizes = []int{50, 200}
-		vwork  = []int{1, 4}
-		depths = []int{1, 2}
+		fs      = []int{1, 2}
+		nodes   = []int{3, 7, 11}
+		grid    = []int{1, 3, 5}
+		thetas  = []float64{0, 0.6, 1.0}
+		ops     = []int{1, 4, 10}
+		sizes   = []int{10, 100, 1000, 5000}
+		shards  = []int{1, 2, 4}
+		fracs   = []float64{0.5, 0.9, 1.2}
+		conc    = []int{1, 4, 16}
+		bsizes  = []int{50, 200}
+		vwork   = []int{1, 4}
+		depths  = []int{1, 2}
+		ckints  = []uint64{4, 16}
+		crashes = []float64{0.5, 1.0}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -76,6 +85,8 @@ func main() {
 		bsizes = []int{50, 100, 500, 1000}
 		vwork = []int{1, 2, 4, 8}
 		depths = []int{1, 2, 4}
+		ckints = []uint64{2, 8, 32, 128}
+		crashes = []float64{0.25, 0.5, 0.75, 1.0}
 	}
 
 	runners := map[string]func(){
@@ -96,10 +107,11 @@ func main() {
 		"peak":       func() { experiments.Peak(os.Stdout, sc, fracs) },
 		"contention": func() { experiments.Contention(os.Stdout, sc, conc) },
 		"blockshape": func() { experiments.BlockShape(os.Stdout, sc, bsizes, vwork, depths) },
+		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckints, crashes) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention", "blockshape"}
+		"contention", "blockshape", "recovery"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

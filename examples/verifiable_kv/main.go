@@ -26,7 +26,10 @@ func main() {
 
 	// 1. A hybrid database: database-grade throughput class with
 	//    blockchain-grade shared ordering.
-	v := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
+	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
+	if err != nil {
+		panic(err)
+	}
 	defer v.Close()
 
 	fmt.Println(hybrid.Describe(hybrid.Design{

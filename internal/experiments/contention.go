@@ -3,7 +3,6 @@ package experiments
 import (
 	"io"
 
-	"dichotomy/internal/hybrid"
 	"dichotomy/internal/system"
 	"dichotomy/internal/system/quorum"
 	"dichotomy/internal/workload/ycsb"
@@ -29,8 +28,8 @@ func Contention(w io.Writer, sc Scale, workerCounts []int) {
 		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
 		func() system.System { return BuildTiDB(3, 3) },
 		func() system.System { return BuildEtcd(3) },
-		func() system.System { return hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3}) },
-		func() system.System { return hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: 4}) },
+		func() system.System { return BuildVeritas(3) },
+		func() system.System { return BuildBigchain(4) },
 	}
 	for _, build := range builds {
 		for _, workers := range workerCounts {

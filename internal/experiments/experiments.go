@@ -19,6 +19,7 @@ import (
 
 	"dichotomy/internal/bench"
 	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/hybrid"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/system"
 	"dichotomy/internal/system/etcd"
@@ -91,6 +92,24 @@ func BuildQuorum(nodes int, kind quorum.ConsensusKind, client *cryptoutil.Signer
 	}
 	nw.RegisterClient(client.Name(), client.Public())
 	return nw
+}
+
+// BuildVeritas assembles a Veritas-like prototype.
+func BuildVeritas(verifiers int) *hybrid.Veritas {
+	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: verifiers})
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// BuildBigchain assembles a BigchainDB-like prototype.
+func BuildBigchain(nodes int) *hybrid.Bigchain {
+	b, err := hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: nodes})
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // BuildTiDB assembles a TiDB cluster in full-replication mode.

@@ -130,3 +130,25 @@ func TestBlockShapeRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestRecoveryRuns(t *testing.T) {
+	var buf bytes.Buffer
+	Recovery(&buf, tiny(), []uint64{4}, []float64{0.5, 1.0})
+	out := buf.String()
+	if !strings.Contains(out, "Recovery:") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("a recovered replica diverged from the healthy one:\n%s", out)
+	}
+	// Two crash fractions → two data rows, each ending in "ok".
+	rows := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasSuffix(strings.TrimSpace(line), "ok") {
+			rows++
+		}
+	}
+	if rows != 2 {
+		t.Fatalf("want 2 verified recovery rows, got %d:\n%s", rows, out)
+	}
+}

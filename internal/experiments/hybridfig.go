@@ -35,17 +35,13 @@ func Fig15(w io.Writer, sc Scale) {
 		design hybrid.Design
 	}{
 		{
-			build: func() system.System {
-				return hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
-			},
+			build: func() system.System { return BuildVeritas(3) },
 			design: hybrid.Design{Name: "veritas-like",
 				Replication: hybrid.StorageBased, Failure: hybrid.CFT,
 				Approach: hybrid.SharedLog},
 		},
 		{
-			build: func() system.System {
-				return hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: 4})
-			},
+			build: func() system.System { return BuildBigchain(4) },
 			design: hybrid.Design{Name: "bigchaindb-like",
 				Replication: hybrid.TxnBased, Failure: hybrid.BFT,
 				Approach: hybrid.Consensus},

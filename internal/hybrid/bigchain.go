@@ -2,7 +2,10 @@ package hybrid
 
 import (
 	"errors"
+	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dichotomy/internal/cluster"
@@ -12,7 +15,10 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -38,6 +44,15 @@ type Bigchain struct {
 type BigchainConfig struct {
 	// Nodes is the validator count (3f+1).
 	Nodes int
+	// DataDir, when set, puts each validator's state on a disk-backed LSM
+	// engine under DataDir/validatorN/state with checkpoints under
+	// DataDir/validatorN/ckpt. Empty keeps validators on the in-memory
+	// engine, as before.
+	DataDir string
+	// CheckpointInterval writes a checkpoint of state every this many
+	// applied transactions (each consensus entry is one transaction — the
+	// archetype's concurrency ceiling). 0 disables. Requires DataDir.
+	CheckpointInterval uint64
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -58,20 +73,33 @@ func (c BigchainConfig) withDefaults() BigchainConfig {
 // stays capped by the ledger order, as the paper's model demands.
 type bigchainNode struct {
 	b      *Bigchain
+	idx    int
 	cons   consensus.Node
 	st     *state.Store
 	reg    *contract.Registry
 	pipe   *pipeline.Pipeline[consensus.Entry, *txn.Tx]
-	height uint64
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	ckpt   *recovery.Checkpointer // nil when checkpointing is off
+	height atomic.Uint64
+	// applied retains every applied transaction, marshalled, in apply
+	// order — BigchainDB stores its blocks in the local database, and
+	// this retained history is what a crashed peer replays from.
+	appliedMu sync.Mutex
+	applied   [][]byte
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	crashed   atomic.Bool
+	drainCh   chan struct{}
 }
 
 var _ system.System = (*Bigchain)(nil)
 
 // NewBigchain assembles and starts the prototype.
-func NewBigchain(cfg BigchainConfig) *Bigchain {
+func NewBigchain(cfg BigchainConfig) (*Bigchain, error) {
 	cfg = cfg.withDefaults()
+	if cfg.CheckpointInterval > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("bigchain: CheckpointInterval requires DataDir")
+	}
 	b := &Bigchain{
 		cfg:     cfg,
 		net:     cluster.NewNetwork(cfg.Link),
@@ -82,12 +110,26 @@ func NewBigchain(cfg BigchainConfig) *Bigchain {
 	for i := range peers {
 		peers[i] = cluster.NodeID(600000 + i)
 	}
-	for _, id := range peers {
+	for i, id := range peers {
+		eng, err := openValidatorEngine(cfg.DataDir, i)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("bigchain validator %d: open state engine: %w", i, err)
+		}
 		n := &bigchainNode{
 			b:      b,
-			st:     state.New(memdb.New(), 0),
+			idx:    i,
+			st:     state.New(eng, 0),
 			reg:    contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
 			stopCh: make(chan struct{}),
+		}
+		if cfg.CheckpointInterval > 0 {
+			n.ckpt, err = recovery.NewCheckpointer(n.st, validatorCkptDir(cfg.DataDir, i), cfg.CheckpointInterval, 2)
+			if err != nil {
+				n.st.Close()
+				b.Close()
+				return nil, fmt.Errorf("bigchain validator %d: checkpointer: %w", i, err)
+			}
 		}
 		n.pipe = pipeline.New(pipeline.Config{Workers: 1, Depth: 1},
 			pipeline.Stages[consensus.Entry, *txn.Tx]{
@@ -101,7 +143,21 @@ func NewBigchain(cfg BigchainConfig) *Bigchain {
 		n.wg.Add(1)
 		go n.applyLoop()
 	}
-	return b
+	return b, nil
+}
+
+// openValidatorEngine picks the validator's engine: the in-memory
+// database by default, a disk-backed LSM under dataDir when durability
+// is asked for.
+func openValidatorEngine(dataDir string, i int) (storage.Engine, error) {
+	if dataDir == "" {
+		return memdb.New(), nil
+	}
+	return lsm.Open(lsm.Options{Dir: filepath.Join(dataDir, fmt.Sprintf("validator%d", i), "state")})
+}
+
+func validatorCkptDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("validator%d", i), "ckpt")
 }
 
 // Name implements system.System.
@@ -110,8 +166,20 @@ func (b *Bigchain) Name() string { return "bigchaindb-like" }
 // Execute implements system.System: the whole transaction is ordered
 // first, then executed identically on every node's local database.
 func (b *Bigchain) Execute(t *txn.Tx) system.Result {
+	// Count only live consumers: a crashed validator's commit stream is
+	// drained without Take, so counting it would leak the entry in the
+	// box for every post-crash commit.
+	live := 0
+	for _, n := range b.nodes {
+		if !n.crashed.Load() {
+			live++
+		}
+	}
+	if live == 0 {
+		return system.Result{Err: errors.New("bigchain: no live validators")}
+	}
 	done := b.waiters.Register(string(t.ID[:]))
-	id := b.box.Put(t, len(b.nodes))
+	id := b.box.Put(t, live)
 	start := time.Now()
 	// Any validator accepts the proposal (PBFT forwards internally).
 	if err := b.nodes[0].cons.Propose(system.Handle(id)); err != nil {
@@ -153,12 +221,18 @@ func (n *bigchainNode) decodeEntry(e consensus.Entry) (*txn.Tx, bool) {
 }
 
 // apply executes one ordered transaction against the local database
-// (pipeline Apply stage).
+// (pipeline Apply stage). The marshalled transaction is retained in the
+// node's applied history first, so the history a peer recovers from is
+// complete even if execution aborts the transaction — replay must reach
+// the same verdicts itself.
 func (n *bigchainNode) apply(t *txn.Tx) {
-	n.height++
+	height := n.height.Add(1)
+	n.appliedMu.Lock()
+	n.applied = append(n.applied, t.Marshal())
+	n.appliedMu.Unlock()
 	rw, err := n.reg.Execute(n.st, t.Invocation)
 	if err == nil {
-		ver := txn.Version{BlockNum: n.height}
+		ver := txn.Version{BlockNum: height}
 		vw := make([]state.VersionedWrite, len(rw.Writes))
 		for i, w := range rw.Writes {
 			vw[i] = state.VersionedWrite{Write: w, Version: ver}
@@ -171,7 +245,116 @@ func (n *bigchainNode) apply(t *txn.Tx) {
 		r.Err = err
 	}
 	n.b.waiters.Resolve(string(t.ID[:]), r)
+	if n.ckpt != nil && err == nil {
+		_, _ = n.ckpt.MaybeCheckpoint(height) // failure retained in LastErr
+	}
 }
+
+// appliedSource adapts a validator's retained history as a replay
+// source: each "block" is one applied transaction, matching the
+// archetype's one-transaction-per-consensus-entry ceiling.
+type appliedSource struct{ n *bigchainNode }
+
+func (s appliedSource) Height() uint64 {
+	s.n.appliedMu.Lock()
+	defer s.n.appliedMu.Unlock()
+	return uint64(len(s.n.applied))
+}
+
+func (s appliedSource) Payloads(h uint64) ([][]byte, bool) {
+	s.n.appliedMu.Lock()
+	defer s.n.appliedMu.Unlock()
+	if h < 1 || h > uint64(len(s.n.applied)) {
+		return nil, false
+	}
+	return [][]byte{s.n.applied[h-1]}, true
+}
+
+// CrashValidator kills validator i's execution layer: the apply pipeline
+// stops and its in-memory state and applied history are lost. Its PBFT
+// replica keeps running behind a drain so the remaining 3f nodes never
+// wait on its unread commit stream.
+func (b *Bigchain) CrashValidator(i int) {
+	n := b.nodes[i]
+	if n.crashed.Swap(true) {
+		return
+	}
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.wg.Wait()
+	n.drainCh = make(chan struct{})
+	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	n.st.Close()
+	n.applied = nil
+}
+
+// RecoverValidator rebuilds crashed validator i from its newest on-disk
+// checkpoint with height ≤ maxCkptHeight (0 = newest) plus a replay of
+// healthy validator from's applied history through the node's own apply
+// stage. It requires a quiesced network; the recovered validator serves
+// state but does not re-join live consensus consumption.
+func (b *Bigchain) RecoverValidator(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
+	n, src := b.nodes[i], b.nodes[from]
+	if !n.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("bigchain: validator %d is not crashed", i)
+	}
+	if src.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("bigchain: source validator %d is crashed", from)
+	}
+	cfg := recovery.RebuildConfig{
+		Old:           n.st, // a repeated recovery must close the previous attempt's store
+		Open:          func() (storage.Engine, error) { return openValidatorEngine(b.cfg.DataDir, i) },
+		Interval:      b.cfg.CheckpointInterval,
+		MaxCkptHeight: maxCkptHeight,
+	}
+	if b.cfg.DataDir != "" {
+		cfg.StateDir = filepath.Join(b.cfg.DataDir, fmt.Sprintf("validator%d", i), "state")
+	}
+	if n.ckpt != nil {
+		cfg.CkptDir = n.ckpt.Dir()
+	}
+	st, ckpt, stats, err := recovery.RebuildStore(cfg)
+	if err != nil {
+		return stats, err
+	}
+	// Replay re-runs the live apply stage, which checkpoints as it goes
+	// through the rebound checkpointer.
+	n.ckpt = ckpt
+	ckptHeight := stats.CheckpointHeight
+
+	// Rebuild the applied-history prefix from the healthy peer, then
+	// replay the tail through the live apply stage (which re-extends the
+	// history itself).
+	n.st = st
+	n.height.Store(ckptHeight)
+	n.applied = nil
+	for h := uint64(1); h <= ckptHeight; h++ {
+		payloads, ok := (appliedSource{src}).Payloads(h)
+		if !ok {
+			return stats, fmt.Errorf("bigchain: source history missing tx %d", h)
+		}
+		n.applied = append(n.applied, payloads[0])
+	}
+
+	replayStart := time.Now()
+	stats.ReplayedBlocks, err = recovery.Replay(appliedSource{src}, ckptHeight,
+		func(h uint64, payloads [][]byte) error {
+			txs, err := recovery.DecodeTxs(payloads)
+			if err != nil {
+				return err
+			}
+			n.apply(txs[0]) // the live apply stage, verdicts recomputed
+			return nil
+		})
+	stats.ReplayDuration = time.Since(replayStart)
+	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
+	return stats, err
+}
+
+// Checkpointer exposes validator i's checkpointer (nil when disabled).
+func (b *Bigchain) Checkpointer(i int) *recovery.Checkpointer { return b.nodes[i].ckpt }
+
+// Height returns validator i's applied-transaction height.
+func (b *Bigchain) Height(i int) uint64 { return b.nodes[i].height.Load() }
 
 // ReadState returns the committed value of key on the first validator
 // (the uniform inspection surface the shared state layer provides).
@@ -187,12 +370,17 @@ func (b *Bigchain) State(i int) *state.Store { return b.nodes[i].st }
 func (b *Bigchain) Close() {
 	b.closeOne.Do(func() {
 		for _, n := range b.nodes {
-			close(n.stopCh)
+			n.stopOnce.Do(func() { close(n.stopCh) })
 		}
 		for _, n := range b.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			n.st.Close()
+			if n.drainCh != nil {
+				close(n.drainCh)
+			}
+			if n.st != nil {
+				n.st.Close()
+			}
 		}
 		b.net.Close()
 	})

@@ -81,7 +81,10 @@ func kvTx(t *testing.T, client *cryptoutil.Signer, method string, args ...string
 }
 
 func TestVeritasCommitAndRead(t *testing.T) {
-	v := NewVeritas(VeritasConfig{Verifiers: 3})
+	v, err := NewVeritas(VeritasConfig{Verifiers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer v.Close()
 	client := cryptoutil.MustNewSigner("client")
 	if r := v.Execute(kvTx(t, client, "put", "k", "1")); !r.Committed {
@@ -93,7 +96,10 @@ func TestVeritasCommitAndRead(t *testing.T) {
 }
 
 func TestVeritasOCCConflictsUnderContention(t *testing.T) {
-	v := NewVeritas(VeritasConfig{Verifiers: 3})
+	v, err := NewVeritas(VeritasConfig{Verifiers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer v.Close()
 	client := cryptoutil.MustNewSigner("client")
 	if r := v.Execute(kvTx(t, client, "put", "hot", "0")); !r.Committed {
@@ -126,7 +132,10 @@ func TestVeritasOCCConflictsUnderContention(t *testing.T) {
 }
 
 func TestBigchainCommitAndReplay(t *testing.T) {
-	b := NewBigchain(BigchainConfig{Nodes: 4})
+	b, err := NewBigchain(BigchainConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer b.Close()
 	client := cryptoutil.MustNewSigner("client")
 	for i := 0; i < 10; i++ {
@@ -142,7 +151,10 @@ func TestBigchainCommitAndReplay(t *testing.T) {
 }
 
 func TestBigchainSerialNoConflicts(t *testing.T) {
-	b := NewBigchain(BigchainConfig{Nodes: 4})
+	b, err := NewBigchain(BigchainConfig{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer b.Close()
 	client := cryptoutil.MustNewSigner("client")
 	var wg sync.WaitGroup

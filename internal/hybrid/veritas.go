@@ -3,7 +3,9 @@ package hybrid
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dichotomy/internal/cluster"
@@ -11,8 +13,11 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/sharedlog"
 	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -31,7 +36,6 @@ type Veritas struct {
 	net      *cluster.Network
 	log      *sharedlog.Service
 	nodes    []*veritasNode
-	box      *system.PayloadBox
 	waiters  *system.Waiters
 	closeOne sync.Once
 }
@@ -51,6 +55,15 @@ type VeritasConfig struct {
 	// PipelineDepth is how many batches a verifier keeps in flight. ≤ 0
 	// selects 1 — no cross-batch overlap.
 	PipelineDepth int
+	// DataDir, when set, puts each verifier's state on a disk-backed LSM
+	// engine under DataDir/verifierN/state with checkpoints under
+	// DataDir/verifierN/ckpt. Empty keeps verifiers on the in-memory
+	// engine, as before.
+	DataDir string
+	// CheckpointInterval writes a batch-consistent checkpoint of state
+	// every this many log batches, on the apply goroutine. 0 disables
+	// checkpointing. Requires DataDir.
+	CheckpointInterval uint64
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -76,21 +89,28 @@ func (c VeritasConfig) withDefaults() VeritasConfig {
 
 // veritasNode holds one verifier's replica of state in the shared striped
 // state layer. The apply pipeline is its only writer; Execute simulates
-// against consistent snapshots. height is owned by the pipeline's Apply
-// stage.
+// against consistent snapshots. height tracks the last applied log batch
+// sequence number (atomic so recovery and tests can watch catch-up).
 type veritasNode struct {
 	v        *Veritas
+	idx      int
 	st       *state.Store
 	consumer *sharedlog.Consumer
 	pipe     *pipeline.Pipeline[sharedlog.Batch, *veritasBatch]
-	height   uint64
+	ckpt     *recovery.Checkpointer // nil when checkpointing is off
+	height   atomic.Uint64
 	stopCh   chan struct{}
+	stopOnce sync.Once
 	wg       sync.WaitGroup
+	crashed  atomic.Bool
 }
 
 // veritasBatch is one decoded log batch moving through a verifier's
-// pipeline.
+// pipeline. seq is the log sequence number — the verifier's height after
+// applying it, which keeps heights aligned with log offsets so a
+// recovering verifier can resubscribe exactly where its checkpoint ends.
 type veritasBatch struct {
+	seq      uint64
 	txs      []*txn.Tx
 	verdicts []occ.AbortReason
 	applyErr error
@@ -99,12 +119,14 @@ type veritasBatch struct {
 var _ system.System = (*Veritas)(nil)
 
 // NewVeritas assembles and starts the prototype.
-func NewVeritas(cfg VeritasConfig) *Veritas {
+func NewVeritas(cfg VeritasConfig) (*Veritas, error) {
 	cfg = cfg.withDefaults()
+	if cfg.CheckpointInterval > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("veritas: CheckpointInterval requires DataDir")
+	}
 	v := &Veritas{
 		cfg:     cfg,
 		net:     cluster.NewNetwork(cfg.Link),
-		box:     system.NewPayloadBox(),
 		waiters: system.NewWaiters(),
 	}
 	v.log = sharedlog.New(sharedlog.Config{
@@ -112,10 +134,24 @@ func NewVeritas(cfg VeritasConfig) *Veritas {
 		BatchSize: cfg.BatchSize, BatchTimeout: cfg.BatchTimeout,
 	})
 	for i := 0; i < cfg.Verifiers; i++ {
+		eng, err := openVerifierEngine(cfg.DataDir, i)
+		if err != nil {
+			v.Close()
+			return nil, fmt.Errorf("veritas verifier %d: open state engine: %w", i, err)
+		}
 		n := &veritasNode{
 			v:      v,
-			st:     state.New(memdb.New(), 0),
+			idx:    i,
+			st:     state.New(eng, 0),
 			stopCh: make(chan struct{}),
+		}
+		if cfg.CheckpointInterval > 0 {
+			n.ckpt, err = recovery.NewCheckpointer(n.st, verifierCkptDir(cfg.DataDir, i), cfg.CheckpointInterval, 2)
+			if err != nil {
+				n.st.Close()
+				v.Close()
+				return nil, fmt.Errorf("veritas verifier %d: checkpointer: %w", i, err)
+			}
 		}
 		n.pipe = pipeline.New(pipeline.Config{
 			Workers: cfg.ValidationWorkers,
@@ -130,16 +166,37 @@ func NewVeritas(cfg VeritasConfig) *Veritas {
 		go n.applyLoop()
 		v.nodes = append(v.nodes, n)
 	}
-	return v
+	return v, nil
+}
+
+// openVerifierEngine picks the verifier's engine: the in-memory database
+// by default (the prototype's ledgerless store), a disk-backed LSM under
+// dataDir when durability is asked for.
+func openVerifierEngine(dataDir string, i int) (storage.Engine, error) {
+	if dataDir == "" {
+		return memdb.New(), nil
+	}
+	return lsm.Open(lsm.Options{Dir: filepath.Join(dataDir, fmt.Sprintf("verifier%d", i), "state")})
+}
+
+func verifierCkptDir(dataDir string, i int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("verifier%d", i), "ckpt")
 }
 
 // Name implements system.System.
 func (v *Veritas) Name() string { return "veritas-like" }
 
 // Execute implements system.System: concurrent local execution, then the
-// effect (not the transaction) goes through the shared log.
+// effect (not the transaction) goes through the shared log — marshalled
+// whole, as Veritas ships effects through Kafka. Self-contained records
+// are what make the retained log tail a replay source: a crashed
+// verifier resubscribes above its checkpoint and catches up through its
+// ordinary apply pipeline.
 func (v *Veritas) Execute(t *txn.Tx) system.Result {
 	n := v.nodes[0] // any node can execute; effects are ordered globally
+	if n.crashed.Load() {
+		return system.Result{Err: errors.New("veritas: executing verifier is down")}
+	}
 	var rw txn.RWSet
 	var err error
 	t.Trace.Time(metrics.PhaseExecute, func() {
@@ -159,9 +216,8 @@ func (v *Veritas) Execute(t *txn.Tx) system.Result {
 	}
 	t.RWSet = rw
 	done := v.waiters.Register(string(t.ID[:]))
-	id := v.box.Put(t, v.cfg.Verifiers)
 	start := time.Now()
-	if err := v.log.Append(system.Handle(id)); err != nil {
+	if err := v.log.Append(t.Marshal()); err != nil {
 		v.waiters.Cancel(string(t.ID[:]))
 		return system.Result{Err: err}
 	}
@@ -182,25 +238,20 @@ func (n *veritasNode) applyLoop() {
 	n.pipe.Run(n.consumer.Batches(), n.stopCh)
 }
 
-// decodeBatch resolves a log batch's payload handles (pipeline Decode
-// stage).
+// decodeBatch unmarshals a log batch's effect records (pipeline Decode
+// stage). Even a batch with no decodable effects passes through, so the
+// verifier's height stays aligned with log sequence numbers — the
+// invariant recovery's resubscription depends on.
 func (n *veritasNode) decodeBatch(batch sharedlog.Batch) (*veritasBatch, bool) {
 	txs := make([]*txn.Tx, 0, len(batch.Records))
 	for _, rec := range batch.Records {
-		id, ok := system.HandleID(rec)
-		if !ok {
-			continue
+		t, err := txn.Unmarshal(rec)
+		if err != nil {
+			continue // foreign or corrupt record: skip, keep the batch
 		}
-		val, ok := n.v.box.Take(id)
-		if !ok {
-			continue
-		}
-		txs = append(txs, val.(*txn.Tx))
+		txs = append(txs, t)
 	}
-	if len(txs) == 0 {
-		return nil, false
-	}
-	return &veritasBatch{txs: txs}, true
+	return &veritasBatch{seq: batch.Seq, txs: txs}, true
 }
 
 // applyBatch validates the batch's effects and commits them (pipeline
@@ -208,24 +259,32 @@ func (n *veritasNode) decodeBatch(batch sharedlog.Batch) (*veritasBatch, bool) {
 // key-scheduled waves — later effects still observe earlier in-batch
 // writes exactly as the serial log-order pass would — then valid writes
 // flush through the store's grouped block-commit path before acking.
+// Afterwards the verifier sits exactly at batch-boundary vb.seq, which
+// is where the periodic checkpoint snapshots it.
 func (n *veritasNode) applyBatch(vb *veritasBatch) {
-	n.height++
+	height := vb.seq
 	sets := make([]txn.RWSet, len(vb.txs))
 	for i, t := range vb.txs {
 		sets[i] = t.RWSet
 	}
-	vb.verdicts = pipeline.ValidateWaves(sets, n.st, n.height, n.pipe.Workers())
+	vb.verdicts = pipeline.ValidateWaves(sets, n.st, height, n.pipe.Workers())
 	stage := n.st.NewBlock()
 	for i, t := range vb.txs {
 		if vb.verdicts[i] == occ.OK {
-			stage.StageAll(t.RWSet.Writes, txn.Version{BlockNum: n.height, TxNum: uint32(i)})
+			stage.StageAll(t.RWSet.Writes, txn.Version{BlockNum: height, TxNum: uint32(i)})
 		}
 	}
 	vb.applyErr = stage.Commit()
+	n.height.Store(height)
+	if n.ckpt != nil && vb.applyErr == nil {
+		_, _ = n.ckpt.MaybeCheckpoint(height) // failure retained in LastErr
+	}
 }
 
 // sealBatch acks the batch's clients; only the first verifier resolves
-// (pipeline Seal stage).
+// (pipeline Seal stage). Replayed batches resolve no one — their waiters
+// were answered (or timed out) long ago, and Resolve on an unknown id is
+// a no-op.
 func (n *veritasNode) sealBatch(vb *veritasBatch) {
 	if n != n.v.nodes[0] {
 		return
@@ -239,6 +298,75 @@ func (n *veritasNode) sealBatch(vb *veritasBatch) {
 		n.v.waiters.Resolve(string(t.ID[:]), r)
 	}
 }
+
+// CrashVerifier kills verifier i: its apply pipeline stops and its
+// in-memory state — values, versions, cursor — is lost. What survives is
+// the checkpoint directory on disk and the shared log itself, which
+// retains every batch.
+func (v *Veritas) CrashVerifier(i int) {
+	n := v.nodes[i]
+	if n.crashed.Swap(true) {
+		return
+	}
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.wg.Wait()
+	n.consumer.Close()
+	n.st.Close()
+}
+
+// RecoverVerifier rebuilds crashed verifier i from its newest on-disk
+// checkpoint with height ≤ maxCkptHeight (0 = newest) and resubscribes
+// to the shared log right above it. Catch-up is not a special code path:
+// the replayed tail flows through the verifier's ordinary decode/apply/
+// seal pipeline, which then seamlessly continues with live batches — so
+// unlike the ledger systems, a recovered verifier fully rejoins the
+// cluster. It returns as soon as the pipeline is running; watch Height
+// against the log's batch count for catch-up.
+func (v *Veritas) RecoverVerifier(i int, maxCkptHeight uint64) (recovery.Stats, error) {
+	n := v.nodes[i]
+	if !n.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("veritas: verifier %d is not crashed", i)
+	}
+	cfg := recovery.RebuildConfig{
+		Old:           n.st, // closed by CrashVerifier already; re-close is a no-op
+		Open:          func() (storage.Engine, error) { return openVerifierEngine(v.cfg.DataDir, i) },
+		Interval:      v.cfg.CheckpointInterval,
+		MaxCkptHeight: maxCkptHeight,
+	}
+	if v.cfg.DataDir != "" {
+		cfg.StateDir = filepath.Join(v.cfg.DataDir, fmt.Sprintf("verifier%d", i), "state")
+	}
+	if n.ckpt != nil {
+		cfg.CkptDir = n.ckpt.Dir()
+	}
+	st, ckpt, stats, err := recovery.RebuildStore(cfg)
+	if err != nil {
+		return stats, err
+	}
+	n.ckpt = ckpt
+	ckptHeight := stats.CheckpointHeight
+	stats.TipHeight = v.log.Batches()
+
+	n.st = st
+	n.height.Store(ckptHeight)
+	n.stopCh = make(chan struct{})
+	n.stopOnce = sync.Once{}
+	n.consumer = v.log.Subscribe(ckptHeight + 1)
+	n.crashed.Store(false)
+	n.wg.Add(1)
+	go n.applyLoop()
+	return stats, nil
+}
+
+// Height returns the last log batch verifier i has applied.
+func (v *Veritas) Height(i int) uint64 { return v.nodes[i].height.Load() }
+
+// LogBatches returns how many batches the shared log has cut — the tip a
+// recovering verifier must catch up to.
+func (v *Veritas) LogBatches() uint64 { return v.log.Batches() }
+
+// Checkpointer exposes verifier i's checkpointer (nil when disabled).
+func (v *Veritas) Checkpointer(i int) *recovery.Checkpointer { return v.nodes[i].ckpt }
 
 // ReadState returns the committed value of key on the first verifier (the
 // uniform inspection surface the shared state layer provides).
@@ -255,7 +383,7 @@ func (v *Veritas) Close() {
 	v.closeOne.Do(func() {
 		v.log.Stop()
 		for _, n := range v.nodes {
-			close(n.stopCh)
+			n.stopOnce.Do(func() { close(n.stopCh) })
 		}
 		for _, n := range v.nodes {
 			n.wg.Wait()

@@ -1,0 +1,407 @@
+// Package recovery is the durable checkpoint and crash-recovery layer.
+//
+// The paper's dichotomy hinges on where the source of truth lives: a
+// database restarts from checkpointed state plus a pruned log, while a
+// blockchain node can always rebuild from the replicated ledger. This
+// package supplies both halves over the shared state layer:
+//
+//   - A Checkpointer serializes a block-consistent snapshot of a
+//     state.Store — committed values AND the per-key txn.Version metadata
+//     that otherwise lives only in memory — every Interval blocks. It is
+//     driven from a system's committer goroutine (the pipeline's Apply/
+//     Seal stage), where the store is between blocks by construction, so
+//     a checkpoint can never tear a block.
+//   - Restore rebuilds a fresh store from the newest intact checkpoint at
+//     or below a crash height, falling back across corrupt files the way
+//     WAL replay discards a torn tail.
+//   - Replay drives the blocks above the checkpoint back through a
+//     system-supplied apply function — systems pass closures over their
+//     live pipeline stages, so recovery exercises the exact validate/
+//     apply code of normal operation against a ledger or shared-log tail.
+package recovery
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+
+	"dichotomy/internal/state"
+	"dichotomy/internal/txn"
+)
+
+// Checkpoint file layout (all integers big-endian):
+//
+//	magic [6] | height u64 | count u64 |
+//	count × ( klen u32 | key | vlen u32 | value | blockNum u64 | txNum u32 ) |
+//	crc u32  (IEEE, over everything before it)
+//
+// Files are written to <height>-named temp files and atomically renamed,
+// so a crash mid-checkpoint leaves at most a stray .tmp, never a torn
+// checkpoint under the real name.
+var ckptMagic = [6]byte{'D', 'C', 'K', 'P', 'T', '1'}
+
+func ckptPath(dir string, height uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016d.ckpt", height))
+}
+
+// WriteCheckpoint serializes st's committed values and versions at the
+// given height into dir and returns the file's size in bytes. The caller
+// must guarantee the store sits at a block boundary for the duration —
+// the committer goroutine between blocks, or a quiesced store. One pass
+// over the store buffers the records (the count lands in the header
+// before them), then header, records, and CRC stream to a temp file
+// that is renamed into place.
+func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("recovery: mkdir: %w", err)
+	}
+
+	var records bytes.Buffer
+	count := uint64(0)
+	var rec [12]byte
+	st.Dump(func(key string, value []byte, ver txn.Version) bool {
+		binary.BigEndian.PutUint32(rec[:4], uint32(len(key)))
+		records.Write(rec[:4])
+		records.WriteString(key)
+		binary.BigEndian.PutUint32(rec[:4], uint32(len(value)))
+		records.Write(rec[:4])
+		records.Write(value)
+		binary.BigEndian.PutUint64(rec[0:8], ver.BlockNum)
+		binary.BigEndian.PutUint32(rec[8:12], ver.TxNum)
+		records.Write(rec[:12])
+		count++
+		return true
+	})
+
+	var hdr [6 + 8 + 8]byte
+	copy(hdr[:6], ckptMagic[:])
+	binary.BigEndian.PutUint64(hdr[6:14], height)
+	binary.BigEndian.PutUint64(hdr[14:22], count)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(records.Bytes())
+
+	path := ckptPath(dir, height)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("recovery: create checkpoint: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	w.Write(hdr[:])
+	w.Write(records.Bytes())
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
+	w.Write(tail[:])
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return int64(6 + 8 + 8 + records.Len() + 4), nil
+}
+
+// loadCheckpoint streams one checkpoint file's records to fn after
+// verifying magic and, at the end, the CRC. fn is called as records are
+// read; a corrupt file can therefore deliver a prefix before the error —
+// callers must buffer and discard everything delivered before a non-nil
+// return (Restore applies nothing until the whole file verified).
+func loadCheckpoint(path string, fn func(key string, value []byte, ver txn.Version) error) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	// The CRC must cover exactly the bytes before the trailer, so hash on
+	// consumption rather than teeing the (read-ahead) buffered reader.
+	crc := crc32.NewIEEE()
+	r := bufio.NewReaderSize(f, 1<<16)
+	readFull := func(buf []byte) error {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		crc.Write(buf)
+		return nil
+	}
+
+	var hdr [6 + 8 + 8]byte
+	if err := readFull(hdr[:]); err != nil {
+		return 0, fmt.Errorf("recovery: %s: short header: %w", path, err)
+	}
+	if [6]byte(hdr[:6]) != ckptMagic {
+		return 0, fmt.Errorf("recovery: %s: bad magic", path)
+	}
+	height := binary.BigEndian.Uint64(hdr[6:14])
+	count := binary.BigEndian.Uint64(hdr[14:22])
+	// A corrupt length must not trigger a huge allocation; every record is
+	// at least 20 bytes, and no key or value exceeds 1 GiB (same bound as
+	// the WAL).
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if count > uint64(info.Size())/20 {
+		return 0, fmt.Errorf("recovery: %s: implausible record count %d", path, count)
+	}
+	checkLen := func(n uint32, what string) error {
+		if int64(n) > info.Size() || n > 1<<30 {
+			return fmt.Errorf("recovery: %s: implausible %s length %d", path, what, n)
+		}
+		return nil
+	}
+
+	var lenBuf [4]byte
+	var verBuf [12]byte
+	for i := uint64(0); i < count; i++ {
+		if err := readFull(lenBuf[:]); err != nil {
+			return 0, fmt.Errorf("recovery: %s: truncated at record %d: %w", path, i, err)
+		}
+		klen := binary.BigEndian.Uint32(lenBuf[:])
+		if err := checkLen(klen, "key"); err != nil {
+			return 0, err
+		}
+		key := make([]byte, klen)
+		if err := readFull(key); err != nil {
+			return 0, fmt.Errorf("recovery: %s: truncated key at record %d: %w", path, i, err)
+		}
+		if err := readFull(lenBuf[:]); err != nil {
+			return 0, fmt.Errorf("recovery: %s: truncated at record %d: %w", path, i, err)
+		}
+		vlen := binary.BigEndian.Uint32(lenBuf[:])
+		if err := checkLen(vlen, "value"); err != nil {
+			return 0, err
+		}
+		value := make([]byte, vlen)
+		if err := readFull(value); err != nil {
+			return 0, fmt.Errorf("recovery: %s: truncated value at record %d: %w", path, i, err)
+		}
+		if err := readFull(verBuf[:]); err != nil {
+			return 0, fmt.Errorf("recovery: %s: truncated version at record %d: %w", path, i, err)
+		}
+		ver := txn.Version{
+			BlockNum: binary.BigEndian.Uint64(verBuf[0:8]),
+			TxNum:    binary.BigEndian.Uint32(verBuf[8:12]),
+		}
+		if err := fn(string(key), value, ver); err != nil {
+			return 0, err
+		}
+	}
+	// The trailer sits outside the checksummed region.
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, fmt.Errorf("recovery: %s: missing crc: %w", path, err)
+	}
+	if binary.BigEndian.Uint32(tail[:]) != want {
+		return 0, fmt.Errorf("recovery: %s: crc mismatch", path)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return 0, fmt.Errorf("recovery: %s: trailing bytes", path)
+	}
+	return height, nil
+}
+
+// Checkpoints lists the checkpoint heights present in dir, ascending.
+func Checkpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var heights []uint64
+	for _, e := range entries {
+		name := e.Name()
+		var h uint64
+		if _, err := fmt.Sscanf(name, "ckpt-%d.ckpt", &h); err == nil && strings.HasSuffix(name, ".ckpt") {
+			heights = append(heights, h)
+		}
+	}
+	slices.Sort(heights)
+	return heights, nil
+}
+
+// Restore loads the newest intact checkpoint in dir with height ≤
+// maxHeight (0 means no limit) into st, which must be empty, and returns
+// the checkpoint's height and file size. Corrupt checkpoints are skipped,
+// falling back to the next older one; with no usable checkpoint it
+// returns height 0 and a nil error — recovery then replays from genesis.
+// A candidate file is buffered in full and nothing touches st until its
+// CRC verifies, so a corrupt newer checkpoint can never leak
+// future-versioned keys into the state a fallback restore builds (replay
+// would misvalidate against them).
+func Restore(st *state.Store, dir string, maxHeight uint64) (uint64, int64, error) {
+	heights, err := Checkpoints(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	if maxHeight == 0 {
+		maxHeight = ^uint64(0)
+	}
+	var lastErr error
+	for i := len(heights) - 1; i >= 0; i-- {
+		h := heights[i]
+		if h > maxHeight {
+			continue
+		}
+		path := ckptPath(dir, h)
+		var pending []state.VersionedWrite
+		height, err := loadCheckpoint(path, func(key string, value []byte, ver txn.Version) error {
+			if value == nil {
+				value = []byte{}
+			}
+			pending = append(pending, state.VersionedWrite{
+				Write:   txn.Write{Key: key, Value: value},
+				Version: ver,
+			})
+			return nil
+		})
+		if err != nil {
+			lastErr = err
+			continue // corrupt: fall back to the next older checkpoint
+		}
+		for len(pending) > 0 {
+			block := pending
+			if len(block) > 1024 {
+				block = block[:1024]
+			}
+			if err := st.ApplyBlock(block); err != nil {
+				return 0, 0, err
+			}
+			pending = pending[len(block):]
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return 0, 0, err
+		}
+		return height, info.Size(), nil
+	}
+	if lastErr != nil {
+		// Every candidate was corrupt; surface the newest failure but let
+		// the caller decide whether genesis replay is acceptable.
+		return 0, 0, fmt.Errorf("recovery: no intact checkpoint (newest failure: %w)", lastErr)
+	}
+	return 0, 0, nil
+}
+
+// Checkpointer writes periodic checkpoints of a store. Systems call
+// MaybeCheckpoint from their committer goroutine after sealing each
+// block; the write happens synchronously there, which is exactly the
+// commit-path cost the checkpoint-interval experiment measures.
+type Checkpointer struct {
+	st       *state.Store
+	dir      string
+	interval uint64
+	keep     int
+
+	mu         sync.Mutex
+	last       uint64
+	count      int
+	lastBytes  int64
+	totalBytes int64
+	lastErr    error
+}
+
+// NewCheckpointer builds a checkpointer writing to dir every interval
+// blocks, retaining the keep most recent checkpoints (≤ 0 keeps 2).
+func NewCheckpointer(st *state.Store, dir string, interval uint64, keep int) (*Checkpointer, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("recovery: checkpoint interval must be ≥ 1")
+	}
+	if keep <= 0 {
+		keep = 2
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: mkdir: %w", err)
+	}
+	return &Checkpointer{st: st, dir: dir, interval: interval, keep: keep}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (c *Checkpointer) Dir() string { return c.dir }
+
+// MaybeCheckpoint writes a checkpoint if height has advanced a full
+// interval past the last one. It reports whether a checkpoint was
+// written. Errors are returned and also retained for LastErr, so a
+// committer that cannot stop may keep going and let the operator (or a
+// test) observe the failure.
+func (c *Checkpointer) MaybeCheckpoint(height uint64) (bool, error) {
+	c.mu.Lock()
+	due := height >= c.last+c.interval
+	c.mu.Unlock()
+	if !due {
+		return false, nil
+	}
+	return true, c.Checkpoint(height)
+}
+
+// Checkpoint writes a checkpoint at height unconditionally and prunes
+// old ones.
+func (c *Checkpointer) Checkpoint(height uint64) error {
+	n, err := WriteCheckpoint(c.dir, height, c.st)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.lastErr = err
+		return err
+	}
+	c.last = height
+	c.count++
+	c.lastBytes = n
+	c.totalBytes += n
+	c.pruneLocked()
+	return nil
+}
+
+func (c *Checkpointer) pruneLocked() {
+	heights, err := Checkpoints(c.dir)
+	if err != nil || len(heights) <= c.keep {
+		return
+	}
+	for _, h := range heights[:len(heights)-c.keep] {
+		os.Remove(ckptPath(c.dir, h))
+	}
+}
+
+// LastHeight returns the height of the most recent checkpoint (0 if none).
+func (c *Checkpointer) LastHeight() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// LastErr returns the most recent checkpoint failure, if any.
+func (c *Checkpointer) LastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Totals reports how many checkpoints were written and their cumulative
+// and most-recent sizes in bytes.
+func (c *Checkpointer) Totals() (count int, lastBytes, totalBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count, c.lastBytes, c.totalBytes
+}

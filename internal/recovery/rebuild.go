@@ -1,0 +1,74 @@
+package recovery
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
+)
+
+// RebuildConfig describes how to rebuild one crashed node's store. The
+// four systems differ only in engine policy and directory layout; the
+// sequence itself — close the dead store, wipe the engine directory,
+// reopen, restore the checkpoint, rebind a fresh checkpointer — is
+// shared, so a fix to it lands everywhere at once.
+type RebuildConfig struct {
+	// Old is the crashed (or previously-recovered) store; closed and
+	// discarded when non-nil.
+	Old *state.Store
+	// StateDir, when non-empty, is removed before reopening: a
+	// disk-backed engine may hold writes from after the checkpoint whose
+	// version metadata died with the process, and recovery trusts only
+	// the checkpoint.
+	StateDir string
+	// Open opens the node's fresh engine.
+	Open func() (storage.Engine, error)
+	// CkptDir enables checkpoint restore and checkpointer rebinding when
+	// non-empty; Interval and Keep configure the rebound checkpointer.
+	CkptDir  string
+	Interval uint64
+	Keep     int
+	// MaxCkptHeight bounds the restore (0 = newest): a crash at height c
+	// means only checkpoints at or below c exist.
+	MaxCkptHeight uint64
+}
+
+// RebuildStore rebuilds a crashed node's store from its newest usable
+// checkpoint and returns it with a rebound checkpointer (nil when
+// checkpointing is off) and the restore half of the recovery stats; the
+// caller replays the replicated tail above stats.CheckpointHeight.
+func RebuildStore(cfg RebuildConfig) (*state.Store, *Checkpointer, Stats, error) {
+	var stats Stats
+	if cfg.Old != nil {
+		cfg.Old.Close()
+	}
+	if cfg.StateDir != "" {
+		if err := os.RemoveAll(cfg.StateDir); err != nil {
+			return nil, nil, stats, fmt.Errorf("recovery: wipe state dir: %w", err)
+		}
+	}
+	eng, err := cfg.Open()
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("recovery: reopen engine: %w", err)
+	}
+	st := state.New(eng, 0)
+
+	start := time.Now()
+	var ckpt *Checkpointer
+	if cfg.CkptDir != "" {
+		stats.CheckpointHeight, stats.CheckpointBytes, err = Restore(st, cfg.CkptDir, cfg.MaxCkptHeight)
+		if err != nil {
+			st.Close()
+			return nil, nil, stats, err
+		}
+		ckpt, err = NewCheckpointer(st, cfg.CkptDir, cfg.Interval, cfg.Keep)
+		if err != nil {
+			st.Close()
+			return nil, nil, stats, err
+		}
+	}
+	stats.RestoreDuration = time.Since(start)
+	return st, ckpt, stats, nil
+}

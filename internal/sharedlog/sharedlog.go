@@ -180,6 +180,16 @@ func (s *Service) Appended() uint64 {
 	return s.appended
 }
 
+// Batches returns how many batches have been cut — the log's tip
+// sequence number. The log retains every batch, so a consumer may
+// subscribe anywhere at or below this and replay forward; that retained
+// tail is the crash-recovery replay source for shared-log systems.
+func (s *Service) Batches() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.batches))
+}
+
 // Stop shuts the service and its orderers down.
 func (s *Service) Stop() {
 	s.stopOnce.Do(func() {

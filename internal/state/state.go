@@ -117,6 +117,26 @@ func (s *Store) Range(fn func(key string, value []byte) bool) {
 	}
 }
 
+// Dump iterates every committed key with its value and version while
+// holding the commit gate shared, so no block commit can tear the view:
+// the triples are consistent with a block boundary. Per-key CAS is not
+// excluded — callers that need an exact-height snapshot (the checkpoint
+// path) run Dump from the committer goroutine or a quiesced store, where
+// no validation CAS is in flight. Return false from fn to stop early.
+func (s *Store) Dump(fn func(key string, value []byte, ver txn.Version) bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	it := s.engine.NewIterator(nil)
+	defer it.Close()
+	for it.Next() {
+		key := string(it.Key())
+		ver, _ := s.versions.Get(key)
+		if !fn(key, it.Value(), ver) {
+			return
+		}
+	}
+}
+
 // Len returns the number of live keys in the engine.
 func (s *Store) Len() int { return s.engine.Len() }
 

@@ -224,3 +224,67 @@ func TestConcurrentMixedOps(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", s.Len(), len(keys))
 	}
 }
+
+func TestDumpYieldsValuesAndVersions(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("a", "1"), Version: ver(3, 0)},
+		{Write: put("b", "2"), Version: ver(3, 1)},
+		{Write: put("c", "3"), Version: ver(4, 0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]string)
+	s.Dump(func(key string, value []byte, v txn.Version) bool {
+		got[key] = fmt.Sprintf("%s@%d.%d", value, v.BlockNum, v.TxNum)
+		return true
+	})
+	want := map[string]string{"a": "1@3.0", "b": "2@3.1", "c": "3@4.0"}
+	if len(got) != len(want) {
+		t.Fatalf("Dump yielded %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Dump[%s] = %s, want %s", k, got[k], v)
+		}
+	}
+	// Early stop is honoured.
+	n := 0
+	s.Dump(func(string, []byte, txn.Version) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stop Dump visited %d keys", n)
+	}
+}
+
+func TestDumpExcludesBlockCommits(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("k0", "x"), Version: ver(1, 0)},
+		{Write: put("k1", "x"), Version: ver(1, 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A block commit racing the dump must not tear it: every dumped
+	// version belongs to the same block boundary (all old or all new).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.ApplyBlock([]VersionedWrite{
+			{Write: put("k0", "y"), Version: ver(2, 0)},
+			{Write: put("k1", "y"), Version: ver(2, 1)},
+		})
+	}()
+	for i := 0; i < 50; i++ {
+		blocks := make(map[uint64]bool)
+		s.Dump(func(_ string, _ []byte, v txn.Version) bool {
+			blocks[v.BlockNum] = true
+			return true
+		})
+		if len(blocks) > 1 {
+			t.Fatalf("torn dump: saw versions from blocks %v", blocks)
+		}
+	}
+	<-done
+}

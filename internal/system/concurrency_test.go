@@ -123,16 +123,28 @@ func TestConcurrentExecuteSerializable(t *testing.T) {
 			},
 		},
 		{
-			name:  "veritas",
-			build: func(t *testing.T) system.System { return hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3}) },
+			name: "veritas",
+			build: func(t *testing.T) system.System {
+				v, err := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			},
 			read: func(t *testing.T, sys system.System, id string) int64 {
 				v, _ := sys.(*hybrid.Veritas).ReadState("chk:" + id)
 				return contract.DecodeInt64(v)
 			},
 		},
 		{
-			name:  "bigchain",
-			build: func(t *testing.T) system.System { return hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: 4}) },
+			name: "bigchain",
+			build: func(t *testing.T) system.System {
+				b, err := hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			},
 			read: func(t *testing.T, sys system.System, id string) int64 {
 				v, _ := sys.(*hybrid.Bigchain).ReadState("chk:" + id)
 				return contract.DecodeInt64(v)

@@ -28,6 +28,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,12 +40,29 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/sharedlog"
 	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
 	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
 )
+
+// openEngine opens a peer's LSM state engine: disk-backed under dataDir
+// when set, purely in-memory otherwise. Errors surface to the caller —
+// node setup no longer panics on an open failure.
+func openEngine(dataDir, name string) (storage.Engine, error) {
+	opt := lsm.Options{}
+	if dataDir != "" {
+		opt.Dir = filepath.Join(dataDir, name, "state")
+	}
+	return lsm.Open(opt)
+}
+
+func ckptDir(dataDir, name string) string {
+	return filepath.Join(dataDir, name, "ckpt")
+}
 
 // Config assembles a Fabric network.
 type Config struct {
@@ -69,6 +87,18 @@ type Config struct {
 	// of block N+1 overlaps commit of block N at depth ≥ 2. ≤ 0 selects
 	// 1 — no cross-block overlap, as in the real system.
 	PipelineDepth int
+	// DataDir, when set, puts each peer's LSM state on disk under
+	// DataDir/peerN/state and its checkpoints under DataDir/peerN/ckpt.
+	// Empty keeps peers memory-only, as before.
+	DataDir string
+	// CheckpointInterval writes a block-consistent checkpoint of state
+	// (values and versions) every this many blocks, on the committer after
+	// sealing. 0 disables checkpointing. Requires DataDir.
+	CheckpointInterval uint64
+	// CheckpointKeep is how many checkpoints each peer retains (older
+	// ones are pruned). ≤ 0 keeps 2. The recovery experiment keeps them
+	// all to rehearse crashes at any height.
+	CheckpointKeep int
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -138,8 +168,13 @@ type peer struct {
 	st       *state.Store
 	consumer *sharedlog.Consumer
 	pipe     *pipeline.Pipeline[sharedlog.Batch, *fabricBlock]
+	ckpt     *recovery.Checkpointer // nil when checkpointing is off
 	stopCh   chan struct{}
+	stopOnce sync.Once
 	wg       sync.WaitGroup
+	// crashed marks a peer whose commit pipeline and state were killed;
+	// endorsement and query routing skip it until it is recovered.
+	crashed atomic.Bool
 }
 
 // fabricBlock is one decoded block moving through a peer's pipeline.
@@ -161,6 +196,9 @@ type fabricBlock struct {
 // New assembles and starts a Fabric network.
 func New(cfg Config) (*Network, error) {
 	cfg = cfg.withDefaults()
+	if cfg.CheckpointInterval > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("fabric: CheckpointInterval requires DataDir")
+	}
 	nw := &Network{
 		cfg:       cfg,
 		net:       cluster.NewNetwork(cfg.Link),
@@ -176,11 +214,21 @@ func New(cfg Config) (*Network, error) {
 		BatchSize:    cfg.BlockSize,
 		BatchTimeout: cfg.BlockTimeout,
 	})
+	// The ordering service is already running; a failed peer setup must
+	// tear down everything started so far, not leak it.
+	fail := func(err error) (*Network, error) {
+		nw.Close()
+		return nil, err
+	}
 	for i := 0; i < cfg.Peers; i++ {
 		name := fmt.Sprintf("peer%d", i)
 		signer, err := cryptoutil.NewSigner(name)
 		if err != nil {
-			return nil, err
+			return fail(err)
+		}
+		eng, err := openEngine(cfg.DataDir, name)
+		if err != nil {
+			return fail(fmt.Errorf("fabric %s: open state engine: %w", name, err))
 		}
 		p := &peer{
 			name:   name,
@@ -188,8 +236,17 @@ func New(cfg Config) (*Network, error) {
 			signer: signer,
 			reg:    contract.NewRegistry(cfg.Contracts...),
 			ledger: ledger.New(),
-			st:     state.New(lsm.MustOpenMemory(), 0),
+			st:     state.New(eng, 0),
 			stopCh: make(chan struct{}),
+		}
+		// Appended before the fallible checkpointer setup so Close
+		// reaches this peer's engine on the error path.
+		nw.peers = append(nw.peers, p)
+		if cfg.CheckpointInterval > 0 {
+			p.ckpt, err = recovery.NewCheckpointer(p.st, ckptDir(cfg.DataDir, name), cfg.CheckpointInterval, cfg.CheckpointKeep)
+			if err != nil {
+				return fail(fmt.Errorf("fabric %s: checkpointer: %w", name, err))
+			}
 		}
 		p.pipe = pipeline.New(pipeline.Config{
 			Workers: cfg.ValidationWorkers,
@@ -201,7 +258,6 @@ func New(cfg Config) (*Network, error) {
 			Seal:     p.sealBlock,
 		})
 		nw.peerKeys[name] = signer.Public()
-		nw.peers = append(nw.peers, p)
 	}
 	for _, p := range nw.peers {
 		p.consumer = nw.ordering.Subscribe(1)
@@ -219,7 +275,11 @@ func (nw *Network) RegisterClient(name string, pub cryptoutil.PublicKey) {
 	nw.clients.Store(name, pub)
 }
 
-// needed returns the endorsement threshold.
+// needed returns the endorsement threshold. The default policy requires
+// all peers; deployments that want to survive a peer crash set an
+// explicit EndorsementsNeeded < Peers so the threshold stays constant
+// across crash and recovery (validation verdicts must not depend on when
+// a block is validated — replay re-checks them).
 func (nw *Network) needed() int {
 	if nw.cfg.EndorsementsNeeded > 0 {
 		return nw.cfg.EndorsementsNeeded
@@ -227,30 +287,50 @@ func (nw *Network) needed() int {
 	return len(nw.peers)
 }
 
+// livePeers returns the peers whose commit pipelines are running.
+func (nw *Network) livePeers() []*peer {
+	out := make([]*peer, 0, len(nw.peers))
+	for _, p := range nw.peers {
+		if !p.crashed.Load() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // Execute implements system.System: the full execute-order-validate
 // lifecycle for updates; local simulation for read-only invocations.
 func (nw *Network) Execute(t *txn.Tx) system.Result {
 	readOnly := t.Invocation.Method == "get" || t.Invocation.Method == "query"
+	live := nw.livePeers()
+	if len(live) == 0 {
+		return system.Result{Err: errors.New("fabric: no live peers")}
+	}
 	if readOnly {
 		// Queries hit a single peer and are never ordered; the dominant
 		// cost is client authentication (Fig 8b).
-		p := nw.peers[int(nw.rr.Add(1))%len(nw.peers)]
+		p := live[int(nw.rr.Add(1))%len(live)]
 		if _, _, err := p.endorse(t); err != nil {
 			return system.Result{Err: err}
 		}
 		return system.Result{Committed: true, Value: p.readValue(t.Invocation)}
 	}
 
-	// Phase 1: endorsement — all peers simulate concurrently.
+	// Phase 1: endorsement — every live peer simulates concurrently. A
+	// crashed peer contributes nothing; the transaction fails here if the
+	// policy still requires it.
+	if len(live) < nw.needed() {
+		return system.Result{Err: fmt.Errorf("fabric: %d live peers, endorsement policy needs %d", len(live), nw.needed())}
+	}
 	type endorsement struct {
 		rw  txn.RWSet
 		sig cryptoutil.Signature
 		err error
 	}
-	results := make([]endorsement, len(nw.peers))
+	results := make([]endorsement, len(live))
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i, p := range nw.peers {
+	for i, p := range live {
 		wg.Add(1)
 		go func(i int, p *peer) {
 			defer wg.Done()
@@ -276,14 +356,18 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 	// Assemble: adopt the first simulation result plus all signatures.
 	t.RWSet = results[0].rw
 	t.Endorsements = t.Endorsements[:0]
-	for i, p := range nw.peers {
+	for i, p := range live {
 		t.Endorsements = append(t.Endorsements, txn.Endorsement{Peer: p.name, Sig: results[i].sig})
 	}
 
-	// Phase 2: ordering.
+	// Phase 2: ordering. The payload is taken once per live consumer —
+	// a crashed peer never Takes, so counting it would leak the entry
+	// forever. (A peer crashing between Put and decode still strands the
+	// one in-flight entry; that window is bounded by the pipeline depth,
+	// not by post-crash load.)
 	done := nw.waiters.Register(string(t.ID[:]))
 	orderStart := time.Now()
-	id := nw.box.Put(t, len(nw.peers))
+	id := nw.box.Put(t, len(live))
 	if err := nw.ordering.Append(system.Handle(id)); err != nil {
 		nw.waiters.Cancel(string(t.ID[:]))
 		return system.Result{Err: err}
@@ -435,11 +519,13 @@ func (p *peer) applyBlock(b *fabricBlock) {
 }
 
 // sealBlock appends the ledger block and resolves the waiting clients
-// (pipeline Seal stage, strict block order).
+// (pipeline Seal stage, strict block order). Blocks persist their
+// transactions whole (marshalled, as real Fabric blocks do), which is
+// what makes the ledger a sufficient replay source for crash recovery.
 func (p *peer) sealBlock(b *fabricBlock) {
 	payloads := make([][]byte, len(b.txs))
 	for i, t := range b.txs {
-		payloads[i] = t.ID[:]
+		payloads[i] = t.Marshal()
 	}
 	if b.commitErr == nil {
 		var parent cryptoutil.Hash
@@ -473,7 +559,116 @@ func (p *peer) sealBlock(b *fabricBlock) {
 		}
 		p.nw.waiters.Resolve(string(t.ID[:]), r)
 	}
+
+	// Checkpoint after the clients are answered, still on the committer:
+	// the store sits exactly at this block's boundary, so the snapshot can
+	// never tear a block. The synchronous write is the commit-path cost
+	// the checkpoint-interval experiment measures.
+	if p.ckpt != nil && b.commitErr == nil {
+		_, _ = p.ckpt.MaybeCheckpoint(p.ledger.Height()) // failure retained in LastErr
+	}
 }
+
+// CrashPeer kills peer i: its commit pipeline stops (blocks already past
+// validation still seal, as a crash between fsyncs would leave them) and
+// its in-memory state — values, versions, ledger — is lost. Endorsement
+// and query routing skip it from now on. What survives is what recovery
+// is allowed to use: the checkpoint directory on disk and the other
+// replicas' ledgers.
+func (nw *Network) CrashPeer(i int) {
+	p := nw.peers[i]
+	if p.crashed.Swap(true) {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	p.wg.Wait()
+	p.consumer.Close()
+	p.st.Close()
+	p.ledger = nil
+}
+
+// RecoverPeer rebuilds crashed peer i from its newest on-disk checkpoint
+// with height ≤ maxCkptHeight (0 = newest available — maxCkptHeight
+// models how far checkpointing had gotten when the crash hit) plus a
+// replay of the healthy peer from's ledger, through the peer's own
+// validate/apply pipeline stages. It requires a quiesced network (no
+// blocks in flight — the model's equivalent of recovering against a
+// static ledger tail); the recovered peer serves state and verification
+// but does not re-join live block consumption. RecoverPeer may be called
+// repeatedly — each call rebuilds from scratch — which is what the
+// recovery experiment's crash-height sweep does.
+func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
+	p, src := nw.peers[i], nw.peers[from]
+	if !p.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("fabric: peer %d is not crashed", i)
+	}
+	if src.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("fabric: source peer %d is crashed", from)
+	}
+	cfg := recovery.RebuildConfig{
+		Old:           p.st,
+		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, p.name) },
+		Interval:      nw.cfg.CheckpointInterval,
+		Keep:          nw.cfg.CheckpointKeep,
+		MaxCkptHeight: maxCkptHeight,
+	}
+	if nw.cfg.DataDir != "" {
+		cfg.StateDir = filepath.Join(nw.cfg.DataDir, p.name, "state")
+	}
+	if p.ckpt != nil {
+		cfg.CkptDir = p.ckpt.Dir()
+	}
+	st, ckpt, stats, err := recovery.RebuildStore(cfg)
+	if err != nil {
+		return stats, err
+	}
+	p.ckpt = ckpt
+	ckptHeight := stats.CheckpointHeight
+
+	// Rebuild the ledger prefix up to the checkpoint by copying verified
+	// blocks from the healthy replica, then replay the tail through the
+	// live pipeline stages.
+	led := ledger.New()
+	for n := uint64(1); n <= ckptHeight; n++ {
+		blk, ok := src.ledger.Block(n)
+		if !ok {
+			st.Close()
+			return stats, fmt.Errorf("fabric: source ledger missing block %d", n)
+		}
+		if err := led.Append(blk); err != nil {
+			st.Close()
+			return stats, fmt.Errorf("fabric: copy block %d: %w", n, err)
+		}
+	}
+	p.st, p.ledger = st, led
+
+	replayStart := time.Now()
+	stats.ReplayedBlocks, err = recovery.Replay(recovery.LedgerSource{L: src.ledger}, ckptHeight,
+		func(n uint64, payloads [][]byte) error {
+			txs, err := recovery.DecodeTxs(payloads)
+			if err != nil {
+				return err
+			}
+			b := &fabricBlock{txs: txs}
+			p.validateBlock(b) // endorsement signature checks, worker-pooled
+			p.applyBlock(b)    // MVCC waves + state commit, as live
+			if b.commitErr != nil {
+				return b.commitErr
+			}
+			blk, _ := src.ledger.Block(n)
+			return p.ledger.Append(blk)
+		})
+	stats.ReplayDuration = time.Since(replayStart)
+	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
+	if err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Checkpointer exposes peer i's checkpointer (nil when disabled) for
+// tests and the recovery experiment.
+func (nw *Network) Checkpointer(i int) *recovery.Checkpointer { return nw.peers[i].ckpt }
 
 // State exposes peer i's striped state store (tests and inspection).
 func (nw *Network) State(i int) *state.Store { return nw.peers[i].st }
@@ -493,11 +688,13 @@ func (nw *Network) Close() {
 	nw.closeOne.Do(func() {
 		nw.ordering.Stop()
 		for _, p := range nw.peers {
-			close(p.stopCh)
+			p.stopOnce.Do(func() { close(p.stopCh) })
 		}
 		for _, p := range nw.peers {
 			p.wg.Wait()
-			p.st.Close()
+			if p.st != nil {
+				p.st.Close()
+			}
 		}
 		nw.net.Close()
 	})

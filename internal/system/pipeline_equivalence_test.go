@@ -115,11 +115,15 @@ func TestParallelPipelineReplicaConsistency(t *testing.T) {
 		{
 			name: "veritas",
 			build: func(t *testing.T) system.System {
-				return hybrid.NewVeritas(hybrid.VeritasConfig{
+				v, err := hybrid.NewVeritas(hybrid.VeritasConfig{
 					Verifiers:         3,
 					ValidationWorkers: pipeWorkers,
 					PipelineDepth:     3,
 				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
 			},
 			states: func(sys system.System) []*state.Store {
 				v := sys.(*hybrid.Veritas)

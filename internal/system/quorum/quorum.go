@@ -24,7 +24,9 @@ package quorum
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dichotomy/internal/ads/mpt"
@@ -38,11 +40,28 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
 	"dichotomy/internal/storage/lsm"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
 )
+
+// openEngine opens a node's LSM state engine: disk-backed under dataDir
+// when set, purely in-memory otherwise. Errors surface to the caller —
+// node setup no longer panics on an open failure.
+func openEngine(dataDir string, id cluster.NodeID) (storage.Engine, error) {
+	opt := lsm.Options{}
+	if dataDir != "" {
+		opt.Dir = filepath.Join(dataDir, fmt.Sprintf("node%d", id), "state")
+	}
+	return lsm.Open(opt)
+}
+
+func ckptDir(dataDir string, id cluster.NodeID) string {
+	return filepath.Join(dataDir, fmt.Sprintf("node%d", id), "ckpt")
+}
 
 // ConsensusKind selects the replication protocol.
 type ConsensusKind int
@@ -74,6 +93,14 @@ type Config struct {
 	// authentication of block N+1 overlaps commit of block N at depth
 	// ≥ 2. ≤ 0 selects 1 — no cross-block overlap, as in the real system.
 	PipelineDepth int
+	// DataDir, when set, puts each node's LSM state on disk under
+	// DataDir/nodeN/state and its checkpoints under DataDir/nodeN/ckpt.
+	// Empty keeps nodes memory-only, as before.
+	DataDir string
+	// CheckpointInterval writes a block-consistent checkpoint of state
+	// (values and versions) every this many blocks, on the committer after
+	// sealing. 0 disables checkpointing. Requires DataDir.
+	CheckpointInterval uint64
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -132,10 +159,17 @@ type node struct {
 	trieMu    sync.Mutex
 	trie      *mpt.Trie
 	pipe      *pipeline.Pipeline[consensus.Entry, *nodeBlock]
+	ckpt      *recovery.Checkpointer // nil when checkpointing is off
 	pendingMu sync.Mutex
 	pending   []*txn.Tx
 	stopCh    chan struct{}
+	stopOnce  sync.Once
 	wg        sync.WaitGroup
+	// crashed marks a node whose execution layer was killed; submission
+	// and query routing skip it, and a drain keeps its consensus replica
+	// from wedging the cluster.
+	crashed atomic.Bool
+	drainCh chan struct{}
 }
 
 // block is the consensus payload (passed by handle through the box). It
@@ -163,6 +197,9 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Consensus == IBFT && cfg.Nodes < 4 {
 		return nil, fmt.Errorf("quorum: IBFT needs ≥ 4 nodes, got %d", cfg.Nodes)
 	}
+	if cfg.CheckpointInterval > 0 && cfg.DataDir == "" {
+		return nil, fmt.Errorf("quorum: CheckpointInterval requires DataDir")
+	}
 	nw := &Network{
 		cfg:     cfg,
 		net:     cluster.NewNetwork(cfg.Link),
@@ -173,15 +210,32 @@ func New(cfg Config) (*Network, error) {
 	for i := range peers {
 		peers[i] = cluster.NodeID(i)
 	}
+	// A failed node setup must tear down the nodes (and their consensus
+	// instances) already started, not leak them.
+	fail := func(err error) (*Network, error) {
+		nw.Close()
+		return nil, err
+	}
 	for _, id := range peers {
+		eng, err := openEngine(cfg.DataDir, id)
+		if err != nil {
+			return fail(fmt.Errorf("quorum node %d: open state engine: %w", id, err))
+		}
 		n := &node{
 			id:     id,
 			nw:     nw,
 			reg:    contract.NewRegistry(cfg.Contracts...),
 			ledger: ledger.New(),
-			st:     state.New(lsm.MustOpenMemory(), 0),
+			st:     state.New(eng, 0),
 			trie:   mpt.New(),
 			stopCh: make(chan struct{}),
+		}
+		if cfg.CheckpointInterval > 0 {
+			n.ckpt, err = recovery.NewCheckpointer(n.st, ckptDir(cfg.DataDir, id), cfg.CheckpointInterval, 2)
+			if err != nil {
+				n.st.Close() // not yet in nw.nodes; Close won't reach it
+				return fail(fmt.Errorf("quorum node %d: checkpointer: %w", id, err))
+			}
 		}
 		n.pipe = pipeline.New(pipeline.Config{
 			Workers: cfg.ExecutionWorkers,
@@ -227,9 +281,19 @@ func (nw *Network) RegisterClient(name string, pub cryptoutil.PublicKey) {
 // (round robin) and blocks until the block containing it commits.
 func (nw *Network) Execute(t *txn.Tx) system.Result {
 	nw.rrMu.Lock()
-	n := nw.nodes[nw.rr%uint64(len(nw.nodes))]
-	nw.rr++
+	var n *node
+	for range nw.nodes {
+		cand := nw.nodes[nw.rr%uint64(len(nw.nodes))]
+		nw.rr++
+		if !cand.crashed.Load() {
+			n = cand
+			break
+		}
+	}
 	nw.rrMu.Unlock()
+	if n == nil {
+		return system.Result{Err: errors.New("quorum: no live nodes")}
+	}
 
 	// Read-only transactions execute locally, without consensus (paper
 	// §2.1) — but still pay client authentication, unlike a database.
@@ -245,7 +309,7 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 	// strays after leadership changes.
 	target := n
 	for _, cand := range nw.nodes {
-		if cand.cons.IsLeader() {
+		if cand.cons.IsLeader() && !cand.crashed.Load() {
 			target = cand
 			break
 		}
@@ -322,7 +386,7 @@ func (n *node) proposeLoop() {
 			n.pendingMu.Unlock()
 			if len(stranded) > 0 {
 				for _, cand := range n.nw.nodes {
-					if cand.cons.IsLeader() {
+					if cand.cons.IsLeader() && !cand.crashed.Load() {
 						cand.pendingMu.Lock()
 						cand.pending = append(cand.pending, stranded...)
 						cand.pendingMu.Unlock()
@@ -362,7 +426,10 @@ func (n *node) proposeLoop() {
 			t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
 			size += t.Size()
 		}
-		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, len(n.nw.nodes))
+		// Count only live consumers: a crashed node's commit stream is
+		// drained without Take, so counting it would leak the block in
+		// the box for every post-crash commit.
+		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, n.nw.liveNodes())
 		if err := n.cons.Propose(system.Handle(id)); err != nil {
 			// Leadership moved between check and propose; requeue.
 			n.pendingMu.Lock()
@@ -466,9 +533,12 @@ func (n *node) applyBlock(nb *nodeBlock) {
 // (pipeline Seal stage, strict block order).
 func (n *node) sealBlock(nb *nodeBlock) {
 	blk := nb.blk
+	// Blocks persist their transactions whole (marshalled, as real Quorum
+	// blocks do), which is what makes the ledger a sufficient replay
+	// source for crash recovery.
 	payloads := make([][]byte, len(blk.txs))
 	for i, t := range blk.txs {
-		payloads[i] = t.ID[:]
+		payloads[i] = t.Marshal()
 	}
 	// MPT reconstruction result: the per-block state commitment.
 	n.trieMu.Lock()
@@ -498,7 +568,141 @@ func (n *node) sealBlock(nb *nodeBlock) {
 	for i, t := range blk.txs {
 		n.nw.waiters.Resolve(string(t.ID[:]), nb.results[i])
 	}
+
+	// Checkpoint at this block's boundary, still on the committer (see
+	// fabric's sealBlock for the contract).
+	if n.ckpt != nil {
+		_, _ = n.ckpt.MaybeCheckpoint(n.ledger.Height()) // failure retained in LastErr
+	}
 }
+
+// CrashNode kills node i's execution layer: propose and commit loops
+// stop and its in-memory state — values, versions, trie, ledger — is
+// lost. Its consensus replica keeps running behind a drain so the
+// cluster never wedges on an unread commit stream (crash the leader and
+// the cluster halts until it re-elects, exactly as a real deployment
+// would; tests crash followers). Submission and query routing skip the
+// node from now on.
+func (nw *Network) CrashNode(i int) {
+	n := nw.nodes[i]
+	if n.crashed.Swap(true) {
+		return
+	}
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.wg.Wait()
+	n.drainCh = make(chan struct{})
+	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	n.st.Close()
+	n.ledger = nil
+	n.trie = nil
+}
+
+// RecoverNode rebuilds crashed node i from its newest on-disk checkpoint
+// with height ≤ maxCkptHeight (0 = newest) plus a replay of the healthy
+// node from's ledger through the node's own validate/apply pipeline
+// stages — including the speculative parallel re-execution and the MPT
+// reconstruction of live double execution. It requires a quiesced
+// network; the recovered node serves state, roots and verification but
+// does not re-join live block consumption. May be called repeatedly;
+// each call rebuilds from scratch.
+func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
+	n, src := nw.nodes[i], nw.nodes[from]
+	if !n.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("quorum: node %d is not crashed", i)
+	}
+	if src.crashed.Load() {
+		return recovery.Stats{}, fmt.Errorf("quorum: source node %d is crashed", from)
+	}
+	cfg := recovery.RebuildConfig{
+		Old:           n.st,
+		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, n.id) },
+		Interval:      nw.cfg.CheckpointInterval,
+		MaxCkptHeight: maxCkptHeight,
+	}
+	if nw.cfg.DataDir != "" {
+		cfg.StateDir = filepath.Join(nw.cfg.DataDir, fmt.Sprintf("node%d", n.id), "state")
+	}
+	if n.ckpt != nil {
+		cfg.CkptDir = n.ckpt.Dir()
+	}
+	st, ckpt, stats, err := recovery.RebuildStore(cfg)
+	if err != nil {
+		return stats, err
+	}
+	n.ckpt = ckpt
+	ckptHeight := stats.CheckpointHeight
+
+	// Seed the MPT commitment from the restored state — the trie root is
+	// content-determined, so rebuilding it from the checkpoint and then
+	// updating it incrementally during replay lands on the same root the
+	// never-crashed node reached incrementally from genesis.
+	trie := mpt.New()
+	st.Range(func(key string, value []byte) bool {
+		trie.Put([]byte(key), value)
+		return true
+	})
+
+	led := ledger.New()
+	for bn := uint64(1); bn <= ckptHeight; bn++ {
+		blk, ok := src.ledger.Block(bn)
+		if !ok {
+			st.Close()
+			return stats, fmt.Errorf("quorum: source ledger missing block %d", bn)
+		}
+		if err := led.Append(blk); err != nil {
+			st.Close()
+			return stats, fmt.Errorf("quorum: copy block %d: %w", bn, err)
+		}
+	}
+	n.trieMu.Lock()
+	n.st, n.ledger, n.trie = st, led, trie
+	n.trieMu.Unlock()
+
+	replayStart := time.Now()
+	stats.ReplayedBlocks, err = recovery.Replay(recovery.LedgerSource{L: src.ledger}, ckptHeight,
+		func(bn uint64, payloads [][]byte) error {
+			txs, err := recovery.DecodeTxs(payloads)
+			if err != nil {
+				return err
+			}
+			nb := &nodeBlock{blk: &block{proposer: cluster.NodeID(-1), txs: txs}}
+			n.validateBlock(nb) // client auth, worker-pooled
+			n.applyBlock(nb)    // speculative re-execution + MPT, as live
+			blk, _ := src.ledger.Block(bn)
+			return n.ledger.Append(blk)
+		})
+	stats.ReplayDuration = time.Since(replayStart)
+	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
+	return stats, err
+}
+
+// liveNodes counts the nodes whose execution layers are running.
+func (nw *Network) liveNodes() int {
+	live := 0
+	for _, n := range nw.nodes {
+		if !n.crashed.Load() {
+			live++
+		}
+	}
+	return live
+}
+
+// Leader returns the index of the current consensus leader, or -1 while
+// no node leads. Crash tests use it to kill a follower: a crashed
+// leader's execution layer halts proposals (as in a real deployment)
+// until consensus re-elects.
+func (nw *Network) Leader() int {
+	for i, n := range nw.nodes {
+		if n.cons.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Checkpointer exposes node i's checkpointer (nil when disabled) for
+// tests and the recovery experiment.
+func (nw *Network) Checkpointer(i int) *recovery.Checkpointer { return nw.nodes[i].ckpt }
 
 // State exposes node i's striped state store (tests and inspection).
 func (nw *Network) State(i int) *state.Store { return nw.nodes[i].st }
@@ -527,12 +731,17 @@ func (nw *Network) StateBytes() int64 {
 func (nw *Network) Close() {
 	nw.closeOne.Do(func() {
 		for _, n := range nw.nodes {
-			close(n.stopCh)
+			n.stopOnce.Do(func() { close(n.stopCh) })
 		}
 		for _, n := range nw.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			n.st.Close()
+			if n.drainCh != nil {
+				close(n.drainCh)
+			}
+			if n.st != nil {
+				n.st.Close()
+			}
 		}
 		nw.net.Close()
 	})

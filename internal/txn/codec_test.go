@@ -1,0 +1,124 @@
+package txn
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func sampleTx(t *testing.T) *Tx {
+	t.Helper()
+	signer, err := cryptoutil.NewSigner("codec-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := Sign(signer, Invocation{
+		Contract: "kv",
+		Method:   "put",
+		Args:     [][]byte{[]byte("key-1"), []byte("value-1"), {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.RWSet = RWSet{
+		Reads: []Read{
+			{Key: "a", Version: Version{BlockNum: 7, TxNum: 3}},
+			{Key: "b"},
+		},
+		Writes: []Write{
+			{Key: "a", Value: []byte("new")},
+			{Key: "gone", Value: nil},       // deletion
+			{Key: "empty", Value: []byte{}}, // present but empty
+		},
+	}
+	peer, err := cryptoutil.NewSigner("codec-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Endorse(peer); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	tx := sampleTx(t)
+	enc := tx.Marshal()
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace is explicitly not carried; compare everything else.
+	want := *tx
+	want.Trace, got.Trace = nil, nil
+	if !reflect.DeepEqual(&want, got) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, &want)
+	}
+	// A deletion must come back as a nil value, not an empty one.
+	if got.RWSet.Writes[1].Value != nil {
+		t.Fatalf("deletion value not nil: %#v", got.RWSet.Writes[1].Value)
+	}
+	if got.RWSet.Writes[2].Value == nil {
+		t.Fatal("empty value decoded as nil")
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	tx := sampleTx(t)
+	a, b := tx.Marshal(), tx.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two marshals of the same tx differ")
+	}
+	decoded, err := Unmarshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded.Marshal(), a) {
+		t.Fatal("re-marshal of decoded tx differs — Merkle roots over payloads would drift across replay")
+	}
+}
+
+func TestCodecVerifiesAfterRoundTrip(t *testing.T) {
+	signer, err := cryptoutil.NewSigner("codec-verify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := Sign(signer, Invocation{Contract: "kv", Method: "put", Args: [][]byte{[]byte("k"), []byte("v")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(tx.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.VerifyClient(signer.Public()); err != nil {
+		t.Fatalf("client signature broken by codec: %v", err)
+	}
+}
+
+func TestCodecTruncationNeverPanics(t *testing.T) {
+	enc := sampleTx(t).Marshal()
+	for i := 0; i < len(enc); i++ {
+		if _, err := Unmarshal(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", i)
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := Unmarshal(append(append([]byte{}, enc...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestCodecCorruptCountIsBounded(t *testing.T) {
+	enc := sampleTx(t).Marshal()
+	// Blow up the args count field (right after magic+version+id+3 strings);
+	// whatever field a huge count lands on, decoding must fail cleanly
+	// rather than allocate gigabytes.
+	for off := 2 + 32; off+4 <= len(enc); off += 7 {
+		bad := append([]byte{}, enc...)
+		bad[off], bad[off+1], bad[off+2], bad[off+3] = 0xFF, 0xFF, 0xFF, 0xFF
+		_, _ = Unmarshal(bad) // must not panic or OOM
+	}
+}
