@@ -137,17 +137,23 @@ func BenchmarkBlockShape(b *testing.B) {
 	})
 }
 
-// BenchmarkRecovery runs the checkpoint-interval × crash-height sweep at
-// one representative point: a durable Fabric network checkpointing every
-// 8 blocks, crashed at the tip, recovered from checkpoint + ledger-tail
-// replay and verified byte-identical to a healthy replica. The printed
-// rows carry the restore/replay split; the benchmark's ns/op tracks the
-// whole load-crash-recover cycle in the CI bench trajectory.
+// BenchmarkRecovery runs the checkpoint sweep at one representative
+// point per mode: a durable Fabric network checkpointing every 8 blocks
+// — serializing the whole store on the committer (full) or only the
+// dirtied keys on a worker (delta) — crashed at the tip, recovered from
+// the checkpoint chain + ledger-tail replay and verified byte-identical
+// to a healthy replica. The printed rows carry the bytes-written /
+// commit-pause / restore/replay split; the per-mode ns/op lands the
+// full-vs-delta separation in the CI bench trajectory.
 func BenchmarkRecovery(b *testing.B) {
-	sc := benchScale()
-	runOnce(b, func() {
-		experiments.Recovery(os.Stderr, sc, []uint64{8}, []float64{1.0})
-	})
+	for _, mode := range []string{"full", "delta"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			sc := benchScale()
+			runOnce(b, func() {
+				experiments.Recovery(os.Stderr, sc, []string{mode}, []uint64{8}, []float64{1.0})
+			})
+		})
+	}
 }
 
 // BenchmarkStateScaling measures the shared state layer's worker scaling:

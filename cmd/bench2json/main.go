@@ -2,11 +2,13 @@
 // BENCH_ci.json trajectory format on stdout: a JSON object mapping each
 // benchmark name to its iteration count and reported metrics (ns/op,
 // tps, B/op, allocs/op, and any custom ReportMetric units). CI runs the
-// smoke benchmarks through it and uploads the result as an artifact, so
-// the repository accumulates a perf trajectory over time instead of
-// throwing benchmark output away in the job log.
+// smoke benchmarks through it — with -benchmem, so the B/op and
+// allocs/op columns land in every entry and the trajectory catches
+// allocation regressions, not just time ones — and uploads the result
+// as an artifact, so the repository accumulates a perf trajectory over
+// time instead of throwing benchmark output away in the job log.
 //
-//	go test -run '^$' -bench 'Recovery|StateScaling|BlockShape' . | go run ./cmd/bench2json > BENCH_ci.json
+//	go test -run '^$' -bench 'Recovery|StateScaling|BlockShape' -benchmem . | go run ./cmd/bench2json > BENCH_ci.json
 //
 // Lines that are not benchmark results (experiment tables, PASS/ok) are
 // ignored. A benchmark that appears more than once keeps its last result.

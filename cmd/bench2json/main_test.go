@@ -18,6 +18,27 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+func TestParseLineCapturesBenchmem(t *testing.T) {
+	// A -benchmem line carries B/op and allocs/op after the time; the
+	// trajectory must keep them so allocation regressions are visible.
+	name, res, ok := parseLine("BenchmarkTxMarshal-8   1173304   209.2 ns/op   576 B/op   1 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line rejected")
+	}
+	if name != "BenchmarkTxMarshal" {
+		t.Fatalf("name %q", name)
+	}
+	if res.Metrics["B/op"] != 576 || res.Metrics["allocs/op"] != 1 {
+		t.Fatalf("benchmem metrics %v", res.Metrics)
+	}
+	// Sub-benchmark names keep their mode labels distinct (the recovery
+	// full-vs-delta separation relies on it).
+	name, _, ok = parseLine("BenchmarkRecovery/mode=delta-8   1   5123456 ns/op   0 B/op   0 allocs/op")
+	if !ok || name != "BenchmarkRecovery/mode=delta" {
+		t.Fatalf("sub-benchmark name %q (ok=%v)", name, ok)
+	}
+}
+
 func TestParseLineRejectsNonBench(t *testing.T) {
 	for _, line := range []string{
 		"",

@@ -23,12 +23,13 @@
 // arrivals at fractions of that peak and reports delivered tps with
 // service latency and queueing delay separated.
 //
-// recovery sweeps checkpoint interval × crash height on a durable
-// Fabric network: each recovery restores the newest checkpoint at or
-// below the crash height and replays the ledger tail through the live
-// pipeline stages, reporting replayed blocks, checkpoint bytes, and
-// restore/replay time, with the recovered replica verified
-// byte-identical to a healthy one.
+// recovery sweeps checkpoint mode (full vs delta) × interval × crash
+// height on a durable Fabric network: each recovery restores the newest
+// checkpoint chain at or below the crash height and replays the ledger
+// tail through the live pipeline stages, reporting checkpoint bytes
+// written, mean commit-path pause per checkpoint, replayed blocks,
+// chain bytes read, and restore/replay time, with the recovered replica
+// verified byte-identical to a healthy one.
 //
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
@@ -70,6 +71,7 @@ func main() {
 		vwork   = []int{1, 4}
 		depths  = []int{1, 2}
 		ckints  = []uint64{4, 16}
+		ckmodes = []string{"full", "delta"}
 		crashes = []float64{0.5, 1.0}
 	)
 	if *full {
@@ -107,7 +109,7 @@ func main() {
 		"peak":       func() { experiments.Peak(os.Stdout, sc, fracs) },
 		"contention": func() { experiments.Contention(os.Stdout, sc, conc) },
 		"blockshape": func() { experiments.BlockShape(os.Stdout, sc, bsizes, vwork, depths) },
-		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckints, crashes) },
+		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckmodes, ckints, crashes) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",

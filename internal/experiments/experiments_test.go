@@ -133,7 +133,7 @@ func TestBlockShapeRuns(t *testing.T) {
 
 func TestRecoveryRuns(t *testing.T) {
 	var buf bytes.Buffer
-	Recovery(&buf, tiny(), []uint64{4}, []float64{0.5, 1.0})
+	Recovery(&buf, tiny(), []string{"full", "delta"}, []uint64{4}, []float64{0.5, 1.0})
 	out := buf.String()
 	if !strings.Contains(out, "Recovery:") {
 		t.Fatalf("missing banner:\n%s", out)
@@ -141,14 +141,21 @@ func TestRecoveryRuns(t *testing.T) {
 	if strings.Contains(out, "DIVERGED") {
 		t.Fatalf("a recovered replica diverged from the healthy one:\n%s", out)
 	}
-	// Two crash fractions → two data rows, each ending in "ok".
-	rows := 0
+	// Two modes × two crash fractions → four data rows, each ending "ok".
+	fullRows, deltaRows := 0, 0
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
-		if strings.HasSuffix(strings.TrimSpace(line), "ok") {
-			rows++
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasSuffix(trimmed, "ok") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(trimmed, "full"):
+			fullRows++
+		case strings.HasPrefix(trimmed, "delta"):
+			deltaRows++
 		}
 	}
-	if rows != 2 {
-		t.Fatalf("want 2 verified recovery rows, got %d:\n%s", rows, out)
+	if fullRows != 2 || deltaRows != 2 {
+		t.Fatalf("want 2 verified rows per mode, got full=%d delta=%d:\n%s", fullRows, deltaRows, out)
 	}
 }

@@ -6,96 +6,128 @@ import (
 	"os"
 	"time"
 
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/system/fabric"
 	"dichotomy/internal/txn"
 	"dichotomy/internal/workload/ycsb"
 )
 
-// Recovery sweeps checkpoint interval × crash height on a durable Fabric
-// network and reports what each point costs: how many blocks the
-// recovering peer replays, how big the restored checkpoint is, and how
-// long restore and replay take. This is the recovery-time-vs-checkpoint-
-// interval tradeoff the paper's dichotomy implies — a database restarts
-// from checkpointed state, a blockchain can always replay the ledger,
-// and a checkpointing blockchain node buys restart speed with commit-
-// path checkpoint writes.
+// Recovery sweeps checkpoint mode × interval × crash height on a durable
+// Fabric network and reports what each point costs on both sides of the
+// durability tradeoff:
 //
-// For each interval the experiment runs one update-heavy YCSB load on a
-// 4-peer network writing checkpoints as it commits, quiesces, crashes a
-// peer, and then rehearses recovery once per crash-height fraction:
-// crashing at height c means only checkpoints at or below c exist, so
-// the peer restores the newest one ≤ c and replays the ledger tail to
-// the tip. Every recovery is verified byte-identical (values and
-// versions) against the healthy replica before its row prints.
-func Recovery(w io.Writer, sc Scale, intervals []uint64, fracs []float64) {
+//   - while committing: how many checkpoints were taken, the total bytes
+//     they wrote, and the mean commit-path pause per checkpoint — the
+//     stall block sealing absorbs. Full mode serializes the whole store
+//     synchronously on the committer, so its pause and bytes scale with
+//     state size; delta mode copies only the keys dirtied since the last
+//     checkpoint and serializes them on a worker goroutine, so at small
+//     intervals both columns drop from O(store) to O(block writes).
+//   - while recovering: how many blocks the recovering peer replays, how
+//     many checkpoint-chain bytes it reads back (full snapshot + delta
+//     files), and how long restore and replay take.
+//
+// For each mode × interval the experiment runs one update-heavy YCSB
+// load on a 4-peer network writing checkpoints as it commits, quiesces,
+// flushes the checkpoint worker, crashes a peer, and then rehearses
+// recovery once per crash-height fraction: crashing at height c means
+// only checkpoints at or below c exist, so the peer restores the newest
+// chain ≤ c and replays the ledger tail to the tip. Every recovery is
+// verified byte-identical (values and versions) against the healthy
+// replica before its row prints.
+func Recovery(w io.Writer, sc Scale, modes []string, intervals []uint64, fracs []float64) {
+	if len(modes) == 0 {
+		modes = []string{"full", "delta"}
+	}
 	if len(intervals) == 0 {
 		intervals = []uint64{4, 16}
 	}
 	if len(fracs) == 0 {
 		fracs = []float64{0.5, 1.0}
 	}
-	Header(w, "Recovery: checkpoint interval × crash height (Fabric, YCSB updates)")
-	Row(w, "interval", "tip", "crash@", "ckpt@", "replayed", "ckpt-bytes", "restore", "replay", "total", "verified")
+	Header(w, "Recovery: checkpoint mode × interval × crash height (Fabric, YCSB updates)")
+	Row(w, "mode", "interval", "tip", "ckpts", "written-B", "pause-avg",
+		"crash@", "ckpt@", "replayed", "chain-B", "restore", "replay", "total", "verified")
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 100, Theta: 0.6}
 
-	for _, interval := range intervals {
-		dir, err := os.MkdirTemp("", "dichotomy-recovery-*")
+	for _, modeName := range modes {
+		mode, err := recovery.ParseMode(modeName)
 		if err != nil {
-			fmt.Fprintf(w, "tempdir: %v\n", err)
-			return
+			fmt.Fprintf(w, "%v\n", err)
+			continue
 		}
-		func() {
-			defer os.RemoveAll(dir)
-			nw, err := fabric.New(fabric.Config{
-				Peers:              sc.Nodes,
-				EndorsementsNeeded: sc.Nodes - 1,
-				DataDir:            dir,
-				CheckpointInterval: interval,
-				CheckpointKeep:     1 << 20, // retain all: the sweep rehearses crashes at every height
-			})
+		for _, interval := range intervals {
+			dir, err := os.MkdirTemp("", "dichotomy-recovery-*")
 			if err != nil {
-				fmt.Fprintf(w, "fabric: %v\n", err)
+				fmt.Fprintf(w, "tempdir: %v\n", err)
 				return
 			}
-			defer nw.Close()
-			nw.RegisterClient(client.Name(), client.Public())
-			if err := PreloadYCSB(nw, cfg, client); err != nil {
-				fmt.Fprintf(w, "preload: %v\n", err)
-				return
-			}
-			RunYCSB(nw, cfg, sc, 0, client)
-			tip, ok := quiesceFabric(nw, sc.Nodes)
-			if !ok {
-				fmt.Fprintln(w, "fabric failed to quiesce; skipping interval")
-				return
-			}
-
-			const crashed = 1
-			nw.CrashPeer(crashed)
-			for _, f := range fracs {
-				crashHeight := uint64(f * float64(tip))
-				if crashHeight < 1 {
-					crashHeight = 1
-				}
-				if crashHeight > tip {
-					crashHeight = tip
-				}
-				stats, err := nw.RecoverPeer(crashed, 0, crashHeight)
+			func() {
+				defer os.RemoveAll(dir)
+				nw, err := fabric.New(fabric.Config{
+					Peers:              sc.Nodes,
+					EndorsementsNeeded: sc.Nodes - 1,
+					DataDir:            dir,
+					CheckpointInterval: interval,
+					CheckpointMode:     mode,
+					CheckpointKeep:     1 << 20, // retain all: the sweep rehearses crashes at every height
+				})
 				if err != nil {
-					fmt.Fprintf(w, "recover (interval=%d crash=%d): %v\n", interval, crashHeight, err)
-					continue
+					fmt.Fprintf(w, "fabric: %v\n", err)
+					return
 				}
-				verified := "ok"
-				if !statesIdentical(nw, 0, crashed) {
-					verified = "DIVERGED"
+				defer nw.Close()
+				nw.RegisterClient(client.Name(), client.Public())
+				if err := PreloadYCSB(nw, cfg, client); err != nil {
+					fmt.Fprintf(w, "preload: %v\n", err)
+					return
 				}
-				Row(w, fmt.Sprintf("%d", interval), int(tip), int(crashHeight),
-					int(stats.CheckpointHeight), int(stats.ReplayedBlocks),
-					stats.CheckpointBytes, stats.RestoreDuration, stats.ReplayDuration,
-					stats.Total(), verified)
-			}
-		}()
+				RunYCSB(nw, cfg, sc, 0, client)
+				tip, ok := quiesceFabric(nw, sc.Nodes)
+				if !ok {
+					fmt.Fprintln(w, "fabric failed to quiesce; skipping interval")
+					return
+				}
+
+				// Drain the checkpoint worker so the on-disk chain and the
+				// byte/pause totals reflect the quiesced store, then read
+				// the commit-side costs before the crash discards them.
+				const crashed = 1
+				ck := nw.Checkpointer(crashed)
+				ck.Flush()
+				ckpts, _, written := ck.Totals()
+				_, totalPauseNs := ck.PauseNs()
+				pauseAvg := time.Duration(0)
+				if ckpts > 0 {
+					pauseAvg = time.Duration(totalPauseNs / int64(ckpts))
+				}
+
+				nw.CrashPeer(crashed)
+				for _, f := range fracs {
+					crashHeight := uint64(f * float64(tip))
+					if crashHeight < 1 {
+						crashHeight = 1
+					}
+					if crashHeight > tip {
+						crashHeight = tip
+					}
+					stats, err := nw.RecoverPeer(crashed, 0, crashHeight)
+					if err != nil {
+						fmt.Fprintf(w, "recover (mode=%s interval=%d crash=%d): %v\n", mode, interval, crashHeight, err)
+						continue
+					}
+					verified := "ok"
+					if !statesIdentical(nw, 0, crashed) {
+						verified = "DIVERGED"
+					}
+					Row(w, mode.String(), int(interval), int(tip), ckpts, written, pauseAvg,
+						int(crashHeight), int(stats.CheckpointHeight), int(stats.ReplayedBlocks),
+						stats.CheckpointBytes, stats.RestoreDuration, stats.ReplayDuration,
+						stats.Total(), verified)
+				}
+			}()
+		}
 	}
 }
 

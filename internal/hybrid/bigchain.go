@@ -53,6 +53,13 @@ type BigchainConfig struct {
 	// applied transactions (each consensus entry is one transaction — the
 	// archetype's concurrency ceiling). 0 disables. Requires DataDir.
 	CheckpointInterval uint64
+	// CheckpointMode selects full checkpoints (whole store, synchronous
+	// on the apply goroutine) or delta checkpoints (dirtied keys only,
+	// serialized off it). Default full.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
+	// selects the recovery package default).
+	CheckpointFullEvery int
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -124,7 +131,12 @@ func NewBigchain(cfg BigchainConfig) (*Bigchain, error) {
 			stopCh: make(chan struct{}),
 		}
 		if cfg.CheckpointInterval > 0 {
-			n.ckpt, err = recovery.NewCheckpointer(n.st, validatorCkptDir(cfg.DataDir, i), cfg.CheckpointInterval, 2)
+			n.ckpt, err = recovery.NewCheckpointer(n.st, recovery.Options{
+				Dir:       validatorCkptDir(cfg.DataDir, i),
+				Interval:  cfg.CheckpointInterval,
+				Mode:      cfg.CheckpointMode,
+				FullEvery: cfg.CheckpointFullEvery,
+			})
 			if err != nil {
 				n.st.Close()
 				b.Close()
@@ -283,6 +295,9 @@ func (b *Bigchain) CrashValidator(i int) {
 	n.wg.Wait()
 	n.drainCh = make(chan struct{})
 	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	if n.ckpt != nil {
+		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
+	}
 	n.st.Close()
 	n.applied = nil
 }
@@ -302,8 +317,11 @@ func (b *Bigchain) RecoverValidator(i, from int, maxCkptHeight uint64) (recovery
 	}
 	cfg := recovery.RebuildConfig{
 		Old:           n.st, // a repeated recovery must close the previous attempt's store
+		OldCkpt:       n.ckpt,
 		Open:          func() (storage.Engine, error) { return openValidatorEngine(b.cfg.DataDir, i) },
 		Interval:      b.cfg.CheckpointInterval,
+		Mode:          b.cfg.CheckpointMode,
+		FullEvery:     b.cfg.CheckpointFullEvery,
 		MaxCkptHeight: maxCkptHeight,
 	}
 	if b.cfg.DataDir != "" {
@@ -377,6 +395,9 @@ func (b *Bigchain) Close() {
 			n.wg.Wait()
 			if n.drainCh != nil {
 				close(n.drainCh)
+			}
+			if n.ckpt != nil {
+				n.ckpt.Close()
 			}
 			if n.st != nil {
 				n.st.Close()

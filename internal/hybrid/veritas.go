@@ -64,6 +64,13 @@ type VeritasConfig struct {
 	// every this many log batches, on the apply goroutine. 0 disables
 	// checkpointing. Requires DataDir.
 	CheckpointInterval uint64
+	// CheckpointMode selects full checkpoints (whole store, synchronous
+	// on the apply goroutine) or delta checkpoints (dirtied keys only,
+	// serialized off it). Default full.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
+	// selects the recovery package default).
+	CheckpointFullEvery int
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -146,7 +153,12 @@ func NewVeritas(cfg VeritasConfig) (*Veritas, error) {
 			stopCh: make(chan struct{}),
 		}
 		if cfg.CheckpointInterval > 0 {
-			n.ckpt, err = recovery.NewCheckpointer(n.st, verifierCkptDir(cfg.DataDir, i), cfg.CheckpointInterval, 2)
+			n.ckpt, err = recovery.NewCheckpointer(n.st, recovery.Options{
+				Dir:       verifierCkptDir(cfg.DataDir, i),
+				Interval:  cfg.CheckpointInterval,
+				Mode:      cfg.CheckpointMode,
+				FullEvery: cfg.CheckpointFullEvery,
+			})
 			if err != nil {
 				n.st.Close()
 				v.Close()
@@ -311,6 +323,9 @@ func (v *Veritas) CrashVerifier(i int) {
 	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.wg.Wait()
 	n.consumer.Close()
+	if n.ckpt != nil {
+		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
+	}
 	n.st.Close()
 }
 
@@ -329,8 +344,11 @@ func (v *Veritas) RecoverVerifier(i int, maxCkptHeight uint64) (recovery.Stats, 
 	}
 	cfg := recovery.RebuildConfig{
 		Old:           n.st, // closed by CrashVerifier already; re-close is a no-op
+		OldCkpt:       n.ckpt,
 		Open:          func() (storage.Engine, error) { return openVerifierEngine(v.cfg.DataDir, i) },
 		Interval:      v.cfg.CheckpointInterval,
+		Mode:          v.cfg.CheckpointMode,
+		FullEvery:     v.cfg.CheckpointFullEvery,
 		MaxCkptHeight: maxCkptHeight,
 	}
 	if v.cfg.DataDir != "" {
@@ -387,6 +405,9 @@ func (v *Veritas) Close() {
 		}
 		for _, n := range v.nodes {
 			n.wg.Wait()
+			if n.ckpt != nil {
+				n.ckpt.Close()
+			}
 			n.st.Close()
 		}
 		v.net.Close()

@@ -29,9 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"slices"
-	"strings"
 	"sync"
+	"time"
 
 	"dichotomy/internal/state"
 	"dichotomy/internal/txn"
@@ -55,11 +54,21 @@ func ckptPath(dir string, height uint64) string {
 // WriteCheckpoint serializes st's committed values and versions at the
 // given height into dir and returns the file's size in bytes. The caller
 // must guarantee the store sits at a block boundary for the duration —
-// the committer goroutine between blocks, or a quiesced store. One pass
-// over the store buffers the records (the count lands in the header
-// before them), then header, records, and CRC stream to a temp file
-// that is renamed into place.
+// the committer goroutine between blocks, or a quiesced store.
 func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) {
+	return writeFullFile(dir, height, func(put func(key string, value []byte, ver txn.Version)) {
+		st.Dump(func(key string, value []byte, ver txn.Version) bool {
+			put(key, value, ver)
+			return true
+		})
+	})
+}
+
+// writeFullFile writes one full-format checkpoint file: emit is called
+// once and puts every record; one pass buffers the records (the count
+// lands in the header before them), then header, records, and CRC stream
+// to a temp file that is renamed into place.
+func writeFullFile(dir string, height uint64, emit func(put func(key string, value []byte, ver txn.Version))) (int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("recovery: mkdir: %w", err)
 	}
@@ -67,7 +76,7 @@ func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) 
 	var records bytes.Buffer
 	count := uint64(0)
 	var rec [12]byte
-	st.Dump(func(key string, value []byte, ver txn.Version) bool {
+	emit(func(key string, value []byte, ver txn.Version) {
 		binary.BigEndian.PutUint32(rec[:4], uint32(len(key)))
 		records.Write(rec[:4])
 		records.WriteString(key)
@@ -78,7 +87,6 @@ func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) 
 		binary.BigEndian.PutUint32(rec[8:12], ver.TxNum)
 		records.Write(rec[:12])
 		count++
-		return true
 	})
 
 	var hdr [6 + 8 + 8]byte
@@ -90,23 +98,38 @@ func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) 
 	crc.Write(records.Bytes())
 
 	path := ckptPath(dir, height)
+	return writeAtomic(path, func(w *bufio.Writer) {
+		w.Write(hdr[:])
+		w.Write(records.Bytes())
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], crc.Sum32())
+		w.Write(tail[:])
+	})
+}
+
+// writeAtomic streams body to path via a synced temp file and atomic
+// rename, returning the bytes written. A crash mid-write leaves at most
+// a stray .tmp, never a torn file under the real name.
+func writeAtomic(path string, body func(w *bufio.Writer)) (int64, error) {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, fmt.Errorf("recovery: create checkpoint: %w", err)
+		return 0, fmt.Errorf("recovery: create %s: %w", path, err)
 	}
 	w := bufio.NewWriterSize(f, 1<<16)
-	w.Write(hdr[:])
-	w.Write(records.Bytes())
-	var tail [4]byte
-	binary.BigEndian.PutUint32(tail[:], crc.Sum32())
-	w.Write(tail[:])
+	body(w)
 	if err := w.Flush(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, err
@@ -118,7 +141,7 @@ func WriteCheckpoint(dir string, height uint64, st *state.Store) (int64, error) 
 	if err := os.Rename(tmp, path); err != nil {
 		return 0, err
 	}
-	return int64(6 + 8 + 8 + records.Len() + 4), nil
+	return info.Size(), nil
 }
 
 // loadCheckpoint streams one checkpoint file's records to fn after
@@ -221,134 +244,173 @@ func loadCheckpoint(path string, fn func(key string, value []byte, ver txn.Versi
 	return height, nil
 }
 
-// Checkpoints lists the checkpoint heights present in dir, ascending.
+// Checkpoints lists the full-snapshot heights present in dir, ascending
+// (a filter over listChain, the one place checkpoint filenames are
+// parsed).
 func Checkpoints(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
+	files, err := listChain(dir)
 	if err != nil {
 		return nil, err
 	}
 	var heights []uint64
-	for _, e := range entries {
-		name := e.Name()
-		var h uint64
-		if _, err := fmt.Sscanf(name, "ckpt-%d.ckpt", &h); err == nil && strings.HasSuffix(name, ".ckpt") {
-			heights = append(heights, h)
+	for _, f := range files {
+		if !f.delta {
+			heights = append(heights, f.height)
 		}
 	}
-	slices.Sort(heights)
 	return heights, nil
 }
 
-// Restore loads the newest intact checkpoint in dir with height ≤
-// maxHeight (0 means no limit) into st, which must be empty, and returns
-// the checkpoint's height and file size. Corrupt checkpoints are skipped,
-// falling back to the next older one; with no usable checkpoint it
-// returns height 0 and a nil error — recovery then replays from genesis.
-// A candidate file is buffered in full and nothing touches st until its
-// CRC verifies, so a corrupt newer checkpoint can never leak
-// future-versioned keys into the state a fallback restore builds (replay
-// would misvalidate against them).
-func Restore(st *state.Store, dir string, maxHeight uint64) (uint64, int64, error) {
-	heights, err := Checkpoints(dir)
-	if err != nil {
-		return 0, 0, err
+// Mode selects the checkpoint strategy.
+type Mode int
+
+const (
+	// ModeFull serializes the whole store every interval, synchronously
+	// on the committer — durability cost O(store) per checkpoint. The
+	// baseline the delta sweep compares against.
+	ModeFull Mode = iota
+	// ModeDelta serializes only the keys dirtied since the previous
+	// checkpoint. The committer's cost is materializing the dirty set
+	// (O(block writes)); encoding, file I/O, fsync, compaction, and
+	// pruning all happen on a checkpoint worker goroutine.
+	ModeDelta
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeDelta {
+		return "delta"
 	}
-	if maxHeight == 0 {
-		maxHeight = ^uint64(0)
+	return "full"
+}
+
+// ParseMode parses "full" or "delta".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "full":
+		return ModeFull, nil
+	case "delta":
+		return ModeDelta, nil
 	}
-	var lastErr error
-	for i := len(heights) - 1; i >= 0; i-- {
-		h := heights[i]
-		if h > maxHeight {
-			continue
-		}
-		path := ckptPath(dir, h)
-		var pending []state.VersionedWrite
-		height, err := loadCheckpoint(path, func(key string, value []byte, ver txn.Version) error {
-			if value == nil {
-				value = []byte{}
-			}
-			pending = append(pending, state.VersionedWrite{
-				Write:   txn.Write{Key: key, Value: value},
-				Version: ver,
-			})
-			return nil
-		})
-		if err != nil {
-			lastErr = err
-			continue // corrupt: fall back to the next older checkpoint
-		}
-		for len(pending) > 0 {
-			block := pending
-			if len(block) > 1024 {
-				block = block[:1024]
-			}
-			if err := st.ApplyBlock(block); err != nil {
-				return 0, 0, err
-			}
-			pending = pending[len(block):]
-		}
-		info, err := os.Stat(path)
-		if err != nil {
-			return 0, 0, err
-		}
-		return height, info.Size(), nil
+	return ModeFull, fmt.Errorf("recovery: unknown checkpoint mode %q (want full or delta)", s)
+}
+
+// Options configures a Checkpointer.
+type Options struct {
+	// Dir is the checkpoint directory.
+	Dir string
+	// Interval is how many blocks between checkpoints (must be ≥ 1).
+	Interval uint64
+	// Keep is how many recent checkpoint files to retain (≤ 0 keeps 2).
+	// Pruning extends retention downward to the full snapshot the oldest
+	// retained delta depends on, so a kept delta is never orphaned.
+	Keep int
+	// Mode selects full or delta checkpoints.
+	Mode Mode
+	// FullEvery, in delta mode, folds the chain into a fresh full
+	// snapshot every FullEvery-th checkpoint (≤ 0 selects 8); the fold
+	// runs on the worker, off the commit path. 1 degenerates to
+	// worker-side full checkpoints.
+	FullEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Keep <= 0 {
+		o.Keep = 2
 	}
-	if lastErr != nil {
-		// Every candidate was corrupt; surface the newest failure but let
-		// the caller decide whether genesis replay is acceptable.
-		return 0, 0, fmt.Errorf("recovery: no intact checkpoint (newest failure: %w)", lastErr)
+	if o.FullEvery <= 0 {
+		o.FullEvery = 8
 	}
-	return 0, 0, nil
+	return o
+}
+
+// deltaJob is one materialized checkpoint handed from the committer to
+// the worker: the dirty entries as of height, already copied, so the
+// worker never touches the store.
+type deltaJob struct {
+	height uint64
+	base   uint64 // previous checkpoint height this delta applies on top of
+	// seedFull marks the chain's first checkpoint: the dirty set covers
+	// every key the store ever committed (dirt accumulates from store
+	// creation, and restore itself re-dirties what it loads), so the
+	// entries ARE the full state and are written as a full snapshot.
+	seedFull bool
+	// compact folds the on-disk chain up to base with the new entries
+	// into a fresh full snapshot at height.
+	compact bool
+	entries []deltaEntry
 }
 
 // Checkpointer writes periodic checkpoints of a store. Systems call
 // MaybeCheckpoint from their committer goroutine after sealing each
-// block; the write happens synchronously there, which is exactly the
-// commit-path cost the checkpoint-interval experiment measures.
+// block. In full mode the write is synchronous there — the commit-path
+// cost the recovery experiment's full rows measure. In delta mode the
+// committer only materializes the dirty set and enqueues it; a worker
+// goroutine does the serialization and file I/O, so block sealing never
+// stalls for a disk write. PauseNs reports the measured commit-path
+// stall per checkpoint in both modes.
 type Checkpointer struct {
-	st       *state.Store
-	dir      string
-	interval uint64
-	keep     int
+	st   *state.Store
+	opts Options
 
-	mu         sync.Mutex
-	last       uint64
-	count      int
-	lastBytes  int64
-	totalBytes int64
-	lastErr    error
+	mu   sync.Mutex
+	cond *sync.Cond // signals the worker and Flush waiters
+	last uint64
+	// base/haveBase track the on-disk chain tip the next delta links to;
+	// haveBase == false makes the next checkpoint a chain-seeding full.
+	base                      uint64
+	haveBase                  bool
+	sinceFull                 int
+	count                     int
+	lastBytes, totalBytes     int64
+	lastPauseNs, totalPauseNs int64
+	lastErr                   error
+	jobs                      []deltaJob
+	busy                      bool
+	closed                    bool
+	wg                        sync.WaitGroup
 }
 
-// NewCheckpointer builds a checkpointer writing to dir every interval
-// blocks, retaining the keep most recent checkpoints (≤ 0 keeps 2).
-func NewCheckpointer(st *state.Store, dir string, interval uint64, keep int) (*Checkpointer, error) {
-	if interval == 0 {
+// NewCheckpointer builds a checkpointer over st. In delta mode it starts
+// the checkpoint worker; call Close to stop it (Close discards queued
+// work, like the crash it models — Flush first for a clean drain).
+func NewCheckpointer(st *state.Store, opts Options) (*Checkpointer, error) {
+	if opts.Interval == 0 {
 		return nil, fmt.Errorf("recovery: checkpoint interval must be ≥ 1")
 	}
-	if keep <= 0 {
-		keep = 2
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("recovery: mkdir: %w", err)
 	}
-	return &Checkpointer{st: st, dir: dir, interval: interval, keep: keep}, nil
+	c := &Checkpointer{st: st, opts: opts}
+	c.cond = sync.NewCond(&c.mu)
+	if opts.Mode == ModeDelta {
+		// Dirty tracking is opt-in on the store (non-checkpointing runs
+		// skip the bookkeeping); a delta checkpointer must see every
+		// write from here on. Callers construct the checkpointer before
+		// traffic — recovery enables tracking even earlier, before the
+		// restore's writes (see RebuildStore).
+		st.EnableDirtyTracking()
+		c.wg.Add(1)
+		go c.runWorker()
+	}
+	return c, nil
 }
 
 // Dir returns the checkpoint directory.
-func (c *Checkpointer) Dir() string { return c.dir }
+func (c *Checkpointer) Dir() string { return c.opts.Dir }
 
-// MaybeCheckpoint writes a checkpoint if height has advanced a full
+// Mode returns the checkpoint mode.
+func (c *Checkpointer) Mode() Mode { return c.opts.Mode }
+
+// MaybeCheckpoint takes a checkpoint if height has advanced a full
 // interval past the last one. It reports whether a checkpoint was
-// written. Errors are returned and also retained for LastErr, so a
+// taken. Errors are returned and also retained for LastErr, so a
 // committer that cannot stop may keep going and let the operator (or a
 // test) observe the failure.
 func (c *Checkpointer) MaybeCheckpoint(height uint64) (bool, error) {
 	c.mu.Lock()
-	due := height >= c.last+c.interval
+	due := height >= c.last+c.opts.Interval
 	c.mu.Unlock()
 	if !due {
 		return false, nil
@@ -356,32 +418,175 @@ func (c *Checkpointer) MaybeCheckpoint(height uint64) (bool, error) {
 	return true, c.Checkpoint(height)
 }
 
-// Checkpoint writes a checkpoint at height unconditionally and prunes
-// old ones.
+// Checkpoint takes a checkpoint at height unconditionally. In full mode
+// the whole store is serialized and pruned synchronously; in delta mode
+// the dirty set is materialized and handed to the worker. Either way the
+// store's dirty set resets — the next delta accumulates from here.
 func (c *Checkpointer) Checkpoint(height uint64) error {
-	n, err := WriteCheckpoint(c.dir, height, c.st)
+	if c.opts.Mode == ModeDelta {
+		return c.deltaCheckpoint(height)
+	}
+	start := time.Now()
+	n, err := WriteCheckpoint(c.opts.Dir, height, c.st)
+	c.st.ResetDirty() // a full checkpoint covers everything dirtied so far
+	pause := time.Since(start).Nanoseconds()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.lastPauseNs, c.totalPauseNs = pause, c.totalPauseNs+pause
 	if err != nil {
 		c.lastErr = err
 		return err
 	}
-	c.last = height
+	c.last, c.base, c.haveBase = height, height, true
 	c.count++
 	c.lastBytes = n
 	c.totalBytes += n
-	c.pruneLocked()
+	pruneChains(c.opts.Dir, c.opts.Keep)
 	return nil
 }
 
-func (c *Checkpointer) pruneLocked() {
-	heights, err := Checkpoints(c.dir)
-	if err != nil || len(heights) <= c.keep {
+// deltaCheckpoint materializes the dirty set on the caller (the
+// committer) and enqueues it; the measured pause covers exactly the
+// work that stays on the commit path.
+func (c *Checkpointer) deltaCheckpoint(height uint64) error {
+	start := time.Now()
+	var entries []deltaEntry
+	c.st.DumpDirty(func(key string, value []byte, ver txn.Version, live bool) bool {
+		e := deltaEntry{key: key, ver: ver, live: live}
+		if live {
+			// The store may reuse or mutate the backing slice after the
+			// next block commits; the job needs a stable copy.
+			e.value = append([]byte(nil), value...)
+		}
+		entries = append(entries, e)
+		return true
+	})
+	c.st.ResetDirty()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		err := fmt.Errorf("recovery: checkpointer closed")
+		c.lastErr = err
+		return err
+	}
+	job := deltaJob{height: height, base: c.base, entries: entries}
+	switch {
+	case !c.haveBase:
+		job.seedFull = true
+		c.sinceFull = 0
+	case c.sinceFull+1 >= c.opts.FullEvery:
+		job.compact = true
+		c.sinceFull = 0
+	default:
+		c.sinceFull++
+	}
+	c.base, c.haveBase = height, true
+	c.last = height
+	c.count++
+	c.jobs = append(c.jobs, job)
+	pause := time.Since(start).Nanoseconds()
+	c.lastPauseNs, c.totalPauseNs = pause, c.totalPauseNs+pause
+	c.cond.Broadcast()
+	return nil
+}
+
+// runWorker drains the delta-job queue: encode, write, fsync, compact,
+// prune — everything the commit path no longer waits for.
+func (c *Checkpointer) runWorker() {
+	defer c.wg.Done()
+	c.mu.Lock()
+	for {
+		for len(c.jobs) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		job := c.jobs[0]
+		c.jobs = c.jobs[1:]
+		c.busy = true
+		c.mu.Unlock()
+
+		n, err := c.writeJob(job)
+
+		c.mu.Lock()
+		c.busy = false
+		if err != nil {
+			c.lastErr = err
+		} else {
+			c.lastBytes = n
+			c.totalBytes += n
+			pruneChains(c.opts.Dir, c.opts.Keep)
+		}
+		c.cond.Broadcast()
+	}
+}
+
+// writeJob turns one materialized dirty set into a file: a chain-seeding
+// full, a compacted full (chain fold + overlay), or a plain delta. A
+// failed fold degrades to a plain delta — the chain keeps extending and
+// the fold error is retained for LastErr.
+func (c *Checkpointer) writeJob(job deltaJob) (int64, error) {
+	dir := c.opts.Dir
+	if job.seedFull {
+		m := make(map[string]chainEntry, len(job.entries))
+		overlayEntries(m, job.entries)
+		return writeFullFromMap(dir, job.height, m)
+	}
+	if job.compact {
+		m, tip, _, err := loadChain(dir, job.base)
+		if err == nil && tip != job.base {
+			err = fmt.Errorf("recovery: compaction chain tip %d, want %d", tip, job.base)
+		}
+		if err != nil {
+			n, werr := writeDelta(dir, job.height, job.base, job.entries)
+			if werr != nil {
+				return 0, werr
+			}
+			c.noteErr(fmt.Errorf("recovery: compaction fold failed, wrote delta instead: %w", err))
+			return n, nil
+		}
+		overlayEntries(m, job.entries)
+		return writeFullFromMap(dir, job.height, m)
+	}
+	return writeDelta(dir, job.height, job.base, job.entries)
+}
+
+func (c *Checkpointer) noteErr(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// Flush blocks until every enqueued delta job has been written to disk
+// (a no-op in full mode, where checkpoints are synchronous). Callers
+// that want the on-disk chain to reflect a quiesced store — the
+// recovery experiment before it crashes a node — flush first.
+func (c *Checkpointer) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for (len(c.jobs) > 0 || c.busy) && !c.closed {
+		c.cond.Wait()
+	}
+}
+
+// Close stops the checkpoint worker, discarding queued jobs — the same
+// loss a crash inflicts, which Restore's chain fallback absorbs. A file
+// mid-write finishes (atomic rename keeps it intact). Close is
+// idempotent and safe on a full-mode checkpointer.
+func (c *Checkpointer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
-	for _, h := range heights[:len(heights)-c.keep] {
-		os.Remove(ckptPath(c.dir, h))
-	}
+	c.closed = true
+	c.jobs = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
 }
 
 // LastHeight returns the height of the most recent checkpoint (0 if none).
@@ -398,10 +603,20 @@ func (c *Checkpointer) LastErr() error {
 	return c.lastErr
 }
 
-// Totals reports how many checkpoints were written and their cumulative
-// and most-recent sizes in bytes.
+// Totals reports how many checkpoints were taken and the cumulative and
+// most-recent file sizes written (delta-mode bytes are recorded by the
+// worker as files land; Flush first for an exact count).
 func (c *Checkpointer) Totals() (count int, lastBytes, totalBytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.count, c.lastBytes, c.totalBytes
+}
+
+// PauseNs reports the most recent and cumulative commit-path stall, in
+// nanoseconds, measured across checkpoints: the full serialization in
+// full mode, only the dirty-set materialization in delta mode.
+func (c *Checkpointer) PauseNs() (lastNs, totalNs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastPauseNs, c.totalPauseNs
 }

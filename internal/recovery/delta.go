@@ -1,0 +1,489 @@
+package recovery
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+
+	"dichotomy/internal/state"
+	"dichotomy/internal/txn"
+)
+
+// Delta checkpoint format. A checkpoint chain is one full snapshot (the
+// legacy ckpt-<height>.ckpt format) plus zero or more delta files, each
+// carrying only the key/version/value triples dirtied since the previous
+// checkpoint, plus tombstones for keys deleted in the interval. Deltas
+// link explicitly: the file name carries both the delta's height and the
+// height of the checkpoint it applies on top of, so chain walking and
+// pruning never need to open a file to discover structure.
+//
+// Delta file layout (all integers big-endian):
+//
+//	magic [6] | height u64 | base u64 | count u64 |
+//	count × ( klen u32 | key | live u8 |
+//	          live: vlen u32 | value | blockNum u64 | txNum u32 ) |
+//	crc u32  (IEEE, over everything before it)
+//
+// Files are written to temp names and atomically renamed, like fulls.
+var deltaMagic = [6]byte{'D', 'C', 'K', 'D', 'L', '1'}
+
+func deltaPath(dir string, height, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("delta-%016d-%016d.dckpt", height, base))
+}
+
+// deltaEntry is one dirtied key as materialized by the committer: its
+// committed value and version, or a tombstone (live == false) when the
+// key was deleted during the interval.
+type deltaEntry struct {
+	key   string
+	value []byte
+	ver   txn.Version
+	live  bool
+}
+
+// chainEntry is one key's state while materializing a chain: the value
+// and version the chain's newest covering file assigned it.
+type chainEntry struct {
+	value []byte
+	ver   txn.Version
+}
+
+// overlayEntries applies one delta's entries over a materialized chain
+// state: live entries replace, tombstones delete.
+func overlayEntries(m map[string]chainEntry, entries []deltaEntry) {
+	for _, e := range entries {
+		if e.live {
+			m[e.key] = chainEntry{value: e.value, ver: e.ver}
+		} else {
+			delete(m, e.key)
+		}
+	}
+}
+
+// writeFullFromMap serializes a materialized chain state as a full
+// checkpoint at height. Keys are sorted so the file is deterministic —
+// folding the same chain always yields identical bytes.
+func writeFullFromMap(dir string, height uint64, m map[string]chainEntry) (int64, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return writeFullFile(dir, height, func(put func(key string, value []byte, ver txn.Version)) {
+		for _, k := range keys {
+			e := m[k]
+			put(k, e.value, e.ver)
+		}
+	})
+}
+
+// writeDelta writes one delta file at height on top of base.
+func writeDelta(dir string, height, base uint64, entries []deltaEntry) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("recovery: mkdir: %w", err)
+	}
+	var records bytes.Buffer
+	var rec [12]byte
+	for _, e := range entries {
+		binary.BigEndian.PutUint32(rec[:4], uint32(len(e.key)))
+		records.Write(rec[:4])
+		records.WriteString(e.key)
+		if !e.live {
+			records.WriteByte(0)
+			continue
+		}
+		records.WriteByte(1)
+		binary.BigEndian.PutUint32(rec[:4], uint32(len(e.value)))
+		records.Write(rec[:4])
+		records.Write(e.value)
+		binary.BigEndian.PutUint64(rec[0:8], e.ver.BlockNum)
+		binary.BigEndian.PutUint32(rec[8:12], e.ver.TxNum)
+		records.Write(rec[:12])
+	}
+
+	var hdr [6 + 8 + 8 + 8]byte
+	copy(hdr[:6], deltaMagic[:])
+	binary.BigEndian.PutUint64(hdr[6:14], height)
+	binary.BigEndian.PutUint64(hdr[14:22], base)
+	binary.BigEndian.PutUint64(hdr[22:30], uint64(len(entries)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(records.Bytes())
+
+	return writeAtomic(deltaPath(dir, height, base), func(w *bufio.Writer) {
+		w.Write(hdr[:])
+		w.Write(records.Bytes())
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], crc.Sum32())
+		w.Write(tail[:])
+	})
+}
+
+// loadDelta streams one delta file's records to fn after verifying the
+// magic and, at the end, the CRC. Like loadCheckpoint, a corrupt file
+// can deliver a prefix before the error — callers buffer and discard
+// everything delivered before a non-nil return.
+func loadDelta(path string, fn func(key string, value []byte, ver txn.Version, live bool) error) (height, base uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	crc := crc32.NewIEEE()
+	r := bufio.NewReaderSize(f, 1<<16)
+	readFull := func(buf []byte) error {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		crc.Write(buf)
+		return nil
+	}
+
+	var hdr [6 + 8 + 8 + 8]byte
+	if err := readFull(hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("recovery: %s: short header: %w", path, err)
+	}
+	if [6]byte(hdr[:6]) != deltaMagic {
+		return 0, 0, fmt.Errorf("recovery: %s: bad delta magic", path)
+	}
+	height = binary.BigEndian.Uint64(hdr[6:14])
+	base = binary.BigEndian.Uint64(hdr[14:22])
+	count := binary.BigEndian.Uint64(hdr[22:30])
+	info, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	// A record is at least 5 bytes (length prefix + live flag); the same
+	// implausibility bounds as the full loader keep a corrupt count or
+	// length from triggering a huge allocation.
+	if count > uint64(info.Size())/5 {
+		return 0, 0, fmt.Errorf("recovery: %s: implausible record count %d", path, count)
+	}
+	checkLen := func(n uint32, what string) error {
+		if int64(n) > info.Size() || n > 1<<30 {
+			return fmt.Errorf("recovery: %s: implausible %s length %d", path, what, n)
+		}
+		return nil
+	}
+
+	var lenBuf [4]byte
+	var verBuf [12]byte
+	for i := uint64(0); i < count; i++ {
+		if err := readFull(lenBuf[:]); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated at record %d: %w", path, i, err)
+		}
+		klen := binary.BigEndian.Uint32(lenBuf[:])
+		if err := checkLen(klen, "key"); err != nil {
+			return 0, 0, err
+		}
+		key := make([]byte, klen)
+		if err := readFull(key); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated key at record %d: %w", path, i, err)
+		}
+		var flag [1]byte
+		if err := readFull(flag[:]); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated flag at record %d: %w", path, i, err)
+		}
+		if flag[0] == 0 {
+			if err := fn(string(key), nil, txn.Version{}, false); err != nil {
+				return 0, 0, err
+			}
+			continue
+		}
+		if err := readFull(lenBuf[:]); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated at record %d: %w", path, i, err)
+		}
+		vlen := binary.BigEndian.Uint32(lenBuf[:])
+		if err := checkLen(vlen, "value"); err != nil {
+			return 0, 0, err
+		}
+		value := make([]byte, vlen)
+		if err := readFull(value); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated value at record %d: %w", path, i, err)
+		}
+		if err := readFull(verBuf[:]); err != nil {
+			return 0, 0, fmt.Errorf("recovery: %s: truncated version at record %d: %w", path, i, err)
+		}
+		ver := txn.Version{
+			BlockNum: binary.BigEndian.Uint64(verBuf[0:8]),
+			TxNum:    binary.BigEndian.Uint32(verBuf[8:12]),
+		}
+		if err := fn(string(key), value, ver, true); err != nil {
+			return 0, 0, err
+		}
+	}
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return 0, 0, fmt.Errorf("recovery: %s: missing crc: %w", path, err)
+	}
+	if binary.BigEndian.Uint32(tail[:]) != want {
+		return 0, 0, fmt.Errorf("recovery: %s: crc mismatch", path)
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return 0, 0, fmt.Errorf("recovery: %s: trailing bytes", path)
+	}
+	return height, base, nil
+}
+
+// chainFile is one checkpoint file as discovered from its name.
+type chainFile struct {
+	height uint64
+	base   uint64 // deltas only
+	delta  bool
+}
+
+func (f chainFile) path(dir string) string {
+	if f.delta {
+		return deltaPath(dir, f.height, f.base)
+	}
+	return ckptPath(dir, f.height)
+}
+
+// listChain lists every checkpoint file in dir — fulls and deltas —
+// sorted by height (a full sorts before a delta at the same height).
+func listChain(dir string) ([]chainFile, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var files []chainFile
+	for _, e := range entries {
+		name := e.Name()
+		var h, b uint64
+		// Sscanf does not anchor the end of the name, so a stray .tmp
+		// left by a crash mid-write ("ckpt-…​.ckpt.tmp") would still
+		// match; the suffix guards keep such phantoms out of the chain.
+		if n, err := fmt.Sscanf(name, "delta-%d-%d.dckpt", &h, &b); n == 2 && err == nil && strings.HasSuffix(name, ".dckpt") {
+			files = append(files, chainFile{height: h, base: b, delta: true})
+		} else if n, err := fmt.Sscanf(name, "ckpt-%d.ckpt", &h); n == 1 && err == nil && strings.HasSuffix(name, ".ckpt") {
+			files = append(files, chainFile{height: h})
+		}
+	}
+	slices.SortFunc(files, func(a, b chainFile) int {
+		if a.height != b.height {
+			if a.height < b.height {
+				return -1
+			}
+			return 1
+		}
+		if a.delta == b.delta {
+			return 0
+		}
+		if !a.delta {
+			return -1
+		}
+		return 1
+	})
+	return files, nil
+}
+
+// loadChain materializes the newest intact checkpoint chain with tip ≤
+// upto (0 means no limit): the newest loadable full snapshot plus every
+// delta that links onto it, applied in chain order. A corrupt or
+// truncated delta ends the chain there — the intact prefix still
+// restores, and replay covers the difference; a corrupt full falls back
+// to the next older full's chain. Each file is buffered and CRC-verified
+// in isolation before anything is applied, so a corrupt file can never
+// leak records into the result. Returns the materialized state, the
+// chain's tip height, and the total file bytes read. With no full
+// snapshot at all it returns (nil, 0, 0, nil); with fulls present but
+// none intact, an error.
+func loadChain(dir string, upto uint64) (map[string]chainEntry, uint64, int64, error) {
+	if upto == 0 {
+		upto = ^uint64(0)
+	}
+	files, err := listChain(dir)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var fulls []chainFile
+	deltasByBase := make(map[uint64][]chainFile)
+	for _, f := range files {
+		if f.height > upto {
+			continue
+		}
+		if f.delta {
+			deltasByBase[f.base] = append(deltasByBase[f.base], f)
+		} else {
+			fulls = append(fulls, f)
+		}
+	}
+
+	var lastErr error
+	for i := len(fulls) - 1; i >= 0; i-- {
+		root := fulls[i]
+		m := make(map[string]chainEntry)
+		var pending []deltaEntry
+		_, err := loadCheckpoint(root.path(dir), func(key string, value []byte, ver txn.Version) error {
+			pending = append(pending, deltaEntry{key: key, value: value, ver: ver, live: true})
+			return nil
+		})
+		if err != nil {
+			lastErr = err
+			continue // corrupt full: fall back to the previous chain
+		}
+		overlayEntries(m, pending)
+		bytesRead := fileSize(root.path(dir))
+		tip := root.height
+		for {
+			next, ok := nextDelta(deltasByBase[tip], tip)
+			if !ok {
+				break
+			}
+			pending = pending[:0]
+			_, _, err := loadDelta(next.path(dir), func(key string, value []byte, ver txn.Version, live bool) error {
+				pending = append(pending, deltaEntry{key: key, value: value, ver: ver, live: live})
+				return nil
+			})
+			if err != nil {
+				// Corrupt mid-chain delta: keep the intact prefix. The
+				// restore lands at a lower height and replay covers the
+				// rest, exactly like falling back to an older checkpoint.
+				break
+			}
+			overlayEntries(m, pending)
+			bytesRead += fileSize(next.path(dir))
+			tip = next.height
+		}
+		return m, tip, bytesRead, nil
+	}
+	if lastErr != nil {
+		return nil, 0, 0, fmt.Errorf("recovery: no intact checkpoint (newest failure: %w)", lastErr)
+	}
+	return nil, 0, 0, nil
+}
+
+// nextDelta picks the chain's successor among the deltas based at tip:
+// the lowest height above tip. Stale files from a pre-crash incarnation
+// can leave several deltas with the same base; the lowest is the
+// immediate successor (and replay determinism makes the contents of
+// same-height incarnations value-identical anyway).
+func nextDelta(candidates []chainFile, tip uint64) (chainFile, bool) {
+	var best chainFile
+	found := false
+	for _, f := range candidates {
+		if f.height <= tip {
+			continue
+		}
+		if !found || f.height < best.height {
+			best, found = f, true
+		}
+	}
+	return best, found
+}
+
+func fileSize(path string) int64 {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+// Restore loads the newest intact checkpoint chain in dir with tip ≤
+// maxHeight (0 means no limit) into st, which must be empty, and returns
+// the chain's tip height and the total checkpoint bytes read. Corrupt
+// fulls fall back to the previous chain; a corrupt mid-chain delta
+// truncates the chain to its intact prefix. With no usable checkpoint it
+// returns height 0 and a nil error — recovery then replays from genesis.
+func Restore(st *state.Store, dir string, maxHeight uint64) (uint64, int64, error) {
+	m, tip, bytesRead, err := loadChain(dir, maxHeight)
+	if err != nil {
+		return 0, 0, err
+	}
+	if tip == 0 {
+		return 0, 0, nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	pending := make([]state.VersionedWrite, 0, min(len(keys), 1024))
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := st.ApplyBlock(pending); err != nil {
+			return err
+		}
+		pending = pending[:0]
+		return nil
+	}
+	for _, k := range keys {
+		e := m[k]
+		value := e.value
+		if value == nil {
+			value = []byte{} // a nil write would read as a deletion
+		}
+		pending = append(pending, state.VersionedWrite{
+			Write:   txn.Write{Key: k, Value: value},
+			Version: e.ver,
+		})
+		if len(pending) == 1024 {
+			if err := flush(); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return 0, 0, err
+	}
+	return tip, bytesRead, nil
+}
+
+// pruneChains removes old checkpoint files, retaining the newest keep
+// files and then extending retention downward along chain links: the
+// full snapshot a retained delta (transitively) applies on top of is
+// never deleted, so pruning keeps whole chains and never orphans a
+// delta.
+func pruneChains(dir string, keep int) {
+	files, err := listChain(dir)
+	if err != nil || len(files) <= keep {
+		return
+	}
+	retained := files[len(files)-keep:]
+	// Collect the heights the retained files depend on by walking delta
+	// bases transitively. A base may itself be a delta (whose own base
+	// extends the walk) or a full (which roots the chain).
+	byHeight := make(map[uint64][]chainFile, len(files))
+	for _, f := range files {
+		byHeight[f.height] = append(byHeight[f.height], f)
+	}
+	needed := make(map[uint64]bool)
+	var walk func(h uint64)
+	walk = func(h uint64) {
+		if h == 0 || needed[h] {
+			return
+		}
+		needed[h] = true
+		for _, f := range byHeight[h] {
+			if f.delta {
+				walk(f.base)
+			}
+		}
+	}
+	for _, f := range retained {
+		needed[f.height] = true
+		if f.delta {
+			walk(f.base)
+		}
+	}
+	for _, f := range files[:len(files)-keep] {
+		if needed[f.height] {
+			continue
+		}
+		os.Remove(f.path(dir))
+	}
+}

@@ -18,6 +18,9 @@ type RebuildConfig struct {
 	// Old is the crashed (or previously-recovered) store; closed and
 	// discarded when non-nil.
 	Old *state.Store
+	// OldCkpt is the crashed store's checkpointer; closed (stopping its
+	// worker, if any) and discarded when non-nil.
+	OldCkpt *Checkpointer
 	// StateDir, when non-empty, is removed before reopening: a
 	// disk-backed engine may hold writes from after the checkpoint whose
 	// version metadata died with the process, and recovery trusts only
@@ -26,10 +29,13 @@ type RebuildConfig struct {
 	// Open opens the node's fresh engine.
 	Open func() (storage.Engine, error)
 	// CkptDir enables checkpoint restore and checkpointer rebinding when
-	// non-empty; Interval and Keep configure the rebound checkpointer.
-	CkptDir  string
-	Interval uint64
-	Keep     int
+	// non-empty; Interval, Keep, Mode, and FullEvery configure the
+	// rebound checkpointer.
+	CkptDir   string
+	Interval  uint64
+	Keep      int
+	Mode      Mode
+	FullEvery int
 	// MaxCkptHeight bounds the restore (0 = newest): a crash at height c
 	// means only checkpoints at or below c exist.
 	MaxCkptHeight uint64
@@ -41,6 +47,9 @@ type RebuildConfig struct {
 // caller replays the replicated tail above stats.CheckpointHeight.
 func RebuildStore(cfg RebuildConfig) (*state.Store, *Checkpointer, Stats, error) {
 	var stats Stats
+	if cfg.OldCkpt != nil {
+		cfg.OldCkpt.Close()
+	}
 	if cfg.Old != nil {
 		cfg.Old.Close()
 	}
@@ -58,12 +67,29 @@ func RebuildStore(cfg RebuildConfig) (*state.Store, *Checkpointer, Stats, error)
 	start := time.Now()
 	var ckpt *Checkpointer
 	if cfg.CkptDir != "" {
+		if cfg.Mode == ModeDelta {
+			// Enabled before the restore so the restored keys land in the
+			// dirty set: the rebound checkpointer's first (chain-seeding)
+			// full is built from that set and must cover them.
+			st.EnableDirtyTracking()
+		}
 		stats.CheckpointHeight, stats.CheckpointBytes, err = Restore(st, cfg.CkptDir, cfg.MaxCkptHeight)
 		if err != nil {
 			st.Close()
 			return nil, nil, stats, err
 		}
-		ckpt, err = NewCheckpointer(st, cfg.CkptDir, cfg.Interval, cfg.Keep)
+		// The rebound checkpointer starts with no chain base: the restored
+		// store's dirty set covers everything the restore applied (restore
+		// itself goes through ApplyBlock), so its first delta-mode
+		// checkpoint is a chain-seeding full — it never links onto stale
+		// pre-crash files above the restored height.
+		ckpt, err = NewCheckpointer(st, Options{
+			Dir:       cfg.CkptDir,
+			Interval:  cfg.Interval,
+			Keep:      cfg.Keep,
+			Mode:      cfg.Mode,
+			FullEvery: cfg.FullEvery,
+		})
 		if err != nil {
 			st.Close()
 			return nil, nil, stats, err

@@ -210,7 +210,7 @@ func TestCheckpointerIntervalAndPruning(t *testing.T) {
 	st := state.New(memdb.New(), 8)
 	defer st.Close()
 	dir := t.TempDir()
-	c, err := NewCheckpointer(st, dir, 3, 2)
+	c, err := NewCheckpointer(st, Options{Dir: dir, Interval: 3, Keep: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

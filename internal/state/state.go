@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"dichotomy/internal/contract"
 	"dichotomy/internal/storage"
@@ -35,12 +36,39 @@ type Store struct {
 	// exclusively, snapshots share it. Point operations skip it — their
 	// consistency unit is the single key, guarded by its stripe.
 	gate sync.RWMutex
+
+	// dirty is the set of keys touched since the last ResetDirty — the
+	// per-interval dirty set delta checkpoints serialize instead of the
+	// whole store. Tracking is opt-in (EnableDirtyTracking): stores
+	// without a delta checkpointer skip the bookkeeping entirely, so
+	// the commit path pays nothing for a feature it doesn't use and the
+	// set can't grow unbounded with nobody resetting it. When enabled,
+	// ApplyBlock and CompareAndSetVersion record into it; dirtyBytes
+	// accumulates an upper bound of the touched data (rewrites of the
+	// same key count each time). Guarded by its own mutex so DirtyStats
+	// is readable from any goroutine without touching the commit gate.
+	trackDirty atomic.Bool
+	dirtyMu    sync.Mutex
+	dirty      map[string]struct{}
+	dirtyBytes int64
 }
+
+// EnableDirtyTracking turns on dirty-key tracking. It must be called
+// before the writes the next delta checkpoint is expected to cover —
+// in practice before any traffic: the delta checkpointer enables it at
+// construction, and recovery enables it before restoring into a fresh
+// store (so the restored keys count as dirty and the first post-crash
+// checkpoint is a complete chain seed). Enabling is one-way.
+func (s *Store) EnableDirtyTracking() { s.trackDirty.Store(true) }
 
 // New layers a versioned store over engine with the given stripe count
 // (≤ 0 selects DefaultShards; 1 is the global-lock baseline).
 func New(engine storage.Engine, shards int) *Store {
-	return &Store{engine: engine, versions: NewMap[txn.Version](shards)}
+	return &Store{
+		engine:   engine,
+		versions: NewMap[txn.Version](shards),
+		dirty:    make(map[string]struct{}),
+	}
 }
 
 // Engine exposes the underlying engine (for footprint accounting).
@@ -101,6 +129,14 @@ func (s *Store) CompareAndSetVersion(key string, expect, next txn.Version) bool 
 		}
 		return next, true
 	})
+	if swapped && s.trackDirty.Load() {
+		// A version-only change still dirties the key: a delta checkpoint
+		// must carry the new version even though the value is unchanged.
+		s.dirtyMu.Lock()
+		s.dirty[key] = struct{}{}
+		s.dirtyBytes += int64(len(key)) + versionDirtyCost
+		s.dirtyMu.Unlock()
+	}
 	return swapped
 }
 
@@ -135,6 +171,75 @@ func (s *Store) Dump(fn func(key string, value []byte, ver txn.Version) bool) {
 			return
 		}
 	}
+}
+
+// versionDirtyCost is the per-entry bookkeeping charged to dirtyBytes on
+// top of key and value length (a txn.Version plus a liveness flag — the
+// fixed wire cost a delta checkpoint record carries).
+const versionDirtyCost = 16
+
+// DirtyStats summarizes the dirty set accumulated since the last
+// ResetDirty: how many distinct keys a delta checkpoint would carry and
+// an upper bound on their serialized size (rewrites of the same key are
+// counted each time they commit, so ApproxBytes ≥ the delta file size).
+type DirtyStats struct {
+	Keys        int
+	ApproxBytes int64
+}
+
+// DirtyStats returns the current dirty-set summary. It is cheap (two
+// field reads under the dirty mutex) and safe from any goroutine.
+func (s *Store) DirtyStats() DirtyStats {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	return DirtyStats{Keys: len(s.dirty), ApproxBytes: s.dirtyBytes}
+}
+
+// DumpDirty iterates only the keys dirtied since the last ResetDirty
+// (nothing unless EnableDirtyTracking preceded the writes),
+// with their committed value and version, under the commit gate shared —
+// the same block-boundary consistency Dump provides, at O(dirty) cost
+// instead of O(store). A key that was dirtied and then deleted is
+// reported with live == false (a tombstone: the delta must record the
+// deletion, not skip it). Keys are visited in sorted order, so a delta
+// serialized from this iteration is deterministic. Like Dump, callers
+// needing an exact-height snapshot run it from the committer goroutine
+// or a quiesced store. Return false from fn to stop early.
+func (s *Store) DumpDirty(fn func(key string, value []byte, ver txn.Version, live bool) bool) {
+	s.gate.RLock()
+	defer s.gate.RUnlock()
+	s.dirtyMu.Lock()
+	keys := make([]string, 0, len(s.dirty))
+	for k := range s.dirty {
+		keys = append(keys, k)
+	}
+	s.dirtyMu.Unlock()
+	slices.Sort(keys)
+	for _, k := range keys {
+		v, err := s.engine.Get([]byte(k))
+		if err != nil {
+			// Deleted since it was dirtied (or unreadable, which the
+			// in-memory engines only report as not-found): tombstone.
+			if !fn(k, nil, txn.Version{}, false) {
+				return
+			}
+			continue
+		}
+		ver, _ := s.versions.Get(k)
+		if !fn(k, v, ver, true) {
+			return
+		}
+	}
+}
+
+// ResetDirty clears the dirty set; the checkpointer calls it right after
+// materializing a delta (or writing a full checkpoint, which covers
+// everything), so the next interval accumulates from empty.
+func (s *Store) ResetDirty() {
+	s.dirtyMu.Lock()
+	s.dirty = make(map[string]struct{})
+	s.dirtyBytes = 0
+	s.dirtyMu.Unlock()
 }
 
 // Len returns the number of live keys in the engine.
@@ -242,6 +347,14 @@ func (s *Store) applyGroup(idx int, group []VersionedWrite) error {
 		} else {
 			m[w.Key] = w.Version
 		}
+	}
+	if s.trackDirty.Load() {
+		s.dirtyMu.Lock()
+		for _, w := range group {
+			s.dirty[w.Key] = struct{}{}
+			s.dirtyBytes += int64(len(w.Key)+len(w.Value)) + versionDirtyCost
+		}
+		s.dirtyMu.Unlock()
 	}
 	return nil
 }

@@ -288,3 +288,123 @@ func TestDumpExcludesBlockCommits(t *testing.T) {
 	}
 	<-done
 }
+
+func TestDirtyTrackingOffByDefault(t *testing.T) {
+	// Stores without a delta checkpointer never enable tracking; the
+	// commit path must not accumulate (or pay for) a dirty set.
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	if err := s.ApplyBlock([]VersionedWrite{{Write: put("a", "1"), Version: ver(1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.DirtyStats(); st.Keys != 0 || st.ApproxBytes != 0 {
+		t.Fatalf("untracked store accumulated dirty state: %+v", st)
+	}
+}
+
+func TestDirtyTrackingFollowsBlockWrites(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	s.EnableDirtyTracking()
+	if st := s.DirtyStats(); st.Keys != 0 || st.ApproxBytes != 0 {
+		t.Fatalf("fresh store dirty stats = %+v", st)
+	}
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("a", "1"), Version: ver(1, 0)},
+		{Write: put("b", "2"), Version: ver(1, 1)},
+		{Write: put("a", "3"), Version: ver(1, 2)}, // rewrite: same key, one dirty entry
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.DirtyStats()
+	if st.Keys != 2 {
+		t.Fatalf("dirty keys = %d, want 2", st.Keys)
+	}
+	if st.ApproxBytes <= 0 {
+		t.Fatalf("dirty bytes = %d", st.ApproxBytes)
+	}
+
+	got := make(map[string]string)
+	s.DumpDirty(func(key string, value []byte, v txn.Version, live bool) bool {
+		if !live {
+			t.Fatalf("key %s reported dead", key)
+		}
+		got[key] = string(value) + "@" + fmt.Sprint(v.TxNum)
+		return true
+	})
+	// DumpDirty reads the committed state: the rewrite of a wins.
+	if len(got) != 2 || got["a"] != "3@2" || got["b"] != "2@1" {
+		t.Fatalf("DumpDirty = %v", got)
+	}
+
+	s.ResetDirty()
+	if st := s.DirtyStats(); st.Keys != 0 || st.ApproxBytes != 0 {
+		t.Fatalf("post-reset dirty stats = %+v", st)
+	}
+	n := 0
+	s.DumpDirty(func(string, []byte, txn.Version, bool) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("post-reset DumpDirty visited %d keys", n)
+	}
+
+	// Only the keys of the next interval are dirty; untouched keys stay
+	// out even though they remain in the store.
+	if err := s.ApplyBlock([]VersionedWrite{
+		{Write: put("b", "9"), Version: ver(2, 0)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.DirtyStats(); st.Keys != 1 {
+		t.Fatalf("second-interval dirty keys = %d, want 1", st.Keys)
+	}
+}
+
+func TestDirtyTrackingRecordsDeletesAsTombstones(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	s.EnableDirtyTracking()
+	if err := s.ApplyBlock([]VersionedWrite{{Write: put("gone", "x"), Version: ver(1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetDirty()
+	if err := s.ApplyBlock([]VersionedWrite{{Write: txn.Write{Key: "gone", Value: nil}, Version: ver(2, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	s.DumpDirty(func(key string, value []byte, _ txn.Version, live bool) bool {
+		if key != "gone" {
+			t.Fatalf("unexpected dirty key %s", key)
+		}
+		if live || value != nil {
+			t.Fatalf("deleted key reported live (value %q)", value)
+		}
+		seen = true
+		return true
+	})
+	if !seen {
+		t.Fatal("tombstone missing from DumpDirty")
+	}
+}
+
+func TestDirtyTrackingFollowsVersionCAS(t *testing.T) {
+	s := New(memdb.New(), 8)
+	defer s.Close()
+	s.EnableDirtyTracking()
+	if err := s.ApplyBlock([]VersionedWrite{{Write: put("k", "v"), Version: ver(1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetDirty()
+	// A failed CAS dirties nothing; a successful one dirties the key.
+	if s.CompareAndSetVersion("k", ver(9, 9), ver(2, 0)) {
+		t.Fatal("CAS with wrong expectation succeeded")
+	}
+	if st := s.DirtyStats(); st.Keys != 0 {
+		t.Fatalf("failed CAS dirtied %d keys", st.Keys)
+	}
+	if !s.CompareAndSetVersion("k", ver(1, 0), ver(2, 0)) {
+		t.Fatal("CAS failed")
+	}
+	if st := s.DirtyStats(); st.Keys != 1 {
+		t.Fatalf("successful CAS dirtied %d keys, want 1", st.Keys)
+	}
+}

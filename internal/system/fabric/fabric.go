@@ -96,9 +96,19 @@ type Config struct {
 	// sealing. 0 disables checkpointing. Requires DataDir.
 	CheckpointInterval uint64
 	// CheckpointKeep is how many checkpoints each peer retains (older
-	// ones are pruned). ≤ 0 keeps 2. The recovery experiment keeps them
+	// ones are pruned; retention extends to the full snapshot a kept
+	// delta depends on). ≤ 0 keeps 2. The recovery experiment keeps them
 	// all to rehearse crashes at any height.
 	CheckpointKeep int
+	// CheckpointMode selects full checkpoints (the whole store,
+	// serialized synchronously on the committer) or delta checkpoints
+	// (only the keys dirtied since the last checkpoint, serialized off
+	// the committer by a worker, with a full snapshot folded in every
+	// CheckpointFullEvery checkpoints). Default full.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
+	// selects the recovery package default).
+	CheckpointFullEvery int
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -243,7 +253,13 @@ func New(cfg Config) (*Network, error) {
 		// reaches this peer's engine on the error path.
 		nw.peers = append(nw.peers, p)
 		if cfg.CheckpointInterval > 0 {
-			p.ckpt, err = recovery.NewCheckpointer(p.st, ckptDir(cfg.DataDir, name), cfg.CheckpointInterval, cfg.CheckpointKeep)
+			p.ckpt, err = recovery.NewCheckpointer(p.st, recovery.Options{
+				Dir:       ckptDir(cfg.DataDir, name),
+				Interval:  cfg.CheckpointInterval,
+				Keep:      cfg.CheckpointKeep,
+				Mode:      cfg.CheckpointMode,
+				FullEvery: cfg.CheckpointFullEvery,
+			})
 			if err != nil {
 				return fail(fmt.Errorf("fabric %s: checkpointer: %w", name, err))
 			}
@@ -583,6 +599,9 @@ func (nw *Network) CrashPeer(i int) {
 	p.stopOnce.Do(func() { close(p.stopCh) })
 	p.wg.Wait()
 	p.consumer.Close()
+	if p.ckpt != nil {
+		p.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
+	}
 	p.st.Close()
 	p.ledger = nil
 }
@@ -607,9 +626,12 @@ func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stat
 	}
 	cfg := recovery.RebuildConfig{
 		Old:           p.st,
+		OldCkpt:       p.ckpt,
 		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, p.name) },
 		Interval:      nw.cfg.CheckpointInterval,
 		Keep:          nw.cfg.CheckpointKeep,
+		Mode:          nw.cfg.CheckpointMode,
+		FullEvery:     nw.cfg.CheckpointFullEvery,
 		MaxCkptHeight: maxCkptHeight,
 	}
 	if nw.cfg.DataDir != "" {
@@ -692,6 +714,9 @@ func (nw *Network) Close() {
 		}
 		for _, p := range nw.peers {
 			p.wg.Wait()
+			if p.ckpt != nil {
+				p.ckpt.Close()
+			}
 			if p.st != nil {
 				p.st.Close()
 			}

@@ -101,6 +101,13 @@ type Config struct {
 	// (values and versions) every this many blocks, on the committer after
 	// sealing. 0 disables checkpointing. Requires DataDir.
 	CheckpointInterval uint64
+	// CheckpointMode selects full checkpoints (whole store, synchronous
+	// on the committer) or delta checkpoints (dirtied keys only,
+	// serialized off the committer). Default full.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
+	// selects the recovery package default).
+	CheckpointFullEvery int
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -231,7 +238,12 @@ func New(cfg Config) (*Network, error) {
 			stopCh: make(chan struct{}),
 		}
 		if cfg.CheckpointInterval > 0 {
-			n.ckpt, err = recovery.NewCheckpointer(n.st, ckptDir(cfg.DataDir, id), cfg.CheckpointInterval, 2)
+			n.ckpt, err = recovery.NewCheckpointer(n.st, recovery.Options{
+				Dir:       ckptDir(cfg.DataDir, id),
+				Interval:  cfg.CheckpointInterval,
+				Mode:      cfg.CheckpointMode,
+				FullEvery: cfg.CheckpointFullEvery,
+			})
 			if err != nil {
 				n.st.Close() // not yet in nw.nodes; Close won't reach it
 				return fail(fmt.Errorf("quorum node %d: checkpointer: %w", id, err))
@@ -592,6 +604,9 @@ func (nw *Network) CrashNode(i int) {
 	n.wg.Wait()
 	n.drainCh = make(chan struct{})
 	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	if n.ckpt != nil {
+		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
+	}
 	n.st.Close()
 	n.ledger = nil
 	n.trie = nil
@@ -615,8 +630,11 @@ func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stat
 	}
 	cfg := recovery.RebuildConfig{
 		Old:           n.st,
+		OldCkpt:       n.ckpt,
 		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, n.id) },
 		Interval:      nw.cfg.CheckpointInterval,
+		Mode:          nw.cfg.CheckpointMode,
+		FullEvery:     nw.cfg.CheckpointFullEvery,
 		MaxCkptHeight: maxCkptHeight,
 	}
 	if nw.cfg.DataDir != "" {
@@ -738,6 +756,9 @@ func (nw *Network) Close() {
 			n.wg.Wait()
 			if n.drainCh != nil {
 				close(n.drainCh)
+			}
+			if n.ckpt != nil {
+				n.ckpt.Close()
 			}
 			if n.st != nil {
 				n.st.Close()

@@ -20,12 +20,29 @@ import (
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/hybrid"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/state"
 	"dichotomy/internal/system"
 	"dichotomy/internal/system/fabric"
 	"dichotomy/internal/system/quorum"
 	"dichotomy/internal/txn"
 )
+
+// recModes runs the crash-equivalence body once per checkpoint mode:
+// byte-identical recovery must hold whether the restore point is a full
+// snapshot or a full + delta chain (with a mid-test compaction — the
+// small FullEvery below folds a chain during the run).
+func recModes(t *testing.T, body func(t *testing.T, mode recovery.Mode)) {
+	for _, mode := range []recovery.Mode{recovery.ModeFull, recovery.ModeDelta} {
+		t.Run("ckpt="+mode.String(), func(t *testing.T) {
+			body(t, mode)
+		})
+	}
+}
+
+// recFullEvery keeps delta chains short enough that a run crosses at
+// least one worker-side compaction.
+const recFullEvery = 3
 
 const (
 	recWorkers  = 4
@@ -137,19 +154,25 @@ func waitHeights(t *testing.T, heights ...func() uint64) uint64 {
 }
 
 func TestCrashEquivalenceFabric(t *testing.T) {
+	recModes(t, testCrashEquivalenceFabric)
+}
+
+func testCrashEquivalenceFabric(t *testing.T, mode recovery.Mode) {
 	seed := time.Now().UnixNano()
 	rng := rand.New(rand.NewSource(seed))
 	t.Logf("seed %d", seed)
 	client := cryptoutil.MustNewSigner("rec-client")
 	nw, err := fabric.New(fabric.Config{
-		Peers:              4,
-		EndorsementsNeeded: 3, // constant policy that survives one crashed peer
-		BlockSize:          4,
-		BlockTimeout:       2 * time.Millisecond,
-		ValidationWorkers:  2,
-		PipelineDepth:      2,
-		DataDir:            t.TempDir(),
-		CheckpointInterval: recInterval,
+		Peers:               4,
+		EndorsementsNeeded:  3, // constant policy that survives one crashed peer
+		BlockSize:           4,
+		BlockTimeout:        2 * time.Millisecond,
+		ValidationWorkers:   2,
+		PipelineDepth:       2,
+		DataDir:             t.TempDir(),
+		CheckpointInterval:  recInterval,
+		CheckpointMode:      mode,
+		CheckpointFullEvery: recFullEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -193,18 +216,24 @@ func TestCrashEquivalenceFabric(t *testing.T) {
 }
 
 func TestCrashEquivalenceQuorum(t *testing.T) {
+	recModes(t, testCrashEquivalenceQuorum)
+}
+
+func testCrashEquivalenceQuorum(t *testing.T, mode recovery.Mode) {
 	seed := time.Now().UnixNano()
 	rng := rand.New(rand.NewSource(seed))
 	t.Logf("seed %d", seed)
 	client := cryptoutil.MustNewSigner("rec-client")
 	nw, err := quorum.New(quorum.Config{
-		Nodes:              4,
-		Consensus:          quorum.Raft,
-		BlockSize:          4,
-		BlockInterval:      2 * time.Millisecond,
-		ExecutionWorkers:   2,
-		DataDir:            t.TempDir(),
-		CheckpointInterval: recInterval,
+		Nodes:               4,
+		Consensus:           quorum.Raft,
+		BlockSize:           4,
+		BlockInterval:       2 * time.Millisecond,
+		ExecutionWorkers:    2,
+		DataDir:             t.TempDir(),
+		CheckpointInterval:  recInterval,
+		CheckpointMode:      mode,
+		CheckpointFullEvery: recFullEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -267,17 +296,23 @@ func TestCrashEquivalenceQuorum(t *testing.T) {
 }
 
 func TestCrashEquivalenceVeritas(t *testing.T) {
+	recModes(t, testCrashEquivalenceVeritas)
+}
+
+func testCrashEquivalenceVeritas(t *testing.T, mode recovery.Mode) {
 	seed := time.Now().UnixNano()
 	rng := rand.New(rand.NewSource(seed))
 	t.Logf("seed %d", seed)
 	client := cryptoutil.MustNewSigner("rec-client")
 	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{
-		Verifiers:          3,
-		BatchSize:          4,
-		BatchTimeout:       2 * time.Millisecond,
-		ValidationWorkers:  2,
-		DataDir:            t.TempDir(),
-		CheckpointInterval: recInterval,
+		Verifiers:           3,
+		BatchSize:           4,
+		BatchTimeout:        2 * time.Millisecond,
+		ValidationWorkers:   2,
+		DataDir:             t.TempDir(),
+		CheckpointInterval:  recInterval,
+		CheckpointMode:      mode,
+		CheckpointFullEvery: recFullEvery,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -325,14 +360,20 @@ func TestCrashEquivalenceVeritas(t *testing.T) {
 }
 
 func TestCrashEquivalenceBigchain(t *testing.T) {
+	recModes(t, testCrashEquivalenceBigchain)
+}
+
+func testCrashEquivalenceBigchain(t *testing.T, mode recovery.Mode) {
 	seed := time.Now().UnixNano()
 	rng := rand.New(rand.NewSource(seed))
 	t.Logf("seed %d", seed)
 	client := cryptoutil.MustNewSigner("rec-client")
 	b, err := hybrid.NewBigchain(hybrid.BigchainConfig{
-		Nodes:              4,
-		DataDir:            t.TempDir(),
-		CheckpointInterval: 3,
+		Nodes:               4,
+		DataDir:             t.TempDir(),
+		CheckpointInterval:  3,
+		CheckpointMode:      mode,
+		CheckpointFullEvery: recFullEvery,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -32,9 +32,43 @@ const (
 	codecVersion = 1
 )
 
+// EncodedLen returns the exact length Marshal produces, computed from
+// the wire layout. Marshal sizes its buffer with it, so encoding a
+// transaction is a single allocation regardless of shape — this codec
+// sits on both the per-block ledger path and the delta checkpoint path,
+// where the old ballpark capacity (128 + Size()) under-allocated on
+// read-heavy transactions and regrew the buffer mid-append.
+func (t *Tx) EncodedLen() int {
+	n := 2 + len(t.ID) // magic, version, id
+	n += 4 + len(t.Client)
+	n += 4 + len(t.Invocation.Contract)
+	n += 4 + len(t.Invocation.Method)
+	n += 4
+	for _, a := range t.Invocation.Args {
+		n += 4 + len(a)
+	}
+	n += 4 + len(t.RWSet.Reads)*(4+12)
+	for _, r := range t.RWSet.Reads {
+		n += len(r.Key)
+	}
+	n += 4
+	for _, w := range t.RWSet.Writes {
+		n += 4 + len(w.Key) + 1
+		if w.Value != nil {
+			n += 4 + len(w.Value)
+		}
+	}
+	n += 4
+	for _, e := range t.Endorsements {
+		n += 4 + len(e.Peer) + len(e.Sig)
+	}
+	n += len(t.Sig)
+	return n
+}
+
 // Marshal encodes the transaction into its deterministic wire form.
 func (t *Tx) Marshal() []byte {
-	out := make([]byte, 0, 128+t.Size())
+	out := make([]byte, 0, t.EncodedLen())
 	out = append(out, codecMagic, codecVersion)
 	out = append(out, t.ID[:]...)
 	out = appendStr(out, t.Client)

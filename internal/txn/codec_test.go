@@ -2,6 +2,7 @@ package txn
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -120,5 +121,63 @@ func TestCodecCorruptCountIsBounded(t *testing.T) {
 		bad := append([]byte{}, enc...)
 		bad[off], bad[off+1], bad[off+2], bad[off+3] = 0xFF, 0xFF, 0xFF, 0xFF
 		_, _ = Unmarshal(bad) // must not panic or OOM
+	}
+}
+
+func TestMarshalExactlySized(t *testing.T) {
+	tx := sampleTx(t)
+	enc := tx.Marshal()
+	if len(enc) != tx.EncodedLen() {
+		t.Fatalf("Marshal produced %d bytes, EncodedLen says %d", len(enc), tx.EncodedLen())
+	}
+	if cap(enc) != tx.EncodedLen() {
+		t.Fatalf("Marshal buffer cap %d, want exactly %d (no regrow, no slack)", cap(enc), tx.EncodedLen())
+	}
+	// One allocation per encode: the pre-sized buffer and nothing else.
+	allocs := testing.AllocsPerRun(100, func() { _ = tx.Marshal() })
+	if allocs > 1 {
+		t.Fatalf("Marshal allocates %.0f times per op, want 1", allocs)
+	}
+}
+
+// BenchmarkTxMarshal tracks the encode cost of a representative
+// endorsed transaction; B/op and allocs/op (run with -benchmem) are the
+// columns the buffer pre-sizing improves — the encode sits on the
+// per-block ledger path and the delta checkpoint path.
+func BenchmarkTxMarshal(b *testing.B) {
+	signer, err := cryptoutil.NewSigner("bench-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx, err := Sign(signer, Invocation{
+		Contract: "smallbank",
+		Method:   "deposit_checking",
+		Args:     [][]byte{[]byte("acct-0001"), []byte("100")},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tx.RWSet = RWSet{
+		Reads: []Read{
+			{Key: "acct-0001:checking", Version: Version{BlockNum: 41, TxNum: 3}},
+			{Key: "acct-0001:savings", Version: Version{BlockNum: 17, TxNum: 0}},
+		},
+		Writes: []Write{
+			{Key: "acct-0001:checking", Value: []byte("1100")},
+		},
+	}
+	for i := 0; i < 3; i++ {
+		peer, err := cryptoutil.NewSigner(fmt.Sprintf("bench-peer%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Endorse(peer); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tx.Marshal()
 	}
 }
