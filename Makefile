@@ -1,0 +1,32 @@
+# Developer entry points. Each target is the exact command CI runs, so
+# a green `make check` locally means a green CI lint+test matrix.
+
+LINT_BIN := $(CURDIR)/bin/dichotomy-lint
+
+.PHONY: build test race lint fuzz-smoke fmt check
+
+build:
+	go build ./...
+
+test:
+	go test -timeout 10m ./...
+
+race:
+	go test -race -count=1 -timeout 10m ./internal/bench/... ./internal/cluster/... ./internal/sharedlog/... ./internal/state/... ./internal/system/... ./internal/mvcc/... ./internal/pipeline/... ./internal/hybrid/... ./internal/recovery/... ./internal/storage/lsm/...
+
+# Identical to the CI dichotomy-lint step: build the analyzer suite and
+# run it over every package through go vet's vettool protocol.
+lint:
+	go build -o $(LINT_BIN) ./cmd/dichotomy-lint
+	go vet -vettool=$(LINT_BIN) ./...
+
+# Same 30s-per-target smoke CI runs; for a real campaign raise
+# -fuzztime or drop it entirely.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzTxUnmarshal$$' -fuzztime=30s ./internal/txn/
+	go test -run '^$$' -fuzz '^FuzzDeltaDecode$$' -fuzztime=30s ./internal/recovery/
+
+fmt:
+	gofmt -l -w .
+
+check: build lint test

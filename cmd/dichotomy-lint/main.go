@@ -1,0 +1,29 @@
+// Command dichotomy-lint is the repo's analyzer suite, runnable two
+// ways that share one code path:
+//
+//	go vet -vettool=$(which dichotomy-lint) ./...   # as a vet tool
+//	dichotomy-lint ./...                            # standalone
+//
+// Standalone mode re-execs `go vet -vettool=<self>` so cmd/go does the
+// package loading, export data, and caching; the binary itself only
+// implements the unitchecker protocol over the stdlib go/* packages.
+package main
+
+import (
+	"dichotomy/internal/analysis/blockingsend"
+	"dichotomy/internal/analysis/errshadow"
+	"dichotomy/internal/analysis/gatediscipline"
+	"dichotomy/internal/analysis/nopanic"
+	"dichotomy/internal/analysis/sleepyloop"
+	"dichotomy/internal/analysis/unit"
+)
+
+func main() {
+	unit.Main(
+		nopanic.Analyzer,
+		blockingsend.Analyzer,
+		gatediscipline.Analyzer,
+		sleepyloop.Analyzer,
+		errshadow.Analyzer,
+	)
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression convention: a finding is intentional when the line it
+// sits on — or the line directly above it — carries a comment of the
+// form
+//
+//	//lint:allow <analyzer> <justification>
+//
+// The justification is mandatory: an allow with no reason does not
+// suppress anything (and the next reader learns nothing). One comment
+// suppresses one analyzer; a site excused from two analyzers needs two
+// comments.
+
+const allowPrefix = "lint:allow "
+
+// allowKey identifies one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowIndex map[allowKey]bool
+
+// buildAllowIndex scans every comment in the files for lint:allow
+// directives and records which analyzer each one excuses, keyed by the
+// comment's own line. Directives without a justification are dropped.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				// Testdata combines directives with trailing
+				// `// want` expectations; those are not a reason.
+				if i := strings.Index(rest, "// want"); i >= 0 {
+					rest = rest[:i]
+				}
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					continue // no justification, no suppression
+				}
+				pos := fset.Position(c.Pos())
+				idx[allowKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether the analyzer is suppressed at position: the
+// directive may trail the offending line or sit on the line above it.
+func (idx allowIndex) allows(analyzer string, pos token.Position) bool {
+	return idx[allowKey{pos.Filename, pos.Line, analyzer}] ||
+		idx[allowKey{pos.Filename, pos.Line - 1, analyzer}]
+}

@@ -1,0 +1,123 @@
+// Package analysis is dichotomy-lint's analyzer framework: a minimal,
+// dependency-free sibling of golang.org/x/tools/go/analysis (which the
+// build environment does not vendor). It defines the Analyzer/Pass
+// contract the repo's invariant checkers implement, and the shared
+// machinery they all need — //lint:allow suppression comments and
+// test-file detection.
+//
+// Each analyzer encodes one invariant the systems in this repo depend
+// on for correctness under parallelism and crashes; see the package
+// docs of the subdirectories and README.md ("Correctness tooling").
+// The drivers are internal/analysis/unit (the `go vet -vettool`
+// protocol) and internal/analysis/analyzertest (the `// want`-comment
+// test harness).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the
+	// analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report/Reportf; the driver handles suppression
+	// and rendering.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzed package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	allow allowIndex
+}
+
+// A Diagnostic is one reported invariant violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Report records a finding at pos unless a //lint:allow comment with a
+// justification covers that line (the line itself or the line above).
+func (pass *Pass) Report(pos token.Pos, msg string) {
+	position := pass.Fset.Position(pos)
+	if pass.allow.allows(pass.Analyzer.Name, position) {
+		return
+	}
+	*pass.diags = append(*pass.diags, Diagnostic{
+		Analyzer: pass.Analyzer.Name,
+		Pos:      position,
+		Message:  msg,
+	})
+}
+
+// Reportf is Report with fmt.Sprintf formatting.
+func (pass *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	pass.Report(pos, fmt.Sprintf(format, args...))
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The invariant
+// analyzers target library code: tests deliberately provoke failures,
+// block goroutines, and sleep.
+func (pass *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Run executes the analyzers over one type-checked package and returns
+// the surviving (non-suppressed) diagnostics sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	allow := buildAllowIndex(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			diags:     &diags,
+			allow:     allow,
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer error: %v", err),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

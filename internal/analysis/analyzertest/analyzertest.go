@@ -1,0 +1,240 @@
+// Package analyzertest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source —
+// the same `// want "regexp"` convention as x/tools' analysistest, so
+// each analyzer's test suite doubles as executable documentation of the
+// violation class it catches.
+//
+// Testdata lives outside the module build (go tooling ignores testdata
+// directories), so the intentional violations never trip the real lint
+// run. Because several analyzers scope themselves by import path or
+// match symbols from specific repo packages, each testdata package is
+// type-checked under a caller-chosen import path, and earlier packages
+// in the list are importable by later ones — a testdata stand-in for
+// internal/state can be declared at "dichotomy/internal/state" and a
+// consumer package type-checked against it.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dichotomy/internal/analysis"
+)
+
+// Package names one testdata package: a directory of .go files and the
+// import path to type-check it as.
+type Package struct {
+	Dir  string
+	Path string
+}
+
+// Run type-checks the packages in order (earlier ones are importable by
+// later ones), runs the analyzer on the final package, and matches its
+// diagnostics against that package's `// want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
+	t.Helper()
+	if len(pkgs) == 0 {
+		t.Fatal("analyzertest: no packages")
+	}
+
+	fset := token.NewFileSet()
+	deps := map[string]*types.Package{}
+	// Stdlib imports in testdata resolve by compiling from GOROOT
+	// source — the build environment ships no prebuilt export data.
+	stdlib := importer.ForCompiler(fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := deps[path]; ok {
+			return p, nil
+		}
+		return stdlib.Import(path)
+	})
+
+	var (
+		files []*ast.File
+		pkg   *types.Package
+		info  *types.Info
+	)
+	for i, spec := range pkgs {
+		var err error
+		files, err = parseDir(fset, spec.Dir)
+		if err != nil {
+			t.Fatalf("analyzertest: %v", err)
+		}
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		tc := &types.Config{Importer: imp}
+		pkg, err = tc.Check(spec.Path, fset, files, info)
+		if err != nil {
+			t.Fatalf("analyzertest: typecheck %s: %v", spec.Path, err)
+		}
+		if i < len(pkgs)-1 {
+			deps[spec.Path] = pkg
+		}
+	}
+
+	diags := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	expects := collectWants(t, fset, files)
+	matchDiagnostics(t, diags, expects)
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, nil
+}
+
+// expectation is one `// want` comment: every listed pattern must be
+// matched by a diagnostic on that line.
+type expectation struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	texts    []string
+	matched  []bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				exp := &expectation{file: pos.Filename, line: pos.Line}
+				for _, q := range splitQuoted(m[1]) {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					exp.patterns = append(exp.patterns, re)
+					exp.texts = append(exp.texts, text)
+					exp.matched = append(exp.matched, false)
+				}
+				if len(exp.patterns) > 0 {
+					out = append(out, exp)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted extracts the double-quoted and backquoted strings from a
+// want comment's payload (quotes included, ready for strconv.Unquote).
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			j := i + 1
+			for j < len(s) {
+				if s[j] == '\\' {
+					j += 2
+					continue
+				}
+				if s[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(s) {
+				return out
+			}
+			out = append(out, s[i:j+1])
+			i = j
+		case '`':
+			j := strings.IndexByte(s[i+1:], '`')
+			if j < 0 {
+				return out
+			}
+			out = append(out, s[i:i+j+2])
+			i += j + 1
+		}
+	}
+	return out
+}
+
+func matchDiagnostics(t *testing.T, diags []analysis.Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, exp := range expects {
+			if exp.file != d.Pos.Filename || exp.line != d.Pos.Line {
+				continue
+			}
+			for i, re := range exp.patterns {
+				if !exp.matched[i] && re.MatchString(d.Message) {
+					exp.matched[i] = true
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, exp := range expects {
+		for i, ok := range exp.matched {
+			if !ok {
+				t.Errorf("%s:%d: no diagnostic matched %q", exp.file, exp.line, exp.texts[i])
+			}
+		}
+	}
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,112 @@
+// Package blockingsend forbids raw blocking channel sends in the
+// transport and consensus layers (internal/cluster, internal/consensus,
+// internal/sharedlog).
+//
+// The invariant: a consensus state machine or transport pump that
+// blocks on `ch <- v` while a peer is slow (or crashed, or its inbox
+// full) wedges the whole cluster — exactly the PR-2-era sharedlog
+// stall, where one undrained follower stream stopped every system cold.
+// Every send on these paths must be able to give up: a select with a
+// default or timeout/stop case, or the bounded non-blocking
+// Endpoint.Send, which fails fast with ErrBackpressure.
+package blockingsend
+
+import (
+	"go/ast"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+// scopes are the package path fragments whose sends must be
+// non-blocking; everywhere else a blocking send can be a legitimate
+// rendezvous.
+var scopes = []string{
+	"internal/cluster",
+	"internal/consensus",
+	"internal/sharedlog",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "blockingsend",
+	Doc:  "channel sends in cluster/consensus/sharedlog must be non-blocking (select with default/timeout) or go through Endpoint.Send",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			send, ok := n.(*ast.SendStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(send.Pos()) {
+				return true
+			}
+			if !escapable(send, parents) {
+				pass.Report(send.Pos(), "blocking channel send on a consensus/transport path: use a select with default or timeout, or bounded Endpoint.Send")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// escapable reports whether the send is a comm clause of a select that
+// has another way out: a default clause or a receive case (timeout,
+// stop channel, peer cancellation).
+func escapable(send *ast.SendStmt, parents map[ast.Node]ast.Node) bool {
+	clause, ok := parents[send].(*ast.CommClause)
+	if !ok || clause.Comm != send {
+		return false
+	}
+	// The clause's parent is the select's body block; the select is one
+	// level further up.
+	body, ok := parents[clause].(*ast.BlockStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := parents[body].(*ast.SelectStmt)
+	if !ok {
+		return false
+	}
+	for _, stmt := range sel.Body.List {
+		cc, ok := stmt.(*ast.CommClause)
+		if !ok || cc == clause {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default clause
+		}
+		if isReceive(cc.Comm) {
+			return true // timeout / stop / cancellation case
+		}
+	}
+	return false
+}
+
+func isReceive(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := s.Rhs[0].(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+package blockingsend_test
+
+import (
+	"testing"
+
+	"dichotomy/internal/analysis/analyzertest"
+	"dichotomy/internal/analysis/blockingsend"
+)
+
+func TestBlockingSend(t *testing.T) {
+	analyzertest.Run(t, blockingsend.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/cluster/demo",
+	})
+}
+
+// Outside the transport/consensus scope a blocking send is a legitimate
+// rendezvous; the same file must produce no findings.
+func TestOutOfScope(t *testing.T) {
+	analyzertest.Run(t, blockingsend.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/outofscope",
+		Path: "dichotomy/internal/bench/demo",
+	})
+}

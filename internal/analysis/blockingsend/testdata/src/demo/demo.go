@@ -1,0 +1,49 @@
+// Package demo exercises blockingsend: raw sends on transport paths
+// are the PR-2-era wedge class; selects with an escape hatch are not.
+package demo
+
+import "time"
+
+func raw(ch chan int) {
+	ch <- 1 // want `blocking channel send`
+}
+
+func selectOnlySend(ch chan int) {
+	// A single-case select is still a blocking send.
+	select {
+	case ch <- 1: // want `blocking channel send`
+	}
+}
+
+func twoSendsNoEscape(a, b chan int) {
+	select {
+	case a <- 1: // want `blocking channel send`
+	case b <- 2: // want `blocking channel send`
+	}
+}
+
+func withDefault(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func withTimeout(ch chan int) {
+	select {
+	case ch <- 1:
+	case <-time.After(time.Millisecond):
+	}
+}
+
+func withStop(ch chan int, stop chan struct{}) {
+	select {
+	case ch <- 1:
+	case _, ok := <-stop:
+		_ = ok
+	}
+}
+
+func excused(ch chan int) {
+	ch <- 1 //lint:allow blockingsend rendezvous with a guaranteed reader
+}

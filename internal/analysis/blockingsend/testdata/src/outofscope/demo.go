@@ -1,0 +1,7 @@
+// Package demo holds the same raw send as the in-scope suite; under a
+// non-transport import path it must produce no findings.
+package demo
+
+func raw(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,154 @@
+// Package errshadow forbids discarding the error results of the
+// storage and durability APIs whose failures the rest of the system is
+// built to surface.
+//
+// The invariant: an lsm.Open or block-commit error that vanishes into
+// `_` turns a detectable failure into silent state divergence — the
+// exact class PR 3 moved onto the Seal error path and PR 4 made
+// recoverable. The few sites that discard deliberately (crash paths
+// modelling a process kill, checkpoint failures retained in LastErr)
+// carry //lint:allow errshadow justifications.
+package errshadow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+// target identifies one function or method whose error result must be
+// consumed. Recv is the receiver type name ("" for package functions);
+// PkgSuffix anchors the match to the defining package.
+type target struct {
+	PkgSuffix string
+	Recv      string
+	Name      string
+}
+
+// targets: the engine-open, block-commit, and checkpoint surfaces.
+var targets = []target{
+	{"internal/storage/lsm", "", "Open"},
+	{"internal/storage", "", "ApplyWrites"},
+	{"internal/storage", "Engine", "Put"},
+	{"internal/storage", "Engine", "Delete"},
+	{"internal/state", "Store", "ApplyBlock"},
+	{"internal/state", "Block", "Commit"},
+	{"internal/recovery", "Checkpointer", "MaybeCheckpoint"},
+	{"internal/recovery", "Checkpointer", "Flush"},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errshadow",
+	Doc:  "error results of lsm.Open, engine writes, block commits, and checkpointer calls must not be discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		parents := analysis.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			fn := callee(pass, call)
+			if fn == nil || !isTarget(fn) {
+				return true
+			}
+			errIdx, nres := errResult(fn)
+			if errIdx < 0 {
+				return true
+			}
+			if discarded(call, parents, errIdx, nres) {
+				pass.Reportf(call.Pos(), "error result of %s discarded: handle it or justify with //lint:allow errshadow <why>", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isTarget(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	pkgPath := fn.Pkg().Path()
+	recv := recvName(fn)
+	for _, t := range targets {
+		if fn.Name() == t.Name && recv == t.Recv && strings.HasSuffix(pkgPath, t.PkgSuffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// errResult returns the index of the (last) error result and the total
+// result count, or -1 if the callee returns no error.
+func errResult(fn *types.Func) (int, int) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1, 0
+	}
+	res := sig.Results()
+	for i := res.Len() - 1; i >= 0; i-- {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return i, res.Len()
+		}
+	}
+	return -1, res.Len()
+}
+
+// discarded reports whether the call's error result is thrown away: the
+// call is a bare statement (or go/defer), or the error position on the
+// left-hand side is the blank identifier.
+func discarded(call *ast.CallExpr, parents map[ast.Node]ast.Node, errIdx, nres int) bool {
+	switch p := parents[call].(type) {
+	case *ast.ExprStmt:
+		return true
+	case *ast.GoStmt, *ast.DeferStmt:
+		return true
+	case *ast.AssignStmt:
+		// Only a direct `lhs... = call` assignment is checkable; a call
+		// nested deeper (argument position, etc.) passes its results on.
+		if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) == nres {
+			if id, ok := p.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package errshadow_test
+
+import (
+	"testing"
+
+	"dichotomy/internal/analysis/analyzertest"
+	"dichotomy/internal/analysis/errshadow"
+)
+
+func TestErrShadow(t *testing.T) {
+	analyzertest.Run(t, errshadow.Analyzer,
+		analyzertest.Package{Dir: "testdata/src/storage", Path: "dichotomy/internal/storage"},
+		analyzertest.Package{Dir: "testdata/src/lsm", Path: "dichotomy/internal/storage/lsm"},
+		analyzertest.Package{Dir: "testdata/src/recovery", Path: "dichotomy/internal/recovery"},
+		analyzertest.Package{Dir: "testdata/src/demo", Path: "dichotomy/internal/system/demo"},
+	)
+}

@@ -1,0 +1,75 @@
+// Package demo exercises errshadow against the stand-in storage,
+// lsm, and recovery packages.
+package demo
+
+import (
+	"dichotomy/internal/recovery"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/storage/lsm"
+)
+
+func openDropped() {
+	lsm.Open(lsm.Options{}) // want `error result of Open discarded`
+}
+
+func openBlanked() *lsm.DB {
+	db, _ := lsm.Open(lsm.Options{}) // want `error result of Open discarded`
+	return db
+}
+
+func openHandled() (*lsm.DB, error) {
+	db, err := lsm.Open(lsm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func writesDropped(e storage.Engine) {
+	storage.ApplyWrites(e, 1) // want `error result of ApplyWrites discarded`
+}
+
+func putDropped(e storage.Engine) {
+	e.Put("k", nil) // want `error result of Put discarded`
+}
+
+func putBlanked(e storage.Engine) {
+	_ = e.Put("k", nil) // want `error result of Put discarded`
+}
+
+func putHandled(e storage.Engine) error {
+	return e.Put("k", nil)
+}
+
+func deleteInGoroutine(e storage.Engine) {
+	go e.Delete("k") // want `error result of Delete discarded`
+}
+
+func checkpointBlanked(c *recovery.Checkpointer) {
+	_, _ = c.MaybeCheckpoint(5) // want `error result of MaybeCheckpoint discarded`
+}
+
+func checkpointExcused(c *recovery.Checkpointer) {
+	//lint:allow errshadow failure retained in LastErr for the status endpoint
+	_, _ = c.MaybeCheckpoint(5)
+}
+
+func flushDeferred(c *recovery.Checkpointer) {
+	defer c.Flush() // want `error result of Flush discarded`
+}
+
+func flushHandled(c *recovery.Checkpointer) error {
+	return c.Flush()
+}
+
+// A result passed straight into another call is consumed, not discarded.
+func consume(err error) bool { return err == nil }
+
+func flushForwarded(c *recovery.Checkpointer) bool {
+	return consume(c.Flush())
+}
+
+// Close is not a target: unrelated error discards stay out of scope.
+func closeDropped(db *lsm.DB) {
+	db.Close()
+}

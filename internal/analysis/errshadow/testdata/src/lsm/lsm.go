@@ -1,0 +1,13 @@
+// Package lsm is a stand-in for dichotomy/internal/storage/lsm with
+// the Open signature the analyzer targets.
+package lsm
+
+type Options struct {
+	Path string
+}
+
+type DB struct{}
+
+func Open(opt Options) (*DB, error) { return &DB{}, nil }
+
+func (db *DB) Close() error { return nil }

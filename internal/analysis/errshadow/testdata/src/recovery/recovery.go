@@ -1,0 +1,11 @@
+// Package recovery is a stand-in for dichotomy/internal/recovery with
+// the Checkpointer methods the analyzer targets.
+package recovery
+
+type Checkpointer struct {
+	LastErr error
+}
+
+func (c *Checkpointer) MaybeCheckpoint(height uint64) (bool, error) { return false, nil }
+
+func (c *Checkpointer) Flush() error { return nil }

@@ -1,0 +1,10 @@
+// Package storage is a stand-in for dichotomy/internal/storage with
+// the Engine interface and ApplyWrites helper the analyzer targets.
+package storage
+
+type Engine interface {
+	Put(key string, value []byte) error
+	Delete(key string) error
+}
+
+func ApplyWrites(e Engine, n int) error { return nil }

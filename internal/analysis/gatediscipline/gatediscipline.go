@@ -1,0 +1,417 @@
+// Package gatediscipline enforces internal/state's locking contract by
+// flow analysis over each function body, plus the delta-checkpoint
+// pairing rule every consumer of the dirty set must follow.
+//
+// The guarded entities and their locks:
+//
+//   - Store.dirty / Store.dirtyBytes — guarded by Store.dirtyMu. An
+//     unguarded read races the commit path; an unguarded write corrupts
+//     the next delta checkpoint.
+//   - mapShard.m (a stripe's backing map) — guarded by that stripe's
+//     write lock (mapShard.mu, or all touched stripes via lockShards).
+//   - Store.gate — the commit gate ordering block commits against
+//     snapshots; functions documented as requiring it are checked at
+//     every call site.
+//
+// A function may declare that its caller acquires a lock on its behalf
+// with a doc comment containing "caller ... hold[s]" and the lock name
+// ("gate", "stripe"/"shard", "dirty"); the analyzer then grants those
+// locks inside the body and requires them at every call site — the
+// applyGroup/shardMap pattern.
+//
+// The analysis is lexical and conservative: a lock acquired inside a
+// branch is not considered held after it, and a goroutine body starts
+// with nothing held. Constructor code that touches a guarded field
+// before the value is shared carries a //lint:allow justification.
+//
+// Pairing rule (checked in every package): a function that calls
+// Store.DumpDirty must call ResetDirty too — a consumed-but-not-reset
+// dirty set re-carries the whole interval in the next delta, silently
+// inflating every checkpoint after the first.
+package gatediscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+// Lock tokens.
+const (
+	tokGate    = "gate"
+	tokStripe  = "stripe"
+	tokDirtyMu = "dirtyMu"
+)
+
+// guardedFields maps (receiver type, field) to the token that must be
+// held to touch it.
+var guardedFields = map[[2]string]string{
+	{"Store", "dirty"}:      tokDirtyMu,
+	{"Store", "dirtyBytes"}: tokDirtyMu,
+	{"mapShard", "m"}:       tokStripe,
+}
+
+// mutexTokens maps a mutex field name to its token (for X.<name>.Lock()
+// recognition).
+var mutexTokens = map[string]string{
+	"gate":    tokGate,
+	"dirtyMu": tokDirtyMu,
+	"mu":      tokStripe,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gatediscipline",
+	Doc:  "internal/state stripe maps and dirty fields must be accessed with their lock held on every path; DumpDirty callers must ResetDirty",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkPairing(pass)
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/state") {
+		return nil
+	}
+	c := &checker{pass: pass, preconds: collectPreconds(pass)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			held := map[string]int{}
+			for _, tok := range docTokens(fd.Doc) {
+				held[tok]++
+			}
+			c.stmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// docTokens parses a caller-holds precondition out of a function's doc
+// comment.
+func docTokens(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	text := strings.ToLower(doc.Text())
+	if !strings.Contains(text, "caller") || !strings.Contains(text, "hold") {
+		return nil
+	}
+	var toks []string
+	if strings.Contains(text, "gate") {
+		toks = append(toks, tokGate)
+	}
+	if strings.Contains(text, "stripe") || strings.Contains(text, "shard") {
+		toks = append(toks, tokStripe)
+	}
+	if strings.Contains(text, "dirty") {
+		toks = append(toks, tokDirtyMu)
+	}
+	return toks
+}
+
+func collectPreconds(pass *analysis.Pass) map[types.Object][]string {
+	pre := make(map[types.Object][]string)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if toks := docTokens(fd.Doc); len(toks) > 0 {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					pre[obj] = toks
+				}
+			}
+		}
+	}
+	return pre
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	preconds map[types.Object][]string
+}
+
+func (c *checker) stmts(list []ast.Stmt, held map[string]int) {
+	for _, s := range list {
+		c.stmt(s, held)
+	}
+}
+
+// stmt interprets one statement: lock operations mutate the held set in
+// place; control-flow statements analyze their bodies with a copy, so a
+// lock acquired in a branch is (conservatively) not held after it.
+func (c *checker) stmt(s ast.Stmt, held map[string]int) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if tok, delta, ok := lockOp(call); ok {
+				if delta > 0 {
+					held[tok]++
+				} else if held[tok] > 0 {
+					held[tok]--
+				}
+				return
+			}
+		}
+		c.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, _, ok := lockOp(s.Call); ok {
+			return // deferred unlock: the lock stays held to function end
+		}
+		c.expr(s.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine holds nothing, whatever the spawner held.
+		c.expr(s.Call, map[string]int{})
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, held)
+	case *ast.SendStmt:
+		c.expr(s.Chan, held)
+		c.expr(s.Value, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						c.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, held) // a bare block is sequential, not a branch
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		c.expr(s.Cond, held)
+		c.stmts(s.Body.List, clone(held))
+		if s.Else != nil {
+			c.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			c.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, inner)
+		}
+		c.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, held)
+		c.stmts(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				inner := clone(held)
+				if cc.Comm != nil {
+					c.stmt(cc.Comm, inner)
+				}
+				c.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, held)
+	}
+}
+
+// expr scans an expression for guarded-field accesses and calls to
+// precondition-declaring functions, under the current held set.
+func (c *checker) expr(e ast.Expr, held map[string]int) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Callbacks run where they are invoked; lexically inheriting
+			// the held set matches the package's synchronous-callback
+			// style (View/Update run fn under the stripe lock).
+			c.stmts(n.Body.List, clone(held))
+			return false
+		case *ast.SelectorExpr:
+			c.fieldAccess(n, held)
+		case *ast.CallExpr:
+			c.callSite(n, held)
+		}
+		return true
+	})
+}
+
+func (c *checker) fieldAccess(sel *ast.SelectorExpr, held map[string]int) {
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := namedRecv(selection.Recv())
+	tok, guarded := guardedFields[[2]string{recv, sel.Sel.Name}]
+	if !guarded {
+		return
+	}
+	if held[tok] == 0 {
+		c.pass.Reportf(sel.Pos(), "%s.%s accessed without holding %s on this path", recv, sel.Sel.Name, lockName(tok))
+	}
+}
+
+func (c *checker) callSite(call *ast.CallExpr, held map[string]int) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	obj := c.pass.TypesInfo.Uses[id]
+	toks, ok := c.preconds[obj]
+	if !ok {
+		return
+	}
+	for _, tok := range toks {
+		if held[tok] == 0 {
+			c.pass.Reportf(call.Pos(), "call to %s requires %s held (caller-holds precondition)", id.Name, lockName(tok))
+		}
+	}
+}
+
+// lockOp recognizes lock-set mutations: X.gate.Lock(), X.dirtyMu.Lock(),
+// X.mu.Lock() (and RLock/Unlock/RUnlock variants), and the multi-stripe
+// lockShards/unlockShards pair. Returns the token and +1/-1.
+func lockOp(call *ast.CallExpr) (string, int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "lockShards":
+		return tokStripe, +1, true
+	case "unlockShards":
+		return tokStripe, -1, true
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		name := ""
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			name = x.Sel.Name
+		case *ast.Ident:
+			name = x.Name
+		}
+		tok, ok := mutexTokens[name]
+		if !ok {
+			return "", 0, false
+		}
+		delta := +1
+		if strings.Contains(sel.Sel.Name, "Unlock") {
+			delta = -1
+		}
+		return tok, delta, true
+	}
+	return "", 0, false
+}
+
+func lockName(tok string) string {
+	switch tok {
+	case tokGate:
+		return "the commit gate"
+	case tokStripe:
+		return "the stripe lock"
+	case tokDirtyMu:
+		return "dirtyMu"
+	}
+	return tok
+}
+
+func namedRecv(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func clone(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// checkPairing runs in every package: a function body that consumes the
+// dirty set via DumpDirty must also ResetDirty it.
+func checkPairing(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			var dump *ast.CallExpr
+			reset := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/state") {
+					return true
+				}
+				switch fn.Name() {
+				case "DumpDirty":
+					if dump == nil {
+						dump = call
+					}
+				case "ResetDirty":
+					reset = true
+				}
+				return true
+			})
+			if dump != nil && !reset {
+				pass.Report(dump.Pos(), "DumpDirty without a paired ResetDirty in this function: the next delta re-carries this whole interval")
+			}
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package gatediscipline_test
+
+import (
+	"testing"
+
+	"dichotomy/internal/analysis/analyzertest"
+	"dichotomy/internal/analysis/gatediscipline"
+)
+
+func TestStateDiscipline(t *testing.T) {
+	analyzertest.Run(t, gatediscipline.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/state",
+		Path: "dichotomy/internal/state",
+	})
+}
+
+func TestDumpResetPairing(t *testing.T) {
+	analyzertest.Run(t, gatediscipline.Analyzer,
+		analyzertest.Package{Dir: "testdata/src/state", Path: "dichotomy/internal/state"},
+		analyzertest.Package{Dir: "testdata/src/consumer", Path: "dichotomy/internal/recovery/demo"},
+	)
+}

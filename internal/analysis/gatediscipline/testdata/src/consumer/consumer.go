@@ -1,0 +1,21 @@
+// Package demo exercises the DumpDirty/ResetDirty pairing rule, which
+// applies in every package that consumes internal/state's dirty set.
+package demo
+
+import "dichotomy/internal/state"
+
+func paired(st *state.Store) int {
+	dirty := st.DumpDirty()
+	st.ResetDirty()
+	return len(dirty)
+}
+
+func unpaired(st *state.Store) int {
+	dirty := st.DumpDirty() // want `DumpDirty without a paired ResetDirty`
+	return len(dirty)
+}
+
+// resetOnly is fine: clearing without consuming loses nothing.
+func resetOnly(st *state.Store) {
+	st.ResetDirty()
+}

@@ -1,0 +1,182 @@
+// Package state is a miniature of dichotomy/internal/state with the
+// same locking contract: dirty bookkeeping under dirtyMu, stripe maps
+// under their shard lock, and caller-holds preconditions in docs.
+package state
+
+import "sync"
+
+type mapShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+type Store struct {
+	gate       sync.RWMutex
+	dirtyMu    sync.Mutex
+	dirty      map[string]struct{}
+	dirtyBytes int
+	shards     []mapShard
+}
+
+// NewStore builds a Store; the value is not shared yet, so guarded
+// fields may be initialized without locks — with a justification.
+func NewStore(n int) *Store {
+	s := &Store{shards: make([]mapShard, n)}
+	s.dirty = make(map[string]struct{}) //lint:allow gatediscipline construction, not yet shared with any goroutine
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]int) //lint:allow gatediscipline construction, not yet shared with any goroutine
+	}
+	return s
+}
+
+func (s *Store) shard(key string) *mapShard {
+	return &s.shards[len(key)%len(s.shards)]
+}
+
+// lockShards acquires every stripe's write lock in order.
+func (s *Store) lockShards() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+}
+
+// unlockShards releases every stripe's write lock.
+func (s *Store) unlockShards() {
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}
+
+func (s *Store) goodDirtyAdd(key string, n int) {
+	s.dirtyMu.Lock()
+	s.dirty[key] = struct{}{}
+	s.dirtyBytes += n
+	s.dirtyMu.Unlock()
+}
+
+func (s *Store) deferredUnlock(key string) {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	delete(s.dirty, key)
+}
+
+func (s *Store) badDirtyAdd(key string) {
+	s.dirty[key] = struct{}{} // want `Store.dirty accessed without holding dirtyMu`
+}
+
+func (s *Store) badBytes() int {
+	return s.dirtyBytes // want `Store.dirtyBytes accessed without holding dirtyMu`
+}
+
+// branchLock locks only inside the branch: after it, nothing is held.
+func (s *Store) branchLock(key string) {
+	if key != "" {
+		s.dirtyMu.Lock()
+		s.dirty[key] = struct{}{}
+		s.dirtyMu.Unlock()
+	}
+	s.dirtyBytes++ // want `Store.dirtyBytes accessed without holding dirtyMu`
+}
+
+// asyncBad spawns a goroutine that inherits none of the spawner's locks.
+func (s *Store) asyncBad(key string) {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	go func() {
+		delete(s.dirty, key) // want `Store.dirty accessed without holding dirtyMu`
+	}()
+}
+
+// get returns key's value. The caller must hold this shard's lock.
+func (sh *mapShard) get(key string) int {
+	return sh.m[key]
+}
+
+func (s *Store) readGood(key string) int {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	v := sh.m[key]
+	sh.mu.RUnlock()
+	return v
+}
+
+func (s *Store) readBad(key string) int {
+	sh := s.shard(key)
+	return sh.m[key] // want `mapShard.m accessed without holding the stripe lock`
+}
+
+func (s *Store) callGood(key string) int {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	v := sh.get(key)
+	sh.mu.Unlock()
+	return v
+}
+
+func (s *Store) callBad(key string) int {
+	sh := s.shard(key)
+	return sh.get(key) // want `call to get requires the stripe lock held`
+}
+
+// applyGroup installs one transaction's writes into a stripe. The
+// caller holds the commit gate and the stripe's write lock.
+func (s *Store) applyGroup(sh *mapShard, keys []string) {
+	for _, k := range keys {
+		sh.m[k] = len(k)
+	}
+}
+
+func (s *Store) commitGood(keys []string) {
+	s.gate.Lock()
+	s.lockShards()
+	for _, k := range keys {
+		s.applyGroup(s.shard(k), keys[:1])
+	}
+	s.unlockShards()
+	s.gate.Unlock()
+}
+
+func (s *Store) commitBad(keys []string) {
+	s.gate.Lock()
+	for _, k := range keys {
+		s.applyGroup(s.shard(k), keys[:1]) // want `call to applyGroup requires the stripe lock held`
+	}
+	s.gate.Unlock()
+}
+
+// View runs fn under key's stripe lock; the callback is synchronous,
+// so it lexically inherits the held set.
+func (s *Store) View(key string, fn func(m map[string]int)) {
+	sh := s.shard(key)
+	sh.mu.RLock()
+	fn(sh.m)
+	sh.mu.RUnlock()
+}
+
+func (s *Store) updateInline(key string) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	func() {
+		sh.m[key] = 1
+	}()
+	sh.mu.Unlock()
+}
+
+// DumpDirty returns a copy of the dirty set.
+func (s *Store) DumpDirty() map[string]struct{} {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	out := make(map[string]struct{}, len(s.dirty))
+	for k := range s.dirty {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// ResetDirty clears the dirty set and its byte counter.
+func (s *Store) ResetDirty() {
+	s.dirtyMu.Lock()
+	defer s.dirtyMu.Unlock()
+	s.dirty = make(map[string]struct{})
+	s.dirtyBytes = 0
+}

@@ -1,0 +1,62 @@
+// Package nopanic forbids panic in non-test library code under
+// internal/.
+//
+// The invariant: errors on the block path travel through the pipeline's
+// Seal stage (or a constructor's error return) to the clients waiting
+// on the block — a panic instead kills the whole node, turning a
+// recoverable commit failure into the crash class PR 4's recovery layer
+// exists to survive. Fabric has worked this way since PR 3; this
+// analyzer holds every system to it.
+//
+// The ads/mpt package is allowlisted: its panics guard type switches
+// over a closed node algebra that are unreachable by construction.
+// Anywhere else an intentional panic (API-misuse guard, broken-platform
+// randomness) needs a //lint:allow nopanic justification.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+// allowedPackages are exempt wholesale; see the package doc.
+var allowedPackages = map[string]bool{
+	"dichotomy/internal/ads/mpt": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic in non-test library code; errors must surface through Seal or constructor returns",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/") || allowedPackages[path] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return true // a local function shadowing the name
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Report(call.Pos(), "panic in library code: return an error through the Seal/constructor path instead")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"dichotomy/internal/analysis/analyzertest"
+	"dichotomy/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analyzertest.Run(t, nopanic.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/demo",
+	})
+}
+
+func TestMPTAllowlisted(t *testing.T) {
+	analyzertest.Run(t, nopanic.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/mpt",
+		Path: "dichotomy/internal/ads/mpt",
+	})
+}

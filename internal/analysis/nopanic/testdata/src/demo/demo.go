@@ -1,0 +1,41 @@
+// Package demo exercises nopanic: library panics are findings, the
+// Seal/constructor error path is the fix, and an allow needs a reason.
+package demo
+
+import "errors"
+
+func bad() {
+	panic("boom") // want `panic in library code`
+}
+
+func conditional(err error) {
+	if err != nil {
+		panic(err) // want `panic in library code`
+	}
+}
+
+func errorPath(err error) error {
+	if err != nil {
+		return errors.New("surfaced") // the fix: no finding
+	}
+	return nil
+}
+
+func excusedTrailing() {
+	panic("unreachable") //lint:allow nopanic provably unreachable guard
+}
+
+func excusedAbove() {
+	//lint:allow nopanic provably unreachable guard
+	panic("unreachable")
+}
+
+func noJustification() {
+	panic("x") //lint:allow nopanic // want `panic in library code`
+}
+
+// A shadowing declaration is not the builtin.
+func shadowed() {
+	panic := func(any) {}
+	panic("fine")
+}

@@ -1,0 +1,17 @@
+// Package mpt stands in for dichotomy/internal/ads/mpt, which is
+// allowlisted wholesale: its panics guard closed-algebra type switches.
+package mpt
+
+type node interface{ isNode() }
+
+type leaf struct{}
+
+func (leaf) isNode() {}
+
+func walk(n node) {
+	switch n.(type) {
+	case leaf:
+	default:
+		panic("mpt: unknown node") // allowlisted package: no finding
+	}
+}

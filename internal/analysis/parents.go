@@ -1,0 +1,23 @@
+package analysis
+
+import "go/ast"
+
+// Parents maps every node in f to its parent, for analyzers that need
+// to look outward from a match (e.g. "is this send the comm clause of a
+// select").
+func Parents(f *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,53 @@
+// Package sleepyloop requires every time.Sleep in non-test library
+// code to carry an explicit //lint:allow sleepyloop justification.
+//
+// The invariant: sleeping is either a deliberate cost model (the
+// tidb/spanner/etcd lock-wait sleeps that emulate a real system's
+// contention tax, the open-loop pacer) or a bug — polling where a
+// channel belongs, hiding a missing wakeup, or stretching a test's
+// wall-clock. Forcing the justification into the source keeps the
+// first class documented and makes the second class fail CI instead of
+// slipping in as an innocent-looking retry loop.
+package sleepyloop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sleepyloop",
+	Doc:  "time.Sleep in library code requires a //lint:allow sleepyloop justification",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.FullName() != "time.Sleep" {
+				return true
+			}
+			if pass.InTestFile(call.Pos()) {
+				return true
+			}
+			pass.Report(call.Pos(), "time.Sleep in library code: justify with //lint:allow sleepyloop <why>, or wait on a channel")
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package sleepyloop_test
+
+import (
+	"testing"
+
+	"dichotomy/internal/analysis/analyzertest"
+	"dichotomy/internal/analysis/sleepyloop"
+)
+
+func TestSleepyLoop(t *testing.T) {
+	analyzertest.Run(t, sleepyloop.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/demo",
+	})
+}

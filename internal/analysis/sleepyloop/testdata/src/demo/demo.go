@@ -1,0 +1,25 @@
+// Package demo exercises sleepyloop: unannotated sleeps in library
+// code are findings; justified cost-model sleeps are not.
+package demo
+
+import "time"
+
+func pollLoop(done func() bool) {
+	for !done() {
+		time.Sleep(time.Millisecond) // want `time.Sleep in library code`
+	}
+}
+
+func lockWait() {
+	//lint:allow sleepyloop lock-wait cost model from the paper's figures
+	time.Sleep(time.Millisecond)
+}
+
+func bareAllow() {
+	time.Sleep(time.Millisecond) //lint:allow sleepyloop // want `time.Sleep in library code`
+}
+
+func notTheStdlib() {
+	time := struct{ Sleep func(int) }{Sleep: func(int) {}}
+	time.Sleep(1)
+}

@@ -1,0 +1,213 @@
+// Package unit is the driver half of dichotomy-lint: it speaks the
+// command-line protocol `go vet -vettool` requires of an analysis tool,
+// so the repo's analyzers run under the go command's package loader,
+// build cache, and export-data type information — no third-party
+// loader needed.
+//
+// The protocol (see cmd/go/internal/work and the upstream unitchecker
+// it was designed for):
+//
+//	tool -V=full    print an identity line for build caching
+//	tool -flags     describe supported flags in JSON
+//	tool unit.cfg   analyze the one compilation unit the JSON config
+//	                describes; diagnostics to stderr, nonzero exit
+//
+// Anything else is taken as package patterns and re-executed as
+// `go vet -vettool=<self> <patterns>`, which is what makes
+// `go run ./cmd/dichotomy-lint ./...` a complete standalone run.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"dichotomy/internal/analysis"
+)
+
+// config mirrors the vetConfig JSON cmd/go writes for each package; only
+// the fields this driver consumes are declared.
+type config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the driver and exits the process.
+func Main(analyzers ...*analysis.Analyzer) {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			os.Exit(0)
+		case args[0] == "-flags":
+			// No tool-specific flags; cmd/go probes this at startup.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runUnit(args[0], analyzers))
+		}
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(os.Stderr, "usage: %s <packages>  (e.g. ./...)\n", filepath.Base(os.Args[0]))
+		os.Exit(2)
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion implements the -V=full identity handshake. cmd/go keys
+// its vet result cache on this line; hashing the executable makes a
+// rebuilt tool invalidate stale cached results.
+func printVersion() {
+	progname := os.Args[0]
+	h := sha256.New()
+	if f, err := os.Open(progname); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		progname, string(h.Sum(nil)))
+}
+
+// standalone re-invokes the tool through `go vet -vettool`, which
+// handles package loading, dependency export data, and caching.
+func standalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dichotomy-lint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	cmdArgs := append([]string{"vet", "-vettool=" + self}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "dichotomy-lint: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// runUnit analyzes the single compilation unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dichotomy-lint: %v\n", err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		// Dependency pass, run only to produce analysis facts; these
+		// analyzers keep no cross-package facts, so there is nothing
+		// to do (and no vetx file to write — cmd/go treats a missing
+		// one as "no facts").
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "dichotomy-lint: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  makeImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "dichotomy-lint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags := analysis.Run(fset, files, pkg, info, analyzers)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readConfig(name string) (*config, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("bad vet config %s: %v", name, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// makeImporter resolves imports from the export data files cmd/go lists
+// in the config — the same mechanism the compiler itself uses, so type
+// identity is exact and nothing is re-typechecked from source.
+func makeImporter(cfg *config, fset *token.FileSet) types.Importer {
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("unresolvable import %q", importPath)
+		}
+		return compiled.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

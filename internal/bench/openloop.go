@@ -46,6 +46,7 @@ func generateArrivals(ch chan<- time.Time, opt Options, start, measureFrom, dead
 	next := start
 	for next.Before(deadline) {
 		if d := time.Until(next); d > 0 {
+			//lint:allow sleepyloop paces Poisson arrivals to their scheduled instants
 			time.Sleep(d)
 		}
 		// Check abort before the send: when the queue has free space both

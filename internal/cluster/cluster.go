@@ -141,9 +141,11 @@ func (n *Network) Register(id NodeID, queue int) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
+		//lint:allow nopanic API-misuse guard, registration races teardown only through a caller bug
 		panic("cluster: register on closed network")
 	}
 	if _, dup := n.endpoints[id]; dup {
+		//lint:allow nopanic API-misuse guard, duplicate ids are a construction-time bug
 		panic(fmt.Sprintf("cluster: duplicate node id %d", id))
 	}
 	ep := &Endpoint{

@@ -230,6 +230,7 @@ func (n *Node) mineLoop() {
 		}
 		n.mu.Unlock()
 		if data == nil {
+			//lint:allow sleepyloop miner idles between pending-data polls, part of PoW's cost model
 			time.Sleep(500 * time.Microsecond)
 			continue
 		}

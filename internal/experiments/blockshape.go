@@ -40,7 +40,8 @@ func BlockShape(w io.Writer, sc Scale, blockSizes, workerCounts, depths []int) {
 					PipelineDepth:     depth,
 				})
 				if err != nil {
-					panic(err)
+					Row(w, "fabric", bs, workers, depth, "build-error", err.Error())
+					continue
 				}
 				nw.RegisterClient(client.Name(), client.Public())
 				if err := PreloadYCSB(nw, cfg, client); err != nil {

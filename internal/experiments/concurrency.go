@@ -20,14 +20,18 @@ func Fig9(w io.Writer, sc Scale, thetas []float64) {
 	client := Client()
 	for _, theta := range thetas {
 		cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000, Theta: theta}
-		builds := []func() system.System{
-			func() system.System { return BuildFabric(sc.Nodes, client) },
-			func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-			func() system.System { return BuildTiDB(3, 3) },
-			func() system.System { return BuildEtcd(3) },
+		builds := []builder{
+			func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+			func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+			func() (system.System, error) { return BuildTiDB(3, 3), nil },
+			func() (system.System, error) { return BuildEtcd(3), nil },
 		}
 		for _, build := range builds {
-			sys := build()
+			sys, err := build()
+			if err != nil {
+				Row(w, "-", "build-error", err.Error())
+				continue
+			}
 			if err := PreloadYCSB(sys, cfg, client); err != nil {
 				sys.Close()
 				continue
@@ -53,13 +57,17 @@ func Fig10(w io.Writer, sc Scale, opCounts []int) {
 	client := Client()
 	for _, ops := range opCounts {
 		cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000, OpsPerTxn: ops}
-		builds := []func() system.System{
-			func() system.System { return BuildFabric(sc.Nodes, client) },
-			func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-			func() system.System { return BuildTiDB(3, 3) },
+		builds := []builder{
+			func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+			func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+			func() (system.System, error) { return BuildTiDB(3, 3), nil },
 		}
 		for _, build := range builds {
-			sys := build()
+			sys, err := build()
+			if err != nil {
+				Row(w, "-", "build-error", err.Error())
+				continue
+			}
 			if err := PreloadYCSB(sys, cfg, client); err != nil {
 				sys.Close()
 				continue
@@ -86,14 +94,18 @@ func Fig11(w io.Writer, sc Scale, sizes []int) {
 	client := Client()
 	for _, size := range sizes {
 		cfg := ycsb.Config{Records: sc.Records, RecordSize: size}
-		builds := []func() system.System{
-			func() system.System { return BuildFabric(sc.Nodes, client) },
-			func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-			func() system.System { return BuildTiDB(3, 3) },
-			func() system.System { return BuildEtcd(3) },
+		builds := []builder{
+			func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+			func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+			func() (system.System, error) { return BuildTiDB(3, 3), nil },
+			func() (system.System, error) { return BuildEtcd(3), nil },
 		}
 		for _, build := range builds {
-			sys := build()
+			sys, err := build()
+			if err != nil {
+				Row(w, "-", "build-error", err.Error())
+				continue
+			}
 			if err := PreloadYCSB(sys, cfg, client); err != nil {
 				sys.Close()
 				continue

@@ -23,17 +23,21 @@ func Contention(w io.Writer, sc Scale, workerCounts []int) {
 	}
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 100, Theta: 0.6}
-	builds := []func() system.System{
-		func() system.System { return BuildFabric(sc.Nodes, client) },
-		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-		func() system.System { return BuildTiDB(3, 3) },
-		func() system.System { return BuildEtcd(3) },
-		func() system.System { return BuildVeritas(3) },
-		func() system.System { return BuildBigchain(4) },
+	builds := []builder{
+		func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+		func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() (system.System, error) { return BuildTiDB(3, 3), nil },
+		func() (system.System, error) { return BuildEtcd(3), nil },
+		func() (system.System, error) { return BuildVeritas(3) },
+		func() (system.System, error) { return BuildBigchain(4) },
 	}
 	for _, build := range builds {
 		for _, workers := range workerCounts {
-			sys := build()
+			sys, err := build()
+			if err != nil {
+				Row(w, "-", workers, "build-error", err.Error())
+				continue
+			}
 			if err := PreloadYCSB(sys, cfg, client); err != nil {
 				sys.Close()
 				continue

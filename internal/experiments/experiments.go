@@ -75,41 +75,33 @@ func Full() Scale {
 func Client() *cryptoutil.Signer { return cryptoutil.MustNewSigner("bench-client") }
 
 // BuildFabric assembles a Fabric network with peers peers.
-func BuildFabric(peers int, client *cryptoutil.Signer) *fabric.Network {
+func BuildFabric(peers int, client *cryptoutil.Signer) (*fabric.Network, error) {
 	nw, err := fabric.New(fabric.Config{Peers: peers})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	nw.RegisterClient(client.Name(), client.Public())
-	return nw
+	return nw, nil
 }
 
 // BuildQuorum assembles a Quorum network.
-func BuildQuorum(nodes int, kind quorum.ConsensusKind, client *cryptoutil.Signer) *quorum.Network {
+func BuildQuorum(nodes int, kind quorum.ConsensusKind, client *cryptoutil.Signer) (*quorum.Network, error) {
 	nw, err := quorum.New(quorum.Config{Nodes: nodes, Consensus: kind})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	nw.RegisterClient(client.Name(), client.Public())
-	return nw
+	return nw, nil
 }
 
 // BuildVeritas assembles a Veritas-like prototype.
-func BuildVeritas(verifiers int) *hybrid.Veritas {
-	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: verifiers})
-	if err != nil {
-		panic(err)
-	}
-	return v
+func BuildVeritas(verifiers int) (*hybrid.Veritas, error) {
+	return hybrid.NewVeritas(hybrid.VeritasConfig{Verifiers: verifiers})
 }
 
 // BuildBigchain assembles a BigchainDB-like prototype.
-func BuildBigchain(nodes int) *hybrid.Bigchain {
-	b, err := hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: nodes})
-	if err != nil {
-		panic(err)
-	}
-	return b
+func BuildBigchain(nodes int) (*hybrid.Bigchain, error) {
+	return hybrid.NewBigchain(hybrid.BigchainConfig{Nodes: nodes})
 }
 
 // BuildTiDB assembles a TiDB cluster in full-replication mode.

@@ -31,24 +31,28 @@ func Fig15(w io.Writer, sc Scale) {
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 100}
 
 	protos := []struct {
-		build  func() system.System
+		build  builder
 		design hybrid.Design
 	}{
 		{
-			build: func() system.System { return BuildVeritas(3) },
+			build: func() (system.System, error) { return BuildVeritas(3) },
 			design: hybrid.Design{Name: "veritas-like",
 				Replication: hybrid.StorageBased, Failure: hybrid.CFT,
 				Approach: hybrid.SharedLog},
 		},
 		{
-			build: func() system.System { return BuildBigchain(4) },
+			build: func() (system.System, error) { return BuildBigchain(4) },
 			design: hybrid.Design{Name: "bigchaindb-like",
 				Replication: hybrid.TxnBased, Failure: hybrid.BFT,
 				Approach: hybrid.Consensus},
 		},
 	}
 	for _, p := range protos {
-		sys := p.build()
+		sys, err := p.build()
+		if err != nil {
+			Row(w, p.design.Name, "build-error", err.Error())
+			continue
+		}
 		tps := 0.0
 		if err := PreloadYCSB(sys, cfg, client); err == nil {
 			tps = RunYCSB(sys, cfg, sc, 0, client).TPS

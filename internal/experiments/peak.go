@@ -11,14 +11,18 @@ import (
 	"dichotomy/internal/workload/ycsb"
 )
 
+// builder assembles one system under test; a constructor failure is
+// reported as a row rather than panicking the sweep.
+type builder func() (system.System, error)
+
 // fig4Systems builds the five systems of the peak-performance comparison.
-func fig4Systems(sc Scale, client *cryptoutil.Signer) []func() system.System {
-	return []func() system.System{
-		func() system.System { return BuildFabric(sc.Nodes, client) },
-		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-		func() system.System { return BuildTiDB(3, 3) },
-		func() system.System { return BuildEtcd(3) },
-		func() system.System { return TiKV{C: BuildTiDB(3, 3)} },
+func fig4Systems(sc Scale, client *cryptoutil.Signer) []builder {
+	return []builder{
+		func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+		func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() (system.System, error) { return BuildTiDB(3, 3), nil },
+		func() (system.System, error) { return BuildEtcd(3), nil },
+		func() (system.System, error) { return TiKV{C: BuildTiDB(3, 3)}, nil },
 	}
 }
 
@@ -32,7 +36,11 @@ func Fig4(w io.Writer, sc Scale) {
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
 
 	for _, build := range fig4Systems(sc, client) {
-		sys := build()
+		sys, err := build()
+		if err != nil {
+			Row(w, "-", "build-error", err.Error())
+			continue
+		}
 		if err := PreloadYCSB(sys, cfg, client); err != nil {
 			Row(w, sys.Name(), "preload-error", err.Error())
 			sys.Close()
@@ -56,7 +64,10 @@ func Fig5(w io.Writer, sc Scale) {
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
 	for _, build := range fig4Systems(sc, client) {
-		sys := build()
+		sys, err := build()
+		if err != nil {
+			continue
+		}
 		if err := PreloadYCSB(sys, cfg, client); err != nil {
 			sys.Close()
 			continue
@@ -85,12 +96,16 @@ func Peak(w io.Writer, sc Scale, fracs []float64) {
 	}
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
-	builds := []func() system.System{
-		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-		func() system.System { return BuildEtcd(3) },
+	builds := []builder{
+		func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() (system.System, error) { return BuildEtcd(3), nil },
 	}
 	for _, build := range builds {
-		sys := build()
+		sys, err := build()
+		if err != nil {
+			Row(w, "-", "build-error", err.Error())
+			continue
+		}
 		if err := PreloadYCSB(sys, cfg, client); err != nil {
 			Row(w, sys.Name(), "preload-error", err.Error())
 			sys.Close()
@@ -134,13 +149,17 @@ func Fig6(w io.Writer, sc Scale) {
 	client := Client()
 	sbCfg := smallbank.Config{Accounts: sc.Accounts, Theta: 1}
 
-	builds := []func() system.System{
-		func() system.System { return BuildFabric(sc.Nodes, client) },
-		func() system.System { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
-		func() system.System { return BuildTiDB(3, 3) },
+	builds := []builder{
+		func() (system.System, error) { return BuildFabric(sc.Nodes, client) },
+		func() (system.System, error) { return BuildQuorum(sc.Nodes, quorum.Raft, client) },
+		func() (system.System, error) { return BuildTiDB(3, 3), nil },
 	}
 	for _, build := range builds {
-		sys := build()
+		sys, err := build()
+		if err != nil {
+			Row(w, "-", "build-error", err.Error())
+			continue
+		}
 		load, err := sbCfg.LoadTxs(client)
 		if err == nil {
 			err = bench.Preload(sys, load, 16)

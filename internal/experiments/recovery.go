@@ -154,6 +154,7 @@ func quiesceFabric(nw *fabric.Network, peers int) (uint64, bool) {
 			stable = 0
 		}
 		prev = h
+		//lint:allow sleepyloop replay-progress poll in the recovery measurement harness
 		time.Sleep(5 * time.Millisecond)
 	}
 	return 0, false

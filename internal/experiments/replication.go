@@ -24,15 +24,13 @@ func Fig7(w io.Writer, sc Scale, fs []int) {
 		raftNodes := 2*f + 1
 		ibftNodes := 3*f + 1
 		var raftTPS, ibftTPS float64
-		{
-			sys := BuildQuorum(raftNodes, quorum.Raft, client)
+		if sys, err := BuildQuorum(raftNodes, quorum.Raft, client); err == nil {
 			if err := PreloadYCSB(sys, cfg, client); err == nil {
 				raftTPS = RunYCSB(sys, cfg, sc, 0, client).TPS
 			}
 			sys.Close()
 		}
-		{
-			sys := BuildQuorum(ibftNodes, quorum.IBFT, client)
+		if sys, err := BuildQuorum(ibftNodes, quorum.IBFT, client); err == nil {
 			if err := PreloadYCSB(sys, cfg, client); err == nil {
 				ibftTPS = RunYCSB(sys, cfg, sc, 0, client).TPS
 			}
@@ -58,7 +56,10 @@ func Fig8(w io.Writer, sc Scale) {
 		{"unsaturated", 1},
 		{"saturated", sc.Workers * 4},
 	} {
-		sys := BuildFabric(sc.Nodes, client)
+		sys, err := BuildFabric(sc.Nodes, client)
+		if err != nil {
+			continue
+		}
 		if err := PreloadYCSB(sys, cfg, client); err != nil {
 			sys.Close()
 			continue
@@ -74,8 +75,7 @@ func Fig8(w io.Writer, sc Scale) {
 	Header(w, "Fig 8b: query latency breakdown")
 	queryCfg := cfg
 	queryCfg.ReadFraction = 1
-	{
-		sys := BuildFabric(sc.Nodes, client)
+	if sys, err := BuildFabric(sc.Nodes, client); err == nil {
 		if err := PreloadYCSB(sys, cfg, client); err == nil {
 			r := RunYCSB(sys, queryCfg, sc, 1, client)
 			Row(w, "fabric:", "auth", PhaseMean(r, PhaseAuth))
@@ -107,14 +107,18 @@ func Table4(w io.Writer, sc Scale, nodeCounts []int) {
 	client := Client()
 	cfg := ycsb.Config{Records: sc.Records, RecordSize: 1000}
 	for _, n := range nodeCounts {
-		builds := []func() system.System{
-			func() system.System { return BuildFabric(n, client) },
-			func() system.System { return BuildQuorum(n, quorum.Raft, client) },
-			func() system.System { return BuildTiDB(n, n) },
-			func() system.System { return BuildEtcd(n) },
+		builds := []builder{
+			func() (system.System, error) { return BuildFabric(n, client) },
+			func() (system.System, error) { return BuildQuorum(n, quorum.Raft, client) },
+			func() (system.System, error) { return BuildTiDB(n, n), nil },
+			func() (system.System, error) { return BuildEtcd(n), nil },
 		}
 		for _, build := range builds {
-			sys := build()
+			sys, err := build()
+			if err != nil {
+				Row(w, "-", n, "build-error", err.Error())
+				continue
+			}
 			if err := PreloadYCSB(sys, cfg, client); err != nil {
 				sys.Close()
 				continue

@@ -55,6 +55,7 @@ func Fig14(w io.Writer, sc Scale, shardCounts []int) {
 			r := RunYCSB(sys, cfg, sc, 0, client)
 			Row(w, sys.Name(), shards, shards*3, r.TPS)
 			sys.Close()
+			//lint:allow sleepyloop settle between cluster teardown and the next shard count
 			time.Sleep(50 * time.Millisecond)
 		}
 	}

@@ -24,13 +24,14 @@ func Fig12(w io.Writer, sc Scale, sizes []int) {
 	for _, size := range sizes {
 		cfg := ycsb.Config{Records: records, RecordSize: size}
 
-		fab := BuildFabric(3, client)
 		var fabState, fabBlock int64
-		if err := PreloadYCSB(fab, cfg, client); err == nil {
-			fabState = fab.StateBytes() / int64(records)
-			fabBlock = fab.BlockBytes() / int64(records)
+		if fab, err := BuildFabric(3, client); err == nil {
+			if err := PreloadYCSB(fab, cfg, client); err == nil {
+				fabState = fab.StateBytes() / int64(records)
+				fabBlock = fab.BlockBytes() / int64(records)
+			}
+			fab.Close()
 		}
-		fab.Close()
 
 		td := BuildTiDB(3, 3)
 		var tdState int64

@@ -258,7 +258,8 @@ func (n *bigchainNode) apply(t *txn.Tx) {
 	}
 	n.b.waiters.Resolve(string(t.ID[:]), r)
 	if n.ckpt != nil && err == nil {
-		_, _ = n.ckpt.MaybeCheckpoint(height) // failure retained in LastErr
+		//lint:allow errshadow failure retained in LastErr for the recovery stats
+		_, _ = n.ckpt.MaybeCheckpoint(height)
 	}
 }
 

@@ -289,7 +289,8 @@ func (n *veritasNode) applyBatch(vb *veritasBatch) {
 	vb.applyErr = stage.Commit()
 	n.height.Store(height)
 	if n.ckpt != nil && vb.applyErr == nil {
-		_, _ = n.ckpt.MaybeCheckpoint(height) // failure retained in LastErr
+		//lint:allow errshadow failure retained in LastErr for the recovery stats
+		_, _ = n.ckpt.MaybeCheckpoint(height)
 	}
 }
 

@@ -49,7 +49,7 @@ func NewMap[V any](n int) *Map[V] {
 	}
 	m := &Map[V]{shards: make([]mapShard[V], size), mask: uint32(size - 1)}
 	for i := range m.shards {
-		m.shards[i].m = make(map[string]V)
+		m.shards[i].m = make(map[string]V) //lint:allow gatediscipline construction, the map is not yet shared
 	}
 	return m
 }

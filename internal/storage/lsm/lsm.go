@@ -91,15 +91,6 @@ func Open(opt Options) (*DB, error) {
 	return db, nil
 }
 
-// MustOpenMemory returns an in-memory DB for tests and benchmarks.
-func MustOpenMemory() *DB {
-	db, err := Open(Options{})
-	if err != nil {
-		panic(err)
-	}
-	return db
-}
-
 // Get implements storage.Engine. It consults the memtable, then level-0
 // tables newest-first, then the base level; the first verdict (value or
 // tombstone) wins.

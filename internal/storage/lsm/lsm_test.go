@@ -14,6 +14,15 @@ import (
 func key(i int) []byte   { return []byte(fmt.Sprintf("key-%06d", i)) }
 func value(i int) []byte { return []byte(fmt.Sprintf("value-%06d", i)) }
 
+// MustOpenMemory returns an in-memory DB for tests and benchmarks.
+func MustOpenMemory() *DB {
+	db, err := Open(Options{})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
 func TestPutGet(t *testing.T) {
 	db := MustOpenMemory()
 	defer db.Close()

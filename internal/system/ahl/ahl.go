@@ -23,6 +23,7 @@ import (
 	"dichotomy/internal/pipeline"
 	"dichotomy/internal/sharding"
 	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
 	"dichotomy/internal/storage/memdb"
 	"dichotomy/internal/system"
 	"dichotomy/internal/twopc"
@@ -45,6 +46,9 @@ type Config struct {
 	ReconfigurePause time.Duration
 	// Link models the network.
 	Link cluster.LinkModel
+	// engineHook, when set, wraps each shard's state engine; tests
+	// inject failing engines through it.
+	engineHook func(storage.Engine) storage.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -130,11 +134,15 @@ func New(cfg Config) *Cluster {
 	}
 	nodeIDs := make([]int, 0, cfg.Shards*cfg.NodesPerShard)
 	for s := 0; s < cfg.Shards; s++ {
+		var eng storage.Engine = memdb.New()
+		if cfg.engineHook != nil {
+			eng = cfg.engineHook(eng)
+		}
 		sh := &shard{
 			idx:      s,
 			waiters:  system.NewWaiters(),
 			box:      system.NewPayloadBox(),
-			st:       state.New(memdb.New(), 0),
+			st:       state.New(eng, 0),
 			prepared: make(map[string][]txn.Write),
 			locks:    make(map[string]string),
 			reg:      contract.NewRegistry(contract.KV{}, contract.Smallbank{}),
@@ -243,7 +251,10 @@ func (sh *shard) apply(cmd *shardCmd, c *Cluster) {
 				return
 			}
 		}
-		sh.applyWrites(rw.Writes)
+		if err := sh.applyWrites(rw.Writes); err != nil {
+			sh.waiters.Resolve(waitKey(cmd.reqID), system.Result{Err: err})
+			return
+		}
 		sh.waiters.Resolve(waitKey(cmd.reqID), system.Result{Committed: true})
 	case cmdPrepare:
 		for _, w := range cmd.writes {
@@ -267,25 +278,31 @@ func (sh *shard) apply(cmd *shardCmd, c *Cluster) {
 			}
 		}
 		if cmd.commitP {
-			sh.applyWrites(writes)
+			if err := sh.applyWrites(writes); err != nil {
+				sh.waiters.Resolve(waitKey(cmd.reqID), system.Result{Err: err})
+				return
+			}
 		}
 		sh.waiters.Resolve(waitKey(cmd.reqID), system.Result{Committed: cmd.commitP})
 	}
 }
 
-func (sh *shard) applyWrites(writes []txn.Write) {
+// applyWrites installs a command's writes at the shard's current
+// height. A store failure is returned (not panicked) so apply can
+// resolve the waiting client with the error.
+func (sh *shard) applyWrites(writes []txn.Write) error {
 	if len(writes) == 0 {
-		return
+		return nil
 	}
 	ver := txn.Version{BlockNum: sh.height}
 	vw := make([]state.VersionedWrite, len(writes))
 	for i, w := range writes {
 		vw[i] = state.VersionedWrite{Write: w, Version: ver}
 	}
-	// memdb cannot fail a batch while open; a failure here is a bug.
 	if err := sh.st.ApplyBlock(vw); err != nil {
-		panic(fmt.Sprintf("ahl shard %d: apply: %v", sh.idx, err))
+		return fmt.Errorf("ahl shard %d: apply: %w", sh.idx, err)
 	}
+	return nil
 }
 
 func waitKey(reqID uint64) string { return fmt.Sprintf("q%d", reqID) }
@@ -312,6 +329,7 @@ func (sh *shard) sequence(cmd *shardCmd) system.Result {
 			sh.waiters.Cancel(waitKey(cmd.reqID))
 			return system.Result{Err: errors.New("ahl: shard unavailable")}
 		}
+		//lint:allow sleepyloop bounded retry backoff while the shard group re-elects
 		time.Sleep(time.Millisecond)
 	}
 	select {
@@ -333,6 +351,7 @@ func (c *Cluster) Execute(t *txn.Tx) system.Result {
 			if !paused {
 				break
 			}
+			//lint:allow sleepyloop reconfiguration pause poll, the shard-handoff cost model
 			time.Sleep(time.Millisecond)
 		}
 	}

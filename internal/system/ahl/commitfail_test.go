@@ -1,0 +1,71 @@
+package ahl
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/storage"
+)
+
+// failEngine passes reads through and fails every write while armed.
+type failEngine struct {
+	storage.Engine
+	armed atomic.Bool
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (f *failEngine) Put(key, value []byte) error {
+	if f.armed.Load() {
+		return errInjected
+	}
+	return f.Engine.Put(key, value)
+}
+
+func (f *failEngine) Delete(key []byte) error {
+	if f.armed.Load() {
+		return errInjected
+	}
+	return f.Engine.Delete(key)
+}
+
+// TestApplyFailureSurfacesError is the regression test behind nopanic's
+// ahl finding: a shard whose store rejects a write must resolve the
+// waiting client with the error and keep serving — before this PR the
+// shard's applier goroutine panicked.
+func TestApplyFailureSurfacesError(t *testing.T) {
+	var engines []*failEngine
+	cfg := Config{Shards: 1, NodesPerShard: 4}
+	cfg.engineHook = func(e storage.Engine) storage.Engine {
+		fe := &failEngine{Engine: e}
+		engines = append(engines, fe)
+		return fe
+	}
+	c := clusterUp(t, cfg)
+	client := cryptoutil.MustNewSigner("client")
+
+	if r := c.Execute(kvTx(t, client, "put", "alpha", "1")); !r.Committed {
+		t.Fatalf("pre-fault put: %+v", r)
+	}
+
+	for _, fe := range engines {
+		fe.armed.Store(true)
+	}
+	r := c.Execute(kvTx(t, client, "put", "beta", "2"))
+	if r.Err == nil {
+		t.Fatalf("apply failure not surfaced: %+v", r)
+	}
+	if r.Committed {
+		t.Fatalf("failed apply reported as committed: %+v", r)
+	}
+
+	// The shard survived the fault: clear it and commit again.
+	for _, fe := range engines {
+		fe.armed.Store(false)
+	}
+	if r := c.Execute(kvTx(t, client, "put", "gamma", "3")); !r.Committed {
+		t.Fatalf("post-fault put: %+v", r)
+	}
+}

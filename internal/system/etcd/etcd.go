@@ -172,6 +172,7 @@ func (c *Cluster) replicate(o *op) error {
 			c.waiters.Cancel(fmt.Sprintf("%d", o.reqID))
 			return errors.New("etcd: leaderless")
 		}
+		//lint:allow sleepyloop bounded retry backoff while the cluster re-elects
 		time.Sleep(time.Millisecond)
 	}
 	select {
@@ -205,6 +206,7 @@ func (c *Cluster) leader() *node {
 		if time.Now().After(deadline) {
 			return c.nodes[0]
 		}
+		//lint:allow sleepyloop bounded wait for a leader during elections
 		time.Sleep(time.Millisecond)
 	}
 }

@@ -581,7 +581,8 @@ func (p *peer) sealBlock(b *fabricBlock) {
 	// never tear a block. The synchronous write is the commit-path cost
 	// the checkpoint-interval experiment measures.
 	if p.ckpt != nil && b.commitErr == nil {
-		_, _ = p.ckpt.MaybeCheckpoint(p.ledger.Height()) // failure retained in LastErr
+		//lint:allow errshadow failure retained in LastErr for the recovery stats
+		_, _ = p.ckpt.MaybeCheckpoint(p.ledger.Height())
 	}
 }
 

@@ -1,0 +1,172 @@
+// Goroutine-leak lifecycle tests: every system spins up committers,
+// orderers, appliers, and checkpoint workers, and Close must reap all
+// of them. A leaked goroutine here means a background worker survived
+// shutdown — exactly the kind of bug that turns a clean benchmark
+// harness into one that measures its own garbage.
+package system_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/hybrid"
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/fabric"
+	"dichotomy/internal/system/quorum"
+)
+
+// goroutineBaseline samples the goroutine count after letting any
+// stragglers from earlier tests wind down.
+func goroutineBaseline() int {
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// assertGoroutinesReturn polls until the goroutine count drops back to
+// the baseline (with a little slack for runtime-internal helpers), and
+// dumps all stacks if it never does.
+func assertGoroutinesReturn(t *testing.T, base int) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked after Close: %d, baseline %d\n%s", n, base, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// driveSmallLoad commits a handful of transactions so the pipeline,
+// checkpointer, and appliers all wake up at least once.
+func driveSmallLoad(t *testing.T, sys system.System, client *cryptoutil.Signer) {
+	t.Helper()
+	r := sys.Execute(signTx(t, client, contract.SmallbankName, "create_account",
+		"leak0", string(contract.EncodeInt64(0)), string(contract.EncodeInt64(0))))
+	if !r.Committed {
+		t.Fatalf("create_account: %+v", r)
+	}
+	for i := 0; i < 8; i++ {
+		sys.Execute(signTx(t, client, contract.SmallbankName, "deposit_checking",
+			"leak0", string(contract.EncodeInt64(int64(i+1)))))
+	}
+}
+
+func TestFabricCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	nw, err := fabric.New(fabric.Config{
+		Peers:              4,
+		EndorsementsNeeded: 3,
+		BlockSize:          4,
+		BlockTimeout:       2 * time.Millisecond,
+		ValidationWorkers:  2,
+		PipelineDepth:      2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RegisterClient(client.Name(), client.Public())
+	driveSmallLoad(t, nw, client)
+	nw.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestFabricCrashRecoveryCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	nw, err := fabric.New(fabric.Config{
+		Peers:              4,
+		EndorsementsNeeded: 3,
+		BlockSize:          4,
+		BlockTimeout:       2 * time.Millisecond,
+		ValidationWorkers:  2,
+		PipelineDepth:      2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RegisterClient(client.Name(), client.Public())
+	driveSmallLoad(t, nw, client)
+	// A crash/recover cycle replaces the peer's worker set; the old
+	// one must be gone and the new one must still honour Close.
+	nw.CrashPeer(2)
+	driveSmallLoad(t, nw, client)
+	if _, err := nw.RecoverPeer(2, 0, 0); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	driveSmallLoad(t, nw, client)
+	nw.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestQuorumCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	nw, err := quorum.New(quorum.Config{
+		Nodes:              3,
+		Consensus:          quorum.Raft,
+		BlockSize:          4,
+		BlockInterval:      2 * time.Millisecond,
+		ExecutionWorkers:   2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.RegisterClient(client.Name(), client.Public())
+	driveSmallLoad(t, nw, client)
+	nw.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestVeritasCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{
+		Verifiers:          2,
+		BatchSize:          4,
+		BatchTimeout:       2 * time.Millisecond,
+		ValidationWorkers:  2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSmallLoad(t, v, client)
+	v.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestBigchainCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	b, err := hybrid.NewBigchain(hybrid.BigchainConfig{
+		Nodes:              3,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveSmallLoad(t, b, client)
+	b.Close()
+	assertGoroutinesReturn(t, base)
+}

@@ -112,6 +112,9 @@ type Config struct {
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
 	Contracts []contract.Contract
+	// engineHook, when set, wraps each node's state engine after it is
+	// opened; tests inject failing engines through it.
+	engineHook func(storage.Engine) storage.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +199,9 @@ type nodeBlock struct {
 	// (pipeline Validate stage, stateless and worker-pooled).
 	authErrs []error
 	results  []system.Result
+	// commitErr surfaces a failed state or ledger commit to the block's
+	// waiting clients instead of panicking the node (fabric's pattern).
+	commitErr error
 }
 
 // New assembles and starts a Quorum network.
@@ -227,6 +233,9 @@ func New(cfg Config) (*Network, error) {
 		eng, err := openEngine(cfg.DataDir, id)
 		if err != nil {
 			return fail(fmt.Errorf("quorum node %d: open state engine: %w", id, err))
+		}
+		if cfg.engineHook != nil {
+			eng = cfg.engineHook(eng)
 		}
 		n := &node{
 			id:     id,
@@ -535,8 +544,10 @@ func (n *node) applyBlock(nb *nodeBlock) {
 			t.Trace.Observe(metrics.PhaseExecute, execDur[i])
 		}
 	}
+	// A failed commit no longer panics the node: the error travels to
+	// Seal, which reports it to every client waiting on the block.
 	if err := stage.Commit(); err != nil {
-		panic(fmt.Sprintf("quorum node %d: block commit: %v", n.id, err))
+		nb.commitErr = fmt.Errorf("quorum node %d: block commit: %w", n.id, err)
 	}
 	n.trieMu.Unlock()
 }
@@ -556,35 +567,42 @@ func (n *node) sealBlock(nb *nodeBlock) {
 	n.trieMu.Lock()
 	stateRoot := n.trie.RootHash()
 	n.trieMu.Unlock()
-	var parent cryptoutil.Hash
-	if head := n.ledger.Head(); head != nil {
-		parent = head.Hash()
-	}
-	lb := &ledger.Block{
-		Header: ledger.Header{
-			Number:     n.ledger.Height() + 1,
-			ParentHash: parent,
-			TxRoot:     ledger.ComputeTxRoot(payloads),
-			StateRoot:  stateRoot,
-		},
-		Txs: payloads,
-	}
-	if err := n.ledger.Append(lb); err != nil {
-		// A deterministic replay cannot diverge unless there is a bug;
-		// surface it loudly in tests.
-		panic(fmt.Sprintf("quorum node %d: ledger append: %v", n.id, err))
+	if nb.commitErr == nil {
+		var parent cryptoutil.Hash
+		if head := n.ledger.Head(); head != nil {
+			parent = head.Hash()
+		}
+		lb := &ledger.Block{
+			Header: ledger.Header{
+				Number:     n.ledger.Height() + 1,
+				ParentHash: parent,
+				TxRoot:     ledger.ComputeTxRoot(payloads),
+				StateRoot:  stateRoot,
+			},
+			Txs: payloads,
+		}
+		if err := n.ledger.Append(lb); err != nil {
+			nb.commitErr = fmt.Errorf("quorum node %d: ledger append: %w", n.id, err)
+		}
 	}
 
 	// The proposer resolves the waiting clients once its own commit is
 	// durable (clients connect round-robin but wait on the shared map).
+	// A commit that failed reaches every client as an error rather than
+	// a silent exit.
 	for i, t := range blk.txs {
-		n.nw.waiters.Resolve(string(t.ID[:]), nb.results[i])
+		r := nb.results[i]
+		if nb.commitErr != nil {
+			r = system.Result{Reason: r.Reason, Err: nb.commitErr}
+		}
+		n.nw.waiters.Resolve(string(t.ID[:]), r)
 	}
 
 	// Checkpoint at this block's boundary, still on the committer (see
 	// fabric's sealBlock for the contract).
-	if n.ckpt != nil {
-		_, _ = n.ckpt.MaybeCheckpoint(n.ledger.Height()) // failure retained in LastErr
+	if n.ckpt != nil && nb.commitErr == nil {
+		//lint:allow errshadow failure retained in LastErr for the recovery stats
+		_, _ = n.ckpt.MaybeCheckpoint(n.ledger.Height())
 	}
 }
 

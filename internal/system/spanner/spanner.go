@@ -222,6 +222,7 @@ func (sh *shard) replicate(cmd *shardCmd) error {
 			sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
 			return errors.New("spanner: shard unavailable")
 		}
+		//lint:allow sleepyloop bounded retry backoff while the shard group re-elects
 		time.Sleep(time.Millisecond)
 	}
 	select {
@@ -260,7 +261,7 @@ func (sh *shard) lockKeys(keys []string, ts uint64, wait time.Duration) bool {
 		if time.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond) // lock-wait: the throughput tax
+		time.Sleep(time.Millisecond) //lint:allow sleepyloop lock-wait, the throughput tax the paper measures
 	}
 }
 

@@ -270,6 +270,7 @@ func (reg *region) propose(cmd *regionCmd) error {
 			reg.waiters.Cancel(waiterKey(cmd.reqID))
 			return errors.New("tidb: region leaderless")
 		}
+		//lint:allow sleepyloop bounded retry backoff while the region re-elects
 		time.Sleep(time.Millisecond)
 	}
 	select {
@@ -295,6 +296,7 @@ func (reg *region) leaderStore() *mvcc.Store {
 			// elections, which the experiments don't exercise.
 			return reg.replicas[0].store
 		}
+		//lint:allow sleepyloop bounded wait for a leader during elections
 		time.Sleep(time.Millisecond)
 	}
 }
