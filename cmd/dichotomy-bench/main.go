@@ -6,7 +6,8 @@
 //	dichotomy-bench all
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-// fig14 fig15 table4 table5 peak contention blockshape recovery.
+// fig14 fig15 table4 table5 peak contention blockshape recovery
+// sigverify.
 //
 // contention sweeps closed-loop worker counts per system and reports
 // throughput with tail latency — the lock-convoy diagnostic behind the
@@ -31,6 +32,12 @@
 // chain bytes read, and restore/replay time, with the recovered replica
 // verified byte-identical to a healthy one.
 //
+// sigverify sweeps the endorsement-verification mode on Fabric's
+// validate stage — serial per-signature checks vs batched verification
+// with the verified-signature cache vs aggregate endorsements — and
+// attributes the remaining crypto cost per committed transaction
+// through the cryptoutil counters.
+//
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
 // minutes and preserves every qualitative shape.
@@ -49,7 +56,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -73,6 +80,7 @@ func main() {
 		ckints  = []uint64{4, 16}
 		ckmodes = []string{"full", "delta"}
 		crashes = []float64{0.5, 1.0}
+		vmodes  = []string{"serial", "batch", "aggregate"}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -110,10 +118,11 @@ func main() {
 		"contention": func() { experiments.Contention(os.Stdout, sc, conc) },
 		"blockshape": func() { experiments.BlockShape(os.Stdout, sc, bsizes, vwork, depths) },
 		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckmodes, ckints, crashes) },
+		"sigverify":  func() { experiments.SigVerify(os.Stdout, sc, vmodes) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention", "blockshape", "recovery"}
+		"contention", "blockshape", "recovery", "sigverify"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

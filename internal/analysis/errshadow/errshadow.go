@@ -27,7 +27,10 @@ type target struct {
 	Name      string
 }
 
-// targets: the engine-open, block-commit, and checkpoint surfaces.
+// targets: the engine-open, block-commit, checkpoint, and signature-
+// verification surfaces. VerifyBatch and VerifyAggregate return the
+// authoritative per-member verdict — dropping them admits forged
+// endorsements into committed blocks.
 var targets = []target{
 	{"internal/storage/lsm", "", "Open"},
 	{"internal/storage", "", "ApplyWrites"},
@@ -37,6 +40,8 @@ var targets = []target{
 	{"internal/state", "Block", "Commit"},
 	{"internal/recovery", "Checkpointer", "MaybeCheckpoint"},
 	{"internal/recovery", "Checkpointer", "Flush"},
+	{"internal/cryptoutil", "", "VerifyBatch"},
+	{"internal/cryptoutil", "", "VerifyAggregate"},
 }
 
 var Analyzer = &analysis.Analyzer{

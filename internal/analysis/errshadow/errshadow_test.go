@@ -12,6 +12,7 @@ func TestErrShadow(t *testing.T) {
 		analyzertest.Package{Dir: "testdata/src/storage", Path: "dichotomy/internal/storage"},
 		analyzertest.Package{Dir: "testdata/src/lsm", Path: "dichotomy/internal/storage/lsm"},
 		analyzertest.Package{Dir: "testdata/src/recovery", Path: "dichotomy/internal/recovery"},
+		analyzertest.Package{Dir: "testdata/src/cryptoutil", Path: "dichotomy/internal/cryptoutil"},
 		analyzertest.Package{Dir: "testdata/src/demo", Path: "dichotomy/internal/system/demo"},
 	)
 }

@@ -1,0 +1,26 @@
+// Package cryptoutil is a stand-in for dichotomy/internal/cryptoutil
+// with the batched-verification surfaces the analyzer targets.
+package cryptoutil
+
+type Hash [32]byte
+
+type Signature [64]byte
+
+type PublicKey struct{}
+
+type Check struct {
+	Pub    PublicKey
+	Digest Hash
+	Sig    Signature
+}
+
+type AggregateSig struct {
+	Commitment Hash
+	Sig        Signature
+}
+
+func VerifyBatch(checks []Check) error { return nil }
+
+func VerifyAggregate(leader PublicKey, digest Hash, cosigs []Signature, agg AggregateSig) error {
+	return nil
+}

@@ -3,6 +3,7 @@
 package demo
 
 import (
+	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/recovery"
 	"dichotomy/internal/storage"
 	"dichotomy/internal/storage/lsm"
@@ -67,6 +68,26 @@ func consume(err error) bool { return err == nil }
 
 func flushForwarded(c *recovery.Checkpointer) bool {
 	return consume(c.Flush())
+}
+
+func batchDropped(checks []cryptoutil.Check) {
+	cryptoutil.VerifyBatch(checks) // want `error result of VerifyBatch discarded`
+}
+
+func batchBlanked(checks []cryptoutil.Check) {
+	_ = cryptoutil.VerifyBatch(checks) // want `error result of VerifyBatch discarded`
+}
+
+func batchHandled(checks []cryptoutil.Check) error {
+	return cryptoutil.VerifyBatch(checks)
+}
+
+func aggregateInGoroutine(leader cryptoutil.PublicKey, d cryptoutil.Hash, cs []cryptoutil.Signature, agg cryptoutil.AggregateSig) {
+	go cryptoutil.VerifyAggregate(leader, d, cs, agg) // want `error result of VerifyAggregate discarded`
+}
+
+func aggregateHandled(leader cryptoutil.PublicKey, d cryptoutil.Hash, cs []cryptoutil.Signature, agg cryptoutil.AggregateSig) error {
+	return cryptoutil.VerifyAggregate(leader, d, cs, agg)
 }
 
 // Close is not a target: unrelated error discards stay out of scope.

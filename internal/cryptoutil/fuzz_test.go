@@ -1,0 +1,104 @@
+package cryptoutil
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Pre-generated identities and signatures for the fuzz target: key
+// generation and signing are too slow to run per fuzz input, and the
+// property under test is verification, not signing.
+var (
+	fuzzOnce    sync.Once
+	fuzzSigners [3]*Signer
+	fuzzDigests [4]Hash
+	fuzzSigs    [3][4]Signature
+)
+
+func fuzzInit(f *testing.F) {
+	f.Helper()
+	fuzzOnce.Do(func() {
+		for i := range fuzzSigners {
+			fuzzSigners[i] = MustNewSigner("fuzz-signer")
+		}
+		for d := range fuzzDigests {
+			fuzzDigests[d] = HashUint64(uint64(d))
+			for i, s := range fuzzSigners {
+				sig, err := s.SignDigest(fuzzDigests[d])
+				if err != nil {
+					//lint:allow nopanic fuzz fixture setup, test binary only
+					panic(err)
+				}
+				fuzzSigs[i][d] = sig
+			}
+		}
+	})
+}
+
+// FuzzVerifyBatchMatchesSerial drives random batches — each input byte
+// selects a signer, a digest, and an optional corruption (flip a signature
+// byte, or pair the signature with the wrong digest) — and requires
+// byte-identical per-index verdicts from VerifyBatch's bisection path and
+// a serial VerifyDigest loop. This is the equivalence contract the block
+// validators rely on: batch mode may re-account cost, never verdicts.
+func FuzzVerifyBatchMatchesSerial(f *testing.F) {
+	fuzzInit(f)
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x00, 0x01, 0x85, 0x02, 0x03, 0x04, 0x05, 0x06}) // one bad mid-batch: bisection
+	f.Add([]byte{0x81, 0xc2, 0x93, 0xf4})                         // all corrupted
+	f.Add([]byte{0x00, 0x41, 0x02, 0x83, 0x04, 0xc5, 0x06, 0x07, 0x48, 0x09, 0x8a, 0x0b, 0x0c, 0xcd, 0x0e, 0x0f, 0x90})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 32 {
+			data = data[:32]
+		}
+		checks := make([]Check, len(data))
+		for i, b := range data {
+			si := int(b) % len(fuzzSigners)
+			di := int(b>>2) % len(fuzzDigests)
+			sig := fuzzSigs[si][di]
+			if b&0x80 != 0 {
+				sig[int(b)%len(sig)] ^= 0x01 // corrupt the signature
+			}
+			if b&0x40 != 0 {
+				di = (di + 1) % len(fuzzDigests) // wrong digest for the sig
+			}
+			checks[i] = Check{Pub: fuzzSigners[si].Public(), Digest: fuzzDigests[di], Sig: sig}
+		}
+
+		serial := make([]bool, len(checks))
+		for i, c := range checks {
+			serial[i] = VerifyDigest(c.Pub, c.Digest, c.Sig) == nil
+		}
+
+		batch := make([]bool, len(checks))
+		for i := range batch {
+			batch[i] = true
+		}
+		if err := VerifyBatch(checks); err != nil {
+			var be *BatchError
+			if !errors.As(err, &be) {
+				t.Fatalf("VerifyBatch returned a non-BatchError: %v", err)
+			}
+			for _, idx := range be.Bad {
+				if idx < 0 || idx >= len(batch) {
+					t.Fatalf("BatchError index %d out of range [0,%d)", idx, len(batch))
+				}
+				if !batch[idx] {
+					t.Fatalf("BatchError reported index %d twice", idx)
+				}
+				batch[idx] = false
+			}
+		}
+
+		for i := range checks {
+			if serial[i] != batch[i] {
+				t.Fatalf("verdict mismatch at index %d: serial=%v batch=%v (input %x)", i, serial[i], batch[i], data)
+			}
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package cryptoutil
+
+// Batched, cached, and aggregated signature verification.
+//
+// ECDSA offers no practical aggregate equation over independent signatures
+// (the R points' y parity is not carried in r||s form), so VerifyBatch is
+// not a single multi-exponentiation; it is an amortized one-pass check over
+// the batch that (a) reuses the parsed curve point per identity, (b) skips
+// signatures the process has already verified via a lock-striped LRU keyed
+// by hash(pub‖digest‖sig), and (c) accounts cost per batch, not per member
+// (BatchVerifyOps). On failure it bisects: split, recurse, and isolate the
+// exact offending members — the localization cost a real combined check
+// pays — while the members proven good on the way down are already cached,
+// so re-checks during bisection are hits, not repeated curve math.
+//
+// The aggregate path (Cosign/VerifyAggregate) compresses N endorsements
+// into one threshold check, modeled on collective signing (cothority's
+// bftcosi lineage): co-signers each sign the endorsement digest, a leader
+// binds the co-signature bytes with commitment = H(cosig₁‖…‖cosigₙ) and
+// signs H(digest‖commitment). The committer recomputes the commitment and
+// performs a single curve verification. This trusts the leader to have
+// checked the co-signatures it committed to; callers that cannot assume
+// that fall back to per-signature verification whenever the aggregate
+// check fails, which preserves exact per-tx verdicts.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	batchVerifyCount atomic.Uint64
+	aggVerifyCount   atomic.Uint64
+	sigCacheHitCount atomic.Uint64
+	sigCacheMissCnt  atomic.Uint64
+)
+
+// BatchVerifyOps returns the process-wide count of batch verification
+// passes (each VerifyBatch call plus each bisection sub-batch counts one).
+// Batch mode accounts per batch, not per member: a clean 64-signature
+// batch is one op here and zero in VerifyOps.
+func BatchVerifyOps() uint64 { return batchVerifyCount.Load() }
+
+// AggregateVerifyOps returns the process-wide count of aggregate
+// (threshold) verification checks.
+func AggregateVerifyOps() uint64 { return aggVerifyCount.Load() }
+
+// SigCacheStats returns the monotone hit/miss counters of the verified-
+// signature cache, for the experiments' crypto-cost attribution.
+func SigCacheStats() (hits, misses uint64) {
+	return sigCacheHitCount.Load(), sigCacheMissCnt.Load()
+}
+
+// ── Verified-signature cache ────────────────────────────────────────────
+//
+// A small lock-striped LRU of (pub, digest, sig) triples that verified
+// successfully. Only successes are stored, so the cache can never flip a
+// verdict — a miss always falls through to real curve math. Fabric's
+// endorse-then-validate flow hits it hardest: every endorsing peer checks
+// the same client signature over the same tx, and every peer re-checks the
+// same endorsement set at commit.
+
+const (
+	sigCacheShards   = 16
+	sigCacheShardCap = 512
+)
+
+type sigCacheShard struct {
+	mu       sync.Mutex
+	order    *list.List // front = most recently used; values are Hash keys
+	entries  map[Hash]*list.Element
+	inflight map[Hash]chan struct{}
+}
+
+var sigCache = func() *[sigCacheShards]sigCacheShard {
+	var shards [sigCacheShards]sigCacheShard
+	for i := range shards {
+		shards[i].order = list.New()
+		shards[i].entries = make(map[Hash]*list.Element)
+		shards[i].inflight = make(map[Hash]chan struct{})
+	}
+	return &shards
+}()
+
+func sigCacheShardFor(k Hash) *sigCacheShard {
+	return &sigCache[int(k[0])%sigCacheShards]
+}
+
+// sigCacheKey fingerprints a (pub, digest, sig) triple. The hash is cache
+// bookkeeping, not modeled blockchain work, so it deliberately bypasses
+// HashBytes/HashConcat and their HashOps accounting.
+func sigCacheKey(pub PublicKey, digest Hash, sig Signature) Hash {
+	h := sha256.New()
+	enc := pub.encode()
+	h.Write(enc[:])
+	h.Write(digest[:])
+	h.Write(sig[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// ResetSigCache empties the verified-signature cache. The hit/miss
+// counters stay monotone — only the cached entries (and any in-flight
+// claims) are dropped. Benchmarks use it to measure cold-cache paths.
+func ResetSigCache() {
+	for i := range sigCache {
+		sh := &sigCache[i]
+		sh.mu.Lock()
+		sh.order.Init()
+		clear(sh.entries)
+		for k, ch := range sh.inflight {
+			close(ch)
+			delete(sh.inflight, k)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// lookup reports a cache hit (bumping LRU order and the hit counter). On a
+// miss it either claims the key for this caller (claimed=true, counted as
+// the one miss; the caller must verify and then settle) or returns a
+// channel to wait on while another goroutine verifies the same triple —
+// the single-flight that makes an E-peer endorsement cost one curve check
+// instead of E concurrent ones. A waiter counts nothing here; it resolves
+// to a hit or miss once the claimer settles.
+func (sh *sigCacheShard) lookup(k Hash) (hit bool, claimed bool, wait chan struct{}) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[k]; ok {
+		sh.order.MoveToFront(e)
+		sigCacheHitCount.Add(1)
+		return true, false, nil
+	}
+	if ch, ok := sh.inflight[k]; ok {
+		return false, false, ch
+	}
+	sigCacheMissCnt.Add(1)
+	ch := make(chan struct{})
+	sh.inflight[k] = ch
+	return false, true, ch
+}
+
+// settle releases a claim made by lookup, inserting the key on success.
+func (sh *sigCacheShard) settle(k Hash, ch chan struct{}, ok bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.inflight[k] != ch {
+		// A ResetSigCache intervened: it already closed and dropped this
+		// claim, and the post-reset cache should stay cold.
+		return
+	}
+	delete(sh.inflight, k)
+	close(ch)
+	if !ok {
+		return
+	}
+	if e, exists := sh.entries[k]; exists {
+		sh.order.MoveToFront(e)
+		return
+	}
+	sh.entries[k] = sh.order.PushFront(k)
+	for len(sh.entries) > sigCacheShardCap {
+		back := sh.order.Back()
+		sh.order.Remove(back)
+		delete(sh.entries, back.Value.(Hash))
+	}
+}
+
+// cached reports whether the key is present, without counters or claims.
+func (sh *sigCacheShard) cached(k Hash) bool {
+	sh.mu.Lock()
+	_, ok := sh.entries[k]
+	sh.mu.Unlock()
+	return ok
+}
+
+// cachedVerify reports whether (pub, digest, sig) verifies, consulting and
+// filling the verified-signature cache. When countSerial is true a fresh
+// curve check is attributed to VerifyOps (serial accounting); when false
+// the caller owns the accounting (batch mode counts per batch instead).
+func cachedVerify(pub PublicKey, digest Hash, sig Signature, countSerial bool) bool {
+	k := sigCacheKey(pub, digest, sig)
+	sh := sigCacheShardFor(k)
+	hit, claimed, wait := sh.lookup(k)
+	if hit {
+		return true
+	}
+	if !claimed {
+		// Another goroutine is verifying this exact triple; wait it out.
+		// If it succeeded the entry is cached; if it failed (or a reset
+		// intervened) verify here — failure is the rare path.
+		<-wait
+		if sh.cached(k) {
+			sigCacheHitCount.Add(1)
+			return true
+		}
+		sigCacheMissCnt.Add(1)
+		if countSerial {
+			verifyCount.Add(1)
+		}
+		return ecdsaValid(pub, digest, sig)
+	}
+	if countSerial {
+		verifyCount.Add(1)
+	}
+	ok := ecdsaValid(pub, digest, sig)
+	sh.settle(k, wait, ok)
+	return ok
+}
+
+// VerifyDigestCached is VerifyDigest through the verified-signature cache:
+// a hit returns nil without curve math, a miss verifies (counting one
+// VerifyOps) and caches on success. Verdicts are identical to VerifyDigest.
+func VerifyDigestCached(pub PublicKey, digest Hash, sig Signature) error {
+	if cachedVerify(pub, digest, sig, true) {
+		return nil
+	}
+	return ErrBadSignature
+}
+
+// ── Batch verification with bisection fallback ──────────────────────────
+
+// Check is one signature verification in a batch: sig over digest under
+// pub.
+type Check struct {
+	Pub    PublicKey
+	Digest Hash
+	Sig    Signature
+}
+
+// BatchError reports the exact members of a batch that failed
+// verification, in ascending index order.
+type BatchError struct {
+	Bad []int
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("cryptoutil: batch verification failed for %d of the checks (indices %v)", len(e.Bad), e.Bad)
+}
+
+// VerifyBatch verifies a whole batch of signature checks in one amortized
+// pass, accounting cost per batch (BatchVerifyOps), not per member. A nil
+// return means every member verified. On failure it bisects — split,
+// recurse, isolate — and returns a *BatchError naming exactly the bad
+// indices, so a block validator can invalidate only the offending txs.
+// Members proven good before a failure are cached, so bisection re-checks
+// are cache hits rather than repeated curve math. Discarding the error
+// discards real verdicts; internal/analysis/errshadow enforces that it is
+// handled.
+func VerifyBatch(checks []Check) error {
+	if len(checks) == 0 {
+		return nil
+	}
+	bad := verifyBisect(checks, 0, nil)
+	if len(bad) == 0 {
+		return nil
+	}
+	return &BatchError{Bad: bad}
+}
+
+// verifyBisect runs one batch pass over checks (one BatchVerifyOps) and,
+// on failure, splits and recurses, appending the offending absolute
+// indices (base-offset) to bad.
+func verifyBisect(checks []Check, base int, bad []int) []int {
+	batchVerifyCount.Add(1)
+	if batchValid(checks) {
+		return bad
+	}
+	if len(checks) == 1 {
+		return append(bad, base)
+	}
+	mid := len(checks) / 2
+	bad = verifyBisect(checks[:mid], base, bad)
+	return verifyBisect(checks[mid:], base+mid, bad)
+}
+
+// batchValid is the one-pass member walk: cache hit or raw curve check per
+// member, caching successes, failing fast on the first bad member.
+func batchValid(checks []Check) bool {
+	for i := range checks {
+		c := &checks[i]
+		if !cachedVerify(c.Pub, c.Digest, c.Sig, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// ── Aggregate (collective) endorsement ──────────────────────────────────
+
+// AggregateSig is a leader-signed aggregate over a set of co-signatures of
+// one digest: Commitment = H(cosig₁‖…‖cosigₙ) binds the exact co-signature
+// bytes, Sig is the leader's signature over H(digest‖Commitment).
+type AggregateSig struct {
+	Commitment Hash
+	Sig        Signature
+}
+
+// ErrBadAggregate is returned by VerifyAggregate when the commitment does
+// not match the presented co-signatures or the leader signature fails.
+var ErrBadAggregate = errors.New("cryptoutil: aggregate verification failed")
+
+// CosignCommitment hashes a co-signature set into the commitment an
+// aggregate binds. It is modeled work (the leader computes it when
+// aggregating, the committer recomputes it when verifying) and therefore
+// counts in HashOps.
+func CosignCommitment(cosigs []Signature) Hash {
+	parts := make([][]byte, len(cosigs))
+	for i := range cosigs {
+		parts[i] = cosigs[i][:]
+	}
+	return HashConcat(parts...)
+}
+
+// Cosign aggregates co-signatures over digest under the leader's key. The
+// leader is expected to have verified each co-signature before committing
+// to it; VerifyAggregate's trust model depends on that.
+func Cosign(leader *Signer, digest Hash, cosigs []Signature) (AggregateSig, error) {
+	if len(cosigs) == 0 {
+		return AggregateSig{}, errors.New("cryptoutil: cosign with no co-signatures")
+	}
+	com := CosignCommitment(cosigs)
+	sig, err := leader.SignDigest(HashPair(digest, com))
+	if err != nil {
+		return AggregateSig{}, err
+	}
+	return AggregateSig{Commitment: com, Sig: sig}, nil
+}
+
+// VerifyAggregate checks an aggregate endorsement: the commitment must
+// match the presented co-signatures byte-for-byte and the leader signature
+// must verify over H(digest‖commitment). One curve check total (counted in
+// both AggregateVerifyOps and VerifyOps), regardless of how many
+// co-signers there are. Discarding the error discards the threshold
+// verdict; internal/analysis/errshadow enforces that it is handled.
+func VerifyAggregate(leader PublicKey, digest Hash, cosigs []Signature, agg AggregateSig) error {
+	aggVerifyCount.Add(1)
+	if len(cosigs) == 0 || CosignCommitment(cosigs) != agg.Commitment {
+		return ErrBadAggregate
+	}
+	if err := VerifyDigest(leader, HashPair(digest, agg.Commitment), agg.Sig); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadAggregate, err)
+	}
+	return nil
+}

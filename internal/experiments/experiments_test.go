@@ -131,6 +131,31 @@ func TestBlockShapeRuns(t *testing.T) {
 	}
 }
 
+func TestSigVerifyRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins three fabric networks")
+	}
+	var buf bytes.Buffer
+	SigVerify(&buf, tiny(), []string{"serial", "batch", "aggregate"})
+	out := buf.String()
+	if !strings.Contains(out, "SigVerify") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	if strings.Contains(out, "build-error") || strings.Contains(out, "unknown-mode") {
+		t.Fatalf("sweep failed to build a mode:\n%s", out)
+	}
+	// Banner + column header + one row per mode.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 2+3; got != want {
+		t.Fatalf("got %d output lines, want %d:\n%s", got, want, out)
+	}
+	for i, mode := range []string{"serial", "batch", "aggregate"} {
+		if !strings.Contains(lines[2+i], mode) {
+			t.Fatalf("row %d missing mode %s:\n%s", i, mode, out)
+		}
+	}
+}
+
 func TestRecoveryRuns(t *testing.T) {
 	var buf bytes.Buffer
 	Recovery(&buf, tiny(), []string{"full", "delta"}, []uint64{4}, []float64{0.5, 1.0})

@@ -10,6 +10,7 @@ import (
 
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/contract"
+	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
@@ -37,6 +38,7 @@ type Veritas struct {
 	log      *sharedlog.Service
 	nodes    []*veritasNode
 	waiters  *system.Waiters
+	clients  sync.Map // name → cryptoutil.PublicKey
 	closeOne sync.Once
 }
 
@@ -71,6 +73,17 @@ type VeritasConfig struct {
 	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
 	// selects the recovery package default).
 	CheckpointFullEvery int
+	// VerifyClients makes each verifier authenticate the client signature
+	// carried by every log record before applying its effect. The paper's
+	// prototype trusts its verifiers and skips per-transaction signatures
+	// on the critical path, so the default (off) stays faithful; turning
+	// it on makes Veritas comparable with the ledger systems' auth cost
+	// (clients must then be registered via RegisterClient).
+	VerifyClients bool
+	// BatchVerify, with VerifyClients, checks each batch's client
+	// signatures in one cryptoutil.VerifyBatch pass per worker chunk
+	// instead of per-tx curve checks. Per-tx verdicts are identical.
+	BatchVerify bool
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -119,6 +132,7 @@ type veritasNode struct {
 type veritasBatch struct {
 	seq      uint64
 	txs      []*txn.Tx
+	authErrs []error // per-tx client-auth verdicts; nil slice when auth is off
 	verdicts []occ.AbortReason
 	applyErr error
 }
@@ -169,9 +183,10 @@ func NewVeritas(cfg VeritasConfig) (*Veritas, error) {
 			Workers: cfg.ValidationWorkers,
 			Depth:   cfg.PipelineDepth,
 		}, pipeline.Stages[sharedlog.Batch, *veritasBatch]{
-			Decode: n.decodeBatch,
-			Apply:  n.applyBatch,
-			Seal:   n.sealBatch,
+			Decode:   n.decodeBatch,
+			Validate: n.validateBatch,
+			Apply:    n.applyBatch,
+			Seal:     n.sealBatch,
 		})
 		n.consumer = v.log.Subscribe(1)
 		n.wg.Add(1)
@@ -197,6 +212,21 @@ func verifierCkptDir(dataDir string, i int) string {
 
 // Name implements system.System.
 func (v *Veritas) Name() string { return "veritas-like" }
+
+// RegisterClient records a client verification key. Only needed when
+// VerifyClients is on; unregistered clients' effects are then rejected at
+// the validate stage.
+func (v *Veritas) RegisterClient(name string, pub cryptoutil.PublicKey) {
+	v.clients.Store(name, pub)
+}
+
+func (v *Veritas) clientKey(name string) (cryptoutil.PublicKey, bool) {
+	pubAny, ok := v.clients.Load(name)
+	if !ok {
+		return cryptoutil.PublicKey{}, false
+	}
+	return pubAny.(cryptoutil.PublicKey), true
+}
 
 // Execute implements system.System: concurrent local execution, then the
 // effect (not the transaction) goes through the shared log — marshalled
@@ -266,6 +296,33 @@ func (n *veritasNode) decodeBatch(batch sharedlog.Batch) (*veritasBatch, bool) {
 	return &veritasBatch{seq: batch.Seq, txs: txs}, true
 }
 
+// validateBatch authenticates the batch's client signatures (pipeline
+// Validate stage) when VerifyClients is on; off (the default, faithful to
+// the prototype's trusted-verifier model) it does nothing. In batch mode
+// each worker chunk goes through one VerifyBatch pass; verdicts are
+// identical to the serial per-tx loop.
+func (n *veritasNode) validateBatch(vb *veritasBatch) {
+	if !n.v.cfg.VerifyClients {
+		return
+	}
+	vb.authErrs = make([]error, len(vb.txs))
+	if n.v.cfg.BatchVerify {
+		pipeline.ParallelChunks(n.pipe.Workers(), len(vb.txs), func(lo, hi int) {
+			copy(vb.authErrs[lo:hi], txn.VerifyClientBatch(vb.txs[lo:hi], n.v.clientKey))
+		})
+		return
+	}
+	pipeline.Parallel(n.pipe.Workers(), len(vb.txs), func(i int) {
+		t := vb.txs[i]
+		pub, ok := n.v.clientKey(t.Client)
+		if !ok {
+			vb.authErrs[i] = fmt.Errorf("veritas: unknown client %s", t.Client)
+			return
+		}
+		vb.authErrs[i] = t.VerifyClient(pub)
+	})
+}
+
 // applyBatch validates the batch's effects and commits them (pipeline
 // Apply stage, strict log order). The optimistic read-set check runs as
 // key-scheduled waves — later effects still observe earlier in-batch
@@ -277,9 +334,17 @@ func (n *veritasNode) applyBatch(vb *veritasBatch) {
 	height := vb.seq
 	sets := make([]txn.RWSet, len(vb.txs))
 	for i, t := range vb.txs {
+		if vb.authErrs != nil && vb.authErrs[i] != nil {
+			continue // auth-failed effects take no part in validation
+		}
 		sets[i] = t.RWSet
 	}
 	vb.verdicts = pipeline.ValidateWaves(sets, n.st, height, n.pipe.Workers())
+	for i := range vb.verdicts {
+		if vb.authErrs != nil && vb.authErrs[i] != nil {
+			vb.verdicts[i] = occ.InconsistentRead // authentication failure
+		}
+	}
 	stage := n.st.NewBlock()
 	for i, t := range vb.txs {
 		if vb.verdicts[i] == occ.OK {
@@ -307,6 +372,9 @@ func (n *veritasNode) sealBatch(vb *veritasBatch) {
 			Committed: vb.verdicts[i] == occ.OK && vb.applyErr == nil,
 			Reason:    vb.verdicts[i],
 			Err:       vb.applyErr,
+		}
+		if r.Err == nil && vb.authErrs != nil && vb.authErrs[i] != nil {
+			r.Err = vb.authErrs[i]
 		}
 		n.v.waiters.Resolve(string(t.ID[:]), r)
 	}

@@ -219,3 +219,31 @@ func Parallel(workers, n int, fn func(i int)) {
 	}
 	wg.Wait()
 }
+
+// ParallelChunks runs fn(lo, hi) over contiguous half-open chunks covering
+// [0, n), at most one chunk per worker, in parallel. It is the batching
+// hook for the validate stage: amortized work — batch signature
+// verification, shared key lookups — wants one call per contiguous slice
+// of a block, not one call per transaction. Chunks are ceil(n/workers)
+// wide, so with w workers every chunk is within one item of the others.
+func ParallelChunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	chunks := (n + chunk - 1) / chunk
+	Parallel(chunks, chunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

@@ -23,6 +23,32 @@ func TestParallelCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
+func TestParallelChunksCoverEveryIndexOnceContiguously(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 256} {
+			counts := make([]atomic.Int32, max(n, 1))
+			var chunks atomic.Int32
+			ParallelChunks(workers, n, func(lo, hi int) {
+				chunks.Add(1)
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					counts[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+			if w := max(workers, 1); n > 0 && int(chunks.Load()) > min(w, n) {
+				t.Fatalf("workers=%d n=%d: %d chunks, want at most %d", workers, n, chunks.Load(), min(w, n))
+			}
+		}
+	}
+}
+
 // TestRunAppliesInOrder drives blocks with deliberately uneven validation
 // cost through every depth and asserts Apply/Seal still observe strict
 // block order.

@@ -108,6 +108,12 @@ type Config struct {
 	// CheckpointFullEvery is the delta-mode compaction period (≤ 0
 	// selects the recovery package default).
 	CheckpointFullEvery int
+	// BatchVerify switches the validate stage's client authentication
+	// from one VerifyDigest per transaction to one cryptoutil.VerifyBatch
+	// pass per worker chunk (amortized checks, per-batch cost accounting,
+	// bisection isolating exactly the bad transaction). Per-tx verdicts
+	// are identical to the serial path.
+	BatchVerify bool
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -483,9 +489,24 @@ func (n *node) decodeBlock(e consensus.Entry) (*nodeBlock, bool) {
 
 // validateBlock authenticates the block's clients across the worker pool
 // (pipeline Validate stage) — the stateless check that can overlap the
-// previous block's commit.
+// previous block's commit. In batch mode each worker chunk goes through
+// one VerifyBatch pass instead of per-tx curve checks; verdicts are
+// identical either way.
 func (n *node) validateBlock(nb *nodeBlock) {
 	nb.authErrs = make([]error, len(nb.blk.txs))
+	if n.nw.cfg.BatchVerify {
+		keys := func(client string) (cryptoutil.PublicKey, bool) {
+			pubAny, ok := n.nw.clients.Load(client)
+			if !ok {
+				return cryptoutil.PublicKey{}, false
+			}
+			return pubAny.(cryptoutil.PublicKey), true
+		}
+		pipeline.ParallelChunks(n.pipe.Workers(), len(nb.blk.txs), func(lo, hi int) {
+			copy(nb.authErrs[lo:hi], txn.VerifyClientBatch(nb.blk.txs[lo:hi], keys))
+		})
+		return
+	}
 	pipeline.Parallel(n.pipe.Workers(), len(nb.blk.txs), func(i int) {
 		nb.authErrs[i] = n.verifyClient(nb.blk.txs[i])
 	})

@@ -1,0 +1,243 @@
+// System-level equivalence of the signature-verification modes: for each
+// system family, the same sequential workload — honest transactions plus
+// planted bad-signature submissions — must produce identical per-tx
+// verdicts and byte-identical replica state under serial, batch, and
+// (for Fabric) aggregate verification. The txn- and cryptoutil-level
+// tests prove per-index verdict equality and bisection isolation; this
+// test proves the wiring through the validate stages preserves it
+// end-to-end. Plus the cost-accounting satellite: with the verified-
+// signature cache, an E-peer Fabric endorsement costs one client curve
+// check, not E.
+package system_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/hybrid"
+	"dichotomy/internal/state"
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/fabric"
+	"dichotomy/internal/system/quorum"
+	"dichotomy/internal/txn"
+)
+
+// sigWorkload drives a deterministic sequential mix through sys: honest
+// kv puts interleaved with submissions whose client signature was
+// corrupted after signing. It returns the per-tx verdict string
+// ("C"=committed, "A"=rejected/aborted).
+func sigWorkload(t *testing.T, sys system.System, client *cryptoutil.Signer) string {
+	t.Helper()
+	verdicts := ""
+	for i := 0; i < 12; i++ {
+		tx := signTx(t, client, "kv", "put", fmt.Sprintf("sigv-key-%d", i), fmt.Sprintf("val-%d", i))
+		if i == 4 || i == 9 {
+			tx.Sig[i] ^= 0x01 // planted bad client signature
+		}
+		r := sys.Execute(tx)
+		if r.Committed {
+			verdicts += "C"
+		} else {
+			verdicts += "A"
+		}
+		if (i == 4 || i == 9) && r.Committed {
+			t.Fatalf("tx %d with corrupted signature committed", i)
+		}
+	}
+	return verdicts
+}
+
+func TestSigVerifyModeEquivalence(t *testing.T) {
+	client := cryptoutil.MustNewSigner("sigv-client")
+	families := []struct {
+		name   string
+		modes  []string
+		build  func(t *testing.T, mode string) system.System
+		states func(sys system.System) []*state.Store
+	}{
+		{
+			name:  "fabric",
+			modes: []string{"serial", "batch", "aggregate"},
+			build: func(t *testing.T, mode string) system.System {
+				nw, err := fabric.New(fabric.Config{
+					Peers:                 4,
+					ValidationWorkers:     3,
+					PipelineDepth:         2,
+					BatchVerify:           mode == "batch",
+					AggregateEndorsements: mode == "aggregate",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw.RegisterClient(client.Name(), client.Public())
+				return nw
+			},
+			states: func(sys system.System) []*state.Store {
+				nw := sys.(*fabric.Network)
+				out := make([]*state.Store, 4)
+				for i := range out {
+					out[i] = nw.State(i)
+				}
+				return out
+			},
+		},
+		{
+			name:  "quorum",
+			modes: []string{"serial", "batch"},
+			build: func(t *testing.T, mode string) system.System {
+				nw, err := quorum.New(quorum.Config{
+					Nodes:            4,
+					ExecutionWorkers: 3,
+					PipelineDepth:    2,
+					BatchVerify:      mode == "batch",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nw.RegisterClient(client.Name(), client.Public())
+				return nw
+			},
+			states: func(sys system.System) []*state.Store {
+				nw := sys.(*quorum.Network)
+				out := make([]*state.Store, 4)
+				for i := range out {
+					out[i] = nw.State(i)
+				}
+				return out
+			},
+		},
+		{
+			name:  "veritas",
+			modes: []string{"serial", "batch"},
+			build: func(t *testing.T, mode string) system.System {
+				v, err := hybrid.NewVeritas(hybrid.VeritasConfig{
+					Verifiers:         3,
+					ValidationWorkers: 3,
+					PipelineDepth:     2,
+					VerifyClients:     true,
+					BatchVerify:       mode == "batch",
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v.RegisterClient(client.Name(), client.Public())
+				return v
+			},
+			states: func(sys system.System) []*state.Store {
+				v := sys.(*hybrid.Veritas)
+				out := make([]*state.Store, 3)
+				for i := range out {
+					out[i] = v.State(i)
+				}
+				return out
+			},
+		},
+	}
+
+	for _, fam := range families {
+		t.Run(fam.name, func(t *testing.T) {
+			var refVerdicts string
+			var refDump map[string]string
+			for _, mode := range fam.modes {
+				cryptoutil.ResetSigCache()
+				sys := fam.build(t, mode)
+				verdicts := sigWorkload(t, sys, client)
+
+				// Execute returns when the acking replica seals; poll the
+				// laggards until every replica agrees, as the pipeline
+				// equivalence test does.
+				stores := fam.states(sys)
+				deadline := time.Now().Add(15 * time.Second)
+				var dumps []map[string]string
+				for {
+					dumps = dumps[:0]
+					for _, st := range stores {
+						dumps = append(dumps, dumpState(st))
+					}
+					equal := true
+					for i := 1; i < len(dumps); i++ {
+						if !dumpsEqual(dumps[0], dumps[i]) {
+							equal = false
+							break
+						}
+					}
+					if equal {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("%s/%s: replicas never converged", fam.name, mode)
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				sys.Close()
+				// Planted-bad writes never reached state.
+				for _, bad := range []int{4, 9} {
+					if _, ok := dumps[0][fmt.Sprintf("sigv-key-%d", bad)]; ok {
+						t.Fatalf("%s/%s: corrupted tx %d wrote state", fam.name, mode, bad)
+					}
+				}
+				if refVerdicts == "" {
+					refVerdicts, refDump = verdicts, dumps[0]
+					continue
+				}
+				// This mode matches the family's serial baseline exactly.
+				if verdicts != refVerdicts {
+					t.Errorf("%s/%s verdicts %q differ from serial %q", fam.name, mode, verdicts, refVerdicts)
+				}
+				if !dumpsEqual(refDump, dumps[0]) {
+					t.Errorf("%s/%s final state differs from serial baseline", fam.name, mode)
+				}
+			}
+		})
+	}
+}
+
+// TestFabricEndorsedTxCostsOneClientCheck pins the redundant-verification
+// fix: every endorsing peer authenticates the same client signature, and
+// the verified-signature cache (with single-flight on concurrent misses)
+// collapses those E checks to one curve check per transaction. Batch mode
+// keeps endorsement checks out of VerifyOps (they account per batch), so
+// the client checks are exactly the VerifyOps delta.
+func TestFabricEndorsedTxCostsOneClientCheck(t *testing.T) {
+	const peers, iters = 4, 6
+	client := cryptoutil.MustNewSigner("sigv-cost-client")
+	nw, err := fabric.New(fabric.Config{
+		Peers:       peers,
+		BatchVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+	nw.RegisterClient(client.Name(), client.Public())
+
+	cryptoutil.ResetSigCache()
+	v0 := cryptoutil.VerifyOps()
+	b0 := cryptoutil.BatchVerifyOps()
+	h0, _ := cryptoutil.SigCacheStats()
+	for i := 0; i < iters; i++ {
+		r := nw.Execute(mustSignTx(t, client, fmt.Sprintf("cost-key-%d", i)))
+		if r.Err != nil || !r.Committed {
+			t.Fatalf("tx %d: %+v", i, r)
+		}
+	}
+	if got := cryptoutil.VerifyOps() - v0; got != iters {
+		t.Errorf("VerifyOps advanced by %d for %d txs × %d peers, want %d (one cached client check per tx, not %d)",
+			got, iters, peers, iters, iters*peers)
+	}
+	if got := cryptoutil.BatchVerifyOps() - b0; got < iters {
+		t.Errorf("BatchVerifyOps advanced by %d, want ≥ %d (endorsements verify in batches)", got, iters)
+	}
+	h1, _ := cryptoutil.SigCacheStats()
+	if got := h1 - h0; got < uint64(iters*(peers-1)) {
+		t.Errorf("cache hits advanced by %d, want ≥ %d (the other %d peers hit the client check)",
+			got, iters*(peers-1), peers-1)
+	}
+}
+
+func mustSignTx(t *testing.T, client *cryptoutil.Signer, key string) *txn.Tx {
+	t.Helper()
+	return signTx(t, client, "kv", "put", key, "v")
+}

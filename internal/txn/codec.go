@@ -19,17 +19,24 @@ import (
 //
 //	magic u8 | version u8 | id [32] | client str | contract str |
 //	method str | nargs u32 | args... | nreads u32 | reads... |
-//	nwrites u32 | writes... | nendorse u32 | endorsements... | sig [64]
+//	nwrites u32 | writes... | nendorse u32 | endorsements... |
+//	agg u8 | [leader str | commitment [32] | aggsig [64]] | sig [64]
 //
 // where str and byte fields carry a u32 length prefix, a read is
 // key str | blockNum u64 | txNum u32, a write is key str | present u8 |
 // value bytes (present distinguishes a deletion's nil value from an empty
-// one), and an endorsement is peer str | sig [64]. The Trace never
+// one), and an endorsement is peer str | sig [64]. The agg flag (version 2)
+// is 0 or 1 and gates the optional aggregate-endorsement section — any
+// other value is rejected to keep the encoding canonical. The Trace never
 // crosses the wire; Unmarshal starts a fresh one.
 
 const (
-	codecMagic   = 0xD7
-	codecVersion = 1
+	codecMagic = 0xD7
+	// codecVersion 2 added the aggregate-endorsement section. Encodings are
+	// in-process artifacts (ledger blocks, checkpoints, the shared log), so
+	// there is no cross-version compatibility to keep: a version-1 payload
+	// cannot outlive the process that wrote it.
+	codecVersion = 2
 )
 
 // EncodedLen returns the exact length Marshal produces, computed from
@@ -61,6 +68,10 @@ func (t *Tx) EncodedLen() int {
 	n += 4
 	for _, e := range t.Endorsements {
 		n += 4 + len(e.Peer) + len(e.Sig)
+	}
+	n++ // aggregate flag
+	if a := t.AggEndorsement; a != nil {
+		n += 4 + len(a.Leader) + len(a.Agg.Commitment) + len(a.Agg.Sig)
 	}
 	n += len(t.Sig)
 	return n
@@ -100,6 +111,14 @@ func (t *Tx) Marshal() []byte {
 	for _, e := range t.Endorsements {
 		out = appendStr(out, e.Peer)
 		out = append(out, e.Sig[:]...)
+	}
+	if a := t.AggEndorsement; a != nil {
+		out = append(out, 1)
+		out = appendStr(out, a.Leader)
+		out = append(out, a.Agg.Commitment[:]...)
+		out = append(out, a.Agg.Sig[:]...)
+	} else {
+		out = append(out, 0)
 	}
 	out = append(out, t.Sig[:]...)
 	return out
@@ -225,6 +244,16 @@ func Unmarshal(data []byte) (*Tx, error) {
 			t.Endorsements[i].Peer = d.str("endorser")
 			copy(t.Endorsements[i].Sig[:], d.take(len(t.Sig), "endorsement sig"))
 		}
+	}
+	switch flag := d.take(1, "aggregate flag"); {
+	case flag == nil:
+	case flag[0] == 1:
+		a := &AggregateEndorsement{Leader: d.str("aggregation leader")}
+		copy(a.Agg.Commitment[:], d.take(len(a.Agg.Commitment), "aggregate commitment"))
+		copy(a.Agg.Sig[:], d.take(len(a.Agg.Sig), "aggregate sig"))
+		t.AggEndorsement = a
+	case flag[0] != 0:
+		return nil, fmt.Errorf("txn: decode: bad aggregate flag %d", flag[0])
 	}
 	copy(t.Sig[:], d.take(len(t.Sig), "sig"))
 	if d.err != nil {

@@ -1,0 +1,191 @@
+package txn
+
+// Batch, cached, and aggregate entry points for transaction signature
+// verification. These are the txn-level faces of cryptoutil's sigverify
+// layer: block validators hand in whole slices of transactions and get
+// back per-tx verdicts identical to the serial VerifyClient /
+// VerifyEndorsements loops, with the cost accounted per batch
+// (cryptoutil.BatchVerifyOps) or per threshold check
+// (cryptoutil.AggregateVerifyOps) instead of per signature.
+
+import (
+	"errors"
+	"fmt"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+// AggregateEndorsement is a leader-signed aggregate over a transaction's
+// endorsement signatures: the named leader computed
+// commitment = H(sig₁‖…‖sigₙ) over the endorsements in order and signed
+// H(endorsementDigest‖commitment). Verifying it costs one curve check
+// regardless of the number of endorsers, but trusts the leader to have
+// checked the co-signatures; VerifyEndorsementsAggregate falls back to
+// per-signature verification whenever the aggregate check fails, so
+// per-tx verdicts match the serial path exactly.
+type AggregateEndorsement struct {
+	Leader string
+	Agg    cryptoutil.AggregateSig
+}
+
+// Cosign aggregates the transaction's current endorsements under the
+// leader's key and attaches the result. The endorsement set must be
+// complete first; endorsements added later are not covered.
+func (t *Tx) Cosign(leader *cryptoutil.Signer) error {
+	if len(t.Endorsements) == 0 {
+		return errors.New("txn: cosign with no endorsements")
+	}
+	cosigs := make([]cryptoutil.Signature, len(t.Endorsements))
+	for i, e := range t.Endorsements {
+		cosigs[i] = e.Sig
+	}
+	agg, err := cryptoutil.Cosign(leader, t.EndorsementDigest(), cosigs)
+	if err != nil {
+		return fmt.Errorf("txn: cosign: %w", err)
+	}
+	t.AggEndorsement = &AggregateEndorsement{Leader: leader.Name(), Agg: agg}
+	return nil
+}
+
+// VerifyEndorsementsAggregate checks the endorsement set through the
+// attached aggregate: threshold and known-endorser checks as in the
+// serial path, then one cryptoutil.VerifyAggregate instead of one
+// VerifyDigest per endorsement. A transaction without an aggregate, or
+// whose aggregate fails, is verified per-signature instead — the verdict
+// is always the serial path's verdict.
+func (t *Tx) VerifyEndorsementsAggregate(keys func(peer string) (cryptoutil.PublicKey, bool), need int) error {
+	if t.AggEndorsement == nil {
+		return t.VerifyEndorsements(keys, need)
+	}
+	if len(t.Endorsements) < need {
+		return fmt.Errorf("txn: %d endorsements, need %d", len(t.Endorsements), need)
+	}
+	leaderPub, ok := keys(t.AggEndorsement.Leader)
+	if !ok {
+		return fmt.Errorf("txn: unknown aggregation leader %s", t.AggEndorsement.Leader)
+	}
+	cosigs := make([]cryptoutil.Signature, len(t.Endorsements))
+	for i, e := range t.Endorsements {
+		if _, known := keys(e.Peer); !known {
+			return fmt.Errorf("txn: unknown endorser %s", e.Peer)
+		}
+		cosigs[i] = e.Sig
+	}
+	if err := cryptoutil.VerifyAggregate(leaderPub, t.EndorsementDigest(), cosigs, t.AggEndorsement.Agg); err != nil {
+		// The aggregate cannot name the member that broke it; fall back to
+		// per-signature verification for the authoritative verdict.
+		return t.VerifyEndorsements(keys, need)
+	}
+	return nil
+}
+
+// VerifyClientCached is VerifyClient through the verified-signature
+// cache: the first check of a (client, tx) pair pays the curve math, every
+// later check — e.g. each additional endorsing peer authenticating the
+// same submission — is a cache hit. Verdicts are identical to
+// VerifyClient.
+func (t *Tx) VerifyClientCached(pub cryptoutil.PublicKey) error {
+	payload := encodeInvocation(t.Client, t.Invocation)
+	id := cryptoutil.HashBytes(payload)
+	if id != t.ID {
+		return fmt.Errorf("txn: id mismatch")
+	}
+	return cryptoutil.VerifyDigestCached(pub, id, t.Sig)
+}
+
+// VerifyClientBatch checks the client signatures of a slice of
+// transactions in one cryptoutil.VerifyBatch pass and returns one error
+// slot per transaction (nil = valid), matching the verdicts of a serial
+// VerifyClient loop. Structural failures (unknown client, id mismatch)
+// are decided without curve math, exactly as the serial path does.
+func VerifyClientBatch(txs []*Tx, keys func(client string) (cryptoutil.PublicKey, bool)) []error {
+	errs := make([]error, len(txs))
+	checks := make([]cryptoutil.Check, 0, len(txs))
+	owner := make([]int, 0, len(txs))
+	for i, t := range txs {
+		pub, ok := keys(t.Client)
+		if !ok {
+			errs[i] = fmt.Errorf("txn: unknown client %s", t.Client)
+			continue
+		}
+		payload := encodeInvocation(t.Client, t.Invocation)
+		id := cryptoutil.HashBytes(payload)
+		if id != t.ID {
+			errs[i] = fmt.Errorf("txn: id mismatch")
+			continue
+		}
+		checks = append(checks, cryptoutil.Check{Pub: pub, Digest: id, Sig: t.Sig})
+		owner = append(owner, i)
+	}
+	applyBatchVerdicts(cryptoutil.VerifyBatch(checks), errs, owner, func(ci int) error {
+		return cryptoutil.ErrBadSignature
+	})
+	return errs
+}
+
+// VerifyEndorsementsBatch checks the endorsement sets of a slice of
+// transactions in one cryptoutil.VerifyBatch pass and returns one error
+// slot per transaction (nil = valid). Per-tx verdicts match a serial
+// VerifyEndorsements loop: threshold and unknown-endorser failures are
+// structural (no curve math), and a transaction with any bad endorsement
+// signature fails with the first offender named.
+func VerifyEndorsementsBatch(txs []*Tx, keys func(peer string) (cryptoutil.PublicKey, bool), need int) []error {
+	errs := make([]error, len(txs))
+	checks := make([]cryptoutil.Check, 0, len(txs)*2)
+	owner := make([]int, 0, len(txs)*2)
+	peers := make([]string, 0, len(txs)*2)
+	for i, t := range txs {
+		if len(t.Endorsements) < need {
+			errs[i] = fmt.Errorf("txn: %d endorsements, need %d", len(t.Endorsements), need)
+			continue
+		}
+		digest := t.EndorsementDigest()
+		start := len(checks)
+		for _, e := range t.Endorsements {
+			pub, ok := keys(e.Peer)
+			if !ok {
+				errs[i] = fmt.Errorf("txn: unknown endorser %s", e.Peer)
+				// Roll back this tx's partially collected checks; the
+				// structural failure already decides its verdict.
+				checks = checks[:start]
+				owner = owner[:start]
+				peers = peers[:start]
+				break
+			}
+			checks = append(checks, cryptoutil.Check{Pub: pub, Digest: digest, Sig: e.Sig})
+			owner = append(owner, i)
+			peers = append(peers, e.Peer)
+		}
+	}
+	applyBatchVerdicts(cryptoutil.VerifyBatch(checks), errs, owner, func(ci int) error {
+		return fmt.Errorf("txn: endorsement by %s: %w", peers[ci], cryptoutil.ErrBadSignature)
+	})
+	return errs
+}
+
+// applyBatchVerdicts maps a VerifyBatch result back onto per-tx error
+// slots: each bad check index marks its owning transaction with the error
+// built by mkErr, first offender wins (BatchError indices are ascending,
+// matching the serial loops' first-failure semantics).
+func applyBatchVerdicts(err error, errs []error, owner []int, mkErr func(ci int) error) {
+	if err == nil {
+		return
+	}
+	var be *cryptoutil.BatchError
+	if !errors.As(err, &be) {
+		// VerifyBatch only ever fails with a *BatchError today; treat
+		// anything else as fatal for every batched tx rather than letting
+		// a bad signature slip through as valid.
+		for _, o := range owner {
+			if errs[o] == nil {
+				errs[o] = err
+			}
+		}
+		return
+	}
+	for _, ci := range be.Bad {
+		if errs[owner[ci]] == nil {
+			errs[owner[ci]] = mkErr(ci)
+		}
+	}
+}

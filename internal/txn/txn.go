@@ -71,6 +71,10 @@ type Tx struct {
 	RWSet RWSet
 	// Endorsements holds peer signatures over the simulation result.
 	Endorsements []Endorsement
+	// AggEndorsement, when present, is a leader-signed aggregate over the
+	// endorsement signatures (aggregate-endorsement mode); committers can
+	// then verify one threshold check per tx instead of one per endorser.
+	AggEndorsement *AggregateEndorsement
 	// Sig is the client's signature over the invocation.
 	Sig cryptoutil.Signature
 	// Trace carries phase timings for the latency-breakdown experiments.
@@ -198,5 +202,8 @@ func (t *Tx) Size() int {
 		s += len(w.Key) + len(w.Value) + 8
 	}
 	s += len(t.Endorsements) * (64 + 8)
+	if t.AggEndorsement != nil {
+		s += len(t.AggEndorsement.Leader) + 4 + 32 + 64 + 1
+	}
 	return s
 }
