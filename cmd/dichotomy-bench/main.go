@@ -7,7 +7,7 @@
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 fig15 table4 table5 peak contention blockshape recovery
-// sigverify.
+// sigverify authreads.
 //
 // contention sweeps closed-loop worker counts per system and reports
 // throughput with tail latency — the lock-convoy diagnostic behind the
@@ -38,6 +38,12 @@
 // attributes the remaining crypto cost per committed transaction
 // through the cryptoutil counters.
 //
+// authreads drives verifying light-client readers (VerifiedGet + local
+// proof and root-signature checks) against Quorum's proof servers while
+// Smallbank writers commit, sweeping reader count × proof-cache budget ×
+// root publish interval, and reports writer throughput, proof latency,
+// cache hit rate, and root staleness.
+//
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
 // minutes and preserves every qualitative shape.
@@ -56,7 +62,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify authreads\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -119,10 +125,11 @@ func main() {
 		"blockshape": func() { experiments.BlockShape(os.Stdout, sc, bsizes, vwork, depths) },
 		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckmodes, ckints, crashes) },
 		"sigverify":  func() { experiments.SigVerify(os.Stdout, sc, vmodes) },
+		"authreads":  func() { experiments.AuthReads(os.Stdout, sc) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention", "blockshape", "recovery", "sigverify"}
+		"contention", "blockshape", "recovery", "sigverify", "authreads"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

@@ -10,6 +10,8 @@ package mbt
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"sort"
 
@@ -269,9 +271,14 @@ func (t *Tree) Prove(key []byte) (Proof, bool) {
 	return proof, true
 }
 
+// ErrInvalidProof is returned when a proof does not verify.
+var ErrInvalidProof = errors.New("mbt: invalid proof")
+
 // VerifyProof checks that key→value is bound to root by proof under the
-// given configuration.
-func VerifyProof(root cryptoutil.Hash, cfg Config, key, value []byte, proof Proof) bool {
+// given configuration. A nil return means the binding holds; any other
+// result is the authoritative rejection, so discarding it admits forged
+// reads — internal/analysis/errshadow enforces that it is handled.
+func VerifyProof(root cryptoutil.Hash, cfg Config, key, value []byte, proof Proof) error {
 	cfg = cfg.withDefaults()
 	// The key/value must be inside the shipped bucket contents.
 	found := false
@@ -282,18 +289,21 @@ func VerifyProof(root cryptoutil.Hash, cfg Config, key, value []byte, proof Proo
 		}
 		parts = append(parts, lenPrefix(e.Key), lenPrefix(e.Value))
 	}
-	if !found || len(proof.Siblings) != len(proof.Positions) {
-		return false
+	if !found {
+		return fmt.Errorf("%w: key/value not in proven bucket", ErrInvalidProof)
+	}
+	if len(proof.Siblings) != len(proof.Positions) {
+		return fmt.Errorf("%w: sibling/position length mismatch", ErrInvalidProof)
 	}
 	cur := cryptoutil.HashConcat(parts...)
 	for lvl, group := range proof.Siblings {
 		pos := proof.Positions[lvl]
 		if pos < 0 || pos >= len(group) {
-			return false
+			return fmt.Errorf("%w: position out of range at level %d", ErrInvalidProof, lvl)
 		}
 		// The on-path slot must match the hash computed so far.
 		if group[pos] != cur {
-			return false
+			return fmt.Errorf("%w: on-path hash mismatch at level %d", ErrInvalidProof, lvl)
 		}
 		concat := make([][]byte, 0, len(group))
 		for i := range group {
@@ -301,5 +311,8 @@ func VerifyProof(root cryptoutil.Hash, cfg Config, key, value []byte, proof Proo
 		}
 		cur = cryptoutil.HashConcat(concat...)
 	}
-	return cur == root
+	if cur != root {
+		return fmt.Errorf("%w: root mismatch", ErrInvalidProof)
+	}
+	return nil
 }

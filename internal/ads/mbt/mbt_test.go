@@ -134,8 +134,8 @@ func TestProveVerify(t *testing.T) {
 		if !ok {
 			t.Fatalf("Prove(%s) failed", key)
 		}
-		if !VerifyProof(root, smallCfg(), key, val, proof) {
-			t.Fatalf("VerifyProof(%s) failed", key)
+		if err := VerifyProof(root, smallCfg(), key, val, proof); err != nil {
+			t.Fatalf("VerifyProof(%s): %v", key, err)
 		}
 	}
 }
@@ -154,7 +154,7 @@ func TestVerifyRejectsForgedValue(t *testing.T) {
 	tr.Put([]byte("k2"), []byte("x"))
 	root := tr.RootHash()
 	proof, _ := tr.Prove([]byte("k1"))
-	if VerifyProof(root, smallCfg(), []byte("k1"), []byte("forged"), proof) {
+	if err := VerifyProof(root, smallCfg(), []byte("k1"), []byte("forged"), proof); err == nil {
 		t.Fatal("forged value accepted")
 	}
 }
@@ -164,7 +164,7 @@ func TestVerifyRejectsWrongRoot(t *testing.T) {
 	tr.Put([]byte("k1"), []byte("v"))
 	proof, _ := tr.Prove([]byte("k1"))
 	bogus := cryptoutil.HashBytes([]byte("nope"))
-	if VerifyProof(bogus, smallCfg(), []byte("k1"), []byte("v"), proof) {
+	if err := VerifyProof(bogus, smallCfg(), []byte("k1"), []byte("v"), proof); err == nil {
 		t.Fatal("wrong root accepted")
 	}
 }
@@ -177,7 +177,7 @@ func TestVerifyRejectsTamperedBucket(t *testing.T) {
 	proof, _ := tr.Prove([]byte("k1"))
 	// Smuggle a forged entry into the shipped bucket.
 	proof.BucketEntries = append(proof.BucketEntries, ProofEntry{Key: []byte("evil"), Value: []byte("1")})
-	if VerifyProof(root, smallCfg(), []byte("k1"), []byte("v1"), proof) {
+	if err := VerifyProof(root, smallCfg(), []byte("k1"), []byte("v1"), proof); err == nil {
 		t.Fatal("tampered bucket contents accepted")
 	}
 }

@@ -1,0 +1,96 @@
+package mpt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// FuzzVerifyProof pins the proof-verification security contract that the
+// light-client read path (internal/authstate) depends on:
+//
+//   - a valid proof round-trips against the root it was generated under;
+//   - any single corruption — a flipped byte in a step encoding or the
+//     bound value, a truncated step chain — must fail verification;
+//   - a wrong root must fail verification;
+//   - arbitrary bytes presented as a proof must fail without panicking.
+func FuzzVerifyProof(f *testing.F) {
+	const nKeys = 64
+	tr := New()
+	for i := 0; i < nKeys; i++ {
+		tr.Put(fuzzKey(i), []byte(fmt.Sprintf("value-%04d", i)))
+	}
+	root := tr.RootHash()
+
+	f.Add(uint8(0), uint16(0), uint16(0), byte(1), byte(0), byte(0), []byte{})
+	f.Add(uint8(7), uint16(1), uint16(5), byte(0), byte(1), byte(3), []byte{tagBranch, 0, 0})
+	f.Add(uint8(63), uint16(2), uint16(40), byte(255), byte(2), byte(9), []byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, keyIdx uint8, stepSel, bytePos uint16, xor, mode, rootXor byte, garbage []byte) {
+		key := fuzzKey(int(keyIdx) % nKeys)
+		proof, ok := tr.Prove(key)
+		if !ok {
+			t.Fatalf("Prove(%s) failed", key)
+		}
+		if err := VerifyProof(root, key, proof); err != nil {
+			t.Fatalf("valid proof rejected: %v", err)
+		}
+
+		// One corruption, selected by mode, applied to a deep copy.
+		cp := copyProof(proof)
+		corrupted := false
+		switch mode % 3 {
+		case 0: // flip a byte inside one step encoding
+			if xor != 0 && len(cp.Steps) > 0 {
+				step := &cp.Steps[int(stepSel)%len(cp.Steps)]
+				if len(step.Encoding) > 0 {
+					step.Encoding[int(bytePos)%len(step.Encoding)] ^= xor
+					corrupted = true
+				}
+			}
+		case 1: // truncate the step chain
+			if len(cp.Steps) > 0 {
+				cp.Steps = cp.Steps[:int(stepSel)%len(cp.Steps)]
+				corrupted = true
+			}
+		case 2: // flip a byte of the bound value
+			if xor != 0 && len(cp.Value) > 0 {
+				cp.Value[int(bytePos)%len(cp.Value)] ^= xor
+				corrupted = true
+			}
+		}
+		if corrupted {
+			if err := VerifyProof(root, key, cp); err == nil {
+				t.Fatalf("corrupted proof verified (mode %d)", mode%3)
+			}
+		}
+
+		// A wrong root must never accept the valid proof.
+		if rootXor != 0 {
+			badRoot := root
+			badRoot[int(bytePos)%len(badRoot)] ^= rootXor
+			if err := VerifyProof(badRoot, key, proof); err == nil {
+				t.Fatal("proof verified against a wrong root")
+			}
+		}
+
+		// Arbitrary bytes as a proof: must fail, must not panic.
+		g := Proof{Steps: []ProofStep{{Encoding: garbage}}, Value: garbage}
+		if err := VerifyProof(root, key, g); err == nil {
+			t.Fatal("garbage proof verified")
+		}
+	})
+}
+
+func fuzzKey(i int) []byte { return []byte(fmt.Sprintf("chk:acct%08d", i)) }
+
+func copyProof(p Proof) Proof {
+	cp := Proof{
+		Steps: make([]ProofStep, len(p.Steps)),
+		Value: bytes.Clone(p.Value),
+	}
+	for i, s := range p.Steps {
+		cp.Steps[i] = ProofStep{Encoding: bytes.Clone(s.Encoding)}
+	}
+	return cp
+}

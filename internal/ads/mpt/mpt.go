@@ -20,32 +20,53 @@ import (
 
 // Trie is a Merkle Patricia Trie. It is not safe for concurrent mutation;
 // systems guard it with their commit lock, mirroring geth's usage.
+// Snapshot captures an immutable view that IS safe for concurrent reads.
 type Trie struct {
 	root node
-	// rebuildCount tracks how many times the root commitment was
-	// recomputed; the record-size experiment (Fig 11) reads it.
+	// rebuildCount tracks how many times the root commitment actually
+	// had to be recomputed; the record-size experiment (Fig 11) reads it.
 	rebuilds int
 }
 
 type node interface {
 	// encoded returns the canonical serialization used for hashing.
 	encoded() []byte
+	// cacheRef exposes the node's memoized-hash slot.
+	cacheRef() *hashCache
+}
+
+// hashCache memoizes a node's commitment. Mutation is copy-on-write —
+// Put and Delete allocate fresh (unhashed) nodes along the mutated path
+// and share everything else — so a cache, once filled, is valid for the
+// node's lifetime: RootHash after a K-key block re-hashes only the
+// O(K·depth) fresh nodes, and a fully-hashed subgraph can be read from
+// any number of goroutines without synchronization.
+type hashCache struct {
+	hash   cryptoutil.Hash
+	hashed bool
 }
 
 type (
 	leafNode struct {
 		path  []byte // remaining nibbles
 		value []byte
+		cache hashCache
 	}
 	extNode struct {
 		path  []byte // shared nibbles
 		child node
+		cache hashCache
 	}
 	branchNode struct {
 		children [16]node
 		value    []byte // set when a key terminates at this branch
+		cache    hashCache
 	}
 )
+
+func (n *leafNode) cacheRef() *hashCache   { return &n.cache }
+func (n *extNode) cacheRef() *hashCache    { return &n.cache }
+func (n *branchNode) cacheRef() *hashCache { return &n.cache }
 
 // New returns an empty trie.
 func New() *Trie { return &Trie{} }
@@ -146,10 +167,12 @@ func put(n node, path []byte, value []byte) node {
 		if len(path) == 0 {
 			nb := *n
 			nb.value = value
+			nb.cache = hashCache{}
 			return &nb
 		}
 		nb := *n
 		nb.children[path[0]] = put(n.children[path[0]], path[1:], value)
+		nb.cache = hashCache{}
 		return &nb
 	default:
 		panic(fmt.Sprintf("mpt: unknown node %T", n))
@@ -209,6 +232,7 @@ func del(n node, path []byte) (node, bool) {
 		return &extNode{path: n.path, child: child}, true
 	case *branchNode:
 		nb := *n
+		nb.cache = hashCache{}
 		if len(path) == 0 {
 			if n.value == nil {
 				return n, false
@@ -286,20 +310,69 @@ func hashNode(n node) cryptoutil.Hash {
 	if n == nil {
 		return cryptoutil.ZeroHash
 	}
-	return cryptoutil.HashBytes(n.encoded())
+	c := n.cacheRef()
+	if c.hashed {
+		return c.hash
+	}
+	c.hash = cryptoutil.HashBytes(n.encoded())
+	c.hashed = true
+	return c.hash
 }
 
-// RootHash recomputes and returns the root commitment. The full recompute
-// per call deliberately mirrors the paper's observation that Quorum
-// "reconstructs an MPT ... which involves many expensive cryptographic hash
-// computations" on every block commit.
+// RootHash returns the root commitment, recomputing only what a mutation
+// invalidated. Copy-on-write mutation allocates fresh nodes along the
+// touched path, so after a K-key block only O(K·depth) nodes lack a
+// memoized hash — the incremental maintenance the paper contrasts with
+// Quorum's whole-trie reconstruction per commit. As a side effect every
+// reachable node's cache is filled, which is what makes a subsequent
+// Snapshot safe for lock-free concurrent reads.
 func (t *Trie) RootHash() cryptoutil.Hash {
-	t.rebuilds++
+	if t.root == nil {
+		return cryptoutil.ZeroHash
+	}
+	if !t.root.cacheRef().hashed {
+		t.rebuilds++
+	}
 	return hashNode(t.root)
 }
 
-// Rebuilds reports how many root recomputations have happened.
+// Rebuilds reports how many root recomputations actually happened: calls
+// to RootHash on an unchanged trie are cache hits and do not count.
 func (t *Trie) Rebuilds() int { return t.rebuilds }
+
+// Snapshot is an immutable point-in-time view of a trie. Because
+// mutation is copy-on-write, the captured subgraph is never modified by
+// later writes to the parent trie; capturing also forces every reachable
+// node's hash cache (via RootHash), so Get and Prove on a Snapshot
+// perform no writes at all and are safe from any number of goroutines
+// while the owner keeps mutating the live trie.
+type Snapshot struct {
+	root node
+	hash cryptoutil.Hash
+}
+
+// Snapshot captures the trie's current state. O(1) plus the incremental
+// RootHash cost; the returned view shares structure with the live trie.
+func (t *Trie) Snapshot() *Snapshot {
+	return &Snapshot{root: t.root, hash: t.RootHash()}
+}
+
+// RootHash returns the commitment the snapshot was captured at.
+func (s *Snapshot) RootHash() cryptoutil.Hash { return s.hash }
+
+// Get returns the value stored under key at the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, bool) { return get(s.root, nibbles(key)) }
+
+// Prove returns the integrity proof for key at the snapshot. The proof
+// shares underlying byte storage with the trie; callers must not mutate
+// it.
+func (s *Snapshot) Prove(key []byte) (Proof, bool) { return prove(s.root, key) }
+
+// Len returns the number of keys stored at the snapshot.
+func (s *Snapshot) Len() int { return countKeys(s.root) }
+
+// StorageBytes is Trie.StorageBytes at the snapshot.
+func (s *Snapshot) StorageBytes() int64 { return storageBytes(s.root) }
 
 // NodeBytes returns the total serialized size of every node in the trie —
 // the storage footprint of the authenticated index (Fig 13).
@@ -416,9 +489,11 @@ var ErrInvalidProof = errors.New("mpt: invalid proof")
 
 // Prove returns the integrity proof for key, or false if the key is absent.
 // (Absence proofs are not needed by the experiments and are omitted.)
-func (t *Trie) Prove(key []byte) (Proof, bool) {
+func (t *Trie) Prove(key []byte) (Proof, bool) { return prove(t.root, key) }
+
+func prove(root node, key []byte) (Proof, bool) {
 	var proof Proof
-	n := t.root
+	n := root
 	path := nibbles(key)
 	for {
 		switch cur := n.(type) {

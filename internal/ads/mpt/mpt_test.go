@@ -234,6 +234,13 @@ func TestRebuildCounter(t *testing.T) {
 	tr := New()
 	tr.Put([]byte("k"), []byte("v"))
 	tr.RootHash()
+	// An unchanged trie serves the memoized root: no recomputation.
+	tr.RootHash()
+	if tr.Rebuilds() != 1 {
+		t.Fatalf("Rebuilds = %d, want 1", tr.Rebuilds())
+	}
+	// A mutation invalidates the root path; the next RootHash rebuilds.
+	tr.Put([]byte("k2"), []byte("v2"))
 	tr.RootHash()
 	if tr.Rebuilds() != 2 {
 		t.Fatalf("Rebuilds = %d, want 2", tr.Rebuilds())

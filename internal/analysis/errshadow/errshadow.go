@@ -27,10 +27,12 @@ type target struct {
 	Name      string
 }
 
-// targets: the engine-open, block-commit, checkpoint, and signature-
-// verification surfaces. VerifyBatch and VerifyAggregate return the
-// authoritative per-member verdict — dropping them admits forged
-// endorsements into committed blocks.
+// targets: the engine-open, block-commit, checkpoint, signature-
+// verification, and proof-verification surfaces. VerifyBatch and
+// VerifyAggregate return the authoritative per-member verdict — dropping
+// them admits forged endorsements into committed blocks. The ADS
+// VerifyProof errors are the entire point of an authenticated read: a
+// light client that discards them has trusted the replica after all.
 var targets = []target{
 	{"internal/storage/lsm", "", "Open"},
 	{"internal/storage", "", "ApplyWrites"},
@@ -42,11 +44,13 @@ var targets = []target{
 	{"internal/recovery", "Checkpointer", "Flush"},
 	{"internal/cryptoutil", "", "VerifyBatch"},
 	{"internal/cryptoutil", "", "VerifyAggregate"},
+	{"internal/ads/mpt", "", "VerifyProof"},
+	{"internal/ads/mbt", "", "VerifyProof"},
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "errshadow",
-	Doc:  "error results of lsm.Open, engine writes, block commits, and checkpointer calls must not be discarded",
+	Doc:  "error results of lsm.Open, engine writes, block commits, checkpointer calls, and ADS proof verification must not be discarded",
 	Run:  run,
 }
 

@@ -13,6 +13,8 @@ func TestErrShadow(t *testing.T) {
 		analyzertest.Package{Dir: "testdata/src/lsm", Path: "dichotomy/internal/storage/lsm"},
 		analyzertest.Package{Dir: "testdata/src/recovery", Path: "dichotomy/internal/recovery"},
 		analyzertest.Package{Dir: "testdata/src/cryptoutil", Path: "dichotomy/internal/cryptoutil"},
+		analyzertest.Package{Dir: "testdata/src/mpt", Path: "dichotomy/internal/ads/mpt"},
+		analyzertest.Package{Dir: "testdata/src/mbt", Path: "dichotomy/internal/ads/mbt"},
 		analyzertest.Package{Dir: "testdata/src/demo", Path: "dichotomy/internal/system/demo"},
 	)
 }

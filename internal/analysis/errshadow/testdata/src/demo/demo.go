@@ -3,6 +3,8 @@
 package demo
 
 import (
+	"dichotomy/internal/ads/mbt"
+	"dichotomy/internal/ads/mpt"
 	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/recovery"
 	"dichotomy/internal/storage"
@@ -93,4 +95,24 @@ func aggregateHandled(leader cryptoutil.PublicKey, d cryptoutil.Hash, cs []crypt
 // Close is not a target: unrelated error discards stay out of scope.
 func closeDropped(db *lsm.DB) {
 	db.Close()
+}
+
+func mptProofDropped(root mpt.Hash, proof mpt.Proof) {
+	mpt.VerifyProof(root, []byte("k"), proof) // want `error result of VerifyProof discarded`
+}
+
+func mptProofBlanked(root mpt.Hash, proof mpt.Proof) {
+	_ = mpt.VerifyProof(root, []byte("k"), proof) // want `error result of VerifyProof discarded`
+}
+
+func mptProofHandled(root mpt.Hash, proof mpt.Proof) error {
+	return mpt.VerifyProof(root, []byte("k"), proof)
+}
+
+func mbtProofDropped(root mbt.Hash, proof mbt.Proof) {
+	mbt.VerifyProof(root, []byte("k"), []byte("v"), proof) // want `error result of VerifyProof discarded`
+}
+
+func mbtProofForwarded(root mbt.Hash, proof mbt.Proof) bool {
+	return consume(mbt.VerifyProof(root, []byte("k"), []byte("v"), proof))
 }

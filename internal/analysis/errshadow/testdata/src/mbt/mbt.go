@@ -1,0 +1,9 @@
+// Package mbt is a stand-in for dichotomy/internal/ads/mbt with the
+// proof-verification surface the analyzer targets.
+package mbt
+
+type Hash [32]byte
+
+type Proof struct{}
+
+func VerifyProof(root Hash, key, value []byte, proof Proof) error { return nil }

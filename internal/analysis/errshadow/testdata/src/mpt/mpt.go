@@ -1,0 +1,9 @@
+// Package mpt is a stand-in for dichotomy/internal/ads/mpt with the
+// proof-verification surface the analyzer targets.
+package mpt
+
+type Hash [32]byte
+
+type Proof [][]byte
+
+func VerifyProof(root Hash, key []byte, proof Proof) error { return nil }

@@ -1,0 +1,77 @@
+package authstate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/state"
+	"dichotomy/internal/txn"
+)
+
+// BenchmarkProofServe measures one VerifiedGet against a populated
+// authenticated state: mode cache=warm serves hot keys from the proof
+// cache (zero trie traversal), cache=cold forces a fresh trie walk per
+// read. The delta between the two is what the proof cache buys a
+// light-client read endpoint.
+func BenchmarkProofServe(b *testing.B) {
+	const keys = 20_000
+	setup := func(b *testing.B, cacheSize int) *ProofServer {
+		b.Helper()
+		m, err := New(Config{Signer: cryptoutil.MustNewSigner("endorser")})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(m.Close)
+		ps := NewProofServer(m, cacheSize)
+		ws := make([]state.VersionedWrite, 0, keys)
+		for i := 0; i < keys; i++ {
+			ws = append(ws, state.VersionedWrite{
+				Write:   txn.Write{Key: fmt.Sprintf("chk:acct%08d", i), Value: []byte(fmt.Sprintf("balance-%d", i))},
+				Version: txn.Version{BlockNum: 1, TxNum: uint32(i)},
+			})
+		}
+		if err := m.Submit(1, ws); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.WaitFor(1, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		return ps
+	}
+	b.Run("cache=warm", func(b *testing.B) {
+		ps := setup(b, 1024)
+		const hot = 512
+		for i := 0; i < hot; i++ {
+			if _, err := ps.VerifiedGet(fmt.Sprintf("chk:acct%08d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		base := ps.Stats().Generated
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ps.VerifiedGet(fmt.Sprintf("chk:acct%08d", i%hot)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if gen := ps.Stats().Generated - base; gen != 0 {
+			b.Fatalf("warm path traversed the trie %d times", gen)
+		}
+	})
+	b.Run("cache=cold", func(b *testing.B) {
+		ps := setup(b, 1024)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				b.StopTimer()
+				ps.ResetCache()
+				b.StartTimer()
+			}
+			if _, err := ps.VerifiedGet(fmt.Sprintf("chk:acct%08d", i%keys)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

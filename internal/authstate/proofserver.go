@@ -1,0 +1,234 @@
+package authstate
+
+// ProofServer is the light-client read endpoint: VerifiedGet answers
+// with a Merkle proof plus the signed root it verifies under, serving
+// from block-consistent trie snapshots so a reader never sees half a
+// block. A lock-striped LRU keyed by state key caches hot proofs; each
+// published update invalidates exactly the block's dirty keys, so a
+// cache hit costs zero trie traversal and stays verifiable against the
+// SignedRoot it was generated under (bounded staleness — the entry
+// carries its own root, and unchanged keys remain correct under newer
+// roots too).
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dichotomy/internal/ads/mpt"
+)
+
+const proofCacheShards = 16
+
+// DefaultProofCacheSize is the default total entry budget across shards.
+const DefaultProofCacheSize = 4096
+
+// ErrNoRoot is returned by VerifiedGet before the first root publishes.
+var ErrNoRoot = errors.New("authstate: no published root yet")
+
+// ErrKeyAbsent is returned for keys not present at the served root.
+// (The MPT omits absence proofs, so an absent key is a plain error.)
+var ErrKeyAbsent = errors.New("authstate: key absent at served root")
+
+// VerifiedValue is one authenticated read: the proof binds Value to
+// Root.Root, and Root.Sig endorses (Height, Root). StaleBlocks is how
+// many blocks the served root trailed the maintainer's applied height
+// at serve time.
+type VerifiedValue struct {
+	Value       []byte
+	Proof       mpt.Proof
+	Root        SignedRoot
+	StaleBlocks uint64
+}
+
+// ProofCacheStats are the proof cache's monotone counters, in the style
+// of cryptoutil.SigCacheStats.
+type ProofCacheStats struct {
+	// Hits served a cached proof — zero trie traversal.
+	Hits uint64
+	// Misses fell through to a trie walk.
+	Misses uint64
+	// Generated counts proofs built from a snapshot (== trie traversals).
+	Generated uint64
+	// Invalidated counts cache entries evicted by dirty-key invalidation.
+	Invalidated uint64
+	// Served counts successful VerifiedGet calls.
+	Served uint64
+}
+
+type proofEntry struct {
+	key string
+	val VerifiedValue
+}
+
+type proofShard struct {
+	mu      sync.Mutex
+	order   *list.List // front = most recently used; values are *proofEntry
+	entries map[string]*list.Element
+	cap     int
+}
+
+// ProofServer answers VerifiedGet from the maintainer's published
+// snapshots. Safe for concurrent use by any number of readers.
+type ProofServer struct {
+	m *RootMaintainer
+
+	// latestHeight is the height of the newest update the server has
+	// seen; inserts for proofs generated under an older root are skipped
+	// so an in-flight miss can never outlive its invalidation pass.
+	latestHeight atomic.Uint64
+
+	mu     sync.RWMutex
+	latest Update
+	hasUp  bool
+
+	shards [proofCacheShards]proofShard
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	generated   atomic.Uint64
+	invalidated atomic.Uint64
+	served      atomic.Uint64
+}
+
+// NewProofServer attaches a proof server to m. cacheSize is the total
+// entry budget (≤ 0 selects DefaultProofCacheSize). Must be created
+// before traffic: it subscribes to m's publications for invalidation.
+func NewProofServer(m *RootMaintainer, cacheSize int) *ProofServer {
+	if cacheSize <= 0 {
+		cacheSize = DefaultProofCacheSize
+	}
+	ps := &ProofServer{m: m}
+	perShard := (cacheSize + proofCacheShards - 1) / proofCacheShards
+	for i := range ps.shards {
+		ps.shards[i].order = list.New()
+		ps.shards[i].entries = make(map[string]*list.Element)
+		ps.shards[i].cap = perShard
+	}
+	m.Subscribe(ps.onPublish)
+	return ps
+}
+
+func (ps *ProofServer) shardFor(key string) *proofShard {
+	// FNV-1a over the key; cheap and stable.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &ps.shards[h%proofCacheShards]
+}
+
+// onPublish runs on the maintainer's worker goroutine, in publication
+// order: advance the served root first (so racing misses against the
+// older snapshot skip their inserts), then evict the block's dirty keys.
+func (ps *ProofServer) onPublish(up Update) {
+	ps.latestHeight.Store(up.Root.Height)
+	ps.mu.Lock()
+	ps.latest = up
+	ps.hasUp = true
+	ps.mu.Unlock()
+	for _, key := range up.Dirty {
+		sh := ps.shardFor(key)
+		sh.mu.Lock()
+		if e, ok := sh.entries[key]; ok {
+			sh.order.Remove(e)
+			delete(sh.entries, key)
+			ps.invalidated.Add(1)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// VerifiedGet returns key's value with a Merkle proof and the signed
+// root it verifies under. A cache hit serves without touching the trie;
+// a miss proves against the latest published snapshot and caches the
+// result.
+func (ps *ProofServer) VerifiedGet(key string) (VerifiedValue, error) {
+	sh := ps.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.order.MoveToFront(e)
+		val := e.Value.(*proofEntry).val
+		sh.mu.Unlock()
+		ps.hits.Add(1)
+		ps.served.Add(1)
+		val.StaleBlocks = ps.staleness(val.Root.Height)
+		return val, nil
+	}
+	sh.mu.Unlock()
+	ps.misses.Add(1)
+
+	ps.mu.RLock()
+	up, ok := ps.latest, ps.hasUp
+	ps.mu.RUnlock()
+	if !ok {
+		return VerifiedValue{}, ErrNoRoot
+	}
+	proof, found := up.Snap.Prove([]byte(key))
+	ps.generated.Add(1)
+	if !found {
+		return VerifiedValue{}, fmt.Errorf("%w: %q", ErrKeyAbsent, key)
+	}
+	val := VerifiedValue{Value: proof.Value, Proof: proof, Root: up.Root}
+
+	// Insert unless a newer root has published since we proved: the
+	// invalidation pass for that root already ran, so caching this proof
+	// could strand a stale entry until the key is next written.
+	if ps.latestHeight.Load() == up.Root.Height {
+		sh.mu.Lock()
+		if _, exists := sh.entries[key]; !exists {
+			sh.entries[key] = sh.order.PushFront(&proofEntry{key: key, val: val})
+			for len(sh.entries) > sh.cap {
+				back := sh.order.Back()
+				sh.order.Remove(back)
+				delete(sh.entries, back.Value.(*proofEntry).key)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	ps.served.Add(1)
+	val.StaleBlocks = ps.staleness(up.Root.Height)
+	return val, nil
+}
+
+// staleness is how many blocks the served root trails what the
+// maintainer has applied.
+func (ps *ProofServer) staleness(rootHeight uint64) uint64 {
+	if applied := ps.m.Stats().AppliedHeight; applied > rootHeight {
+		return applied - rootHeight
+	}
+	return 0
+}
+
+// Root returns the latest signed root the server would serve against.
+func (ps *ProofServer) Root() (SignedRoot, bool) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return ps.latest.Root, ps.hasUp
+}
+
+// ResetCache empties the proof cache; the counters stay monotone.
+// Benchmarks use it to measure the cold path.
+func (ps *ProofServer) ResetCache() {
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.Lock()
+		sh.order.Init()
+		clear(sh.entries)
+		sh.mu.Unlock()
+	}
+}
+
+// Stats returns the proof cache's monotone counters.
+func (ps *ProofServer) Stats() ProofCacheStats {
+	return ProofCacheStats{
+		Hits:        ps.hits.Load(),
+		Misses:      ps.misses.Load(),
+		Generated:   ps.generated.Load(),
+		Invalidated: ps.invalidated.Load(),
+		Served:      ps.served.Load(),
+	}
+}

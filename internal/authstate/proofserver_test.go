@@ -1,0 +1,227 @@
+package authstate
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dichotomy/internal/ads/mpt"
+	"dichotomy/internal/state"
+	"dichotomy/internal/txn"
+
+	"dichotomy/internal/cryptoutil"
+)
+
+func newServed(t *testing.T, publishEvery, cacheSize int) (*RootMaintainer, *ProofServer) {
+	t.Helper()
+	m, err := New(Config{Signer: cryptoutil.MustNewSigner("endorser"), PublishEvery: publishEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, NewProofServer(m, cacheSize)
+}
+
+func put(key, val string, h uint64) []state.VersionedWrite {
+	return []state.VersionedWrite{{
+		Write:   txn.Write{Key: key, Value: []byte(val)},
+		Version: txn.Version{BlockNum: h},
+	}}
+}
+
+// TestWarmCacheServesWithoutTraversal pins the acceptance criterion: a
+// warm-cache VerifiedGet performs zero trie traversal — the Generated
+// counter (one per trie walk) stays flat while Hits climbs.
+func TestWarmCacheServesWithoutTraversal(t *testing.T) {
+	m, ps := newServed(t, 1, 0)
+	if err := m.Submit(1, put("acct", "100", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := ps.VerifiedGet("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mpt.VerifyProof(cold.Root.Root, []byte("acct"), cold.Proof); err != nil {
+		t.Fatalf("cold proof: %v", err)
+	}
+	if st := ps.Stats(); st.Generated != 1 || st.Misses != 1 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	for i := 0; i < 50; i++ {
+		warm, err := ps.VerifiedGet("acct")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mpt.VerifyProof(warm.Root.Root, []byte("acct"), warm.Proof); err != nil {
+			t.Fatalf("warm proof: %v", err)
+		}
+		if err := warm.Root.Verify(m.Public()); err != nil {
+			t.Fatalf("warm root sig: %v", err)
+		}
+	}
+	st := ps.Stats()
+	if st.Generated != 1 {
+		t.Fatalf("warm hits traversed the trie: Generated = %d, want 1", st.Generated)
+	}
+	if st.Hits != 50 || st.Served != 51 {
+		t.Fatalf("stats = %+v, want 50 hits / 51 served", st)
+	}
+}
+
+// TestDirtyKeyInvalidation: a write to a cached key evicts exactly that
+// entry at the next publication; untouched keys keep serving from cache.
+func TestDirtyKeyInvalidation(t *testing.T) {
+	m, ps := newServed(t, 1, 0)
+	ws := append(put("hot", "1", 1), put("cold", "1", 1)...)
+	if err := m.Submit(1, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"hot", "cold"} {
+		if _, err := ps.VerifiedGet(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := m.Submit(2, put("hot", "2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	hot, err := ps.VerifiedGet("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(hot.Value) != "2" || hot.Root.Height != 2 {
+		t.Fatalf("invalidated key served stale: value %q at height %d", hot.Value, hot.Root.Height)
+	}
+	cold, err := ps.VerifiedGet("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := ps.Stats(); st.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", st.Invalidated)
+	}
+	// The untouched key's cached proof is from root 1 — still verifiable
+	// against the root it carries.
+	if err := mpt.VerifyProof(cold.Root.Root, []byte("cold"), cold.Proof); err != nil {
+		t.Fatalf("cached proof vs its own root: %v", err)
+	}
+}
+
+func TestVerifiedGetErrors(t *testing.T) {
+	m, ps := newServed(t, 1, 0)
+	if _, err := ps.VerifiedGet("anything"); err == nil {
+		t.Fatal("VerifiedGet before first root succeeded")
+	}
+	if err := m.Submit(1, put("present", "1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.VerifiedGet("ghost"); err == nil {
+		t.Fatal("absent key served")
+	}
+}
+
+// TestLRUEviction: the cache respects its entry budget.
+func TestLRUEviction(t *testing.T) {
+	m, ps := newServed(t, 1, 32)
+	ws := make([]state.VersionedWrite, 0, 256)
+	for i := 0; i < 256; i++ {
+		ws = append(ws, put(fmt.Sprintf("k%03d", i), "v", 1)...)
+	}
+	if err := m.Submit(1, ws); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := ps.VerifiedGet(fmt.Sprintf("k%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := 0
+	for i := range ps.shards {
+		sh := &ps.shards[i]
+		sh.mu.Lock()
+		cached += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	if cached > 32+proofCacheShards { // per-shard rounding slack
+		t.Fatalf("cache holds %d entries, budget 32", cached)
+	}
+}
+
+// TestConcurrentReadersUnderWrites hammers VerifiedGet from many
+// goroutines while blocks keep publishing — the -race exercise for the
+// snapshot/cache/invalidation machinery. Every served proof must verify
+// against the root it carries.
+func TestConcurrentReadersUnderWrites(t *testing.T) {
+	m, ps := newServed(t, 1, 64)
+	const keys = 40
+	seed := make([]state.VersionedWrite, 0, keys)
+	for i := 0; i < keys; i++ {
+		seed = append(seed, put(fmt.Sprintf("k%02d", i), "0", 1)...)
+	}
+	if err := m.Submit(1, seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WaitFor(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("k%02d", i%keys)
+				i++
+				got, err := ps.VerifiedGet(k)
+				if err != nil {
+					t.Errorf("VerifiedGet(%s): %v", k, err)
+					return
+				}
+				if err := mpt.VerifyProof(got.Root.Root, []byte(k), got.Proof); err != nil {
+					t.Errorf("proof for %s at height %d: %v", k, got.Root.Height, err)
+					return
+				}
+				if err := got.Root.Verify(m.Public()); err != nil {
+					t.Errorf("root sig at height %d: %v", got.Root.Height, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for h := uint64(2); h <= 40; h++ {
+		if err := m.Submit(h, put(fmt.Sprintf("k%02d", int(h)%keys), fmt.Sprintf("%d", h), h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.WaitFor(40, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}

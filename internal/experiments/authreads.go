@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/ads/mpt"
+	"dichotomy/internal/bench"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/metrics"
+	"dichotomy/internal/system/quorum"
+	"dichotomy/internal/workload/smallbank"
+)
+
+// AuthReads measures the proof-serving light-client read layer under
+// write pressure: Smallbank writers commit through Quorum while N
+// verifying readers call VerifiedGet on node 0's proof server and check
+// every proof (mpt.VerifyProof) and root signature locally — the full
+// light-client verification loop. The sweep crosses reader count, proof
+// cache budget, and root publish interval (the lag knob): proof p99 and
+// cache hit rate show what the cache buys, staleness shows what lag
+// costs, and writer tps shows the interference the off-commit-path
+// design is supposed to avoid.
+func AuthReads(w io.Writer, sc Scale) {
+	Header(w, "AuthReads: verified reads vs Smallbank writes (readers × cache × root lag)")
+	Row(w, "system", "readers", "cache", "lag", "write-tps", "proof-p50", "proof-p99", "hit%", "stale-mean", "stale-max", "reads")
+	client := Client()
+	sbCfg := smallbank.Config{Accounts: sc.Accounts, Theta: 1}
+
+	type point struct {
+		readers, cache, lag int
+	}
+	points := []point{
+		{4, 4096, 1},
+		{16, 4096, 1},
+		{16, 64, 1}, // cache far below the key space: mostly trie walks
+		{16, 4096, 4},
+	}
+	for _, pt := range points {
+		nw, err := quorum.New(quorum.Config{
+			Nodes:            sc.Nodes,
+			RootPublishEvery: pt.lag,
+			ProofCacheSize:   pt.cache,
+		})
+		if err != nil {
+			Row(w, "quorum-raft", pt.readers, pt.cache, pt.lag, "build-error", err.Error())
+			continue
+		}
+		nw.RegisterClient(client.Name(), client.Public())
+		if err := preloadSmallbank(nw, sbCfg, client); err != nil {
+			nw.Close()
+			continue
+		}
+
+		ps := nw.Proofs(0)
+		pub := nw.Auth(0).Public()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		hists := make([]*metrics.LocalHistogram, pt.readers)
+		var staleSum, staleMax, reads atomic.Uint64
+		base := ps.Stats()
+		for g := 0; g < pt.readers; g++ {
+			hists[g] = new(metrics.LocalHistogram)
+			wg.Add(1)
+			go func(g int, h *metrics.LocalHistogram) {
+				defer wg.Done()
+				i := g
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Pace the reader: a light client polls, it does not
+					// busy-spin — and an unthrottled loop would starve the
+					// writers' consensus goroutines of CPU, measuring
+					// scheduler contention instead of read-path cost.
+					//lint:allow sleepyloop fixed read pacing, not a retry loop
+					time.Sleep(200 * time.Microsecond)
+					key := "chk:" + smallbank.Account(i%sbCfg.Accounts)
+					i += pt.readers
+					start := time.Now()
+					got, err := ps.VerifiedGet(key)
+					if err != nil {
+						continue // no root yet, or a checking account not preloaded
+					}
+					if mpt.VerifyProof(got.Root.Root, []byte(key), got.Proof) != nil {
+						continue // never expected; counted out of the latency series
+					}
+					if got.Root.Verify(pub) != nil {
+						continue
+					}
+					h.Record(time.Since(start))
+					reads.Add(1)
+					staleSum.Add(got.StaleBlocks)
+					for {
+						cur := staleMax.Load()
+						if got.StaleBlocks <= cur || staleMax.CompareAndSwap(cur, got.StaleBlocks) {
+							break
+						}
+					}
+				}
+			}(g, hists[g])
+		}
+
+		r := RunSmallbank(nw, sbCfg, sc, client)
+		close(stop)
+		wg.Wait()
+		st := ps.Stats()
+		nw.Close()
+
+		proofs := hists[0]
+		for _, h := range hists[1:] {
+			proofs.Merge(h)
+		}
+		hits := st.Hits - base.Hits
+		misses := st.Misses - base.Misses
+		hitPct := 0.0
+		if hits+misses > 0 {
+			hitPct = 100 * float64(hits) / float64(hits+misses)
+		}
+		staleMean := 0.0
+		if n := reads.Load(); n > 0 {
+			staleMean = float64(staleSum.Load()) / float64(n)
+		}
+		Row(w, nw.Name(), pt.readers, pt.cache, pt.lag,
+			r.TPS, proofs.Percentile(50), proofs.Percentile(99),
+			hitPct, staleMean, staleMax.Load(), reads.Load())
+	}
+}
+
+// preloadSmallbank seeds the account table so readers have keys to prove.
+func preloadSmallbank(nw *quorum.Network, cfg smallbank.Config, client *cryptoutil.Signer) error {
+	txs, err := cfg.LoadTxs(client)
+	if err != nil {
+		return err
+	}
+	return bench.Preload(nw, txs, 16)
+}

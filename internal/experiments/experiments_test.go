@@ -184,3 +184,28 @@ func TestRecoveryRuns(t *testing.T) {
 		t.Fatalf("want 2 verified rows per mode, got full=%d delta=%d:\n%s", fullRows, deltaRows, out)
 	}
 }
+
+func TestAuthReadsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins four quorum networks")
+	}
+	var buf bytes.Buffer
+	AuthReads(&buf, tiny())
+	out := buf.String()
+	if !strings.Contains(out, "AuthReads") {
+		t.Fatalf("missing banner:\n%s", out)
+	}
+	if strings.Contains(out, "build-error") {
+		t.Fatalf("sweep failed to build:\n%s", out)
+	}
+	// Banner + column header + one row per sweep point.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 2+4; got != want {
+		t.Fatalf("got %d output lines, want %d:\n%s", got, want, out)
+	}
+	for _, line := range lines[2:] {
+		if !strings.HasPrefix(strings.TrimSpace(line), "quorum-raft") {
+			t.Fatalf("unexpected row: %q\n%s", line, out)
+		}
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"dichotomy/internal/ads/mpt"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/txn"
@@ -173,5 +175,34 @@ func TestBigchainSerialNoConflicts(t *testing.T) {
 	close(fails)
 	for f := range fails {
 		t.Error(f)
+	}
+}
+
+// TestVeritasAuthState: with AuthState on, the ledgerless prototype still
+// exposes a signed, provable state commitment per verifier.
+func TestVeritasAuthState(t *testing.T) {
+	v, err := NewVeritas(VeritasConfig{Verifiers: 3, AuthState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	client := cryptoutil.MustNewSigner("client")
+	if r := v.Execute(kvTx(t, client, "put", "k", "1")); !r.Committed {
+		t.Fatalf("put: %+v", r)
+	}
+	h := v.Height(0)
+	sr, err := v.Auth(0).WaitFor(h, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Verify(v.Auth(0).Public()); err != nil {
+		t.Fatalf("root sig: %v", err)
+	}
+	got, err := v.Proofs(0).VerifiedGet("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mpt.VerifyProof(got.Root.Root, []byte("k"), got.Proof); err != nil {
+		t.Fatalf("proof: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dichotomy/internal/authstate"
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
@@ -84,6 +86,13 @@ type VeritasConfig struct {
 	// signatures in one cryptoutil.VerifyBatch pass per worker chunk
 	// instead of per-tx curve checks. Per-tx verdicts are identical.
 	BatchVerify bool
+	// AuthState, when set, gives every verifier an off-commit-path
+	// authenticated state commitment (internal/authstate): a per-verifier
+	// RootMaintainer consumes each batch's write set and publishes
+	// signed roots, and a ProofServer answers verified light-client
+	// reads. Off by default — the prototype's trusted-verifier model has
+	// no Merkle maintenance at all, which is its throughput edge.
+	AuthState bool
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -116,6 +125,8 @@ type veritasNode struct {
 	idx      int
 	st       *state.Store
 	consumer *sharedlog.Consumer
+	auth     *authstate.RootMaintainer // nil unless AuthState
+	proofs   *authstate.ProofServer    // nil unless AuthState
 	pipe     *pipeline.Pipeline[sharedlog.Batch, *veritasBatch]
 	ckpt     *recovery.Checkpointer // nil when checkpointing is off
 	height   atomic.Uint64
@@ -165,6 +176,18 @@ func NewVeritas(cfg VeritasConfig) (*Veritas, error) {
 			idx:    i,
 			st:     state.New(eng, 0),
 			stopCh: make(chan struct{}),
+		}
+		if cfg.AuthState {
+			signer, err := cryptoutil.NewSigner(fmt.Sprintf("veritas-verifier-%d", i))
+			if err == nil {
+				n.auth, err = authstate.New(authstate.Config{Signer: signer})
+			}
+			if err != nil {
+				n.st.Close()
+				v.Close()
+				return nil, fmt.Errorf("veritas verifier %d: root maintainer: %w", i, err)
+			}
+			n.proofs = authstate.NewProofServer(n.auth, 0)
 		}
 		if cfg.CheckpointInterval > 0 {
 			n.ckpt, err = recovery.NewCheckpointer(n.st, recovery.Options{
@@ -346,12 +369,26 @@ func (n *veritasNode) applyBatch(vb *veritasBatch) {
 		}
 	}
 	stage := n.st.NewBlock()
+	var deltas []state.VersionedWrite
 	for i, t := range vb.txs {
 		if vb.verdicts[i] == occ.OK {
-			stage.StageAll(t.RWSet.Writes, txn.Version{BlockNum: height, TxNum: uint32(i)})
+			ver := txn.Version{BlockNum: height, TxNum: uint32(i)}
+			stage.StageAll(t.RWSet.Writes, ver)
+			if n.auth != nil {
+				for _, w := range t.RWSet.Writes {
+					deltas = append(deltas, state.VersionedWrite{Write: w, Version: ver})
+				}
+			}
 		}
 	}
 	vb.applyErr = stage.Commit()
+	if n.auth != nil && vb.applyErr == nil {
+		// Off the apply path: the maintainer hashes the delta on its own
+		// worker. ErrClosed only happens at shutdown.
+		if err := n.auth.Submit(height, deltas); err != nil && err != authstate.ErrClosed {
+			vb.applyErr = err
+		}
+	}
 	n.height.Store(height)
 	if n.ckpt != nil && vb.applyErr == nil {
 		//lint:allow errshadow failure retained in LastErr for the recovery stats
@@ -395,6 +432,10 @@ func (v *Veritas) CrashVerifier(i int) {
 	if n.ckpt != nil {
 		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
+	if n.auth != nil {
+		n.auth.Close()
+		n.auth, n.proofs = nil, nil
+	}
 	n.st.Close()
 }
 
@@ -434,6 +475,38 @@ func (v *Veritas) RecoverVerifier(i int, maxCkptHeight uint64) (recovery.Stats, 
 	ckptHeight := stats.CheckpointHeight
 	stats.TipHeight = v.log.Batches()
 
+	if v.cfg.AuthState {
+		// Rebuild the commitment through the maintainer's delta path: one
+		// synthetic delta at the checkpoint height, then catch-up batches
+		// feed it per batch as live applies do.
+		signer, serr := cryptoutil.NewSigner(fmt.Sprintf("veritas-verifier-%d", i))
+		if serr != nil {
+			st.Close()
+			return stats, fmt.Errorf("veritas verifier %d: signer: %w", i, serr)
+		}
+		auth, aerr := authstate.New(authstate.Config{Signer: signer})
+		if aerr != nil {
+			st.Close()
+			return stats, fmt.Errorf("veritas verifier %d: root maintainer: %w", i, aerr)
+		}
+		if ckptHeight > 0 {
+			var seed []state.VersionedWrite
+			st.Dump(func(key string, value []byte, ver txn.Version) bool {
+				seed = append(seed, state.VersionedWrite{
+					Write:   txn.Write{Key: key, Value: bytes.Clone(value)},
+					Version: ver,
+				})
+				return true
+			})
+			if err := auth.Submit(ckptHeight, seed); err != nil {
+				auth.Close()
+				st.Close()
+				return stats, fmt.Errorf("veritas verifier %d: seed root maintainer: %w", i, err)
+			}
+		}
+		n.auth, n.proofs = auth, authstate.NewProofServer(auth, 0)
+	}
+
 	n.st = st
 	n.height.Store(ckptHeight)
 	n.stopCh = make(chan struct{})
@@ -465,6 +538,13 @@ func (v *Veritas) ReadState(key string) ([]byte, bool) {
 // State exposes verifier i's striped state store (tests and inspection).
 func (v *Veritas) State(i int) *state.Store { return v.nodes[i].st }
 
+// Auth exposes verifier i's root maintainer (nil unless AuthState).
+func (v *Veritas) Auth(i int) *authstate.RootMaintainer { return v.nodes[i].auth }
+
+// Proofs exposes verifier i's proof server (nil unless AuthState) — the
+// light-client read endpoint.
+func (v *Veritas) Proofs(i int) *authstate.ProofServer { return v.nodes[i].proofs }
+
 // Close implements system.System.
 func (v *Veritas) Close() {
 	v.closeOne.Do(func() {
@@ -476,6 +556,9 @@ func (v *Veritas) Close() {
 			n.wg.Wait()
 			if n.ckpt != nil {
 				n.ckpt.Close()
+			}
+			if n.auth != nil {
+				n.auth.Close()
 			}
 			n.st.Close()
 		}

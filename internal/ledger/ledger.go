@@ -21,6 +21,13 @@ type Header struct {
 	ParentHash cryptoutil.Hash
 	TxRoot     cryptoutil.Hash
 	StateRoot  cryptoutil.Hash
+	// StateRootHeight is the block height StateRoot was computed at.
+	// Systems that maintain the state commitment asynchronously
+	// (internal/authstate) stamp headers with the latest *published*
+	// root, which may trail Number by a bounded number of blocks; a
+	// synchronous system sets it equal to Number. Zero means no state
+	// commitment (Fabric v2 has no Merkle index).
+	StateRootHeight uint64
 }
 
 // Block is a header plus its transaction payloads. The ledger is agnostic
@@ -33,8 +40,9 @@ type Block struct {
 // Hash returns the block's chaining hash (over the header only, as in
 // Ethereum — the TxRoot commits to the body).
 func (b *Block) Hash() cryptoutil.Hash {
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], b.Header.Number)
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[:8], b.Header.Number)
+	binary.BigEndian.PutUint64(buf[8:], b.Header.StateRootHeight)
 	return cryptoutil.HashConcat(
 		buf[:],
 		b.Header.ParentHash[:],
@@ -55,7 +63,7 @@ func ComputeTxRoot(txs [][]byte) cryptoutil.Hash {
 // StorageSize returns the block's serialized footprint: header plus
 // payloads. Fig 12's "Fabric-block" series sums this.
 func (b *Block) StorageSize() int64 {
-	size := int64(8 + 32*3 + 32) // header + own hash
+	size := int64(8 + 8 + 32*3 + 32) // header + own hash
 	for _, tx := range b.Txs {
 		size += int64(len(tx)) + 4
 	}

@@ -26,6 +26,7 @@
 package fabric
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -33,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dichotomy/internal/authstate"
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
@@ -124,6 +126,14 @@ type Config struct {
 	// aggregate check fails, preserving exact verdicts. Takes precedence
 	// over BatchVerify on the validate path.
 	AggregateEndorsements bool
+	// AuthState, when set, gives every peer an off-commit-path
+	// authenticated state commitment (internal/authstate): the committer
+	// hands each block's write set to a per-peer RootMaintainer, sealed
+	// headers carry the latest published signed root, and a per-peer
+	// ProofServer answers verified light-client reads. Off by default —
+	// real Fabric v2 has no Merkle index over state (that absence is
+	// Fig 12's point) — so the storage experiments are unaffected.
+	AuthState bool
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -192,6 +202,8 @@ type peer struct {
 	ledger   *ledger.Ledger
 	st       *state.Store
 	consumer *sharedlog.Consumer
+	auth     *authstate.RootMaintainer // nil unless Config.AuthState
+	proofs   *authstate.ProofServer    // nil unless Config.AuthState
 	pipe     *pipeline.Pipeline[sharedlog.Batch, *fabricBlock]
 	ckpt     *recovery.Checkpointer // nil when checkpointing is off
 	stopCh   chan struct{}
@@ -267,6 +279,13 @@ func New(cfg Config) (*Network, error) {
 		// Appended before the fallible checkpointer setup so Close
 		// reaches this peer's engine on the error path.
 		nw.peers = append(nw.peers, p)
+		if cfg.AuthState {
+			p.auth, err = authstate.New(authstate.Config{Signer: signer})
+			if err != nil {
+				return fail(fmt.Errorf("fabric %s: root maintainer: %w", name, err))
+			}
+			p.proofs = authstate.NewProofServer(p.auth, 0)
+		}
 		if cfg.CheckpointInterval > 0 {
 			p.ckpt, err = recovery.NewCheckpointer(p.st, recovery.Options{
 				Dir:       ckptDir(cfg.DataDir, name),
@@ -581,14 +600,30 @@ func (p *peer) applyBlock(b *fabricBlock) {
 	// commit no longer panics the peer: the error travels to Seal, which
 	// reports it to every client waiting on the block.
 	blk := p.st.NewBlock()
+	var deltas []state.VersionedWrite
 	for i, t := range b.txs {
 		if b.verdicts[i] != occ.OK {
 			continue
 		}
-		blk.StageAll(t.RWSet.Writes, txn.Version{BlockNum: blockNum, TxNum: uint32(i)})
+		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
+		blk.StageAll(t.RWSet.Writes, ver)
+		if p.auth != nil {
+			for _, w := range t.RWSet.Writes {
+				deltas = append(deltas, state.VersionedWrite{Write: w, Version: ver})
+			}
+		}
 	}
 	if err := blk.Commit(); err != nil {
 		b.commitErr = fmt.Errorf("fabric %s: block commit: %w", p.name, err)
+		return
+	}
+	if p.auth != nil {
+		// Off-commit-path commitment: the maintainer hashes this delta on
+		// its own worker. ErrClosed only happens on shutdown — the delta
+		// dies with the peer, as a crash would lose it.
+		if err := p.auth.Submit(blockNum, deltas); err != nil && err != authstate.ErrClosed {
+			b.commitErr = fmt.Errorf("fabric %s: root maintainer: %w", p.name, err)
+		}
 	}
 }
 
@@ -606,13 +641,22 @@ func (p *peer) sealBlock(b *fabricBlock) {
 		if head := p.ledger.Head(); head != nil {
 			parent = head.Hash()
 		}
+		hdr := ledger.Header{
+			Number:     p.ledger.Height() + 1,
+			ParentHash: parent,
+			TxRoot:     ledger.ComputeTxRoot(payloads),
+		}
+		// With AuthState on, headers carry the latest published signed
+		// root — possibly a few blocks behind Number (bounded staleness).
+		if p.auth != nil {
+			if up, ok := p.auth.Published(); ok {
+				hdr.StateRoot = up.Root.Root
+				hdr.StateRootHeight = up.Root.Height
+			}
+		}
 		lb := &ledger.Block{
-			Header: ledger.Header{
-				Number:     p.ledger.Height() + 1,
-				ParentHash: parent,
-				TxRoot:     ledger.ComputeTxRoot(payloads),
-			},
-			Txs: payloads,
+			Header: hdr,
+			Txs:    payloads,
 		}
 		if err := p.ledger.Append(lb); err != nil {
 			b.commitErr = fmt.Errorf("fabric %s: ledger append: %w", p.name, err)
@@ -661,6 +705,10 @@ func (nw *Network) CrashPeer(i int) {
 	if p.ckpt != nil {
 		p.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
+	if p.auth != nil {
+		p.auth.Close()
+		p.auth, p.proofs = nil, nil
+	}
 	p.st.Close()
 	p.ledger = nil
 }
@@ -705,6 +753,37 @@ func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stat
 	}
 	p.ckpt = ckpt
 	ckptHeight := stats.CheckpointHeight
+
+	if nw.cfg.AuthState {
+		// Rebuild the commitment through the maintainer's delta path: the
+		// restored store dumps as one synthetic delta at the checkpoint
+		// height, and replay then feeds per-block deltas as live commits
+		// do (the trie root is content-determined).
+		if p.auth != nil {
+			p.auth.Close()
+		}
+		auth, aerr := authstate.New(authstate.Config{Signer: p.signer})
+		if aerr != nil {
+			st.Close()
+			return stats, fmt.Errorf("fabric %s: root maintainer: %w", p.name, aerr)
+		}
+		p.auth, p.proofs = auth, authstate.NewProofServer(auth, 0)
+		if ckptHeight > 0 {
+			var seed []state.VersionedWrite
+			st.Dump(func(key string, value []byte, ver txn.Version) bool {
+				seed = append(seed, state.VersionedWrite{
+					Write:   txn.Write{Key: key, Value: bytes.Clone(value)},
+					Version: ver,
+				})
+				return true
+			})
+			if err := auth.Submit(ckptHeight, seed); err != nil {
+				auth.Close()
+				st.Close()
+				return stats, fmt.Errorf("fabric %s: seed root maintainer: %w", p.name, err)
+			}
+		}
+	}
 
 	// Rebuild the ledger prefix up to the checkpoint by copying verified
 	// blocks from the healthy replica, then replay the tail through the
@@ -757,6 +836,13 @@ func (nw *Network) State(i int) *state.Store { return nw.peers[i].st }
 // Ledger exposes peer i's ledger.
 func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.peers[i].ledger }
 
+// Auth exposes peer i's root maintainer (nil unless Config.AuthState).
+func (nw *Network) Auth(i int) *authstate.RootMaintainer { return nw.peers[i].auth }
+
+// Proofs exposes peer i's proof server (nil unless Config.AuthState) —
+// the light-client read endpoint.
+func (nw *Network) Proofs(i int) *authstate.ProofServer { return nw.peers[i].proofs }
+
 // StateBytes returns peer 0's state footprint; BlockBytes its ledger
 // footprint (Fig 12's two series).
 func (nw *Network) StateBytes() int64 { return nw.peers[0].st.ApproxSize() }
@@ -775,6 +861,9 @@ func (nw *Network) Close() {
 			p.wg.Wait()
 			if p.ckpt != nil {
 				p.ckpt.Close()
+			}
+			if p.auth != nil {
+				p.auth.Close()
 			}
 			if p.st != nil {
 				p.st.Close()

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"dichotomy/internal/ads/mpt"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
 	"dichotomy/internal/occ"
@@ -161,5 +162,44 @@ func TestBlockBytesExceedStateBytes(t *testing.T) {
 	}
 	if nw.BlockBytes() <= nw.StateBytes() {
 		t.Fatalf("blocks %d ≤ state %d; history not retained?", nw.BlockBytes(), nw.StateBytes())
+	}
+}
+
+// TestAuthStateServesVerifiedReads: with AuthState on, committed writes
+// become provable through each peer's proof server, every peer's signed
+// root converges to the same hash, and sealed headers carry it.
+func TestAuthStateServesVerifiedReads(t *testing.T) {
+	nw, client := network(t, Config{Peers: 3, AuthState: true})
+	for i := 0; i < 5; i++ {
+		if r := nw.Execute(mustTx(t, client, "put", fmt.Sprintf("k%d", i), "v")); !r.Committed {
+			t.Fatalf("put %d: %+v", i, r)
+		}
+	}
+	tip := nw.Ledger(0).Height()
+	roots := make([]cryptoutil.Hash, 3)
+	for i := 0; i < 3; i++ {
+		sr, err := nw.Auth(i).WaitFor(tip, 10*time.Second)
+		if err != nil {
+			t.Fatalf("peer %d root: %v", i, err)
+		}
+		if err := sr.Verify(nw.Auth(i).Public()); err != nil {
+			t.Fatalf("peer %d root sig: %v", i, err)
+		}
+		roots[i] = sr.Root
+	}
+	if roots[0] != roots[1] || roots[1] != roots[2] {
+		t.Fatalf("peer roots diverge: %x %x %x", roots[0], roots[1], roots[2])
+	}
+	got, err := nw.Proofs(0).VerifiedGet("k0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mpt.VerifyProof(got.Root.Root, []byte("k0"), got.Proof); err != nil {
+		t.Fatalf("proof: %v", err)
+	}
+	// A header sealed after the first publication carries a signed root.
+	head := nw.Ledger(0).Head()
+	if head.Header.Number > 1 && head.Header.StateRootHeight == 0 {
+		t.Fatalf("head at %d carries no state commitment", head.Header.Number)
 	}
 }

@@ -22,6 +22,7 @@
 package quorum
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -29,7 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"dichotomy/internal/ads/mpt"
+	"dichotomy/internal/authstate"
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/consensus"
 	"dichotomy/internal/consensus/ibft"
@@ -114,6 +115,14 @@ type Config struct {
 	// bisection isolating exactly the bad transaction). Per-tx verdicts
 	// are identical to the serial path.
 	BatchVerify bool
+	// RootPublishEvery signs and publishes the authenticated state root
+	// every N blocks (internal/authstate); ≤ 0 selects 1 (every block).
+	// Larger values trade root freshness for maintenance cost — the
+	// root-lag knob the authreads experiment sweeps.
+	RootPublishEvery int
+	// ProofCacheSize is the per-node proof-server cache budget in
+	// entries (≤ 0 selects the authstate default).
+	ProofCacheSize int
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -162,9 +171,9 @@ type Network struct {
 var _ system.System = (*Network)(nil)
 
 // node is one Quorum validator. Committed state lives in the shared
-// striped state layer; the MPT commitment is node-local and guarded by
-// its own mutex (it is only touched by the serial commit loop and the
-// state-root accessors).
+// striped state layer; the MPT commitment is node-local, maintained by
+// the node's RootMaintainer worker off the commit path and read only
+// through its published snapshots.
 type node struct {
 	id        cluster.NodeID
 	nw        *Network
@@ -172,8 +181,9 @@ type node struct {
 	reg       *contract.Registry
 	ledger    *ledger.Ledger
 	st        *state.Store
-	trieMu    sync.Mutex
-	trie      *mpt.Trie
+	signer    *cryptoutil.Signer
+	auth      *authstate.RootMaintainer
+	proofs    *authstate.ProofServer
 	pipe      *pipeline.Pipeline[consensus.Entry, *nodeBlock]
 	ckpt      *recovery.Checkpointer // nil when checkpointing is off
 	pendingMu sync.Mutex
@@ -249,9 +259,22 @@ func New(cfg Config) (*Network, error) {
 			reg:    contract.NewRegistry(cfg.Contracts...),
 			ledger: ledger.New(),
 			st:     state.New(eng, 0),
-			trie:   mpt.New(),
 			stopCh: make(chan struct{}),
 		}
+		n.signer, err = cryptoutil.NewSigner(fmt.Sprintf("quorum-node-%d", id))
+		if err != nil {
+			n.st.Close() // not yet in nw.nodes; Close won't reach it
+			return fail(fmt.Errorf("quorum node %d: signer: %w", id, err))
+		}
+		n.auth, err = authstate.New(authstate.Config{
+			Signer:       n.signer,
+			PublishEvery: cfg.RootPublishEvery,
+		})
+		if err != nil {
+			n.st.Close()
+			return fail(fmt.Errorf("quorum node %d: root maintainer: %w", id, err))
+		}
+		n.proofs = authstate.NewProofServer(n.auth, cfg.ProofCacheSize)
 		if cfg.CheckpointInterval > 0 {
 			n.ckpt, err = recovery.NewCheckpointer(n.st, recovery.Options{
 				Dir:       ckptDir(cfg.DataDir, id),
@@ -260,7 +283,8 @@ func New(cfg Config) (*Network, error) {
 				FullEvery: cfg.CheckpointFullEvery,
 			})
 			if err != nil {
-				n.st.Close() // not yet in nw.nodes; Close won't reach it
+				n.auth.Close()
+				n.st.Close()
 				return fail(fmt.Errorf("quorum node %d: checkpointer: %w", id, err))
 			}
 		}
@@ -538,10 +562,12 @@ func (n *node) applyBlock(nb *nodeBlock) {
 			return n.reg.Execute(view, blk.txs[i].Invocation)
 		})
 
-	// Stage writes in block order (later writers win) and rebuild the MPT
-	// commitment — the per-block hashing of Fig 11.
+	// Stage writes in block order (later writers win) and collect the
+	// block's delta for the root maintainer. The MPT no longer sits on
+	// this path — the per-block hashing of Fig 11 moved to the
+	// maintainer's worker (internal/authstate).
 	stage := n.st.NewBlock()
-	n.trieMu.Lock()
+	var deltas []state.VersionedWrite
 	for i, t := range blk.txs {
 		if err := errs[i]; err != nil {
 			if nb.authErrs[i] != nil {
@@ -554,11 +580,7 @@ func (n *node) applyBlock(nb *nodeBlock) {
 		ver := txn.Version{BlockNum: blockNum, TxNum: uint32(i)}
 		for _, w := range rws[i].Writes {
 			stage.Stage(w, ver)
-			if w.Value == nil {
-				n.trie.Delete([]byte(w.Key))
-			} else {
-				n.trie.Put([]byte(w.Key), w.Value)
-			}
+			deltas = append(deltas, state.VersionedWrite{Write: w, Version: ver})
 		}
 		nb.results[i] = system.Result{Committed: true}
 		if n.id == blk.proposer {
@@ -569,8 +591,15 @@ func (n *node) applyBlock(nb *nodeBlock) {
 	// Seal, which reports it to every client waiting on the block.
 	if err := stage.Commit(); err != nil {
 		nb.commitErr = fmt.Errorf("quorum node %d: block commit: %w", n.id, err)
+		return
 	}
-	n.trieMu.Unlock()
+	// Hand the committed delta to the root maintainer. Submit only blocks
+	// when the maintainer trails by a full queue — the backpressure that
+	// bounds root staleness. ErrClosed means the node is shutting down;
+	// the delta dies with it, as a crash would lose it.
+	if err := n.auth.Submit(blockNum, deltas); err != nil && err != authstate.ErrClosed {
+		nb.commitErr = fmt.Errorf("quorum node %d: root maintainer: %w", n.id, err)
+	}
 }
 
 // sealBlock appends the ledger block and resolves the waiting clients
@@ -584,10 +613,16 @@ func (n *node) sealBlock(nb *nodeBlock) {
 	for i, t := range blk.txs {
 		payloads[i] = t.Marshal()
 	}
-	// MPT reconstruction result: the per-block state commitment.
-	n.trieMu.Lock()
-	stateRoot := n.trie.RootHash()
-	n.trieMu.Unlock()
+	// The header carries the latest *published* state commitment — the
+	// seal path no longer waits for (or computes) this block's root, so
+	// the commitment may trail Number by a bounded number of blocks
+	// (authstate's queue depth plus the publish interval).
+	var stateRoot cryptoutil.Hash
+	var stateRootHeight uint64
+	if up, ok := n.auth.Published(); ok {
+		stateRoot = up.Root.Root
+		stateRootHeight = up.Root.Height
+	}
 	if nb.commitErr == nil {
 		var parent cryptoutil.Hash
 		if head := n.ledger.Head(); head != nil {
@@ -595,10 +630,11 @@ func (n *node) sealBlock(nb *nodeBlock) {
 		}
 		lb := &ledger.Block{
 			Header: ledger.Header{
-				Number:     n.ledger.Height() + 1,
-				ParentHash: parent,
-				TxRoot:     ledger.ComputeTxRoot(payloads),
-				StateRoot:  stateRoot,
+				Number:          n.ledger.Height() + 1,
+				ParentHash:      parent,
+				TxRoot:          ledger.ComputeTxRoot(payloads),
+				StateRoot:       stateRoot,
+				StateRootHeight: stateRootHeight,
 			},
 			Txs: payloads,
 		}
@@ -646,9 +682,11 @@ func (nw *Network) CrashNode(i int) {
 	if n.ckpt != nil {
 		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
+	n.auth.Close() // queued root deltas die with the process too
 	n.st.Close()
 	n.ledger = nil
-	n.trie = nil
+	n.auth = nil
+	n.proofs = nil
 }
 
 // RecoverNode rebuilds crashed node i from its newest on-disk checkpoint
@@ -689,15 +727,39 @@ func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stat
 	n.ckpt = ckpt
 	ckptHeight := stats.CheckpointHeight
 
-	// Seed the MPT commitment from the restored state — the trie root is
-	// content-determined, so rebuilding it from the checkpoint and then
-	// updating it incrementally during replay lands on the same root the
-	// never-crashed node reached incrementally from genesis.
-	trie := mpt.New()
-	st.Range(func(key string, value []byte) bool {
-		trie.Put([]byte(key), value)
-		return true
+	// Seed the state commitment through the maintainer's delta path: the
+	// restored store dumps as one synthetic block-ckptHeight delta, and
+	// replay then feeds per-block deltas exactly as live commits do. The
+	// trie root is content-determined, so this lands on the same root the
+	// never-crashed node reached incrementally from genesis — without the
+	// O(n) inline reseed the committer used to perform.
+	if n.auth != nil {
+		n.auth.Close()
+	}
+	auth, err := authstate.New(authstate.Config{
+		Signer:       n.signer,
+		PublishEvery: nw.cfg.RootPublishEvery,
 	})
+	if err != nil {
+		st.Close()
+		return stats, fmt.Errorf("quorum node %d: root maintainer: %w", n.id, err)
+	}
+	proofs := authstate.NewProofServer(auth, nw.cfg.ProofCacheSize)
+	if ckptHeight > 0 {
+		var seed []state.VersionedWrite
+		st.Dump(func(key string, value []byte, ver txn.Version) bool {
+			seed = append(seed, state.VersionedWrite{
+				Write:   txn.Write{Key: key, Value: bytes.Clone(value)},
+				Version: ver,
+			})
+			return true
+		})
+		if err := auth.Submit(ckptHeight, seed); err != nil {
+			auth.Close()
+			st.Close()
+			return stats, fmt.Errorf("quorum node %d: seed root maintainer: %w", n.id, err)
+		}
+	}
 
 	led := ledger.New()
 	for bn := uint64(1); bn <= ckptHeight; bn++ {
@@ -711,9 +773,8 @@ func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stat
 			return stats, fmt.Errorf("quorum: copy block %d: %w", bn, err)
 		}
 	}
-	n.trieMu.Lock()
-	n.st, n.ledger, n.trie = st, led, trie
-	n.trieMu.Unlock()
+	n.st, n.ledger = st, led
+	n.auth, n.proofs = auth, proofs
 
 	replayStart := time.Now()
 	stats.ReplayedBlocks, err = recovery.Replay(recovery.LedgerSource{L: src.ledger}, ckptHeight,
@@ -767,21 +828,56 @@ func (nw *Network) State(i int) *state.Store { return nw.nodes[i].st }
 // Ledger exposes a node's ledger for verification in tests and examples.
 func (nw *Network) Ledger(i int) *ledger.Ledger { return nw.nodes[i].ledger }
 
-// StateRoot returns node i's current MPT commitment.
+// Auth exposes node i's root maintainer (nil on a crashed node) for
+// tests and the authreads experiment.
+func (nw *Network) Auth(i int) *authstate.RootMaintainer { return nw.nodes[i].auth }
+
+// Proofs exposes node i's proof server (nil on a crashed node) — the
+// light-client read endpoint.
+func (nw *Network) Proofs(i int) *authstate.ProofServer { return nw.nodes[i].proofs }
+
+// StateRoot returns node i's state commitment at its current ledger tip,
+// waiting for the asynchronous maintainer to catch up to it (the
+// synchronous answer tests and cross-replica comparisons expect).
 func (nw *Network) StateRoot(i int) cryptoutil.Hash {
 	n := nw.nodes[i]
-	n.trieMu.Lock()
-	defer n.trieMu.Unlock()
-	return n.trie.RootHash()
+	if n.auth == nil {
+		return cryptoutil.Hash{}
+	}
+	tip := uint64(0)
+	if n.ledger != nil {
+		tip = n.ledger.Height()
+	}
+	if tip == 0 {
+		return cryptoutil.Hash{}
+	}
+	if sr, err := n.auth.WaitFor(tip, 30*time.Second); err == nil {
+		return sr.Root
+	}
+	// PublishEvery > 1 never publishes non-multiple heights; fall back to
+	// the freshest published root.
+	if up, ok := n.auth.Published(); ok {
+		return up.Root.Root
+	}
+	return cryptoutil.Hash{}
 }
 
 // StateBytes returns node 0's state storage footprint (engine bytes plus
-// MPT node store), for the storage experiments.
+// MPT node store), for the storage experiments. It waits for the root
+// maintainer to reach the ledger tip so the trie reflects every sealed
+// block.
 func (nw *Network) StateBytes() int64 {
 	n := nw.nodes[0]
-	n.trieMu.Lock()
-	defer n.trieMu.Unlock()
-	return n.st.ApproxSize() + n.trie.StorageBytes()
+	size := n.st.ApproxSize()
+	if n.auth != nil && n.ledger != nil {
+		if tip := n.ledger.Height(); tip > 0 {
+			_, _ = n.auth.WaitFor(tip, 30*time.Second)
+		}
+		if up, ok := n.auth.Published(); ok {
+			size += up.Snap.StorageBytes()
+		}
+	}
+	return size
 }
 
 // Close implements system.System.
@@ -798,6 +894,9 @@ func (nw *Network) Close() {
 			}
 			if n.ckpt != nil {
 				n.ckpt.Close()
+			}
+			if n.auth != nil {
+				n.auth.Close()
 			}
 			if n.st != nil {
 				n.st.Close()
