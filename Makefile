@@ -12,7 +12,7 @@ test:
 	go test -timeout 10m ./...
 
 race:
-	go test -race -count=1 -timeout 10m ./internal/bench/... ./internal/cluster/... ./internal/sharedlog/... ./internal/state/... ./internal/system/... ./internal/mvcc/... ./internal/pipeline/... ./internal/hybrid/... ./internal/recovery/... ./internal/storage/lsm/...
+	go test -race -count=1 -timeout 10m ./internal/bench/... ./internal/cluster/... ./internal/ingress/... ./internal/sharedlog/... ./internal/state/... ./internal/system/... ./internal/mvcc/... ./internal/pipeline/... ./internal/hybrid/... ./internal/recovery/... ./internal/storage/lsm/...
 
 # Identical to the CI dichotomy-lint step: build the analyzer suite and
 # run it over every package through go vet's vettool protocol.

@@ -156,6 +156,18 @@ func BenchmarkRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkIngress runs the mempool front-door overload sweep at two
+// representative offered-load multiples: at peak (the door is invisible)
+// and at 4× peak (the pool fills, blocks grow toward MaxBlock, and the
+// overflow sheds at admission as typed retryable errors instead of
+// wedging consensus). The printed rows carry the shed/dedup/throttle
+// decomposition; the ns/op trend guards the Submit path's overhead in
+// the CI bench trajectory.
+func BenchmarkIngress(b *testing.B) {
+	sc := benchScale()
+	runOnce(b, func() { experiments.Ingress(os.Stderr, sc, []float64{1, 4}) })
+}
+
 // BenchmarkStateScaling measures the shared state layer's worker scaling:
 // a single-stripe store (the old per-system global lock, reproduced
 // exactly by shards=1) against the striped default, at 1/4/16 workers

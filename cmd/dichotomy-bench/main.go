@@ -62,7 +62,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify authreads\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify authreads ingress\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -87,6 +87,7 @@ func main() {
 		ckmodes = []string{"full", "delta"}
 		crashes = []float64{0.5, 1.0}
 		vmodes  = []string{"serial", "batch", "aggregate"}
+		mults   = []float64{1, 2, 4}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -103,6 +104,7 @@ func main() {
 		depths = []int{1, 2, 4}
 		ckints = []uint64{2, 8, 32, 128}
 		crashes = []float64{0.25, 0.5, 0.75, 1.0}
+		mults = []float64{0.5, 1, 2, 4, 8}
 	}
 
 	runners := map[string]func(){
@@ -126,10 +128,11 @@ func main() {
 		"recovery":   func() { experiments.Recovery(os.Stdout, sc, ckmodes, ckints, crashes) },
 		"sigverify":  func() { experiments.SigVerify(os.Stdout, sc, vmodes) },
 		"authreads":  func() { experiments.AuthReads(os.Stdout, sc) },
+		"ingress":    func() { experiments.Ingress(os.Stdout, sc, mults) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention", "blockshape", "recovery", "sigverify", "authreads"}
+		"contention", "blockshape", "recovery", "sigverify", "authreads", "ingress"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

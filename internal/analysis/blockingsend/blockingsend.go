@@ -1,6 +1,6 @@
 // Package blockingsend forbids raw blocking channel sends in the
 // transport and consensus layers (internal/cluster, internal/consensus,
-// internal/sharedlog).
+// internal/sharedlog) and the admission front door (internal/ingress).
 //
 // The invariant: a consensus state machine or transport pump that
 // blocks on `ch <- v` while a peer is slow (or crashed, or its inbox
@@ -25,11 +25,15 @@ var scopes = []string{
 	"internal/cluster",
 	"internal/consensus",
 	"internal/sharedlog",
+	// The mempool sits upstream of consensus with the same obligation: a
+	// Submit or builder that blocks on a raw send wedges every client at
+	// the front door instead of shedding.
+	"internal/ingress",
 }
 
 var Analyzer = &analysis.Analyzer{
 	Name: "blockingsend",
-	Doc:  "channel sends in cluster/consensus/sharedlog must be non-blocking (select with default/timeout) or go through Endpoint.Send",
+	Doc:  "channel sends in cluster/consensus/sharedlog/ingress must be non-blocking (select with default/timeout) or go through Endpoint.Send",
 	Run:  run,
 }
 

@@ -14,6 +14,16 @@ func TestBlockingSend(t *testing.T) {
 	})
 }
 
+// The ingress front door carries the same obligation as the transport
+// layers: the demo fixture's findings must reproduce under its import
+// path.
+func TestIngressScope(t *testing.T) {
+	analyzertest.Run(t, blockingsend.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/ingress/demo",
+	})
+}
+
 // Outside the transport/consensus scope a blocking send is a legitimate
 // rendezvous; the same file must produce no findings.
 func TestOutOfScope(t *testing.T) {

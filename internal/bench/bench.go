@@ -122,6 +122,10 @@ type Report struct {
 	Committed uint64
 	Aborted   uint64
 	Errors    uint64
+	// Sheds counts the subset of Errors that were admission rejections
+	// (errors.Is(Err, ingress.ErrOverloaded)): never executed, safe to
+	// retry. Errors - Sheds is the infrastructure-failure count.
+	Sheds uint64
 	// Elapsed is the measured window: warm-up end to the last recorded
 	// sample, so in-flight transactions finishing past the deadline count
 	// in both the numerator and the denominator of TPS.
@@ -225,6 +229,7 @@ func buildReport(name string, opt Options, measureFrom time.Time, offered uint64
 		report.Committed += sh.committed
 		report.Aborted += sh.aborted
 		report.Errors += sh.errs
+		report.Sheds += sh.sheds
 		lat.Merge(&sh.lat)
 		qdelay.Merge(&sh.qdelay)
 		for reason, n := range sh.abortBy {

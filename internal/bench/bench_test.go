@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -24,14 +25,23 @@ type stubSystem struct {
 func (s *stubSystem) Name() string { return "stub" }
 
 func (s *stubSystem) Execute(t *txn.Tx) system.Result {
-	n := s.count.Add(1)
-	if s.latency > 0 {
-		time.Sleep(s.latency)
+	return system.ExecuteViaSubmit(s, t)
+}
+
+func (s *stubSystem) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	if s.abortK > 0 && n%s.abortK == 0 {
-		return system.Result{Reason: occ.ReadWriteConflict}
-	}
-	return system.Result{Committed: true}
+	return system.GoSubmit(func() system.Result {
+		n := s.count.Add(1)
+		if s.latency > 0 {
+			time.Sleep(s.latency)
+		}
+		if s.abortK > 0 && n%s.abortK == 0 {
+			return system.Result{Reason: occ.ReadWriteConflict}
+		}
+		return system.Result{Committed: true}
+	}), nil
 }
 
 func (s *stubSystem) Close() {}
@@ -132,9 +142,16 @@ type errSystem struct{ stubSystem }
 
 var errBoom = errors.New("boom")
 
-func (e *errSystem) Execute(*txn.Tx) system.Result {
+func (e *errSystem) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(e, t)
+}
+
+func (e *errSystem) Submit(ctx context.Context, _ *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.count.Add(1)
-	return system.Result{Err: errBoom}
+	return system.ResolvedHandle(system.Result{Err: errBoom}), nil
 }
 
 func TestPreloadSurfacesError(t *testing.T) {

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
+	"dichotomy/internal/ingress"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/system"
@@ -17,6 +19,10 @@ type shard struct {
 	committed uint64
 	aborted   uint64
 	errs      uint64
+	// sheds counts admission rejections (ingress.ErrOverloaded): the
+	// transaction never executed and is safe to retry, so it is split
+	// from errs, which covers infrastructure failures of unknown effect.
+	sheds uint64
 	// lat holds service latency (dispatch to completion) of commits.
 	lat metrics.LocalHistogram
 	// qdelay holds scheduled-arrival-to-dispatch delay (open loop only).
@@ -44,6 +50,9 @@ func (sh *shard) record(t *txn.Tx, r system.Result, service time.Duration, end t
 		sh.lat.Record(service)
 	case r.Err != nil && r.Reason == occ.OK:
 		sh.errs++
+		if errors.Is(r.Err, ingress.ErrOverloaded) {
+			sh.sheds++
+		}
 	default:
 		sh.aborted++
 		sh.abortBy[r.Reason.String()]++

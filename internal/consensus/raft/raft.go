@@ -213,6 +213,11 @@ func (n *Node) Leader() cluster.NodeID {
 	return n.leaderID
 }
 
+// Dropped returns the replica's transport drop counter — sends its
+// bounded endpoint queue refused. Aggregators (the shared log's Dropped)
+// report it as the consensus-side overload signal.
+func (n *Node) Dropped() uint64 { return n.cfg.Endpoint.Dropped() }
+
 // Term returns the current term; tests observe elections with it.
 func (n *Node) Term() uint64 {
 	n.mu.Lock()

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -122,8 +123,21 @@ type TiKV struct{ C *tidb.Cluster }
 // Name implements system.System.
 func (t TiKV) Name() string { return "tikv" }
 
-// Execute implements system.System.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (t TiKV) Execute(x *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(t, x)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (the adapter has no mempool-fed path).
+func (t TiKV) Submit(ctx context.Context, x *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return t.execute(x) }), nil
+}
+
+func (t TiKV) execute(x *txn.Tx) system.Result {
 	inv := x.Invocation
 	switch inv.Method {
 	case "get":

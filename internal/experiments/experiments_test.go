@@ -209,3 +209,27 @@ func TestAuthReadsRuns(t *testing.T) {
 		}
 	}
 }
+
+func TestIngressRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins three mempool-fed systems across load points")
+	}
+	var buf bytes.Buffer
+	Ingress(&buf, tiny(), []float64{1})
+	out := buf.String()
+	for _, want := range []string{"Ingress:", "door-p99", "shed", "fabric", "quorum-raft", "veritas-like"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ingress output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{"build-error", "preload-error", "no-peak"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("ingress sweep failed:\n%s", out)
+		}
+	}
+	// Banner + column header + one row per system per multiplier.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got, want := len(lines), 2+3; got != want {
+		t.Fatalf("got %d output lines, want %d:\n%s", got, want, out)
+	}
+}

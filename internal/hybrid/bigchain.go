@@ -1,6 +1,7 @@
 package hybrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -175,9 +176,23 @@ func validatorCkptDir(dataDir string, i int) string {
 // Name implements system.System.
 func (b *Bigchain) Name() string { return "bigchaindb-like" }
 
-// Execute implements system.System: the whole transaction is ordered
-// first, then executed identically on every node's local database.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (b *Bigchain) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(b, t)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (this system has no mempool-fed path).
+func (b *Bigchain) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return b.execute(t) }), nil
+}
+
+// execute is the blocking path: the whole transaction is ordered first,
+// then executed identically on every node's local database.
+func (b *Bigchain) execute(t *txn.Tx) system.Result {
 	// Count only live consumers: a crashed validator's commit stream is
 	// drained without Take, so counting it would leak the entry in the
 	// box for every post-crash commit.
@@ -194,7 +209,7 @@ func (b *Bigchain) Execute(t *txn.Tx) system.Result {
 	id := b.box.Put(t, live)
 	start := time.Now()
 	// Any validator accepts the proposal (PBFT forwards internally).
-	if err := b.nodes[0].cons.Propose(system.Handle(id)); err != nil {
+	if err := b.nodes[0].cons.Propose(system.EncodeHandle(id)); err != nil {
 		b.waiters.Cancel(string(t.ID[:]))
 		return system.Result{Err: err}
 	}

@@ -2,6 +2,7 @@ package hybrid
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ingress"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/pipeline"
@@ -40,7 +42,8 @@ type Veritas struct {
 	log      *sharedlog.Service
 	nodes    []*veritasNode
 	waiters  *system.Waiters
-	clients  sync.Map // name → cryptoutil.PublicKey
+	clients  sync.Map         // name → cryptoutil.PublicKey
+	ing      *ingress.Ingress // nil without VeritasConfig.Ingress
 	closeOne sync.Once
 }
 
@@ -93,6 +96,13 @@ type VeritasConfig struct {
 	// reads. Off by default — the prototype's trusted-verifier model has
 	// no Merkle maintenance at all, which is its throughput edge.
 	AuthState bool
+	// Ingress, when set, puts the ingress front door (internal/ingress)
+	// in front of the prototype: Submit feeds a bounded deduplicating
+	// mempool, the builder executes admitted batches locally and drives
+	// the shared log's batch cutting from arrival pressure, and overload
+	// sheds at admission with ingress.ErrOverloaded. Nil keeps the
+	// paper-faithful direct path.
+	Ingress *ingress.Config
 	// Link models the network.
 	Link cluster.LinkModel
 }
@@ -216,6 +226,14 @@ func NewVeritas(cfg VeritasConfig) (*Veritas, error) {
 		go n.applyLoop()
 		v.nodes = append(v.nodes, n)
 	}
+	if cfg.Ingress != nil {
+		ing, err := ingress.New(*cfg.Ingress, v.ingestBatch)
+		if err != nil {
+			v.Close()
+			return nil, fmt.Errorf("veritas: ingress: %w", err)
+		}
+		v.ing = ing
+	}
 	return v, nil
 }
 
@@ -251,35 +269,65 @@ func (v *Veritas) clientKey(name string) (cryptoutil.PublicKey, bool) {
 	return pubAny.(cryptoutil.PublicKey), true
 }
 
-// Execute implements system.System: concurrent local execution, then the
-// effect (not the transaction) goes through the shared log — marshalled
-// whole, as Veritas ships effects through Kafka. Self-contained records
-// are what make the retained log tail a replay source: a crashed
-// verifier resubscribes above its checkpoint and catches up through its
-// ordinary apply pipeline.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (v *Veritas) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(v, t)
+}
+
+// Submit implements system.System. With an ingress front door every
+// transaction goes through the mempool (reads resolve at build time,
+// right after their local execution); without one the direct execute
+// path runs on its own goroutine.
+func (v *Veritas) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if v.ing == nil {
+		return system.GoSubmit(func() system.Result { return v.execute(t) }), nil
+	}
+	return v.ing.Submit(ctx, t)
+}
+
+// executeLocal runs t against the first verifier's committed state and
+// classifies the outcome: done=true means r is final (error, business
+// abort, or a read-only commit); done=false means t's effect (now in
+// t.RWSet) must go through the shared log. Shared by the direct execute
+// path and the ingress batch sink.
+func (v *Veritas) executeLocal(t *txn.Tx, reg *contract.Registry) (r system.Result, done bool) {
 	n := v.nodes[0] // any node can execute; effects are ordered globally
 	if n.crashed.Load() {
-		return system.Result{Err: errors.New("veritas: executing verifier is down")}
+		return system.Result{Err: errors.New("veritas: executing verifier is down")}, true
 	}
 	var rw txn.RWSet
 	var err error
 	t.Trace.Time(metrics.PhaseExecute, func() {
 		snap := n.st.Snapshot()
 		defer snap.Release()
-		reg := contract.NewRegistry(contract.KV{}, contract.Smallbank{})
 		rw, err = reg.Execute(snap, t.Invocation)
 	})
 	if err != nil {
 		if errors.Is(err, contract.ErrAbort) {
-			return system.Result{Reason: occ.OK, Err: err}
+			return system.Result{Reason: occ.OK, Err: err}, true
 		}
-		return system.Result{Err: err}
+		return system.Result{Err: err}, true
 	}
 	if len(rw.Writes) == 0 {
-		return system.Result{Committed: true}
+		return system.Result{Committed: true}, true
 	}
 	t.RWSet = rw
+	return system.Result{}, false
+}
+
+// execute is the direct blocking path: concurrent local execution, then
+// the effect (not the transaction) goes through the shared log —
+// marshalled whole, as Veritas ships effects through Kafka.
+// Self-contained records are what make the retained log tail a replay
+// source: a crashed verifier resubscribes above its checkpoint and
+// catches up through its ordinary apply pipeline.
+func (v *Veritas) execute(t *txn.Tx) system.Result {
+	if r, done := v.executeLocal(t, contract.NewRegistry(contract.KV{}, contract.Smallbank{})); done {
+		return r
+	}
 	done := v.waiters.Register(string(t.ID[:]))
 	start := time.Now()
 	if err := v.log.Append(t.Marshal()); err != nil {
@@ -295,6 +343,56 @@ func (v *Veritas) Execute(t *txn.Tx) system.Result {
 		return system.Result{Err: errors.New("veritas: commit timeout")}
 	}
 }
+
+// ingestBatch is the ingress builder's sink: it executes each admitted
+// transaction locally (serially, preserving the direct path's semantics
+// on the single executing verifier), resolves the ones whose outcome is
+// known immediately, drives the shared log's batch size from arrival
+// pressure, and appends the surviving effects with a bounded retry so a
+// pushed-back log throttles the builder instead of stalling it.
+func (v *Veritas) ingestBatch(txs []*txn.Tx) error {
+	reg := contract.NewRegistry(contract.KV{}, contract.Smallbank{})
+	survivors := make([]*txn.Tx, 0, len(txs))
+	for _, t := range txs {
+		r, done := v.executeLocal(t, reg)
+		if done {
+			v.ing.Resolve(t.ID, r)
+			continue
+		}
+		v.waiters.RegisterFunc(string(t.ID[:]), v.ing.Resolver(t.ID))
+		survivors = append(survivors, t)
+	}
+	if len(survivors) == 0 {
+		return nil
+	}
+	// Adaptive batch shape: cut the next log batch where arrival pressure
+	// put this one.
+	v.log.SetBatchSize(len(survivors))
+	var throttle error
+	for _, t := range survivors {
+		if err := v.log.AppendBounded(t.Marshal(), time.Second); err != nil {
+			v.waiters.Cancel(string(t.ID[:]))
+			v.ing.Resolve(t.ID, system.Result{
+				Err: fmt.Errorf("%w: shared log unavailable: %v", ingress.ErrOverloaded, err),
+			})
+			throttle = err
+		}
+	}
+	return throttle
+}
+
+// IngressStats returns the front door's counters; ok is false when the
+// prototype runs without an ingress.
+func (v *Veritas) IngressStats() (ingress.Stats, bool) {
+	if v.ing == nil {
+		return ingress.Stats{}, false
+	}
+	return v.ing.Stats(), true
+}
+
+// ConsensusDropped sums the shared log orderers' transport drop counters —
+// the consensus-side overload signal, as opposed to admission sheds.
+func (v *Veritas) ConsensusDropped() uint64 { return v.log.Dropped() }
 
 // applyLoop drives the verifier's batch pipeline over the shared log
 // until shutdown.
@@ -548,6 +646,11 @@ func (v *Veritas) Proofs(i int) *authstate.ProofServer { return v.nodes[i].proof
 // Close implements system.System.
 func (v *Veritas) Close() {
 	v.closeOne.Do(func() {
+		if v.ing != nil {
+			// Stop admission first: the builder drains or resolves what it
+			// holds while the log and verifiers below are still alive.
+			v.ing.Close()
+		}
 		v.log.Stop()
 		for _, n := range v.nodes {
 			n.stopOnce.Do(func() { close(n.stopCh) })

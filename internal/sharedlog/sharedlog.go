@@ -8,6 +8,7 @@
 package sharedlog
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -117,6 +118,77 @@ func (s *Service) Append(record []byte) error {
 			return consensus.ErrNotLeader
 		}
 	}
+}
+
+// TryAppend submits a record with a single pass over the orderers and no
+// retry: the last Propose error — cluster.ErrBackpressure from a full
+// forwarding queue included — surfaces to the caller. The ingress batch
+// builder uses it to observe consensus pushing back instead of hiding
+// the signal inside Append's patient loop.
+func (s *Service) TryAppend(record []byte) error {
+	select {
+	case <-s.stopCh:
+		return consensus.ErrStopped
+	default:
+	}
+	var err error
+	for _, o := range s.orderers {
+		if err = o.Propose(record); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// AppendBounded submits a record with a bounded exponential-backoff
+// retry: unlike Append it gives up after roughly budget of accumulated
+// waiting and returns the last error, so a throttling caller can shed
+// instead of stalling multi-second. The short retries still ride out
+// leader elections, which resolve in tens of milliseconds here.
+func (s *Service) AppendBounded(record []byte, budget time.Duration) error {
+	backoff := time.Millisecond
+	deadline := time.Now().Add(budget)
+	for {
+		err := s.TryAppend(record)
+		if err == nil || errors.Is(err, consensus.ErrStopped) {
+			return err
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		select {
+		case <-s.stopCh:
+			return consensus.ErrStopped
+		case <-time.After(backoff):
+		}
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// SetBatchSize adjusts the record count at which the service cuts a
+// batch — the adaptive block-shape knob the ingress builder drives from
+// arrival pressure. Values ≤ 0 are ignored.
+func (s *Service) SetBatchSize(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cfg.BatchSize = n
+	s.mu.Unlock()
+}
+
+// Dropped sums the orderer endpoints' dropped-send counters — the
+// consensus-side overload signal the ingress experiment reports next to
+// admission sheds (sheds are intentional; growing drops are the wedge
+// class the front door exists to prevent).
+func (s *Service) Dropped() uint64 {
+	var n uint64
+	for _, o := range s.orderers {
+		n += o.Dropped()
+	}
+	return n
 }
 
 // run consumes the orderer group's committed entries, cuts batches, and

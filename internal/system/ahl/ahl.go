@@ -9,6 +9,7 @@
 package ahl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -312,7 +313,7 @@ func (sh *shard) sequence(cmd *shardCmd) system.Result {
 	cmd.reqID = sh.seq.Add(1)
 	done := sh.waiters.Register(waitKey(cmd.reqID))
 	id := sh.box.Put(cmd, 1) // only the primary applier takes it
-	payload := system.Handle(id)
+	payload := system.EncodeHandle(id)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		proposed := false
@@ -341,8 +342,22 @@ func (sh *shard) sequence(cmd *shardCmd) system.Result {
 	}
 }
 
-// Execute implements system.System.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(c, t)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (this system has no mempool-fed path).
+func (c *Cluster) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return c.execute(t) }), nil
+}
+
+// execute is the blocking path.
+func (c *Cluster) execute(t *txn.Tx) system.Result {
 	// Reconfiguration pause: the whole system holds transactions during
 	// shard handoff.
 	if c.recfg != nil {

@@ -10,6 +10,7 @@
 package etcd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -155,7 +156,7 @@ func (c *Cluster) replicate(o *op) error {
 	o.reqID = c.reqSeq.Add(1)
 	done := c.waiters.Register(fmt.Sprintf("%d", o.reqID))
 	id := c.box.Put(o, len(c.nodes))
-	payload := system.Handle(id)
+	payload := system.EncodeHandle(id)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		proposed := false
@@ -211,10 +212,24 @@ func (c *Cluster) leader() *node {
 	}
 }
 
-// Execute implements system.System: single-operation requests only,
-// mirroring etcd's data model. Multi-op invocations are rejected the way
-// the paper excludes etcd from transactional workloads.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(c, t)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (this system has no mempool-fed path).
+func (c *Cluster) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return c.execute(t) }), nil
+}
+
+// execute serves single-operation requests only, mirroring etcd's data
+// model. Multi-op invocations are rejected the way the paper excludes
+// etcd from transactional workloads.
+func (c *Cluster) execute(t *txn.Tx) system.Result {
 	if t.Invocation.Contract != contract.KVName {
 		return system.Result{Err: fmt.Errorf("etcd: unsupported contract %q (no general transactions)", t.Invocation.Contract)}
 	}

@@ -27,9 +27,11 @@ package fabric
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"dichotomy/internal/cluster"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ingress"
 	"dichotomy/internal/ledger"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
@@ -134,6 +137,13 @@ type Config struct {
 	// real Fabric v2 has no Merkle index over state (that absence is
 	// Fig 12's point) — so the storage experiments are unaffected.
 	AuthState bool
+	// Ingress, when set, puts the ingress front door (internal/ingress)
+	// in front of the network: Submit feeds a bounded deduplicating
+	// mempool, an adaptive builder endorses admitted batches and drives
+	// the ordering service's block cutting from arrival pressure, and
+	// overload sheds at admission with ingress.ErrOverloaded instead of
+	// queueing without bound. Nil keeps the paper-faithful direct path.
+	Ingress *ingress.Config
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -175,6 +185,7 @@ type Network struct {
 	waiters  *system.Waiters
 	clients  sync.Map // name → cryptoutil.PublicKey
 	peerKeys map[string]cryptoutil.PublicKey
+	ing      *ingress.Ingress // nil without Config.Ingress
 
 	// Breakdown aggregates validate-phase sub-costs for Fig 8.
 	Breakdown *metrics.Breakdown
@@ -314,6 +325,13 @@ func New(cfg Config) (*Network, error) {
 		p.wg.Add(1)
 		go p.commitLoop()
 	}
+	if cfg.Ingress != nil {
+		ing, err := ingress.New(*cfg.Ingress, nw.ingestBatch)
+		if err != nil {
+			return fail(fmt.Errorf("fabric: ingress: %w", err))
+		}
+		nw.ing = ing
+	}
 	return nw, nil
 }
 
@@ -348,9 +366,30 @@ func (nw *Network) livePeers() []*peer {
 	return out
 }
 
-// Execute implements system.System: the full execute-order-validate
-// lifecycle for updates; local simulation for read-only invocations.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (nw *Network) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(nw, t)
+}
+
+// Submit implements system.System. Read-only invocations are served from
+// a single peer without ordering (as on the direct path) and never enter
+// the mempool; updates go through the ingress front door when one is
+// configured, and otherwise run the direct execute path on their own
+// goroutine.
+func (nw *Network) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	readOnly := t.Invocation.Method == "get" || t.Invocation.Method == "query"
+	if nw.ing == nil || readOnly {
+		return system.GoSubmit(func() system.Result { return nw.execute(t) }), nil
+	}
+	return nw.ing.Submit(ctx, t)
+}
+
+// execute is the direct blocking path: the full execute-order-validate
+// lifecycle for updates; local simulation for read-only invocations.
+func (nw *Network) execute(t *txn.Tx) system.Result {
 	readOnly := t.Invocation.Method == "get" || t.Invocation.Method == "query"
 	live := nw.livePeers()
 	if len(live) == 0 {
@@ -372,6 +411,40 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 	if len(live) < nw.needed() {
 		return system.Result{Err: fmt.Errorf("fabric: %d live peers, endorsement policy needs %d", len(live), nw.needed())}
 	}
+	if r, ok := nw.endorseAndAssemble(t, live); !ok {
+		return r
+	}
+
+	// Phase 2: ordering. The payload is taken once per live consumer —
+	// a crashed peer never Takes, so counting it would leak the entry
+	// forever. (A peer crashing between Put and decode still strands the
+	// one in-flight entry; that window is bounded by the pipeline depth,
+	// not by post-crash load.)
+	done := nw.waiters.Register(string(t.ID[:]))
+	orderStart := time.Now()
+	id := nw.box.Put(t, len(live))
+	if err := nw.ordering.Append(system.EncodeHandle(id)); err != nil {
+		nw.waiters.Cancel(string(t.ID[:]))
+		nw.box.Drop(id)
+		return system.Result{Err: err}
+	}
+	select {
+	case r := <-done:
+		t.Trace.Observe(metrics.PhaseOrder, time.Since(orderStart))
+		return r
+	case <-time.After(60 * time.Second):
+		nw.waiters.Cancel(string(t.ID[:]))
+		return system.Result{Err: errors.New("fabric: commit timeout")}
+	}
+}
+
+// endorseAndAssemble runs phase 1 for one update transaction against the
+// given live set: parallel endorsement on every peer, the client-side
+// read-consistency check, and assembly of the endorsement set onto t.
+// ok reports whether t may proceed to ordering; when false the returned
+// Result is the final verdict. Shared by the direct execute path and the
+// ingress batch sink.
+func (nw *Network) endorseAndAssemble(t *txn.Tx, live []*peer) (system.Result, bool) {
 	type endorsement struct {
 		rw  txn.RWSet
 		sig cryptoutil.Signature
@@ -391,7 +464,7 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 	t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
 	for _, r := range results {
 		if r.err != nil {
-			return system.Result{Err: r.err}
+			return system.Result{Err: r.err}, false
 		}
 	}
 	// Client-side consistency check across endorsers.
@@ -400,7 +473,7 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 		sets[i] = r.rw
 	}
 	if !occ.ConsistentReads(sets) {
-		return system.Result{Reason: occ.InconsistentRead}
+		return system.Result{Reason: occ.InconsistentRead}, false
 	}
 
 	// Assemble: adopt the first simulation result plus all signatures.
@@ -416,31 +489,85 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 		// its key. Committers that distrust the aggregate fall back to
 		// per-signature checks, so a bad cosign only costs the fast path.
 		if err := t.Cosign(live[0].signer); err != nil {
-			return system.Result{Err: fmt.Errorf("fabric: aggregate endorsement: %w", err)}
+			return system.Result{Err: fmt.Errorf("fabric: aggregate endorsement: %w", err)}, false
 		}
 	}
-
-	// Phase 2: ordering. The payload is taken once per live consumer —
-	// a crashed peer never Takes, so counting it would leak the entry
-	// forever. (A peer crashing between Put and decode still strands the
-	// one in-flight entry; that window is bounded by the pipeline depth,
-	// not by post-crash load.)
-	done := nw.waiters.Register(string(t.ID[:]))
-	orderStart := time.Now()
-	id := nw.box.Put(t, len(live))
-	if err := nw.ordering.Append(system.Handle(id)); err != nil {
-		nw.waiters.Cancel(string(t.ID[:]))
-		return system.Result{Err: err}
-	}
-	select {
-	case r := <-done:
-		t.Trace.Observe(metrics.PhaseOrder, time.Since(orderStart))
-		return r
-	case <-time.After(60 * time.Second):
-		nw.waiters.Cancel(string(t.ID[:]))
-		return system.Result{Err: errors.New("fabric: commit timeout")}
-	}
+	return system.Result{}, true
 }
+
+// ingestBatch is the ingress builder's sink: it owns every transaction
+// handed to it and resolves each one, either immediately (endorsement
+// failure, ordering unavailable) or through the registered waiter when
+// the commit pipeline seals the block. The returned error is purely a
+// throttle signal to the builder.
+func (nw *Network) ingestBatch(txs []*txn.Tx) error {
+	live := nw.livePeers()
+	if len(live) < nw.needed() {
+		err := fmt.Errorf("fabric: %d live peers, endorsement policy needs %d", len(live), nw.needed())
+		for _, t := range txs {
+			nw.ing.Resolve(t.ID, system.Result{Err: err})
+		}
+		return err
+	}
+	// Endorse the batch CPU-parallel — each transaction already fans out
+	// across peers, but signature verification and simulation are the
+	// builder's real cost and must not serialize block building.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(txs) {
+		workers = len(txs)
+	}
+	results := make([]system.Result, len(txs))
+	proceed := make([]bool, len(txs))
+	pipeline.Parallel(workers, len(txs), func(i int) {
+		results[i], proceed[i] = nw.endorseAndAssemble(txs[i], live)
+	})
+	survivors := 0
+	for i, t := range txs {
+		if !proceed[i] {
+			nw.ing.Resolve(t.ID, results[i])
+			continue
+		}
+		survivors++
+	}
+	if survivors == 0 {
+		return nil
+	}
+	// Adaptive block shape: cut the next ordering batch where arrival
+	// pressure put this one — small under light load, at the blockshape
+	// optimum under pressure.
+	nw.ordering.SetBatchSize(survivors)
+	var throttle error
+	for i, t := range txs {
+		if !proceed[i] {
+			continue
+		}
+		key := string(t.ID[:])
+		nw.waiters.RegisterFunc(key, nw.ing.Resolver(t.ID))
+		id := nw.box.Put(t, len(live))
+		if err := nw.ordering.AppendBounded(system.EncodeHandle(id), time.Second); err != nil {
+			nw.waiters.Cancel(key)
+			nw.box.Drop(id)
+			nw.ing.Resolve(t.ID, system.Result{
+				Err: fmt.Errorf("%w: ordering unavailable: %v", ingress.ErrOverloaded, err),
+			})
+			throttle = err
+		}
+	}
+	return throttle
+}
+
+// IngressStats returns the front door's counters; ok is false when the
+// network runs without an ingress.
+func (nw *Network) IngressStats() (ingress.Stats, bool) {
+	if nw.ing == nil {
+		return ingress.Stats{}, false
+	}
+	return nw.ing.Stats(), true
+}
+
+// ConsensusDropped sums the ordering service's transport drop counters —
+// the consensus-side overload signal, as opposed to admission sheds.
+func (nw *Network) ConsensusDropped() uint64 { return nw.ordering.Dropped() }
 
 // readValue extracts a point-read result for KV queries.
 func (p *peer) readValue(inv txn.Invocation) []byte {
@@ -853,6 +980,11 @@ func (nw *Network) BlockBytes() int64 { return nw.peers[0].ledger.StorageSize() 
 // Close implements system.System.
 func (nw *Network) Close() {
 	nw.closeOne.Do(func() {
+		if nw.ing != nil {
+			// Stop admission first: the builder drains or resolves what it
+			// holds while the ordering path below is still alive.
+			nw.ing.Close()
+		}
 		nw.ordering.Stop()
 		for _, p := range nw.peers {
 			p.stopOnce.Do(func() { close(p.stopCh) })

@@ -175,17 +175,36 @@ func TestAuthStateServesVerifiedReads(t *testing.T) {
 			t.Fatalf("put %d: %+v", i, r)
 		}
 	}
+	// Execute returns when the first peer seals the block, so peer 0's
+	// ledger may briefly trail the resolving peer; WaitFor(tip) can then
+	// return roots at different heights. Raise tip to the highest height
+	// any peer reports until all three answer at the same height — the
+	// network is quiescent, so heights are monotone and bounded.
 	tip := nw.Ledger(0).Height()
 	roots := make([]cryptoutil.Hash, 3)
-	for i := 0; i < 3; i++ {
-		sr, err := nw.Auth(i).WaitFor(tip, 10*time.Second)
-		if err != nil {
-			t.Fatalf("peer %d root: %v", i, err)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		heights := make([]uint64, 3)
+		for i := 0; i < 3; i++ {
+			sr, err := nw.Auth(i).WaitFor(tip, 10*time.Second)
+			if err != nil {
+				t.Fatalf("peer %d root: %v", i, err)
+			}
+			if err := sr.Verify(nw.Auth(i).Public()); err != nil {
+				t.Fatalf("peer %d root sig: %v", i, err)
+			}
+			roots[i] = sr.Root
+			heights[i] = sr.Height
+			if heights[i] > tip {
+				tip = heights[i]
+			}
 		}
-		if err := sr.Verify(nw.Auth(i).Public()); err != nil {
-			t.Fatalf("peer %d root sig: %v", i, err)
+		if heights[0] == heights[1] && heights[1] == heights[2] {
+			break
 		}
-		roots[i] = sr.Root
+		if time.Now().After(deadline) {
+			t.Fatalf("peer root heights never converge: %v", heights)
+		}
 	}
 	if roots[0] != roots[1] || roots[1] != roots[2] {
 		t.Fatalf("peer roots diverge: %x %x %x", roots[0], roots[1], roots[2])

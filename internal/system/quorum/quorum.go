@@ -23,6 +23,7 @@ package quorum
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -37,6 +38,7 @@ import (
 	"dichotomy/internal/consensus/raft"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ingress"
 	"dichotomy/internal/ledger"
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/occ"
@@ -123,6 +125,12 @@ type Config struct {
 	// ProofCacheSize is the per-node proof-server cache budget in
 	// entries (≤ 0 selects the authstate default).
 	ProofCacheSize int
+	// Ingress, when set, puts the ingress front door (internal/ingress)
+	// in front of the network: Submit feeds a bounded deduplicating
+	// mempool, the builder hands batches to the leader's transaction pool
+	// with a bounded handoff, and arrival pressure drives the proposer's
+	// block-cut size. Nil keeps the paper-faithful direct path.
+	Ingress *ingress.Config
 	// Link models the network; nil means zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
@@ -161,7 +169,12 @@ type Network struct {
 	nodes   []*node
 	box     *system.PayloadBox
 	waiters *system.Waiters
-	clients sync.Map // client name → cryptoutil.PublicKey
+	clients sync.Map         // client name → cryptoutil.PublicKey
+	ing     *ingress.Ingress // nil without Config.Ingress
+	// blockCap is the proposer's current block-cut cap: Config.BlockSize
+	// on the direct path, adaptively driven by the ingress builder's batch
+	// size when the front door is on.
+	blockCap atomic.Int64
 
 	rr       uint64
 	rrMu     sync.Mutex
@@ -178,6 +191,7 @@ type node struct {
 	id        cluster.NodeID
 	nw        *Network
 	cons      consensus.Node
+	ep        *cluster.Endpoint
 	reg       *contract.Registry
 	ledger    *ledger.Ledger
 	st        *state.Store
@@ -298,6 +312,7 @@ func New(cfg Config) (*Network, error) {
 			Seal:     n.sealBlock,
 		})
 		ep := nw.net.Register(id, 8192)
+		n.ep = ep
 		switch cfg.Consensus {
 		case Raft:
 			n.cons = raft.New(raft.Config{ID: id, Peers: peers, Endpoint: ep})
@@ -306,10 +321,19 @@ func New(cfg Config) (*Network, error) {
 		}
 		nw.nodes = append(nw.nodes, n)
 	}
+	nw.blockCap.Store(int64(cfg.BlockSize))
 	for _, n := range nw.nodes {
 		n.wg.Add(2)
 		go n.proposeLoop()
 		go n.commitLoop()
+	}
+	if cfg.Ingress != nil {
+		ing, err := ingress.New(*cfg.Ingress, nw.ingestBatch)
+		if err != nil {
+			nw.Close()
+			return nil, fmt.Errorf("quorum: ingress: %w", err)
+		}
+		nw.ing = ing
 	}
 	return nw, nil
 }
@@ -328,20 +352,55 @@ func (nw *Network) RegisterClient(name string, pub cryptoutil.PublicKey) {
 	nw.clients.Store(name, pub)
 }
 
-// Execute implements system.System: it submits the transaction to a node
-// (round robin) and blocks until the block containing it commits.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (nw *Network) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(nw, t)
+}
+
+// Submit implements system.System. Read-only invocations execute locally
+// against one node and never enter the mempool; updates go through the
+// ingress front door when one is configured, and otherwise run the direct
+// pool-and-wait path on their own goroutine.
+func (nw *Network) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	readOnly := t.Invocation.Method == "get" || t.Invocation.Method == "query"
+	if nw.ing == nil || readOnly {
+		return system.GoSubmit(func() system.Result { return nw.execute(t) }), nil
+	}
+	return nw.ing.Submit(ctx, t)
+}
+
+// pickLive returns a live node, round robin, or nil when none remain.
+func (nw *Network) pickLive() *node {
 	nw.rrMu.Lock()
-	var n *node
+	defer nw.rrMu.Unlock()
 	for range nw.nodes {
 		cand := nw.nodes[nw.rr%uint64(len(nw.nodes))]
 		nw.rr++
 		if !cand.crashed.Load() {
-			n = cand
-			break
+			return cand
 		}
 	}
-	nw.rrMu.Unlock()
+	return nil
+}
+
+// leaderOr returns the current live consensus leader, falling back to
+// fallback while no node leads (the proposeLoop re-routes strays).
+func (nw *Network) leaderOr(fallback *node) *node {
+	for _, cand := range nw.nodes {
+		if cand.cons.IsLeader() && !cand.crashed.Load() {
+			return cand
+		}
+	}
+	return fallback
+}
+
+// execute is the direct blocking path: it submits the transaction to a
+// node (round robin) and blocks until the block containing it commits.
+func (nw *Network) execute(t *txn.Tx) system.Result {
+	n := nw.pickLive()
 	if n == nil {
 		return system.Result{Err: errors.New("quorum: no live nodes")}
 	}
@@ -358,13 +417,7 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 	// gossips pending transactions so the proposer sees them. Enqueue on
 	// the current leader when known; the proposeLoop also re-routes any
 	// strays after leadership changes.
-	target := n
-	for _, cand := range nw.nodes {
-		if cand.cons.IsLeader() && !cand.crashed.Load() {
-			target = cand
-			break
-		}
-	}
+	target := nw.leaderOr(n)
 	target.pendingMu.Lock()
 	target.pending = append(target.pending, t)
 	target.pendingMu.Unlock()
@@ -376,6 +429,77 @@ func (nw *Network) Execute(t *txn.Tx) system.Result {
 		nw.waiters.Cancel(string(t.ID[:]))
 		return system.Result{Err: errors.New("quorum: commit timeout")}
 	}
+}
+
+// ingestBatch is the ingress builder's sink: it hands one built batch to
+// the leader's transaction pool under a bound, so a stalled proposer
+// pushes back on the builder instead of accumulating unbounded pending
+// work. It owns every handed transaction — each resolves either here
+// (no live node, handoff timeout) or through the seal path's waiter.
+func (nw *Network) ingestBatch(txs []*txn.Tx) error {
+	n := nw.pickLive()
+	if n == nil {
+		err := errors.New("quorum: no live nodes")
+		for _, t := range txs {
+			nw.ing.Resolve(t.ID, system.Result{Err: err})
+		}
+		return err
+	}
+	for _, t := range txs {
+		nw.waiters.RegisterFunc(string(t.ID[:]), nw.ing.Resolver(t.ID))
+	}
+	// Adaptive block shape: let the proposer cut where arrival pressure
+	// put this batch (never below the configured size, so the direct
+	// path's behavior is a floor).
+	capTxs := int64(len(txs))
+	if capTxs < int64(nw.cfg.BlockSize) {
+		capTxs = int64(nw.cfg.BlockSize)
+	}
+	nw.blockCap.Store(capTxs)
+	// Bounded handoff: wait briefly for pool space; a pool that stays
+	// full is consensus pushing back, and the overload must shed at
+	// admission rather than queue here.
+	bound := 4 * int(nw.blockCap.Load())
+	deadline := time.Now().Add(time.Second)
+	for {
+		target := nw.leaderOr(n)
+		target.pendingMu.Lock()
+		if len(target.pending)+len(txs) <= bound {
+			target.pending = append(target.pending, txs...)
+			target.pendingMu.Unlock()
+			return nil
+		}
+		target.pendingMu.Unlock()
+		if !time.Now().Before(deadline) {
+			err := fmt.Errorf("%w: proposer pool full (%d pending)", ingress.ErrOverloaded, bound)
+			for _, t := range txs {
+				nw.waiters.Cancel(string(t.ID[:]))
+				nw.ing.Resolve(t.ID, system.Result{Err: err})
+			}
+			return err
+		}
+		//lint:allow sleepyloop bounded 1s handoff poll; proposer pool has no vacancy channel
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// IngressStats returns the front door's counters; ok is false when the
+// network runs without an ingress.
+func (nw *Network) IngressStats() (ingress.Stats, bool) {
+	if nw.ing == nil {
+		return ingress.Stats{}, false
+	}
+	return nw.ing.Stats(), true
+}
+
+// ConsensusDropped sums the nodes' transport drop counters — the
+// consensus-side overload signal, as opposed to admission sheds.
+func (nw *Network) ConsensusDropped() uint64 {
+	var total uint64
+	for _, n := range nw.nodes {
+		total += n.ep.Dropped()
+	}
+	return total
 }
 
 // executeReadOnly serves a query from local committed state.
@@ -454,11 +578,12 @@ func (n *node) proposeLoop() {
 			}
 			continue
 		}
+		cut := int(n.nw.blockCap.Load())
 		n.pendingMu.Lock()
 		batch := n.pending
-		if len(batch) > n.nw.cfg.BlockSize {
-			n.pending = batch[n.nw.cfg.BlockSize:]
-			batch = batch[:n.nw.cfg.BlockSize]
+		if len(batch) > cut {
+			n.pending = batch[cut:]
+			batch = batch[:cut]
 		} else {
 			n.pending = nil
 		}
@@ -481,7 +606,7 @@ func (n *node) proposeLoop() {
 		// drained without Take, so counting it would leak the block in
 		// the box for every post-crash commit.
 		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, n.nw.liveNodes())
-		if err := n.cons.Propose(system.Handle(id)); err != nil {
+		if err := n.cons.Propose(system.EncodeHandle(id)); err != nil {
 			// Leadership moved between check and propose; requeue.
 			n.pendingMu.Lock()
 			n.pending = append(batch, n.pending...)
@@ -883,6 +1008,11 @@ func (nw *Network) StateBytes() int64 {
 // Close implements system.System.
 func (nw *Network) Close() {
 	nw.closeOne.Do(func() {
+		if nw.ing != nil {
+			// Stop admission first: the builder drains or resolves what it
+			// holds while the propose/commit paths below are still alive.
+			nw.ing.Close()
+		}
 		for _, n := range nw.nodes {
 			n.stopOnce.Do(func() { close(n.stopCh) })
 		}

@@ -11,6 +11,7 @@
 package spanner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -205,7 +206,7 @@ func (sh *shard) replicate(cmd *shardCmd) error {
 	cmd.reqID = sh.seq.Add(1)
 	done := sh.waiters.Register(fmt.Sprintf("s%d", cmd.reqID))
 	id := sh.box.Put(cmd, 1)
-	payload := system.Handle(id)
+	payload := system.EncodeHandle(id)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		ok := false
@@ -281,8 +282,22 @@ func (sh *shard) read(key string) ([]byte, bool) {
 	return v, ok
 }
 
-// Execute implements system.System: lock → execute → replicate via 2PC.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(c, t)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (this system has no mempool-fed path).
+func (c *Cluster) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return c.execute(t) }), nil
+}
+
+// execute is the blocking path: lock → execute → replicate via 2PC.
+func (c *Cluster) execute(t *txn.Tx) system.Result {
 	rw, keys, err := c.simulate(t.Invocation)
 	if err != nil {
 		if errors.Is(err, contract.ErrAbort) {

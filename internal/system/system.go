@@ -7,6 +7,7 @@
 package system
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -15,6 +16,16 @@ import (
 )
 
 // Result is the outcome of one transaction.
+//
+// The Err-vs-Reason contract: Reason classifies transaction-level
+// verdicts the system itself reached — occ.OK on commit, an abort reason
+// (stale read, write conflict, …) otherwise — while Err carries
+// infrastructure failures: timeouts, stopped services, storage errors,
+// and admission rejections. A Result with a non-nil Err and Reason ==
+// occ.OK means the transaction never received a verdict; in particular,
+// admission-control rejections from the ingress front door satisfy
+// errors.Is(Err, ingress.ErrOverloaded) and mean the transaction was
+// never executed, so the client may safely retry it.
 type Result struct {
 	// Committed reports whether the transaction's effects are durable.
 	Committed bool
@@ -27,14 +38,121 @@ type Result struct {
 }
 
 // System is a running transactional system under benchmark.
+//
+// Submit is the primary entry point; Execute is a thin Submit+Wait
+// wrapper kept for the closed-loop harness and callers that want the
+// blocking shape. Result's Err-vs-Reason contract (see Result) is shared
+// by both paths.
 type System interface {
 	// Name identifies the system in reports.
 	Name() string
 	// Execute runs tx to completion — commit or abort — and returns the
 	// outcome. Safe for concurrent use; the harness runs many clients.
 	Execute(tx *txn.Tx) Result
+	// Submit enqueues tx for asynchronous execution and returns a Handle
+	// resolving to its outcome. A non-nil error means the transaction was
+	// not accepted — a cancelled context, a closed system, or an
+	// admission rejection (ingress.ErrOverloaded) — and never ran.
+	// Systems with an ingress front door may return the same Handle to
+	// concurrent submitters of one content-identical transaction.
+	Submit(ctx context.Context, tx *txn.Tx) (*Handle, error)
 	// Close shuts the system down.
 	Close()
+}
+
+// Submitter is the Submit capability alone — what ExecuteViaSubmit needs.
+type Submitter interface {
+	Submit(ctx context.Context, tx *txn.Tx) (*Handle, error)
+}
+
+// Handle is the pending outcome of one submitted transaction. A handle
+// supports any number of waiters — the mempool's dedup path hands the
+// same handle to every submitter of a content-identical transaction —
+// and is resolved exactly once; later Resolve calls are no-ops.
+type Handle struct {
+	mu       sync.Mutex
+	resolved bool
+	result   Result
+	waiters  []chan Result
+}
+
+// NewHandle returns an unresolved handle.
+func NewHandle() *Handle { return &Handle{} }
+
+// ResolvedHandle returns a handle already carrying r — for paths that can
+// answer at submission time (local reads, immediate rejections with a
+// transaction-level verdict).
+func ResolvedHandle(r Result) *Handle {
+	return &Handle{resolved: true, result: r}
+}
+
+// Resolve delivers the outcome. The first call wins; every channel
+// handed out by Done receives it, and later Done/Wait calls observe it
+// immediately.
+func (h *Handle) Resolve(r Result) {
+	h.mu.Lock()
+	if h.resolved {
+		h.mu.Unlock()
+		return
+	}
+	h.resolved = true
+	h.result = r
+	ws := h.waiters
+	h.waiters = nil
+	h.mu.Unlock()
+	for _, ch := range ws {
+		ch <- r // cap 1, one per Done call: never blocks
+	}
+}
+
+// Done returns a channel that receives the outcome once resolved. Each
+// call returns a fresh buffered channel, so multiple waiters (and
+// select-based callers that abandon a wait) never steal each other's
+// delivery.
+func (h *Handle) Done() <-chan Result {
+	ch := make(chan Result, 1)
+	h.mu.Lock()
+	if h.resolved {
+		r := h.result
+		h.mu.Unlock()
+		ch <- r
+		return ch
+	}
+	h.waiters = append(h.waiters, ch)
+	h.mu.Unlock()
+	return ch
+}
+
+// Wait blocks until the outcome or ctx is done; cancellation returns a
+// Result carrying ctx.Err() (the transaction may still commit later).
+func (h *Handle) Wait(ctx context.Context) Result {
+	select {
+	case r := <-h.Done():
+		return r
+	case <-ctx.Done():
+		return Result{Err: ctx.Err()}
+	}
+}
+
+// GoSubmit adapts a blocking execution path to the Submit shape: run is
+// started on its own goroutine and its result resolves the returned
+// handle. Systems without a mempool-fed path implement Submit with it.
+func GoSubmit(run func() Result) *Handle {
+	h := NewHandle()
+	go func() { h.Resolve(run()) }()
+	return h
+}
+
+// ExecuteViaSubmit is the canonical blocking Execute implementation:
+// Submit, then Wait without a deadline. Every system's Execute is this
+// thin wrapper, so the closed-loop harness and the asynchronous path
+// exercise identical machinery.
+func ExecuteViaSubmit(s Submitter, tx *txn.Tx) Result {
+	h, err := s.Submit(context.Background(), tx)
+	if err != nil {
+		return Result{Err: err}
+	}
+	return h.Wait(context.Background())
 }
 
 // PayloadBox passes in-process block payloads through consensus by handle.
@@ -86,6 +204,14 @@ func (b *PayloadBox) Take(id uint64) (any, bool) {
 	return e.v, true
 }
 
+// Drop releases a stored payload without consumers (submission paths that
+// failed after Put), so aborted appends cannot leak box entries.
+func (b *PayloadBox) Drop(id uint64) {
+	b.mu.Lock()
+	delete(b.data, id)
+	b.mu.Unlock()
+}
+
 // Len reports how many live payloads the box holds (tests bound leaks).
 func (b *PayloadBox) Len() int {
 	b.mu.Lock()
@@ -93,8 +219,8 @@ func (b *PayloadBox) Len() int {
 	return len(b.data)
 }
 
-// Handle encodes a payload handle as the 8-byte consensus payload.
-func Handle(id uint64) []byte {
+// EncodeHandle encodes a payload handle as the 8-byte consensus payload.
+func EncodeHandle(id uint64) []byte {
 	out := make([]byte, 8)
 	for i := 0; i < 8; i++ {
 		out[i] = byte(id >> (8 * (7 - i)))
@@ -116,35 +242,49 @@ func HandleID(data []byte) (uint64, bool) {
 
 // Waiters matches submitted transactions with their eventual outcomes:
 // clients block on their tx id, commit paths resolve them.
+//
+// Keys are content-hash transaction ids, so two concurrent registrations
+// of one content-identical transaction collide — the second overwrites
+// the first, whose waiter then times out. The direct Execute paths keep
+// that historical limitation; the ingress mempool fixes it upstream by
+// deduplicating at admission, so at most one registration per id is ever
+// live on the mempool-fed path.
 type Waiters struct {
 	mu sync.Mutex
-	m  map[string]chan Result
+	m  map[string]func(Result)
 }
 
 // NewWaiters returns an empty registry.
 func NewWaiters() *Waiters {
-	return &Waiters{m: make(map[string]chan Result)}
+	return &Waiters{m: make(map[string]func(Result))}
 }
 
 // Register returns the channel a client should block on for key.
 func (w *Waiters) Register(key string) <-chan Result {
 	ch := make(chan Result, 1)
-	w.mu.Lock()
-	w.m[key] = ch
-	w.mu.Unlock()
+	w.RegisterFunc(key, func(r Result) { ch <- r })
 	return ch
+}
+
+// RegisterFunc registers fn to be invoked (once, off the registry lock)
+// with the outcome for key — the hook the ingress front door uses to
+// route seal-path resolutions into mempool handles.
+func (w *Waiters) RegisterFunc(key string, fn func(Result)) {
+	w.mu.Lock()
+	w.m[key] = fn
+	w.mu.Unlock()
 }
 
 // Resolve delivers the outcome for key, if a waiter exists.
 func (w *Waiters) Resolve(key string, r Result) {
 	w.mu.Lock()
-	ch, ok := w.m[key]
+	fn, ok := w.m[key]
 	if ok {
 		delete(w.m, key)
 	}
 	w.mu.Unlock()
 	if ok {
-		ch <- r
+		fn(r)
 	}
 }
 

@@ -10,7 +10,7 @@ import (
 
 func TestHandleRoundTrip(t *testing.T) {
 	f := func(id uint64) bool {
-		got, ok := HandleID(Handle(id))
+		got, ok := HandleID(EncodeHandle(id))
 		return ok && got == id
 	}
 	if err := quick.Check(f, nil); err != nil {

@@ -11,6 +11,7 @@
 package tidb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -253,7 +254,7 @@ func (reg *region) propose(cmd *regionCmd) error {
 	done := reg.waiters.Register(waiterKey(cmd.reqID))
 	// Each replica holds a copy of the box entry until applied.
 	id := reg.box.Put(cmd, reg.nReplica)
-	payload := system.Handle(id)
+	payload := system.EncodeHandle(id)
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		proposed := false
@@ -496,9 +497,23 @@ var ErrConflict = errors.New("tidb: transaction conflict")
 
 // --- system.System adapter ---
 
-// Execute implements system.System by translating the generic invocation
-// into SQL statements, exactly as the YCSB/OLTPBench drivers do.
+// Execute implements system.System as the thin Submit+Wait wrapper.
 func (c *Cluster) Execute(t *txn.Tx) system.Result {
+	return system.ExecuteViaSubmit(c, t)
+}
+
+// Submit implements system.System by running the blocking path on its own
+// goroutine (this system has no mempool-fed path).
+func (c *Cluster) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return system.GoSubmit(func() system.Result { return c.execute(t) }), nil
+}
+
+// execute translates the generic invocation into SQL statements, exactly
+// as the YCSB/OLTPBench drivers do.
+func (c *Cluster) execute(t *txn.Tx) system.Result {
 	s := c.NewSession()
 	inv := t.Invocation
 	switch inv.Contract {
