@@ -3,7 +3,7 @@
 
 LINT_BIN := $(CURDIR)/bin/dichotomy-lint
 
-.PHONY: build test race lint fuzz-smoke fmt check
+.PHONY: build test race lint fuzz-smoke chaos-smoke fmt check
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ test:
 	go test -timeout 10m ./...
 
 race:
-	go test -race -count=1 -timeout 10m ./internal/bench/... ./internal/cluster/... ./internal/ingress/... ./internal/sharedlog/... ./internal/state/... ./internal/system/... ./internal/mvcc/... ./internal/pipeline/... ./internal/hybrid/... ./internal/recovery/... ./internal/storage/lsm/...
+	go test -race -count=1 -timeout 10m ./internal/bench/... ./internal/chaos/... ./internal/cluster/... ./internal/ingress/... ./internal/sharedlog/... ./internal/state/... ./internal/system/... ./internal/mvcc/... ./internal/pipeline/... ./internal/hybrid/... ./internal/recovery/... ./internal/storage/lsm/...
 
 # Identical to the CI dichotomy-lint step: build the analyzer suite and
 # run it over every package through go vet's vettool protocol.
@@ -27,6 +27,16 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzDeltaDecode$$' -fuzztime=30s ./internal/recovery/
 	go test -run '^$$' -fuzz '^FuzzVerifyBatchMatchesSerial$$' -fuzztime=30s ./internal/cryptoutil/
 	go test -run '^$$' -fuzz '^FuzzVerifyProof$$' -fuzztime=30s ./internal/ads/mpt/
+
+# Seeded chaos smoke, identical to the CI chaos-smoke job: the fault
+# injector's determinism units, PBFT liveness under sustained message
+# loss, and the six chaos-equivalence tests that keep open-loop load
+# running through a crash *and* its recovery, all under the race
+# detector. Fixed seeds make a failure reproducible by rerunning.
+chaos-smoke:
+	go test -race -count=1 -timeout 10m ./internal/chaos/...
+	go test -race -count=1 -timeout 10m -run 'TestLivenessUnderSustainedDrops' ./internal/consensus/pbft/
+	go test -race -count=1 -timeout 10m -run 'TestChaosEquivalence' ./internal/system/
 
 fmt:
 	gofmt -l -w .

@@ -44,6 +44,13 @@
 // root publish interval, and reports writer throughput, proof latency,
 // cache hit rate, and root staleness.
 //
+// chaos sweeps fault type × rate × system with seeded fault injection
+// under open-loop load — scheduled node crashes with live recovery,
+// transport drop/delay, engine write failures and fsync stalls, and
+// clock-skewed commit timeouts — reporting throughput, shed/retry/error
+// attribution, mean recovery time, and a zero-divergence verification of
+// every replica after each row.
+//
 // -full approaches the paper's parameters (100K records, 10s windows,
 // large sweeps); the default quick scale finishes the whole suite in
 // minutes and preserves every qualitative shape.
@@ -62,7 +69,7 @@ func main() {
 	full := flag.Bool("full", false, "run at (near-)paper scale; slow")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dichotomy-bench [-full] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify authreads ingress\n")
+		fmt.Fprintf(os.Stderr, "experiments: all fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 table4 table5 peak contention blockshape recovery sigverify authreads ingress chaos\n")
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -88,6 +95,8 @@ func main() {
 		crashes = []float64{0.5, 1.0}
 		vmodes  = []string{"serial", "batch", "aggregate"}
 		mults   = []float64{1, 2, 4}
+		cfaults = []string{"crash", "net", "engine", "skew"}
+		crates  = []float64{0.05}
 	)
 	if *full {
 		sc = experiments.Full()
@@ -105,6 +114,7 @@ func main() {
 		ckints = []uint64{2, 8, 32, 128}
 		crashes = []float64{0.25, 0.5, 0.75, 1.0}
 		mults = []float64{0.5, 1, 2, 4, 8}
+		crates = []float64{0.02, 0.1}
 	}
 
 	runners := map[string]func(){
@@ -129,10 +139,12 @@ func main() {
 		"sigverify":  func() { experiments.SigVerify(os.Stdout, sc, vmodes) },
 		"authreads":  func() { experiments.AuthReads(os.Stdout, sc) },
 		"ingress":    func() { experiments.Ingress(os.Stdout, sc, mults) },
+		"chaos":      func() { experiments.Chaos(os.Stdout, sc, cfaults, crates) },
 	}
 	order := []string{"fig4", "fig5", "fig6", "fig7", "fig8", "table4", "table5",
 		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "peak",
-		"contention", "blockshape", "recovery", "sigverify", "authreads", "ingress"}
+		"contention", "blockshape", "recovery", "sigverify", "authreads", "ingress",
+		"chaos"}
 
 	args := flag.Args()
 	if len(args) == 1 && args[0] == "all" {

@@ -24,6 +24,15 @@ func TestIngressScope(t *testing.T) {
 	})
 }
 
+// The chaos injector executes inside transport and engine hot paths, so
+// it carries the same non-blocking obligation.
+func TestChaosScope(t *testing.T) {
+	analyzertest.Run(t, blockingsend.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/chaos/demo",
+	})
+}
+
 // Outside the transport/consensus scope a blocking send is a legitimate
 // rendezvous; the same file must produce no findings.
 func TestOutOfScope(t *testing.T) {

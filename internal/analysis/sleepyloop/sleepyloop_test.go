@@ -13,3 +13,13 @@ func TestSleepyLoop(t *testing.T) {
 		Path: "dichotomy/internal/demo",
 	})
 }
+
+// The chaos layer injects delays and stalls by design, so its sleeps are
+// exactly the class that must carry a justification: the analyzer's
+// internal/ scope must keep covering it.
+func TestChaosScope(t *testing.T) {
+	analyzertest.Run(t, sleepyloop.Analyzer, analyzertest.Package{
+		Dir:  "testdata/src/demo",
+		Path: "dichotomy/internal/chaos/demo",
+	})
+}

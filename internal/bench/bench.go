@@ -92,6 +92,16 @@ type Options struct {
 	// back-pressures the arrival generator and the wait is accounted as
 	// queueing delay. Defaults to 4×Workers.
 	MaxInFlight int
+
+	// Retries is the per-transaction cap on re-submissions after an
+	// admission rejection (ingress.Retryable error). Zero disables
+	// client-side retry; rejections then surface as sheds.
+	Retries int
+	// RetryBackoff is the base delay before the first re-submission;
+	// each further attempt doubles it, jittered uniformly over
+	// [backoff/2, backoff*3/2] so synchronized clients do not re-offer
+	// a rejected burst in lockstep. Defaults to 1ms when Retries > 0.
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +122,9 @@ func (o Options) withDefaults() Options {
 			o.Seed = 1
 		}
 	}
+	if o.Retries > 0 && o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
+	}
 	return o
 }
 
@@ -126,6 +139,12 @@ type Report struct {
 	// (errors.Is(Err, ingress.ErrOverloaded)): never executed, safe to
 	// retry. Errors - Sheds is the infrastructure-failure count.
 	Sheds uint64
+	// Retries counts re-submissions after admission rejections (only
+	// nonzero when Options.Retries > 0). A transaction that is rejected
+	// then commits on re-offer contributes one commit and one retry —
+	// never a shed; Sheds keeps only rejections that exhausted the retry
+	// budget.
+	Retries uint64
 	// Elapsed is the measured window: warm-up end to the last recorded
 	// sample, so in-flight transactions finishing past the deadline count
 	// in both the numerator and the denominator of TPS.
@@ -187,10 +206,10 @@ func Run(sys system.System, sources []TxSource, opt Options) Report {
 		arrivals := make(chan time.Time, opt.MaxInFlight)
 		for w := 0; w < opt.Workers; w++ {
 			wg.Add(1)
-			go func(src TxSource, sh *shard) {
+			go func(w int, src TxSource, sh *shard) {
 				defer wg.Done()
-				openWorker(sys, src, sh, arrivals, measureFrom, budget)
-			}(sources[w], shards[w])
+				openWorker(sys, src, sh, arrivals, measureFrom, budget, opt, workerRNG(opt, w))
+			}(w, sources[w], shards[w])
 		}
 		workersExited := make(chan struct{})
 		go func() {
@@ -203,10 +222,10 @@ func Run(sys system.System, sources []TxSource, opt Options) Report {
 	default:
 		for w := 0; w < opt.Workers; w++ {
 			wg.Add(1)
-			go func(src TxSource, sh *shard) {
+			go func(w int, src TxSource, sh *shard) {
 				defer wg.Done()
-				closedWorker(sys, src, sh, measureFrom, deadline, budget)
-			}(sources[w], shards[w])
+				closedWorker(sys, src, sh, measureFrom, deadline, budget, opt, workerRNG(opt, w))
+			}(w, sources[w], shards[w])
 		}
 		wg.Wait()
 	}
@@ -230,6 +249,7 @@ func buildReport(name string, opt Options, measureFrom time.Time, offered uint64
 		report.Aborted += sh.aborted
 		report.Errors += sh.errs
 		report.Sheds += sh.sheds
+		report.Retries += sh.retries
 		lat.Merge(&sh.lat)
 		qdelay.Merge(&sh.qdelay)
 		for reason, n := range sh.abortBy {

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/ingress"
 	"dichotomy/internal/occ"
 	"dichotomy/internal/system"
 	"dichotomy/internal/txn"
@@ -330,5 +332,78 @@ func BenchmarkRunScaling(b *testing.B) {
 			}
 			b.ReportMetric(total/float64(b.N), "tps")
 		})
+	}
+}
+
+// shedSystem rejects the first rejectN submissions with the admission
+// error, then commits everything.
+type shedSystem struct {
+	mu      sync.Mutex
+	rejectN int
+}
+
+func (s *shedSystem) Name() string { return "shed" }
+
+func (s *shedSystem) Execute(t *txn.Tx) system.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rejectN > 0 {
+		s.rejectN--
+		return system.Result{Err: fmt.Errorf("front door full: %w", ingress.ErrOverloaded)}
+	}
+	return system.Result{Committed: true}
+}
+
+func (s *shedSystem) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error) {
+	h := system.NewHandle()
+	h.Resolve(s.Execute(t))
+	return h, nil
+}
+
+func (s *shedSystem) Close() {}
+
+func TestRunRetriesSheds(t *testing.T) {
+	// 5 total rejections against a 5-deep budget: however the two workers
+	// interleave, no single transaction can see more than 5 rejections,
+	// so every transaction must eventually commit.
+	sys := &shedSystem{rejectN: 5}
+	r := Run(sys, sources(2), Options{
+		Workers:      2,
+		Duration:     400 * time.Millisecond,
+		MaxTxs:       60,
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	})
+	if r.Retries == 0 {
+		t.Fatal("no retries recorded despite rejections")
+	}
+	if r.Sheds != 0 {
+		t.Fatalf("%d sheds leaked through a 5-deep retry budget", r.Sheds)
+	}
+	if r.Errors != 0 {
+		t.Fatalf("%d errors recorded, want 0", r.Errors)
+	}
+	if r.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+}
+
+func TestRunRetryBudgetExhausted(t *testing.T) {
+	sys := &shedSystem{rejectN: 1 << 30} // reject everything
+	r := Run(sys, sources(1), Options{
+		Workers:      1,
+		Duration:     80 * time.Millisecond,
+		MaxTxs:       4,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if r.Committed != 0 {
+		t.Fatalf("%d commits from an always-rejecting system", r.Committed)
+	}
+	if r.Sheds == 0 {
+		t.Fatal("exhausted retry budget recorded no sheds")
+	}
+	if r.Retries != 2*r.Sheds {
+		t.Fatalf("retries = %d, want 2 per shed (%d sheds)", r.Retries, r.Sheds)
 	}
 }

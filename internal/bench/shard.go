@@ -2,6 +2,7 @@ package bench
 
 import (
 	"errors"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,10 @@ type shard struct {
 	// transaction never executed and is safe to retry, so it is split
 	// from errs, which covers infrastructure failures of unknown effect.
 	sheds uint64
+	// retries counts re-submissions after admission rejections; only the
+	// final attempt's outcome reaches record, so sheds keeps just the
+	// rejections that exhausted the retry budget.
+	retries uint64
 	// lat holds service latency (dispatch to completion) of commits.
 	lat metrics.LocalHistogram
 	// qdelay holds scheduled-arrival-to-dispatch delay (open loop only).
@@ -61,17 +66,46 @@ func (sh *shard) record(t *txn.Tx, r system.Result, service time.Duration, end t
 	sh.phases.Merge(t.Trace)
 }
 
+// workerRNG seeds one worker's jitter stream; distinct workers draw from
+// distinct streams so their retry backoffs decorrelate.
+func workerRNG(opt Options, w int) *rand.Rand {
+	return rand.New(rand.NewSource(opt.Seed + int64(w) + 1))
+}
+
+// executeWithRetry submits t, re-offering after jittered exponential
+// backoff while the outcome is an admission rejection
+// (ingress.Retryable) and budget remains. Only the final attempt's
+// outcome is returned — a transaction that sheds then commits is one
+// commit plus retries, never a shed — and the caller's service-latency
+// clock keeps running across backoffs, so retry cost shows up as
+// client-perceived latency rather than disappearing from the report.
+func executeWithRetry(sys system.System, t *txn.Tx, opt Options, rng *rand.Rand) (system.Result, uint64) {
+	r := sys.Execute(t)
+	var retried uint64
+	backoff := opt.RetryBackoff
+	for int(retried) < opt.Retries && r.Err != nil && ingress.Retryable(r.Err) {
+		retried++
+		//lint:allow sleepyloop jittered client backoff between re-offers of a shed transaction
+		time.Sleep(backoff/2 + time.Duration(rng.Int63n(int64(backoff)+1)))
+		if backoff < time.Second {
+			backoff *= 2
+		}
+		r = sys.Execute(t)
+	}
+	return r, retried
+}
+
 // closedWorker issues transactions back-to-back until the deadline. A
 // transaction started before the deadline may finish after it and is
 // still recorded; Elapsed accounts for that.
-func closedWorker(sys system.System, src TxSource, sh *shard, measureFrom, deadline time.Time, budget *atomic.Int64) {
+func closedWorker(sys system.System, src TxSource, sh *shard, measureFrom, deadline time.Time, budget *atomic.Int64, opt Options, rng *rand.Rand) {
 	for time.Now().Before(deadline) {
 		t, err := src.Next()
 		if err != nil {
 			return
 		}
 		txStart := time.Now()
-		r := sys.Execute(t)
+		r, retried := executeWithRetry(sys, t, opt, rng)
 		end := time.Now()
 		if txStart.Before(measureFrom) {
 			continue // warm-up
@@ -79,6 +113,7 @@ func closedWorker(sys system.System, src TxSource, sh *shard, measureFrom, deadl
 		if budget != nil && budget.Add(-1) < 0 {
 			return
 		}
+		sh.retries += retried
 		sh.record(t, r, end.Sub(txStart), end)
 	}
 }
@@ -89,7 +124,7 @@ func closedWorker(sys system.System, src TxSource, sh *shard, measureFrom, deadl
 // the queue — like a client preparing its request ahead of the send
 // slot — so generation cost (e.g. signing) is charged to neither
 // queueing delay nor service latency, matching the closed-loop path.
-func openWorker(sys system.System, src TxSource, sh *shard, arrivals <-chan time.Time, measureFrom time.Time, budget *atomic.Int64) {
+func openWorker(sys system.System, src TxSource, sh *shard, arrivals <-chan time.Time, measureFrom time.Time, budget *atomic.Int64, opt Options, rng *rand.Rand) {
 	for {
 		t, err := src.Next()
 		if err != nil {
@@ -104,7 +139,7 @@ func openWorker(sys system.System, src TxSource, sh *shard, arrivals <-chan time
 		if delay < 0 {
 			delay = 0
 		}
-		r := sys.Execute(t)
+		r, retried := executeWithRetry(sys, t, opt, rng)
 		end := time.Now()
 		if sched.Before(measureFrom) {
 			continue // warm-up
@@ -112,6 +147,7 @@ func openWorker(sys system.System, src TxSource, sh *shard, arrivals <-chan time
 		if budget != nil && budget.Add(-1) < 0 {
 			return
 		}
+		sh.retries += retried
 		sh.qdelay.Record(delay)
 		sh.record(t, r, end.Sub(dispatch), end)
 	}

@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"dichotomy/internal/storage/memdb"
+)
+
+// TestScheduleDeterministic is the acceptance criterion in miniature:
+// same seed ⇒ same fault schedule, different seed ⇒ (almost surely) a
+// different one.
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(42, 4, 16, time.Second, 5*time.Millisecond, 50*time.Millisecond)
+	b := Schedule(42, 4, 16, time.Second, 5*time.Millisecond, 50*time.Millisecond)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c := Schedule(43, 4, 16, time.Second, 5*time.Millisecond, 50*time.Millisecond)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, ev := range a {
+		if ev.At < 0 || ev.At >= time.Second {
+			t.Fatalf("event %d outside span: %v", i, ev)
+		}
+		if ev.Node < 0 || ev.Node >= 4 {
+			t.Fatalf("event %d node out of range: %v", i, ev)
+		}
+		if ev.Down < 5*time.Millisecond || ev.Down > 50*time.Millisecond {
+			t.Fatalf("event %d downtime out of range: %v", i, ev)
+		}
+		if i > 0 && a[i-1].At > ev.At {
+			t.Fatalf("schedule not sorted at %d", i)
+		}
+	}
+}
+
+// TestMessageFaultDeterministicStream: two injectors with equal seeds
+// make identical decisions for an identical call sequence.
+func TestMessageFaultDeterministicStream(t *testing.T) {
+	cfg := Config{Seed: 7, DropRate: 0.3, DelayRate: 0.5, MaxDelay: time.Millisecond}
+	a, b := MustNew(cfg), MustNew(cfg)
+	for i := 0; i < 1000; i++ {
+		dropA, delayA := a.MessageFault(1, 2)
+		dropB, delayB := b.MessageFault(1, 2)
+		if dropA != dropB || delayA != delayB {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, dropA, delayA, dropB, delayB)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if s := a.Stats(); s.Dropped == 0 || s.Delayed == 0 {
+		t.Fatalf("rates 0.3/0.5 over 1000 draws injected nothing: %+v", s)
+	}
+}
+
+func TestMessageFaultZeroConfigInjectsNothing(t *testing.T) {
+	in := MustNew(Config{Seed: 1})
+	for i := 0; i < 100; i++ {
+		if drop, delay := in.MessageFault(1, 2); drop || delay != 0 {
+			t.Fatalf("zero config injected a fault")
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("zero config counted faults: %+v", s)
+	}
+}
+
+func TestFlakyEngine(t *testing.T) {
+	// Rate 1: every mutation fails, reads and the underlying data are
+	// untouched.
+	in := MustNew(Config{Seed: 1, WriteFailRate: 1})
+	e := in.WrapEngine(memdb.New())
+	if err := e.Put([]byte("k"), []byte("v")); !errors.Is(err, ErrWriteFault) {
+		t.Fatalf("Put with rate 1: %v", err)
+	}
+	if err := e.Delete([]byte("k")); !errors.Is(err, ErrWriteFault) {
+		t.Fatalf("Delete with rate 1: %v", err)
+	}
+	if _, err := e.Get([]byte("k")); err == nil {
+		t.Fatal("failed Put still landed")
+	}
+	if in.Stats().WriteFaults != 2 {
+		t.Fatalf("fault count: %+v", in.Stats())
+	}
+
+	// Rate 0: transparent wrapper.
+	in = MustNew(Config{Seed: 1})
+	e = in.WrapEngine(memdb.New())
+	if err := e.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("Put with rate 0: %v", err)
+	}
+	got, err := e.Get([]byte("k"))
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get: %q %v", got, err)
+	}
+}
+
+func TestSkewTimeoutBounds(t *testing.T) {
+	in := MustNew(Config{Seed: 3, SkewMin: 0.25, SkewMax: 2})
+	nominal := 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := in.SkewTimeout(nominal)
+		if d < 25*time.Millisecond || d > 200*time.Millisecond {
+			t.Fatalf("skewed timeout %v outside [25ms, 200ms]", d)
+		}
+	}
+	if in.Stats().SkewedTimeouts != 200 {
+		t.Fatalf("skew count: %+v", in.Stats())
+	}
+	// No skew configured: identity.
+	if d := MustNew(Config{}).SkewTimeout(nominal); d != nominal {
+		t.Fatalf("identity skew changed timeout: %v", d)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DropRate: 1.5},
+		{DropRate: -0.1},
+		{DelayRate: 0.5},            // no MaxDelay
+		{StallRate: 0.5},            // no MaxStall
+		{SkewMin: 2, SkewMax: 1},    // inverted
+		{SkewMin: -1, SkewMax: 0.5}, // negative
+		{WriteFailRate: 2},          // out of range
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d should not validate: %+v", i, c)
+		}
+	}
+	if err := (Config{Seed: 9, DropRate: 0.1, DelayRate: 0.1, MaxDelay: time.Millisecond,
+		WriteFailRate: 0.1, StallRate: 0.1, MaxStall: time.Millisecond,
+		SkewMin: 0.5, SkewMax: 1.5}).Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestDisarmStopsInjection(t *testing.T) {
+	in := MustNew(Config{Seed: 5, DropRate: 1, WriteFailRate: 1, SkewMin: 0.5, SkewMax: 0.5})
+	if drop, _ := in.MessageFault(1, 2); !drop {
+		t.Fatal("armed injector at rate 1 did not drop")
+	}
+	in.Disarm()
+	if drop, delay := in.MessageFault(1, 2); drop || delay != 0 {
+		t.Fatal("disarmed injector still injecting message faults")
+	}
+	if err := in.WrapEngine(memdb.New()).Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatalf("disarmed injector still failing writes: %v", err)
+	}
+	if d := in.SkewTimeout(time.Second); d != time.Second {
+		t.Fatalf("disarmed injector still skewing: %v", d)
+	}
+	if s := in.Stats(); s.Dropped != 1 || s.WriteFaults != 0 || s.SkewedTimeouts != 0 {
+		t.Fatalf("post-disarm stats: %+v", s)
+	}
+}
+
+func TestArmResumesInjection(t *testing.T) {
+	in := MustNew(Config{Seed: 5, DropRate: 1})
+	in.Disarm()
+	if drop, _ := in.MessageFault(1, 2); drop {
+		t.Fatal("disarmed injector dropped")
+	}
+	in.Arm()
+	if drop, _ := in.MessageFault(1, 2); !drop {
+		t.Fatal("rearmed injector at rate 1 did not drop")
+	}
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"time"
+
+	"dichotomy/internal/storage"
+)
+
+// flakyEngine injects write failures and slow-fsync stalls in front of a
+// real engine. Reads pass through untouched: the fault model is a disk
+// whose write path degrades (full, throttled, dying), which is the
+// failure mode that matters for commit durability.
+type flakyEngine struct {
+	storage.Engine
+	in *Injector
+}
+
+// WrapEngine returns e with this injector's write faults in front of it.
+// It is shaped for the systems' engine-hook seam:
+//
+//	cfg.EngineHook = inj.WrapEngine
+func (in *Injector) WrapEngine(e storage.Engine) storage.Engine {
+	return &flakyEngine{Engine: e, in: in}
+}
+
+// writeFault performs at most one stall and one failure decision for a
+// mutation. The stall happens even when the write then fails — a dying
+// disk is usually slow before it errors.
+func (in *Injector) writeFault() error {
+	if in == nil || in.disarmed.Load() || (in.cfg.WriteFailRate <= 0 && in.cfg.StallRate <= 0) {
+		return nil
+	}
+	d1, d2 := in.draw2()
+	if in.cfg.StallRate > 0 && d2 < in.cfg.StallRate {
+		in.mu.Lock()
+		stall := time.Duration(1 + in.rng.Int63n(int64(in.cfg.MaxStall)))
+		in.mu.Unlock()
+		in.writeStalls.Add(1)
+		//lint:allow sleepyloop the injected fsync stall IS the fault being modeled
+		time.Sleep(stall)
+	}
+	if in.cfg.WriteFailRate > 0 && d1 < in.cfg.WriteFailRate {
+		in.writeFaults.Add(1)
+		return ErrWriteFault
+	}
+	return nil
+}
+
+func (f *flakyEngine) Put(key, value []byte) error {
+	if err := f.in.writeFault(); err != nil {
+		return err
+	}
+	return f.Engine.Put(key, value)
+}
+
+func (f *flakyEngine) Delete(key []byte) error {
+	if err := f.in.writeFault(); err != nil {
+		return err
+	}
+	return f.Engine.Delete(key)
+}
+
+// ApplyBatch keeps the wrapped engine's atomic-batch capability visible
+// through the wrapper: one fault decision gates the whole batch, so an
+// injected failure never tears it.
+func (f *flakyEngine) ApplyBatch(writes []storage.Write) error {
+	if err := f.in.writeFault(); err != nil {
+		return err
+	}
+	return storage.ApplyWrites(f.Engine, writes)
+}

@@ -43,6 +43,15 @@ type LinkModel interface {
 	Delay(from, to NodeID, size int) time.Duration
 }
 
+// FaultHook is consulted on every Send that passes the reachability
+// check: it may drop the message outright (silently, like loss on the
+// wire) or add extra in-flight delay on top of the link model's. Extra
+// delay reorders traffic *across* endpoint pairs while the per-pair
+// FIFO guarantee below is preserved — the reordering consensus
+// transports must actually tolerate. Implementations must be safe for
+// concurrent use; the chaos injector provides one.
+type FaultHook func(from, to NodeID) (drop bool, delay time.Duration)
+
 // UniformLink models every pair of distinct nodes with the same base
 // propagation latency plus size/bandwidth serialization delay and
 // optional ±Jitter. Loopback delivery is immediate.
@@ -94,8 +103,9 @@ func (ZeroLink) Delay(NodeID, NodeID, int) time.Duration { return 0 }
 
 // Network connects a set of nodes. Create one per simulated cluster.
 type Network struct {
-	link LinkModel
-	quit chan struct{} // closed on Close; stops endpoint pumps
+	link   LinkModel
+	quit   chan struct{} // closed on Close; stops endpoint pumps
+	faults atomic.Pointer[FaultHook]
 
 	mu        sync.RWMutex
 	endpoints map[NodeID]*Endpoint
@@ -229,6 +239,23 @@ func (n *Network) Close() {
 	}
 }
 
+// SetFaults installs (or, with nil, removes) the message-fault hook.
+// Takes effect for subsequent sends; in-flight messages are untouched.
+func (n *Network) SetFaults(hook FaultHook) {
+	if hook == nil {
+		n.faults.Store(nil)
+		return
+	}
+	n.faults.Store(&hook)
+}
+
+func (n *Network) faultHook() FaultHook {
+	if p := n.faults.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // reachable reports whether a message from -> to would currently be
 // delivered.
 func (n *Network) reachable(from, to NodeID) bool {
@@ -331,6 +358,15 @@ func (e *Endpoint) Send(to NodeID, msg Message) error {
 		return nil
 	}
 	delay := e.net.link.Delay(e.id, to, msg.Size())
+	if hook := e.net.faultHook(); hook != nil {
+		drop, extra := hook(e.id, to)
+		if drop {
+			// Dropped silently: injected loss is indistinguishable from
+			// the wire kind, which is the point.
+			return nil
+		}
+		delay += extra
+	}
 	env := Envelope{From: e.id, Msg: msg}
 	c := e.connTo(to)
 	if delay == 0 && c.inflight.Load() == 0 && dst.tryDeliver(env) {

@@ -31,6 +31,12 @@ type Config struct {
 	// ViewChangeTicks is how many ticks without progress trigger a view
 	// change while work is outstanding. Default 50.
 	ViewChangeTicks int
+	// RetransmitTicks is how many ticks between retransmissions of the
+	// protocol messages for in-flight instances. The simulated channels
+	// may drop messages (fault injection); without retransmission a
+	// three-phase quorum waits forever for a message that will never
+	// arrive and liveness degenerates to view-change churn. Default 10.
+	RetransmitTicks int
 	CommitBuffer    int
 }
 
@@ -40,6 +46,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ViewChangeTicks <= 0 {
 		c.ViewChangeTicks = 50
+	}
+	if c.RetransmitTicks <= 0 {
+		c.RetransmitTicks = 10
 	}
 	if c.CommitBuffer <= 0 {
 		c.CommitBuffer = 4096
@@ -60,6 +69,10 @@ type instance struct {
 	commits     map[cluster.NodeID]bool
 	committed   bool
 	delivered   bool
+	// fetchVotes collects state-transfer replies (fetched) by sender; the
+	// instance is adopted once f+1 peers agree on the digest, so no single
+	// faulty peer can feed this replica a fabricated committed value.
+	fetchVotes map[cluster.NodeID]cryptoutil.Hash
 }
 
 // Node is a PBFT replica.
@@ -88,6 +101,15 @@ type Node struct {
 	viewChangeVotes map[uint64]map[cluster.NodeID]*viewChange
 	inViewChange    bool
 	progressTicks   int
+	retransTicks    int
+	// votedView is the highest view this replica has demanded; repeated
+	// timer expiries and catch-up votes re-target it instead of
+	// regressing to view+1.
+	votedView uint64
+	// lastNewView is the new-view announcement this replica broadcast as
+	// primary; it is re-sent to stragglers whose vote shows they missed
+	// it (a dropped newView would otherwise strand them in the old view).
+	lastNewView *newView
 
 	commitCh chan consensus.Entry
 	stopCh   chan struct{}
@@ -166,10 +188,28 @@ type newView struct {
 	PrePrepares []prePrepare
 }
 
+// fetch asks peers to re-supply a sequence this replica is missing: its
+// pre-prepare was dropped and every other replica has already delivered
+// it, so ordinary retransmission (which covers only undelivered work)
+// will never close the gap.
+type fetch struct{ Seq uint64 }
+
+// fetched answers a fetch with the committed instance — the crash-phase
+// state-transfer path. The payload is self-certifying against Digest;
+// the requester additionally waits for f+1 matching digests.
+type fetched struct {
+	View   uint64
+	Seq    uint64
+	Digest cryptoutil.Hash
+	Data   []byte
+}
+
 func (m forward) Size() int    { return 8 + len(m.Data) }
 func (m prePrepare) Size() int { return 48 + len(m.Data) }
 func (m prepare) Size() int    { return 48 }
 func (m commit) Size() int     { return 48 }
+func (m fetch) Size() int      { return 8 }
+func (m fetched) Size() int    { return 48 + len(m.Data) }
 func (m viewChange) Size() int {
 	s := 16
 	for _, p := range m.Prepared {
@@ -298,20 +338,85 @@ func (n *Node) run() {
 	}
 }
 
-// tick drives the view-change timer: it counts down only while there is
-// outstanding work (undelivered instances or queued payloads).
+// tick drives the retransmission and view-change timers: both count
+// down only while there is outstanding work (undelivered instances or
+// queued payloads).
 func (n *Node) tick() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if !n.outstandingLocked() {
+		// A view change this replica demanded while stranded is moot once
+		// state transfer delivers everything: a content majority will
+		// never vote for it, so staying in it wedges this replica forever.
+		// The vote already broadcast still counts at peers that do need
+		// the view change, so retracting is purely local.
+		n.inViewChange = false
 		n.progressTicks = n.cfg.ViewChangeTicks
 		return
+	}
+	if n.retransTicks--; n.retransTicks <= 0 {
+		n.retransmitLocked()
+		n.retransTicks = n.cfg.RetransmitTicks
 	}
 	n.progressTicks--
 	if n.progressTicks > 0 {
 		return
 	}
-	n.startViewChangeLocked(n.view + 1)
+	newV := n.view + 1
+	if n.votedView > newV {
+		newV = n.votedView
+	}
+	n.startViewChangeLocked(newV)
+}
+
+// retransmitLocked re-sends the protocol messages for in-flight work in
+// the current view: the primary's pre-prepares, this replica's prepare
+// and (once sent) commit votes, and outstanding payload announcements
+// to the primary. Every handler is idempotent — quorums are sets — so a
+// duplicate costs bandwidth, while a dropped message without
+// retransmission costs a whole view change.
+func (n *Node) retransmitLocked() {
+	// Always offer the delivery gap to state transfer, even mid
+	// view-change: whether the gap lost its pre-prepare or its commit
+	// quorum, peers that already delivered it are silent, so only a
+	// fetch can close it. Peers that haven't delivered it just ignore.
+	n.broadcast(fetch{Seq: n.delivered + 1})
+	if n.inViewChange {
+		return // the view-change timer re-broadcasts its own vote
+	}
+	primary := n.primaryOf(n.view)
+	for seq, inst := range n.instances {
+		if seq <= n.delivered || inst.delivered || !inst.prePrepared || inst.view != n.view {
+			continue
+		}
+		if primary == n.cfg.ID {
+			n.broadcast(prePrepare{View: inst.view, Seq: seq, Digest: inst.digest, Data: inst.data})
+		}
+		n.broadcast(prepare{View: inst.view, Seq: seq, Digest: inst.digest})
+		if inst.commits[n.cfg.ID] {
+			n.broadcast(commit{View: inst.view, Seq: seq, Digest: inst.digest})
+		}
+	}
+	if primary != n.cfg.ID {
+		for digest, data := range n.forwarded {
+			if !n.assigned[digest] {
+				_ = n.cfg.Endpoint.Send(primary, forward{Data: data})
+			}
+		}
+	}
+}
+
+// catchUpLocked reacts to protocol traffic from a view ahead of this
+// replica's: the new-view announcement was dropped. Demanding the
+// sender's view makes the sitting primary re-send it (see onViewChange).
+func (n *Node) catchUpLocked(msgView uint64) {
+	if msgView <= n.view {
+		return
+	}
+	if n.inViewChange && n.votedView >= msgView {
+		return // already demanding it; the timer retransmits the vote
+	}
+	n.startViewChangeLocked(msgView)
 }
 
 func (n *Node) outstandingLocked() bool {
@@ -319,7 +424,11 @@ func (n *Node) outstandingLocked() bool {
 		return true
 	}
 	for seq, inst := range n.instances {
-		if seq > n.delivered && inst.prePrepared && !inst.delivered {
+		// Orphan prepare/commit votes above the watermark count too: they
+		// are evidence the group sequenced something this replica never
+		// saw the pre-prepare for, and the fetch path must keep running.
+		if seq > n.delivered && !inst.delivered &&
+			(inst.prePrepared || len(inst.prepares) > 0 || len(inst.commits) > 0) {
 			return true
 		}
 	}
@@ -352,7 +461,60 @@ func (n *Node) handle(env cluster.Envelope) {
 		n.onViewChange(env.From, msg)
 	case newView:
 		n.onNewView(env.From, msg)
+	case fetch:
+		n.onFetch(env.From, msg)
+	case fetched:
+		n.onFetched(env.From, msg)
 	}
+}
+
+// onFetch serves state transfer for a sequence this replica delivered;
+// instances are retained after delivery, so the payload is still here.
+func (n *Node) onFetch(from cluster.NodeID, msg fetch) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	inst, ok := n.instances[msg.Seq]
+	if !ok || !inst.delivered {
+		return
+	}
+	_ = n.cfg.Endpoint.Send(from, fetched{
+		View: inst.view, Seq: msg.Seq, Digest: inst.digest, Data: inst.data,
+	})
+}
+
+// onFetched adopts a state-transferred instance once f+1 peers agree on
+// its digest (at least one of them is correct) and the payload hashes
+// to that digest, then delivers anything the filled gap unblocks.
+func (n *Node) onFetched(from cluster.NodeID, msg fetched) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if msg.Seq <= n.delivered || cryptoutil.HashBytes(msg.Data) != msg.Digest {
+		return
+	}
+	inst := n.getInstance(msg.Seq)
+	if inst.delivered {
+		return
+	}
+	if inst.fetchVotes == nil {
+		inst.fetchVotes = make(map[cluster.NodeID]cryptoutil.Hash)
+	}
+	inst.fetchVotes[from] = msg.Digest
+	votes := 0
+	for _, d := range inst.fetchVotes {
+		if d == msg.Digest {
+			votes++
+		}
+	}
+	if votes < n.f+1 {
+		return
+	}
+	inst.view = msg.View
+	inst.digest = msg.Digest
+	inst.data = msg.Data
+	inst.prePrepared = true
+	inst.committed = true
+	n.progressTicks = n.cfg.ViewChangeTicks
+	n.deliverReadyLocked()
 }
 
 func (n *Node) onForward(msg forward) {
@@ -373,6 +535,10 @@ func (n *Node) onForward(msg forward) {
 func (n *Node) onPrePrepare(from cluster.NodeID, msg prePrepare) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if msg.View > n.view {
+		n.catchUpLocked(msg.View)
+		return
+	}
 	if n.inViewChange || msg.View != n.view || from != n.primaryOf(msg.View) {
 		return
 	}
@@ -397,6 +563,10 @@ func (n *Node) onPrePrepare(from cluster.NodeID, msg prePrepare) {
 func (n *Node) onPrepare(from cluster.NodeID, msg prepare) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if msg.View > n.view {
+		n.catchUpLocked(msg.View)
+		return
+	}
 	if msg.View != n.view {
 		return
 	}
@@ -411,6 +581,10 @@ func (n *Node) onPrepare(from cluster.NodeID, msg prepare) {
 func (n *Node) onCommit(from cluster.NodeID, msg commit) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if msg.View > n.view {
+		n.catchUpLocked(msg.View)
+		return
+	}
 	inst := n.getInstance(msg.Seq)
 	if inst.prePrepared && inst.digest != msg.Digest {
 		return
@@ -467,6 +641,7 @@ func (n *Node) startViewChangeLocked(newV uint64) {
 	}
 	n.inViewChange = true
 	n.progressTicks = n.cfg.ViewChangeTicks
+	n.votedView = newV
 	vc := &viewChange{NewView: newV, Prepared: n.preparedSetLocked()}
 	// Record own vote and broadcast.
 	votes := n.viewChangeVotes[newV]
@@ -498,6 +673,12 @@ func (n *Node) onViewChange(from cluster.NodeID, msg viewChange) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if msg.NewView <= n.view {
+		// A vote for the view this primary already announced means the
+		// voter never received the newView message; re-send it directly.
+		if msg.NewView == n.view && n.primaryOf(n.view) == n.cfg.ID &&
+			!n.inViewChange && n.lastNewView != nil {
+			_ = n.cfg.Endpoint.Send(from, *n.lastNewView)
+		}
 		return
 	}
 	votes := n.viewChangeVotes[msg.NewView]
@@ -551,6 +732,7 @@ func (n *Node) maybeEnterViewLocked(newV uint64) {
 	}
 	n.enterViewLocked(newV)
 	n.nextSeq = maxSeq
+	n.lastNewView = &nv
 	n.broadcast(nv)
 	for _, pp := range nv.PrePrepares {
 		inst := n.getInstance(pp.Seq)
@@ -571,6 +753,9 @@ func (n *Node) onNewView(from cluster.NodeID, msg newView) {
 	defer n.mu.Unlock()
 	if msg.View < n.view || from != n.primaryOf(msg.View) {
 		return
+	}
+	if msg.View == n.view && !n.inViewChange {
+		return // duplicate announcement for a view already entered
 	}
 	n.enterViewLocked(msg.View)
 	for _, pp := range msg.PrePrepares {

@@ -41,6 +41,21 @@ type Config struct {
 	MaxBatch int
 	// CommitBuffer sizes the Committed channel. Default 4096.
 	CommitBuffer int
+	// Recovering marks a replica rebooted after losing its durable raft
+	// state (log, term, vote) — the crash/recover lifecycle the systems
+	// drive, where only the state-machine checkpoint survives. Raft's
+	// safety proof assumes that state is stable: a forgetful replica
+	// that votes can elect a leader missing committed entries (every
+	// candidate looks up-to-date against an empty log), and one that
+	// campaigns deposes the live leader with inflated terms it can never
+	// back with a winning log. A recovering replica therefore rejoins as
+	// a non-voting, non-campaigning follower — it accepts the leader's
+	// ordinary log re-replication and resumes full membership once its
+	// log covers the leader's commit index, the point at which it again
+	// holds every entry the group ever committed (VR-style recovery;
+	// sound under the one-replica-recovering-at-a-time lifecycle the
+	// systems enforce).
+	Recovering bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +106,7 @@ type Node struct {
 	matchIndex  map[cluster.NodeID]uint64
 	votes       map[cluster.NodeID]bool
 	ticksLeft   int // ticks until election (follower/candidate) or heartbeat (leader)
+	recovering  bool
 	rng         *rand.Rand
 
 	commitCh chan consensus.Entry
@@ -105,14 +121,15 @@ var _ consensus.Node = (*Node)(nil)
 func New(cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:      cfg,
-		votedFor: -1,
-		leaderID: -1,
-		log:      make([]logEntry, 1),
-		rng:      rand.New(rand.NewSource(int64(cfg.ID) + 1)),
-		commitCh: make(chan consensus.Entry, cfg.CommitBuffer),
-		stopCh:   make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		votedFor:   -1,
+		leaderID:   -1,
+		recovering: cfg.Recovering,
+		log:        make([]logEntry, 1),
+		rng:        rand.New(rand.NewSource(int64(cfg.ID) + 1)),
+		commitCh:   make(chan consensus.Entry, cfg.CommitBuffer),
+		stopCh:     make(chan struct{}),
+		done:       make(chan struct{}),
 	}
 	n.resetElectionTimer()
 	go n.run()
@@ -225,6 +242,14 @@ func (n *Node) Term() uint64 {
 	return n.term
 }
 
+// Recovering reports whether the replica is still in the non-voting
+// rejoin phase of a post-crash recovery (see Config.Recovering).
+func (n *Node) Recovering() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.recovering
+}
+
 // Stop implements consensus.Node.
 func (n *Node) Stop() {
 	n.stopOnce.Do(func() {
@@ -265,6 +290,12 @@ func (n *Node) tick() {
 	if n.role == leader {
 		n.broadcastAppendLocked()
 		n.ticksLeft = n.cfg.HeartbeatTicks
+		return
+	}
+	if n.recovering {
+		// No campaigning until caught up: an election backed by a
+		// rebuilt log could only disrupt the live quorum's leader.
+		n.resetElectionTimer()
 		return
 	}
 	n.startElectionLocked()
@@ -388,7 +419,10 @@ func (n *Node) onRequestVote(from cluster.NodeID, msg requestVote) {
 		n.stepDownLocked(msg.Term)
 	}
 	grant := false
-	if msg.Term == n.term && (n.votedFor == -1 || n.votedFor == from) {
+	// A recovering replica never grants votes: it may have voted in this
+	// term before the crash wiped the record, and its rebuilt log makes
+	// candidates missing committed entries look up-to-date.
+	if msg.Term == n.term && !n.recovering && (n.votedFor == -1 || n.votedFor == from) {
 		// §5.4.1: candidate's log must be at least as up-to-date.
 		lastTerm := n.log[n.lastIndex()].Term
 		upToDate := msg.LastLogTerm > lastTerm ||
@@ -460,6 +494,13 @@ func (n *Node) onAppendEntries(from cluster.NodeID, msg appendEntries) {
 	match := msg.PrevLogIndex + uint64(len(msg.Entries))
 	if msg.LeaderCommit > n.commitIndex {
 		n.commitIndex = min(msg.LeaderCommit, n.lastIndex())
+	}
+	if n.recovering && n.lastIndex() >= msg.LeaderCommit {
+		// The log now covers everything the leader has committed, and
+		// the consistency check above proved it matches the leader's —
+		// this replica once again holds every committed entry, so it is
+		// safe to vote and campaign.
+		n.recovering = false
 	}
 	term := n.term
 	n.applyLocked()

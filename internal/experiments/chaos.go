@@ -1,0 +1,664 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"dichotomy/internal/bench"
+	"dichotomy/internal/chaos"
+	"dichotomy/internal/cluster"
+	"dichotomy/internal/cryptoutil"
+	"dichotomy/internal/hybrid"
+	"dichotomy/internal/ingress"
+	"dichotomy/internal/recovery"
+	"dichotomy/internal/state"
+	"dichotomy/internal/storage"
+	"dichotomy/internal/system"
+	"dichotomy/internal/system/fabric"
+	"dichotomy/internal/system/quorum"
+	"dichotomy/internal/system/spanner"
+	"dichotomy/internal/system/tidb"
+	"dichotomy/internal/txn"
+	"dichotomy/internal/workload/ycsb"
+)
+
+// Chaos sweeps fault type × rate × system with seeded fault injection
+// (internal/chaos) under continuous open-loop load, then verifies zero
+// post-fault state divergence across every replica. The fault types:
+//
+//   - crash: a deterministic chaos.Schedule of crash/recover events runs
+//     concurrently with the load — whole ledger nodes for Fabric, Quorum,
+//     Veritas, and BigchainDB (live block-sync rejoin, no quiesce), one
+//     replica of every region/shard for TiDB and Spanner (raft catch-up
+//     on the replica's checkpoint chain). rate scales the event count;
+//     the recover column is the mean wall-clock recovery time.
+//   - net: every transport message is dropped or delayed with
+//     probability rate. The raft groups heal by heartbeat retransmission
+//     and PBFT by view change, so commits slow down but never diverge.
+//   - engine: storage mutations fail or stall with probability rate on
+//     one victim Fabric/Quorum node (the engine-hook seam). The victim's
+//     store accumulates state holes while the healthy majority stays a
+//     valid block-sync source, so these rows run without checkpointing
+//     (a checkpoint would persist the holes) and heal by
+//     crash/recovering the victim from a healthy peer after the run —
+//     full ledger replay re-executes the canonical block stream onto a
+//     fresh engine — before the divergence check.
+//   - skew: the ingress watchdog's commit timeout is multiplied by a
+//     clock-skew factor uniform in [rate, 1.0] (Fabric, Quorum, Veritas
+//     behind the front door). Spurious timeouts are client-visible
+//     errors only; replicas must still converge.
+//
+// Load runs with the harness's client-side retry enabled, so the row
+// separates commits, aborts, errors, sheds that exhausted the retry
+// budget, and retries that rescued a shed. inject totals every fault the
+// injector (plus the crash schedule) actually landed. Equal seeds give
+// equal fault schedules and draw streams.
+func Chaos(w io.Writer, sc Scale, faults []string, rates []float64) {
+	if len(faults) == 0 {
+		faults = []string{"crash", "net", "engine", "skew"}
+	}
+	if len(rates) == 0 {
+		rates = []float64{0.05}
+	}
+	Header(w, "Chaos: fault type × rate × system under open-loop load")
+	Row(w, "system", "fault", "rate", "tps", "commit", "abort", "err", "shed",
+		"retry", "inject", "recover", "verified")
+	client := Client()
+	cfg := ycsb.Config{Records: min(sc.Records, 256), RecordSize: 100, Theta: 0.6}
+	for _, fault := range faults {
+		for _, rate := range rates {
+			chaosSweep(w, sc, client, cfg, fault, rate)
+		}
+	}
+}
+
+// chaosTarget is one system wired for a chaos row.
+type chaosTarget struct {
+	sys       system.System
+	setFaults func(cluster.FaultHook) // transport seam (net rows)
+	crash     func()                  // fail-stop the designated victims
+	recover   func() error            // bring them back into live service
+	repair    func() error            // post-run heal before verify (engine rows)
+	verify    func() string           // quiesce + divergence check
+	close     func()
+}
+
+// chaosBuild selects the seams a fault type needs wired at construction.
+type chaosBuild struct {
+	dir    string // non-empty: durable state with delta checkpoint chains
+	engine func(storage.Engine) storage.Engine
+	door   *ingress.Config
+	repair bool // heal by crash/recovering every node post-run
+}
+
+func chaosSweep(w io.Writer, sc Scale, client *cryptoutil.Signer, cfg ycsb.Config, fault string, rate float64) {
+	type entry struct {
+		name  string
+		build func(inj *chaos.Injector, dir string) (*chaosTarget, error)
+	}
+	ledgers := func(b func(inj *chaos.Injector, dir string) chaosBuild) []entry {
+		return []entry{
+			{"fabric", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosFabric(sc, client, b(inj, dir))
+			}},
+			{"quorum", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosQuorum(sc, client, b(inj, dir))
+			}},
+			{"veritas", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosVeritas(b(inj, dir))
+			}},
+		}
+	}
+	stores := func(b func(inj *chaos.Injector, dir string) chaosBuild) []entry {
+		return []entry{
+			{"bigchaindb", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosBigchain(sc, b(inj, dir))
+			}},
+			{"tidb", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosTiDB(b(inj, dir)), nil
+			}},
+			{"spanner", func(inj *chaos.Injector, dir string) (*chaosTarget, error) {
+				return chaosSpanner(b(inj, dir)), nil
+			}},
+		}
+	}
+	var targets []entry
+	switch fault {
+	case "crash":
+		durable := func(_ *chaos.Injector, dir string) chaosBuild { return chaosBuild{dir: dir} }
+		targets = append(ledgers(durable), stores(durable)...)
+	case "net":
+		plain := func(*chaos.Injector, string) chaosBuild { return chaosBuild{} }
+		targets = append(ledgers(plain), stores(plain)...)
+	case "engine":
+		// Only the two blockchains expose the engine-hook seam; no
+		// checkpoints, or the chain would persist write-fault holes below
+		// the checkpoint height and repair-by-replay could not reach them.
+		// Exactly one node takes faults: if every store had holes, no
+		// ledger could serve the victim's drained position during repair.
+		hooked := func(inj *chaos.Injector, _ string) chaosBuild {
+			return chaosBuild{engine: wrapNth(inj, 1), repair: true}
+		}
+		targets = ledgers(hooked)[:2]
+	case "skew":
+		fronted := func(inj *chaos.Injector, _ string) chaosBuild {
+			return chaosBuild{door: &ingress.Config{
+				Capacity: 256, MaxBlock: 64, BuildInterval: time.Millisecond,
+				CommitTimeout: 300 * time.Millisecond, TimeoutSkew: inj.SkewTimeout,
+			}}
+		}
+		targets = ledgers(fronted)
+	default:
+		fmt.Fprintf(w, "unknown fault %q (crash|net|engine|skew)\n", fault)
+		return
+	}
+	for _, e := range targets {
+		runChaosRow(w, sc, client, cfg, fault, rate, e.name, e.build)
+	}
+}
+
+// wrapNth wraps only the n-th engine the system opens (construction
+// order), making that node the single write-fault victim. The fresh
+// engine a recovering victim re-opens arrives after construction, so it
+// passes through clean and repair-by-replay lands on a healthy store.
+func wrapNth(inj *chaos.Injector, n int) func(storage.Engine) storage.Engine {
+	var calls atomic.Int32
+	return func(e storage.Engine) storage.Engine {
+		if int(calls.Add(1))-1 == n {
+			return inj.WrapEngine(e)
+		}
+		return e
+	}
+}
+
+// chaosInjector maps (fault, rate) onto an injector config. The seed is
+// fixed: rerunning a row replays the identical fault sequence.
+func chaosInjector(fault string, rate float64) *chaos.Injector {
+	c := chaos.Config{Seed: 42}
+	switch fault {
+	case "net":
+		c.DropRate, c.DelayRate, c.MaxDelay = rate, rate, 2*time.Millisecond
+	case "engine":
+		c.WriteFailRate, c.StallRate, c.MaxStall = rate, rate, 500*time.Microsecond
+	case "skew":
+		c.SkewMin, c.SkewMax = rate, 1.0
+	}
+	return chaos.MustNew(c)
+}
+
+func runChaosRow(w io.Writer, sc Scale, client *cryptoutil.Signer, cfg ycsb.Config,
+	fault string, rate float64, name string, build func(*chaos.Injector, string) (*chaosTarget, error)) {
+	dir, err := os.MkdirTemp("", "dichotomy-chaos-*")
+	if err != nil {
+		fmt.Fprintf(w, "tempdir: %v\n", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	inj := chaosInjector(fault, rate)
+	// The engine and skew seams are wired at construction, so the
+	// injector stays disarmed through build and preload: the baseline
+	// state loads cleanly and every injected fault lands on measured
+	// traffic.
+	inj.Disarm()
+	t, err := build(inj, dir)
+	if err != nil {
+		Row(w, name, fault, fmt.Sprintf("%g", rate), "build: "+err.Error())
+		return
+	}
+	defer t.close()
+	if err := PreloadYCSB(t.sys, cfg, client); err != nil {
+		Row(w, name, fault, fmt.Sprintf("%g", rate), "preload: "+err.Error())
+		return
+	}
+	if fault == "net" && t.setFaults != nil {
+		t.setFaults(inj.MessageFault)
+	}
+	inj.Arm()
+
+	var events []chaos.Event
+	if fault == "crash" {
+		n := max(1, int(rate*20+0.5))
+		span := sc.Warmup + sc.Duration*2/3
+		events = chaos.Schedule(42, 1, n, span, 50*time.Millisecond, 150*time.Millisecond)
+	}
+	var (
+		recTotal time.Duration
+		recN     int
+		recErr   error
+	)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		for _, ev := range events {
+			if d := time.Until(start.Add(ev.At)); d > 0 {
+				//lint:allow sleepyloop waiting out the seeded schedule's next crash offset
+				time.Sleep(d)
+			}
+			t.crash()
+			//lint:allow sleepyloop the scheduled downtime between crash and recovery
+			time.Sleep(ev.Down)
+			r0 := time.Now()
+			if err := t.recover(); err != nil {
+				recErr = err
+				return
+			}
+			recTotal += time.Since(r0)
+			recN++
+		}
+	}()
+	opt := bench.Options{
+		Workers: sc.Workers, Duration: sc.Duration, Warmup: sc.Warmup,
+		Mode: bench.OpenLoop, TargetRate: 400, Arrival: bench.Poisson, Seed: 7,
+		Retries: 3, RetryBackoff: 2 * time.Millisecond,
+	}
+	r := RunYCSBOptions(t.sys, cfg, opt, client)
+	<-done
+
+	inj.Disarm()
+	if fault == "net" && t.setFaults != nil {
+		t.setFaults(nil)
+	}
+	verified := "ok"
+	switch {
+	case recErr != nil:
+		verified = "recover: " + recErr.Error()
+	case t.repair != nil:
+		if err := t.repair(); err != nil {
+			verified = "repair: " + err.Error()
+		}
+	}
+	if verified == "ok" {
+		verified = t.verify()
+	}
+	st := inj.Stats()
+	injected := st.Dropped + st.Delayed + st.WriteFaults + st.WriteStalls +
+		st.SkewedTimeouts + uint64(recN)
+	var recMean time.Duration
+	if recN > 0 {
+		recMean = recTotal / time.Duration(recN)
+	}
+	Row(w, name, fault, fmt.Sprintf("%g", rate), r.TPS, r.Committed, r.Aborted,
+		r.Errors-r.Sheds, r.Sheds, r.Retries, injected, recMean, verified)
+}
+
+// --- per-system wiring ---
+
+func durableCkpt(b chaosBuild) (interval uint64, mode recovery.Mode, fullEvery int) {
+	if b.dir == "" {
+		return 0, recovery.ModeFull, 0
+	}
+	return 8, recovery.ModeDelta, 4
+}
+
+func chaosFabric(sc Scale, client *cryptoutil.Signer, b chaosBuild) (*chaosTarget, error) {
+	peers := sc.Nodes
+	interval, mode, fullEvery := durableCkpt(b)
+	cfg := fabric.Config{
+		Peers: peers, EndorsementsNeeded: max(1, peers-2),
+		EngineHook: b.engine, Ingress: b.door,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery, CheckpointKeep: 1 << 20,
+	}
+	if b.dir == "" {
+		cfg.DataDir, cfg.CheckpointKeep = "", 0
+	}
+	nw, err := fabric.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nw.RegisterClient(client.Name(), client.Public())
+	t := &chaosTarget{
+		sys:       nw,
+		setFaults: nw.SetFaults,
+		crash:     func() { nw.CrashPeer(1) },
+		recover: func() error {
+			_, err := nw.RecoverPeer(1, 0, 0)
+			return err
+		},
+		verify: func() string {
+			if !chaosStable(func() []uint64 {
+				hs := make([]uint64, peers)
+				for i := range hs {
+					hs[i] = nw.Ledger(i).Height()
+				}
+				return hs
+			}) {
+				return "no-quiesce"
+			}
+			for i := 1; i < peers; i++ {
+				if !sameStores(nw.State(0), nw.State(i)) {
+					return "DIVERGED"
+				}
+			}
+			return "ok"
+		},
+		close: nw.Close,
+	}
+	if b.repair {
+		t.repair = func() error {
+			// Node 1 is the wrapNth victim; replay the canonical chain
+			// from healthy peer 0 onto a fresh engine.
+			nw.CrashPeer(1)
+			_, err := nw.RecoverPeer(1, 0, 0)
+			return err
+		}
+	}
+	return t, nil
+}
+
+func chaosQuorum(sc Scale, client *cryptoutil.Signer, b chaosBuild) (*chaosTarget, error) {
+	nodes := sc.Nodes
+	interval, mode, fullEvery := durableCkpt(b)
+	nw, err := quorum.New(quorum.Config{
+		Nodes: nodes, EngineHook: b.engine, Ingress: b.door,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nw.RegisterClient(client.Name(), client.Public())
+	vic := 1
+	t := &chaosTarget{
+		sys:       nw,
+		setFaults: nw.SetFaults,
+		crash: func() {
+			// Crash a follower: the raft group keeps a leader and the
+			// crashed node rejoins via the live block-sync handoff.
+			l := nw.Leader()
+			if l < 0 {
+				l = 0
+			}
+			vic = (l + 1) % nodes
+			nw.CrashNode(vic)
+		},
+		recover: func() error {
+			_, err := nw.RecoverNode(vic, (vic+1)%nodes, 0)
+			return err
+		},
+		verify: func() string {
+			if !chaosStable(func() []uint64 {
+				hs := make([]uint64, nodes)
+				for i := range hs {
+					hs[i] = nw.Ledger(i).Height()
+				}
+				return hs
+			}) {
+				return "no-quiesce"
+			}
+			for i := 1; i < nodes; i++ {
+				if !sameStores(nw.State(0), nw.State(i)) {
+					return "DIVERGED"
+				}
+			}
+			return "ok"
+		},
+		close: nw.Close,
+	}
+	if b.repair {
+		t.repair = func() error {
+			// Node 1 is the wrapNth victim; replay the canonical chain
+			// from healthy node 0 onto a fresh engine.
+			nw.CrashNode(1)
+			_, err := nw.RecoverNode(1, 0, 0)
+			return err
+		}
+	}
+	return t, nil
+}
+
+func chaosVeritas(b chaosBuild) (*chaosTarget, error) {
+	const verifiers = 3
+	interval, mode, fullEvery := durableCkpt(b)
+	v, err := hybrid.NewVeritas(hybrid.VeritasConfig{
+		Verifiers: verifiers, Ingress: b.door,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &chaosTarget{
+		sys:       v,
+		setFaults: v.SetFaults,
+		crash:     func() { v.CrashVerifier(1) },
+		recover: func() error {
+			_, err := v.RecoverVerifier(1, 0)
+			return err
+		},
+		verify: func() string {
+			if !chaosStable(func() []uint64 {
+				hs := make([]uint64, verifiers)
+				for i := range hs {
+					hs[i] = v.Height(i)
+				}
+				return hs
+			}) {
+				return "no-quiesce"
+			}
+			for i := 1; i < verifiers; i++ {
+				if !sameStores(v.State(0), v.State(i)) {
+					return "DIVERGED"
+				}
+			}
+			return "ok"
+		},
+		close: v.Close,
+	}, nil
+}
+
+func chaosBigchain(sc Scale, b chaosBuild) (*chaosTarget, error) {
+	nodes := sc.Nodes
+	interval, mode, fullEvery := durableCkpt(b)
+	bc, err := hybrid.NewBigchain(hybrid.BigchainConfig{
+		Nodes:   nodes,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &chaosTarget{
+		sys:       bc,
+		setFaults: bc.SetFaults,
+		crash:     func() { bc.CrashValidator(2) },
+		recover: func() error {
+			_, err := bc.RecoverValidator(2, 0, 0)
+			return err
+		},
+		verify: func() string {
+			if !chaosStable(func() []uint64 {
+				hs := make([]uint64, nodes)
+				for i := range hs {
+					hs[i] = bc.Height(i)
+				}
+				return hs
+			}) {
+				return "no-quiesce"
+			}
+			for i := 1; i < nodes; i++ {
+				if !sameStores(bc.State(0), bc.State(i)) {
+					return "DIVERGED"
+				}
+			}
+			return "ok"
+		},
+		close: bc.Close,
+	}, nil
+}
+
+func chaosTiDB(b chaosBuild) *chaosTarget {
+	interval, mode, fullEvery := durableCkpt(b)
+	c := tidb.New(tidb.Config{
+		Servers: 2, StorageNodes: 3, Regions: 2,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery,
+	})
+	const vic = 2
+	return &chaosTarget{
+		sys:       c,
+		setFaults: c.SetFaults,
+		crash: func() {
+			for r := 0; r < c.Regions(); r++ {
+				c.CrashReplica(r, vic)
+			}
+		},
+		recover: func() error {
+			var first error
+			for r := 0; r < c.Regions(); r++ {
+				if _, err := c.RecoverReplica(r, vic); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+		verify: func() string {
+			for r := 0; r < c.Regions(); r++ {
+				reps := c.RegionReplicas(r)
+				if !chaosStable(func() []uint64 {
+					hs := make([]uint64, reps)
+					for p := range hs {
+						hs[p] = c.ReplicaApplied(r, p)
+					}
+					return hs
+				}) {
+					return "no-quiesce"
+				}
+				base := c.DumpRegion(r, 0)
+				for p := 1; p < reps; p++ {
+					if !sameDumps(base, c.DumpRegion(r, p)) {
+						return "DIVERGED"
+					}
+				}
+			}
+			return "ok"
+		},
+		close: c.Close,
+	}
+}
+
+func chaosSpanner(b chaosBuild) *chaosTarget {
+	interval, mode, fullEvery := durableCkpt(b)
+	c := spanner.New(spanner.Config{
+		Shards: 2, NodesPerShard: 3,
+		DataDir: b.dir, CheckpointInterval: interval, CheckpointMode: mode,
+		CheckpointFullEvery: fullEvery,
+	})
+	const vic = 2
+	return &chaosTarget{
+		sys:       c,
+		setFaults: c.SetFaults,
+		crash: func() {
+			for s := 0; s < c.Shards(); s++ {
+				c.CrashReplica(s, vic)
+			}
+		},
+		recover: func() error {
+			var first error
+			for s := 0; s < c.Shards(); s++ {
+				if _, err := c.RecoverReplica(s, vic); err != nil && first == nil {
+					first = err
+				}
+			}
+			return first
+		},
+		verify: func() string {
+			for s := 0; s < c.Shards(); s++ {
+				reps := c.ShardReplicas(s)
+				if !chaosStable(func() []uint64 {
+					hs := make([]uint64, reps)
+					for p := range hs {
+						hs[p] = c.ReplicaApplied(s, p)
+					}
+					return hs
+				}) {
+					return "no-quiesce"
+				}
+				base := c.DumpShard(s, 0)
+				for p := 1; p < reps; p++ {
+					if !sameDumps(base, c.DumpShard(s, p)) {
+						return "DIVERGED"
+					}
+				}
+			}
+			return "ok"
+		},
+		close: c.Close,
+	}
+}
+
+// --- convergence helpers ---
+
+// chaosStable polls sample until every element is equal and the common
+// value holds still for three consecutive polls.
+func chaosStable(sample func() []uint64) bool {
+	deadline := time.Now().Add(15 * time.Second)
+	var prev uint64
+	seen := false
+	stable := 0
+	for time.Now().Before(deadline) {
+		cur := sample()
+		same := len(cur) > 0
+		for _, v := range cur[1:] {
+			if v != cur[0] {
+				same = false
+				break
+			}
+		}
+		if same && seen && cur[0] == prev {
+			if stable++; stable >= 3 {
+				return true
+			}
+		} else {
+			stable = 0
+		}
+		if len(cur) > 0 {
+			prev, seen = cur[0], true
+		}
+		//lint:allow sleepyloop convergence poll in the chaos measurement harness
+		time.Sleep(5 * time.Millisecond)
+	}
+	return false
+}
+
+// sameStores diffs two state stores' values and versions.
+func sameStores(a, b *state.Store) bool {
+	type entry struct {
+		value string
+		ver   txn.Version
+	}
+	want := make(map[string]entry)
+	a.Dump(func(key string, value []byte, ver txn.Version) bool {
+		want[key] = entry{string(value), ver}
+		return true
+	})
+	same := true
+	count := 0
+	b.Dump(func(key string, value []byte, ver txn.Version) bool {
+		count++
+		e, ok := want[key]
+		if !ok || e.value != string(value) || e.ver != ver {
+			same = false
+			return false
+		}
+		return true
+	})
+	return same && count == len(want)
+}
+
+// sameDumps diffs two encoded replica dumps byte for byte.
+func sameDumps(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if string(b[k]) != string(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -103,8 +103,11 @@ func Recovery(w io.Writer, sc Scale, modes []string, intervals []uint64, fracs [
 					pauseAvg = time.Duration(totalPauseNs / int64(ckpts))
 				}
 
-				nw.CrashPeer(crashed)
 				for _, f := range fracs {
+					// Each rehearsal needs its own crash: RecoverPeer hands
+					// the peer back to live block consumption, so it is a
+					// fully live cluster member again when it returns.
+					nw.CrashPeer(crashed)
 					crashHeight := uint64(f * float64(tip))
 					if crashHeight < 1 {
 						crashHeight = 1

@@ -97,7 +97,17 @@ type bigchainNode struct {
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
 	crashed   atomic.Bool
-	drainCh   chan struct{}
+	// delivered counts the transactions this node has consumed from its
+	// commit stream (live decode or crash-time drain). PBFT totally
+	// orders transactions and every entry carries exactly one, so the
+	// count IS the node's position in the global applied sequence — the
+	// pivot the rejoin handoff in RecoverValidator resumes from.
+	delivered atomic.Uint64
+	// skipTo makes the restarted decode stage take-and-discard
+	// transactions a just-finished recovery replay already covered
+	// (position ≤ skipTo).
+	skipTo atomic.Uint64
+	drain  *system.Drainer
 }
 
 var _ system.System = (*Bigchain)(nil)
@@ -176,6 +186,10 @@ func validatorCkptDir(dataDir string, i int) string {
 // Name implements system.System.
 func (b *Bigchain) Name() string { return "bigchaindb-like" }
 
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// network's transport — the chaos layer's drop/delay/reorder seam.
+func (b *Bigchain) SetFaults(hook cluster.FaultHook) { b.net.SetFaults(hook) }
+
 // Execute implements system.System as the thin Submit+Wait wrapper.
 func (b *Bigchain) Execute(t *txn.Tx) system.Result {
 	return system.ExecuteViaSubmit(b, t)
@@ -193,9 +207,6 @@ func (b *Bigchain) Submit(ctx context.Context, t *txn.Tx) (*system.Handle, error
 // execute is the blocking path: the whole transaction is ordered first,
 // then executed identically on every node's local database.
 func (b *Bigchain) execute(t *txn.Tx) system.Result {
-	// Count only live consumers: a crashed validator's commit stream is
-	// drained without Take, so counting it would leak the entry in the
-	// box for every post-crash commit.
 	live := 0
 	for _, n := range b.nodes {
 		if !n.crashed.Load() {
@@ -206,10 +217,16 @@ func (b *Bigchain) execute(t *txn.Tx) system.Result {
 		return system.Result{Err: errors.New("bigchain: no live validators")}
 	}
 	done := b.waiters.Register(string(t.ID[:]))
-	id := b.box.Put(t, live)
+	// Every validator takes exactly one copy — live decode while up,
+	// take-drain while down, handoff take-and-drop during recovery — so
+	// the count is constant and no copy leaks across crashes.
+	id := b.box.Put(t, len(b.nodes))
 	start := time.Now()
-	// Any validator accepts the proposal (PBFT forwards internally).
-	if err := b.nodes[0].cons.Propose(system.EncodeHandle(id)); err != nil {
+	// Any live validator accepts the proposal (PBFT forwards internally).
+	// A proposal can bounce while a view change is in flight, so re-offer
+	// it around the ring until one validator takes it; duplicate offers
+	// are digest-deduped inside PBFT, so over-proposing is harmless.
+	if err := b.propose(system.EncodeHandle(id)); err != nil {
 		b.waiters.Cancel(string(t.ID[:]))
 		return system.Result{Err: err}
 	}
@@ -223,6 +240,32 @@ func (b *Bigchain) execute(t *txn.Tx) system.Result {
 	}
 }
 
+// propose offers the payload to each live validator in turn until one
+// accepts it, backing off between full passes; PBFT rejects proposals
+// mid-view-change, which heals within a few ticks.
+func (b *Bigchain) propose(data []byte) error {
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for {
+		for _, n := range b.nodes {
+			if n.crashed.Load() {
+				continue
+			}
+			if lastErr = n.cons.Propose(data); lastErr == nil {
+				return nil
+			}
+		}
+		if lastErr == nil {
+			lastErr = errors.New("bigchain: no live validators")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bigchain: proposal not accepted: %w", lastErr)
+		}
+		//lint:allow sleepyloop re-offer cadence while consensus heals from a view change
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // applyLoop drives the node's pipeline over the consensus commit stream
 // until shutdown.
 func (n *bigchainNode) applyLoop() {
@@ -231,7 +274,10 @@ func (n *bigchainNode) applyLoop() {
 }
 
 // decodeEntry resolves a committed entry's payload handle (pipeline
-// Decode stage); view-change no-ops are skipped.
+// Decode stage); view-change no-ops are skipped. Every transaction
+// advances the node's delivered position, and transactions at or below
+// skipTo (covered by a just-finished recovery replay) are taken — the
+// box copy must be consumed — but not re-applied.
 func (n *bigchainNode) decodeEntry(e consensus.Entry) (*txn.Tx, bool) {
 	if len(e.Data) == 0 {
 		return nil, false // view-change no-op
@@ -240,8 +286,12 @@ func (n *bigchainNode) decodeEntry(e consensus.Entry) (*txn.Tx, bool) {
 	if !ok {
 		return nil, false
 	}
+	pos := n.delivered.Add(1)
 	v, ok := n.b.box.Take(id)
 	if !ok {
+		return nil, false
+	}
+	if pos <= n.skipTo.Load() {
 		return nil, false
 	}
 	return v.(*txn.Tx), true
@@ -300,8 +350,10 @@ func (s appliedSource) Payloads(h uint64) ([][]byte, bool) {
 
 // CrashValidator kills validator i's execution layer: the apply pipeline
 // stops and its in-memory state and applied history are lost. Its PBFT
-// replica keeps running behind a drain so the remaining 3f nodes never
-// wait on its unread commit stream.
+// replica keeps running behind a take-drain so the remaining 3f nodes
+// never wait on its unread commit stream, every box copy is consumed,
+// and the node's delivered position keeps advancing — the pivot the
+// rejoin handoff in RecoverValidator resumes from.
 func (b *Bigchain) CrashValidator(i int) {
 	n := b.nodes[i]
 	if n.crashed.Swap(true) {
@@ -309,8 +361,8 @@ func (b *Bigchain) CrashValidator(i int) {
 	}
 	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.wg.Wait()
-	n.drainCh = make(chan struct{})
-	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	n.drain = system.NewDrainer()
+	go n.drainWhileDown(n.cons.Committed(), n.drain)
 	if n.ckpt != nil {
 		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
@@ -318,11 +370,38 @@ func (b *Bigchain) CrashValidator(i int) {
 	n.applied = nil
 }
 
+// drainWhileDown consumes the crashed validator's commit stream: every
+// transaction's box copy is taken and counted into delivered.
+func (n *bigchainNode) drainWhileDown(src <-chan consensus.Entry, d *system.Drainer) {
+	defer d.Finish()
+	for {
+		select {
+		case <-d.Stop():
+			return
+		case e, ok := <-src:
+			if !ok {
+				return
+			}
+			if len(e.Data) == 0 {
+				continue
+			}
+			if id, ok := system.HandleID(e.Data); ok {
+				n.b.box.Take(id)
+				n.delivered.Add(1)
+			}
+		}
+	}
+}
+
 // RecoverValidator rebuilds crashed validator i from its newest on-disk
 // checkpoint with height ≤ maxCkptHeight (0 = newest) plus a replay of
 // healthy validator from's applied history through the node's own apply
-// stage. It requires a quiesced network; the recovered validator serves
-// state but does not re-join live consensus consumption.
+// stage — and then REJOINS live consumption: the replay runs to at
+// least the position the node's crash-time drain consumed, the
+// restarted decode stage take-and-drops transactions the replay already
+// covered (skipTo), and everything above flows through the ordinary
+// pipeline. The network may keep committing throughout — no quiesce is
+// required.
 func (b *Bigchain) RecoverValidator(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
 	n, src := b.nodes[i], b.nodes[from]
 	if !n.crashed.Load() {
@@ -331,6 +410,13 @@ func (b *Bigchain) RecoverValidator(i, from int, maxCkptHeight uint64) (recovery
 	if src.crashed.Load() {
 		return recovery.Stats{}, fmt.Errorf("bigchain: source validator %d is crashed", from)
 	}
+	// Stop the crash-time drain and pin the handoff pivot: every
+	// transaction at position ≤ D has had this node's box copy taken.
+	if n.drain != nil {
+		n.drain.Halt()
+		n.drain = nil
+	}
+	D := n.delivered.Load()
 	cfg := recovery.RebuildConfig{
 		Old:           n.st, // a repeated recovery must close the previous attempt's store
 		OldCkpt:       n.ckpt,
@@ -369,19 +455,56 @@ func (b *Bigchain) RecoverValidator(i, from int, maxCkptHeight uint64) (recovery
 		n.applied = append(n.applied, payloads[0])
 	}
 
+	// Replay the source history through the live apply stage until this
+	// node has covered everything its drain consumed (≥ D). The source
+	// keeps applying while we replay, so loop: each pass replays the
+	// tail the source has by now, and if the source has not yet applied
+	// transaction D itself, wait for it.
 	replayStart := time.Now()
-	stats.ReplayedBlocks, err = recovery.Replay(appliedSource{src}, ckptHeight,
-		func(h uint64, payloads [][]byte) error {
-			txs, err := recovery.DecodeTxs(payloads)
-			if err != nil {
-				return err
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cnt, rerr := recovery.Replay(appliedSource{src}, n.height.Load(),
+			func(h uint64, payloads [][]byte) error {
+				txs, err := recovery.DecodeTxs(payloads)
+				if err != nil {
+					return err
+				}
+				n.apply(txs[0]) // the live apply stage, verdicts recomputed
+				return nil
+			})
+		stats.ReplayedBlocks += cnt
+		if rerr != nil {
+			stats.ReplayDuration = time.Since(replayStart)
+			return stats, rerr
+		}
+		if cnt == 0 {
+			if n.height.Load() >= D {
+				break
 			}
-			n.apply(txs[0]) // the live apply stage, verdicts recomputed
-			return nil
-		})
+			if time.Now().After(deadline) {
+				stats.ReplayDuration = time.Since(replayStart)
+				return stats, fmt.Errorf("bigchain: source validator %d stuck below drained position %d", from, D)
+			}
+			//lint:allow sleepyloop waiting for the live replay source to apply the drained tail
+			time.Sleep(time.Millisecond)
+		}
+	}
 	stats.ReplayDuration = time.Since(replayStart)
-	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
-	return stats, err
+	T1 := n.height.Load()
+	stats.TipHeight = T1
+
+	// Rejoin: transactions at positions ≤ T1 still buffered in the
+	// commit stream are covered by the replay — the restarted decode
+	// take-and-drops them — and everything above applies live. The
+	// delivered counter keeps running from D, so buffered transactions
+	// land at positions D+1..T1 and match.
+	n.skipTo.Store(T1)
+	n.stopCh = make(chan struct{})
+	n.stopOnce = sync.Once{}
+	n.crashed.Store(false)
+	n.wg.Add(1)
+	go n.applyLoop()
+	return stats, nil
 }
 
 // Checkpointer exposes validator i's checkpointer (nil when disabled).
@@ -409,8 +532,9 @@ func (b *Bigchain) Close() {
 		for _, n := range b.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			if n.drainCh != nil {
-				close(n.drainCh)
+			if n.drain != nil {
+				n.drain.Halt()
+				n.drain = nil
 			}
 			if n.ckpt != nil {
 				n.ckpt.Close()

@@ -623,6 +623,10 @@ func (v *Veritas) Height(i int) uint64 { return v.nodes[i].height.Load() }
 // recovering verifier must catch up to.
 func (v *Veritas) LogBatches() uint64 { return v.log.Batches() }
 
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// network's transport — the chaos layer's drop/delay/reorder seam.
+func (v *Veritas) SetFaults(hook cluster.FaultHook) { v.net.SetFaults(hook) }
+
 // Checkpointer exposes verifier i's checkpointer (nil when disabled).
 func (v *Veritas) Checkpointer(i int) *recovery.Checkpointer { return v.nodes[i].ckpt }
 

@@ -86,6 +86,11 @@ type Config struct {
 	// (the direct paths' 60s commit timeout, enforced per batch).
 	// Default 60s.
 	CommitTimeout time.Duration
+	// TimeoutSkew, when set, maps the nominal CommitTimeout to the value
+	// actually armed for each dispatched batch — the seam the chaos layer
+	// uses to model clock skew on the commit-timeout clock. nil is the
+	// identity.
+	TimeoutSkew func(time.Duration) time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -485,6 +490,11 @@ func (in *Ingress) watchdog(batch []*entry) {
 		return
 	}
 	timeout := in.cfg.CommitTimeout
+	if in.cfg.TimeoutSkew != nil {
+		if skewed := in.cfg.TimeoutSkew(timeout); skewed > 0 {
+			timeout = skewed
+		}
+	}
 	time.AfterFunc(timeout, func() {
 		for _, e := range batch {
 			in.resolveEntry(e, system.Result{

@@ -1,0 +1,93 @@
+package mvcc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEntryRoundTrip drives a store through commits, a delete marker,
+// and a live prewrite lock, then round-trips every entry through the
+// checkpoint encoding into a second store and compares re-encodings
+// byte for byte.
+func TestEntryRoundTrip(t *testing.T) {
+	src := NewStore()
+	if err := src.Prewrite("a", []byte("v1"), false, 1, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Commit("a", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Prewrite("a", nil, true, 3, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Commit("a", 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Prewrite("b", []byte("v2"), false, 5, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Commit("b", 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	// A live lock must survive the round trip too.
+	if err := src.Prewrite("c", []byte("pending"), false, 7, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore()
+	n := 0
+	src.DumpEntries(func(key string, entry []byte) {
+		if err := dst.SetEntry(key, entry); err != nil {
+			t.Fatalf("SetEntry(%s): %v", key, err)
+		}
+		n++
+	})
+	if n != 3 {
+		t.Fatalf("dumped %d entries, want 3", n)
+	}
+
+	want := map[string][]byte{}
+	src.DumpEntries(func(key string, entry []byte) { want[key] = entry })
+	got := map[string][]byte{}
+	dst.DumpEntries(func(key string, entry []byte) { got[key] = entry })
+	if len(got) != len(want) {
+		t.Fatalf("restored %d keys, want %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if !bytes.Equal(got[k], w) {
+			t.Fatalf("key %s: re-encoding differs\n got %x\nwant %x", k, got[k], w)
+		}
+	}
+
+	// Behavioural spot checks on the restored store.
+	if _, err := dst.Get("a", 10); err == nil {
+		t.Fatal("deleted key readable after restore")
+	}
+	if v, err := dst.Get("b", 10); err != nil || string(v) != "v2" {
+		t.Fatalf("Get(b): %q %v", v, err)
+	}
+	if !dst.Locked("c") {
+		t.Fatal("live lock lost in round trip")
+	}
+	// The restored lock is functional: commit converts it.
+	if err := dst.Commit("c", 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := dst.Get("c", 10); err != nil || string(v) != "pending" {
+		t.Fatalf("Get(c): %q %v", v, err)
+	}
+}
+
+func TestDecodeEntryRejectsGarbage(t *testing.T) {
+	for _, buf := range [][]byte{
+		{},
+		{0xff, 0xff, 0xff, 0xff},
+		{0, 0, 0, 1},          // one version, no body
+		{0, 0, 0, 0, 1},       // lock flag set, no lock body
+		{0, 0, 0, 0, 0, 0xaa}, // trailing byte
+	} {
+		if _, err := decodeEntry(buf); err == nil {
+			t.Fatalf("garbage %x decoded", buf)
+		}
+	}
+}

@@ -55,14 +55,19 @@ import (
 )
 
 // openEngine opens a peer's LSM state engine: disk-backed under dataDir
-// when set, purely in-memory otherwise. Errors surface to the caller —
-// node setup no longer panics on an open failure.
-func openEngine(dataDir, name string) (storage.Engine, error) {
+// when set, purely in-memory otherwise, wrapped by hook when one is
+// configured (fault injection). Errors surface to the caller — node
+// setup no longer panics on an open failure.
+func openEngine(dataDir, name string, hook func(storage.Engine) storage.Engine) (storage.Engine, error) {
 	opt := lsm.Options{}
 	if dataDir != "" {
 		opt.Dir = filepath.Join(dataDir, name, "state")
 	}
-	return lsm.Open(opt)
+	eng, err := lsm.Open(opt)
+	if err != nil || hook == nil {
+		return eng, err
+	}
+	return hook(eng), nil
 }
 
 func ckptDir(dataDir, name string) string {
@@ -144,6 +149,10 @@ type Config struct {
 	// overload sheds at admission with ingress.ErrOverloaded instead of
 	// queueing without bound. Nil keeps the paper-faithful direct path.
 	Ingress *ingress.Config
+	// EngineHook, when set, wraps every peer's state engine as it is
+	// opened — including the fresh engine a recovering peer rebuilds
+	// onto. The chaos layer injects write failures and fsync stalls here.
+	EngineHook func(storage.Engine) storage.Engine
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
 	// Contracts deployed on all peers. Default: KV and Smallbank.
@@ -223,6 +232,13 @@ type peer struct {
 	// crashed marks a peer whose commit pipeline and state were killed;
 	// endorsement and query routing skip it until it is recovered.
 	crashed atomic.Bool
+	// lastDelivered is the newest ordering-batch sequence this peer has
+	// consumed — decoded while live, drained while down. The block-sync
+	// handoff in RecoverPeer pivots on it.
+	lastDelivered atomic.Uint64
+	// drain runs while the peer is crashed, consuming its share of
+	// payload-box handles so entries never leak; nil when live.
+	drain *system.Drainer
 }
 
 // fabricBlock is one decoded block moving through a peer's pipeline.
@@ -274,7 +290,7 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return fail(err)
 		}
-		eng, err := openEngine(cfg.DataDir, name)
+		eng, err := openEngine(cfg.DataDir, name, cfg.EngineHook)
 		if err != nil {
 			return fail(fmt.Errorf("fabric %s: open state engine: %w", name, err))
 		}
@@ -415,14 +431,14 @@ func (nw *Network) execute(t *txn.Tx) system.Result {
 		return r
 	}
 
-	// Phase 2: ordering. The payload is taken once per live consumer —
-	// a crashed peer never Takes, so counting it would leak the entry
-	// forever. (A peer crashing between Put and decode still strands the
-	// one in-flight entry; that window is bounded by the pipeline depth,
-	// not by post-crash load.)
+	// Phase 2: ordering. The payload is taken exactly once per peer —
+	// live peers Take in decode, crashed peers Take in their drain, and
+	// a recovering peer's handoff consumer Takes the batches its replay
+	// covered — so the count stays constant across crashes and no entry
+	// leaks.
 	done := nw.waiters.Register(string(t.ID[:]))
 	orderStart := time.Now()
-	id := nw.box.Put(t, len(live))
+	id := nw.box.Put(t, len(nw.peers))
 	if err := nw.ordering.Append(system.EncodeHandle(id)); err != nil {
 		nw.waiters.Cancel(string(t.ID[:]))
 		nw.box.Drop(id)
@@ -543,7 +559,7 @@ func (nw *Network) ingestBatch(txs []*txn.Tx) error {
 		}
 		key := string(t.ID[:])
 		nw.waiters.RegisterFunc(key, nw.ing.Resolver(t.ID))
-		id := nw.box.Put(t, len(live))
+		id := nw.box.Put(t, len(nw.peers))
 		if err := nw.ordering.AppendBounded(system.EncodeHandle(id), time.Second); err != nil {
 			nw.waiters.Cancel(key)
 			nw.box.Drop(id)
@@ -568,6 +584,10 @@ func (nw *Network) IngressStats() (ingress.Stats, bool) {
 // ConsensusDropped sums the ordering service's transport drop counters —
 // the consensus-side overload signal, as opposed to admission sheds.
 func (nw *Network) ConsensusDropped() uint64 { return nw.ordering.Dropped() }
+
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// network's transport — the chaos layer's drop/delay/reorder seam.
+func (nw *Network) SetFaults(hook cluster.FaultHook) { nw.net.SetFaults(hook) }
 
 // readValue extracts a point-read result for KV queries.
 func (p *peer) readValue(inv txn.Invocation) []byte {
@@ -632,7 +652,11 @@ func (p *peer) commitLoop() {
 }
 
 // decodeBlock resolves a batch's payload handles into the block's
-// transactions (pipeline Decode stage).
+// transactions (pipeline Decode stage). Batches that decode to zero
+// transactions still pass through as empty blocks: ledger height must
+// track the ordering sequence exactly — block N is always batch N — or
+// the recovery handoff (RecoverPeer) could not align a ledger replay
+// with a log subscription.
 func (p *peer) decodeBlock(batch sharedlog.Batch) (*fabricBlock, bool) {
 	txs := make([]*txn.Tx, 0, len(batch.Records))
 	for _, rec := range batch.Records {
@@ -646,9 +670,7 @@ func (p *peer) decodeBlock(batch sharedlog.Batch) (*fabricBlock, bool) {
 		}
 		txs = append(txs, v.(*txn.Tx))
 	}
-	if len(txs) == 0 {
-		return nil, false
-	}
+	p.lastDelivered.Store(batch.Seq)
 	return &fabricBlock{txs: txs}, true
 }
 
@@ -828,7 +850,12 @@ func (nw *Network) CrashPeer(i int) {
 	}
 	p.stopOnce.Do(func() { close(p.stopCh) })
 	p.wg.Wait()
-	p.consumer.Close()
+	// The subscription stays open: a drain goroutine keeps consuming the
+	// crashed peer's share of payload-box handles (constant Take counts,
+	// no leaked entries) and records the last delivered sequence — the
+	// pivot the recovery block-sync handoff resumes from.
+	p.drain = system.NewDrainer()
+	go p.drainWhileDown(p.consumer, p.drain)
 	if p.ckpt != nil {
 		p.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
@@ -840,16 +867,41 @@ func (nw *Network) CrashPeer(i int) {
 	p.ledger = nil
 }
 
+// drainWhileDown consumes the crashed peer's batch stream: every handle
+// is taken (freeing this peer's box copy) and the newest sequence is
+// recorded in lastDelivered.
+func (p *peer) drainWhileDown(consumer *sharedlog.Consumer, d *system.Drainer) {
+	defer d.Finish()
+	for {
+		select {
+		case <-d.Stop():
+			return
+		case b, ok := <-consumer.Batches():
+			if !ok {
+				return
+			}
+			for _, rec := range b.Records {
+				if id, ok := system.HandleID(rec); ok {
+					p.nw.box.Take(id)
+				}
+			}
+			p.lastDelivered.Store(b.Seq)
+		}
+	}
+}
+
 // RecoverPeer rebuilds crashed peer i from its newest on-disk checkpoint
 // with height ≤ maxCkptHeight (0 = newest available — maxCkptHeight
 // models how far checkpointing had gotten when the crash hit) plus a
 // replay of the healthy peer from's ledger, through the peer's own
-// validate/apply pipeline stages. It requires a quiesced network (no
-// blocks in flight — the model's equivalent of recovering against a
-// static ledger tail); the recovered peer serves state and verification
-// but does not re-join live block consumption. RecoverPeer may be called
-// repeatedly — each call rebuilds from scratch — which is what the
-// recovery experiment's crash-height sweep does.
+// validate/apply pipeline stages — and then REJOINS live block
+// consumption via a block-sync handoff: the replay runs to at least the
+// last sequence the peer's crash-time drain consumed, a handoff
+// subscription takes (and drops) the peer's box copies for the batches
+// the replay already covered, and the live subscription resumes exactly
+// one past the replay tip. The network may keep committing throughout —
+// no quiesce is required. RecoverPeer may be called after each crash;
+// each call rebuilds from scratch.
 func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
 	p, src := nw.peers[i], nw.peers[from]
 	if !p.crashed.Load() {
@@ -858,10 +910,18 @@ func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stat
 	if src.crashed.Load() {
 		return recovery.Stats{}, fmt.Errorf("fabric: source peer %d is crashed", from)
 	}
+	// Stop the crash-time drain and pin the handoff pivot: every batch
+	// ≤ D has had this peer's box copy taken already.
+	if p.drain != nil {
+		p.drain.Halt()
+		p.drain = nil
+		p.consumer.Close()
+	}
+	D := p.lastDelivered.Load()
 	cfg := recovery.RebuildConfig{
 		Old:           p.st,
 		OldCkpt:       p.ckpt,
-		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, p.name) },
+		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, p.name, nw.cfg.EngineHook) },
 		Interval:      nw.cfg.CheckpointInterval,
 		Keep:          nw.cfg.CheckpointKeep,
 		Mode:          nw.cfg.CheckpointMode,
@@ -929,27 +989,76 @@ func (nw *Network) RecoverPeer(i, from int, maxCkptHeight uint64) (recovery.Stat
 	}
 	p.st, p.ledger = st, led
 
+	// Replay the source ledger through the live validate/apply stages
+	// until this peer has covered everything its drain consumed (≥ D).
+	// The source keeps committing while we replay, so loop: each pass
+	// replays the tail the source has by now, and if the source has not
+	// yet applied batch D itself, wait for it.
 	replayStart := time.Now()
-	stats.ReplayedBlocks, err = recovery.Replay(recovery.LedgerSource{L: src.ledger}, ckptHeight,
-		func(n uint64, payloads [][]byte) error {
-			txs, err := recovery.DecodeTxs(payloads)
-			if err != nil {
-				return err
-			}
-			b := &fabricBlock{txs: txs}
-			p.validateBlock(b) // endorsement signature checks, worker-pooled
-			p.applyBlock(b)    // MVCC waves + state commit, as live
-			if b.commitErr != nil {
-				return b.commitErr
-			}
-			blk, _ := src.ledger.Block(n)
-			return p.ledger.Append(blk)
-		})
-	stats.ReplayDuration = time.Since(replayStart)
-	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
-	if err != nil {
-		return stats, err
+	replayOne := func(n uint64, payloads [][]byte) error {
+		txs, err := recovery.DecodeTxs(payloads)
+		if err != nil {
+			return err
+		}
+		b := &fabricBlock{txs: txs}
+		p.validateBlock(b) // endorsement signature checks, worker-pooled
+		p.applyBlock(b)    // MVCC waves + state commit, as live
+		if b.commitErr != nil {
+			return b.commitErr
+		}
+		blk, _ := src.ledger.Block(n)
+		return p.ledger.Append(blk)
 	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n, rerr := recovery.Replay(recovery.LedgerSource{L: src.ledger}, p.ledger.Height(), replayOne)
+		stats.ReplayedBlocks += n
+		if rerr != nil {
+			stats.ReplayDuration = time.Since(replayStart)
+			return stats, rerr
+		}
+		if n == 0 {
+			if p.ledger.Height() >= D {
+				break
+			}
+			if time.Now().After(deadline) {
+				stats.ReplayDuration = time.Since(replayStart)
+				return stats, fmt.Errorf("fabric: source peer %d stuck below drained sequence %d", from, D)
+			}
+			//lint:allow sleepyloop waiting for the live replay source to apply the drained tail
+			time.Sleep(time.Millisecond)
+		}
+	}
+	stats.ReplayDuration = time.Since(replayStart)
+	T1 := p.ledger.Height()
+	stats.TipHeight = T1
+
+	// Block-sync handoff: batches D+1..T1 were covered by the replay but
+	// their box copies for this peer are still outstanding — take and
+	// drop them, then subscribe live at T1+1. Sequences align because
+	// block N is always batch N (empty-batch pass-through in decode).
+	if T1 > D {
+		tmp := nw.ordering.Subscribe(D + 1)
+		for seq := D + 1; seq <= T1; seq++ {
+			b, ok := <-tmp.Batches()
+			if !ok {
+				break
+			}
+			for _, rec := range b.Records {
+				if id, ok := system.HandleID(rec); ok {
+					nw.box.Take(id)
+				}
+			}
+		}
+		tmp.Close()
+	}
+	p.lastDelivered.Store(T1)
+	p.stopCh = make(chan struct{})
+	p.stopOnce = sync.Once{}
+	p.consumer = nw.ordering.Subscribe(T1 + 1)
+	p.crashed.Store(false)
+	p.wg.Add(1)
+	go p.commitLoop()
 	return stats, nil
 }
 
@@ -988,6 +1097,10 @@ func (nw *Network) Close() {
 		nw.ordering.Stop()
 		for _, p := range nw.peers {
 			p.stopOnce.Do(func() { close(p.stopCh) })
+			if p.drain != nil {
+				p.drain.Halt()
+				p.drain = nil
+			}
 		}
 		for _, p := range nw.peers {
 			p.wg.Wait()

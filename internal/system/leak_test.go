@@ -16,6 +16,8 @@ import (
 	"dichotomy/internal/system"
 	"dichotomy/internal/system/fabric"
 	"dichotomy/internal/system/quorum"
+	"dichotomy/internal/system/spanner"
+	"dichotomy/internal/system/tidb"
 )
 
 // goroutineBaseline samples the goroutine count after letting any
@@ -168,5 +170,57 @@ func TestBigchainCloseReapsGoroutines(t *testing.T) {
 	}
 	driveSmallLoad(t, b, client)
 	b.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestTiDBCrashRecoveryCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	c := tidb.New(tidb.Config{
+		Servers:            2,
+		StorageNodes:       3,
+		Regions:            2,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	driveSmallLoad(t, c, client)
+	// Crash one replica of every region, keep committing on the raft
+	// majority, then recover: the replaced applier/checkpoint workers
+	// must all honour Close and the crashed ones must already be gone.
+	for r := 0; r < c.Regions(); r++ {
+		c.CrashReplica(r, 2)
+	}
+	driveSmallLoad(t, c, client)
+	for r := 0; r < c.Regions(); r++ {
+		if _, err := c.RecoverReplica(r, 2); err != nil {
+			t.Fatalf("recover region %d: %v", r, err)
+		}
+	}
+	driveSmallLoad(t, c, client)
+	c.Close()
+	assertGoroutinesReturn(t, base)
+}
+
+func TestSpannerCrashRecoveryCloseReapsGoroutines(t *testing.T) {
+	base := goroutineBaseline()
+	client := cryptoutil.MustNewSigner("leak-client")
+	c := spanner.New(spanner.Config{
+		Shards:             2,
+		NodesPerShard:      3,
+		DataDir:            t.TempDir(),
+		CheckpointInterval: 2,
+	})
+	driveSmallLoad(t, c, client)
+	for s := 0; s < c.Shards(); s++ {
+		c.CrashReplica(s, 2)
+	}
+	driveSmallLoad(t, c, client)
+	for s := 0; s < c.Shards(); s++ {
+		if _, err := c.RecoverReplica(s, 2); err != nil {
+			t.Fatalf("recover shard %d: %v", s, err)
+		}
+	}
+	driveSmallLoad(t, c, client)
+	c.Close()
 	assertGoroutinesReturn(t, base)
 }

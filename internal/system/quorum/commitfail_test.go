@@ -37,7 +37,7 @@ func (f *failEngine) Delete(key []byte) error {
 func TestCommitFailureSurfacesError(t *testing.T) {
 	var engines []*failEngine
 	cfg := Config{Nodes: 3}
-	cfg.engineHook = func(e storage.Engine) storage.Engine {
+	cfg.EngineHook = func(e storage.Engine) storage.Engine {
 		fe := &failEngine{Engine: e}
 		engines = append(engines, fe)
 		return fe

@@ -135,9 +135,11 @@ type Config struct {
 	Link cluster.LinkModel
 	// Contracts deployed on all nodes. Default: KV and Smallbank.
 	Contracts []contract.Contract
-	// engineHook, when set, wraps each node's state engine after it is
-	// opened; tests inject failing engines through it.
-	engineHook func(storage.Engine) storage.Engine
+	// EngineHook, when set, wraps each node's state engine as it is
+	// opened — including the fresh engine a recovering node rebuilds
+	// onto. Tests inject failing engines through it; the chaos layer
+	// injects write failures and fsync stalls.
+	EngineHook func(storage.Engine) storage.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -209,7 +211,16 @@ type node struct {
 	// and query routing skip it, and a drain keeps its consensus replica
 	// from wedging the cluster.
 	crashed atomic.Bool
-	drainCh chan struct{}
+	// lastDelivered is the newest consensus index this node has consumed
+	// — decoded while live, drained while down. The rejoin handoff in
+	// RecoverNode pivots on it.
+	lastDelivered atomic.Uint64
+	// skipTo makes the restarted decode stage take-and-discard entries
+	// the recovery replay already covered (index ≤ skipTo).
+	skipTo atomic.Uint64
+	// drain runs while the node is crashed, consuming its share of
+	// payload-box handles so blocks never leak; nil when live.
+	drain *system.Drainer
 }
 
 // block is the consensus payload (passed by handle through the box). It
@@ -264,8 +275,8 @@ func New(cfg Config) (*Network, error) {
 		if err != nil {
 			return fail(fmt.Errorf("quorum node %d: open state engine: %w", id, err))
 		}
-		if cfg.engineHook != nil {
-			eng = cfg.engineHook(eng)
+		if cfg.EngineHook != nil {
+			eng = cfg.EngineHook(eng)
 		}
 		n := &node{
 			id:     id,
@@ -492,6 +503,10 @@ func (nw *Network) IngressStats() (ingress.Stats, bool) {
 	return nw.ing.Stats(), true
 }
 
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// network's transport — the chaos layer's drop/delay/reorder seam.
+func (nw *Network) SetFaults(hook cluster.FaultHook) { nw.net.SetFaults(hook) }
+
 // ConsensusDropped sums the nodes' transport drop counters — the
 // consensus-side overload signal, as opposed to admission sheds.
 func (nw *Network) ConsensusDropped() uint64 {
@@ -602,10 +617,10 @@ func (n *node) proposeLoop() {
 			t.Trace.Observe(metrics.PhaseProposal, time.Since(start))
 			size += t.Size()
 		}
-		// Count only live consumers: a crashed node's commit stream is
-		// drained without Take, so counting it would leak the block in
-		// the box for every post-crash commit.
-		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, n.nw.liveNodes())
+		// The block is taken exactly once per node — live nodes Take in
+		// decode, crashed nodes Take in their drain — so the count stays
+		// constant across crashes and no entry leaks.
+		id := n.nw.box.Put(&block{proposer: n.id, txs: batch, size: size}, len(n.nw.nodes))
 		if err := n.cons.Propose(system.EncodeHandle(id)); err != nil {
 			// Leadership moved between check and propose; requeue.
 			n.pendingMu.Lock()
@@ -623,17 +638,28 @@ func (n *node) commitLoop() {
 }
 
 // decodeBlock resolves a committed entry's payload handle (pipeline
-// Decode stage).
+// Decode stage). Ledger height must track the consensus index exactly —
+// block N is always entry N — or the recovery handoff (RecoverNode)
+// could not align a ledger replay with the committed stream; a handle
+// that fails to resolve therefore still passes through as an empty
+// block, while entries at or below skipTo (covered by a just-finished
+// recovery replay) consume their box copy and are dropped, because the
+// replay already appended their ledger blocks.
 func (n *node) decodeBlock(e consensus.Entry) (*nodeBlock, bool) {
-	id, ok := system.HandleID(e.Data)
-	if !ok {
+	n.lastDelivered.Store(e.Index)
+	var blk *block
+	if id, ok := system.HandleID(e.Data); ok {
+		if v, ok := n.nw.box.Take(id); ok {
+			blk = v.(*block)
+		}
+	}
+	if e.Index <= n.skipTo.Load() {
 		return nil, false
 	}
-	v, ok := n.nw.box.Take(id)
-	if !ok {
-		return nil, false
+	if blk == nil {
+		blk = &block{}
 	}
-	return &nodeBlock{blk: v.(*block)}, true
+	return &nodeBlock{blk: blk}, true
 }
 
 // validateBlock authenticates the block's clients across the worker pool
@@ -802,8 +828,12 @@ func (nw *Network) CrashNode(i int) {
 	}
 	n.stopOnce.Do(func() { close(n.stopCh) })
 	n.wg.Wait()
-	n.drainCh = make(chan struct{})
-	go pipeline.Drain(n.cons.Committed(), n.drainCh)
+	// The consensus replica keeps running behind a take-drain: every
+	// entry's box copy is consumed (constant Take counts, no leaks) and
+	// the newest index is recorded — the pivot the rejoin handoff in
+	// RecoverNode resumes from.
+	n.drain = system.NewDrainer()
+	go n.drainWhileDown(n.cons.Committed(), n.drain)
 	if n.ckpt != nil {
 		n.ckpt.Close() // queued delta jobs die with the process, as a real crash would lose them
 	}
@@ -814,13 +844,37 @@ func (nw *Network) CrashNode(i int) {
 	n.proofs = nil
 }
 
+// drainWhileDown consumes the crashed node's committed stream: every
+// handle is taken (freeing this node's box copy) and the newest index is
+// recorded in lastDelivered.
+func (n *node) drainWhileDown(src <-chan consensus.Entry, d *system.Drainer) {
+	defer d.Finish()
+	for {
+		select {
+		case <-d.Stop():
+			return
+		case e, ok := <-src:
+			if !ok {
+				return
+			}
+			if id, ok := system.HandleID(e.Data); ok {
+				n.nw.box.Take(id)
+			}
+			n.lastDelivered.Store(e.Index)
+		}
+	}
+}
+
 // RecoverNode rebuilds crashed node i from its newest on-disk checkpoint
 // with height ≤ maxCkptHeight (0 = newest) plus a replay of the healthy
 // node from's ledger through the node's own validate/apply pipeline
 // stages — including the speculative parallel re-execution and the MPT
-// reconstruction of live double execution. It requires a quiesced
-// network; the recovered node serves state, roots and verification but
-// does not re-join live block consumption. May be called repeatedly;
+// reconstruction of live double execution — and then REJOINS live block
+// consumption: the replay runs to at least the last index the node's
+// crash-time drain consumed, the restarted decode stage take-and-drops
+// entries the replay already covered (skipTo), and everything above
+// flows through the ordinary pipeline. The network may keep committing
+// throughout — no quiesce is required. May be called after each crash;
 // each call rebuilds from scratch.
 func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stats, error) {
 	n, src := nw.nodes[i], nw.nodes[from]
@@ -830,10 +884,23 @@ func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stat
 	if src.crashed.Load() {
 		return recovery.Stats{}, fmt.Errorf("quorum: source node %d is crashed", from)
 	}
+	// Stop the crash-time drain and pin the handoff pivot: every entry
+	// ≤ D has had this node's box copy taken already.
+	if n.drain != nil {
+		n.drain.Halt()
+		n.drain = nil
+	}
+	D := n.lastDelivered.Load()
 	cfg := recovery.RebuildConfig{
-		Old:           n.st,
-		OldCkpt:       n.ckpt,
-		Open:          func() (storage.Engine, error) { return openEngine(nw.cfg.DataDir, n.id) },
+		Old:     n.st,
+		OldCkpt: n.ckpt,
+		Open: func() (storage.Engine, error) {
+			eng, err := openEngine(nw.cfg.DataDir, n.id)
+			if err != nil || nw.cfg.EngineHook == nil {
+				return eng, err
+			}
+			return nw.cfg.EngineHook(eng), nil
+		},
 		Interval:      nw.cfg.CheckpointInterval,
 		Mode:          nw.cfg.CheckpointMode,
 		FullEvery:     nw.cfg.CheckpointFullEvery,
@@ -901,33 +968,60 @@ func (nw *Network) RecoverNode(i, from int, maxCkptHeight uint64) (recovery.Stat
 	n.st, n.ledger = st, led
 	n.auth, n.proofs = auth, proofs
 
+	// Replay the source ledger through the live validate/apply stages
+	// until this node has covered everything its drain consumed (≥ D).
+	// The source keeps committing while we replay, so loop: each pass
+	// replays the tail the source has by now, and if the source has not
+	// yet applied entry D itself, wait for it.
 	replayStart := time.Now()
-	stats.ReplayedBlocks, err = recovery.Replay(recovery.LedgerSource{L: src.ledger}, ckptHeight,
-		func(bn uint64, payloads [][]byte) error {
-			txs, err := recovery.DecodeTxs(payloads)
-			if err != nil {
-				return err
+	replayOne := func(bn uint64, payloads [][]byte) error {
+		txs, err := recovery.DecodeTxs(payloads)
+		if err != nil {
+			return err
+		}
+		nb := &nodeBlock{blk: &block{proposer: cluster.NodeID(-1), txs: txs}}
+		n.validateBlock(nb) // client auth, worker-pooled
+		n.applyBlock(nb)    // speculative re-execution + MPT, as live
+		blk, _ := src.ledger.Block(bn)
+		return n.ledger.Append(blk)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		cnt, rerr := recovery.Replay(recovery.LedgerSource{L: src.ledger}, n.ledger.Height(), replayOne)
+		stats.ReplayedBlocks += cnt
+		if rerr != nil {
+			stats.ReplayDuration = time.Since(replayStart)
+			return stats, rerr
+		}
+		if cnt == 0 {
+			if n.ledger.Height() >= D {
+				break
 			}
-			nb := &nodeBlock{blk: &block{proposer: cluster.NodeID(-1), txs: txs}}
-			n.validateBlock(nb) // client auth, worker-pooled
-			n.applyBlock(nb)    // speculative re-execution + MPT, as live
-			blk, _ := src.ledger.Block(bn)
-			return n.ledger.Append(blk)
-		})
-	stats.ReplayDuration = time.Since(replayStart)
-	stats.TipHeight = ckptHeight + stats.ReplayedBlocks
-	return stats, err
-}
-
-// liveNodes counts the nodes whose execution layers are running.
-func (nw *Network) liveNodes() int {
-	live := 0
-	for _, n := range nw.nodes {
-		if !n.crashed.Load() {
-			live++
+			if time.Now().After(deadline) {
+				stats.ReplayDuration = time.Since(replayStart)
+				return stats, fmt.Errorf("quorum: source node %d stuck below drained index %d", from, D)
+			}
+			//lint:allow sleepyloop waiting for the live replay source to apply the drained tail
+			time.Sleep(time.Millisecond)
 		}
 	}
-	return live
+	stats.ReplayDuration = time.Since(replayStart)
+	T1 := n.ledger.Height()
+	stats.TipHeight = T1
+
+	// Rejoin: entries ≤ T1 still buffered in the committed stream are
+	// covered by the replay — the restarted decode take-and-drops them —
+	// and everything above applies live. Indexes align because block N
+	// is always entry N (empty-block pass-through in decode).
+	n.skipTo.Store(T1)
+	n.lastDelivered.Store(T1)
+	n.stopCh = make(chan struct{})
+	n.stopOnce = sync.Once{}
+	n.crashed.Store(false)
+	n.wg.Add(2)
+	go n.proposeLoop()
+	go n.commitLoop()
+	return stats, nil
 }
 
 // Leader returns the index of the current consensus leader, or -1 while
@@ -1019,8 +1113,9 @@ func (nw *Network) Close() {
 		for _, n := range nw.nodes {
 			n.cons.Stop()
 			n.wg.Wait()
-			if n.drainCh != nil {
-				close(n.drainCh)
+			if n.drain != nil {
+				n.drain.Halt()
+				n.drain = nil
 			}
 			if n.ckpt != nil {
 				n.ckpt.Close()

@@ -147,7 +147,11 @@ func waitHeights(t *testing.T, heights ...func() uint64) uint64 {
 		}
 		prev = h0
 		if time.Now().After(deadline) {
-			t.Fatalf("replicas failed to quiesce (height %d, stable %d)", h0, stable)
+			all := make([]uint64, len(heights))
+			for i, h := range heights {
+				all[i] = h()
+			}
+			t.Fatalf("replicas failed to quiesce (heights %v, stable %d)", all, stable)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

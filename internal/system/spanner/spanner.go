@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"dichotomy/internal/consensus/raft"
 	"dichotomy/internal/contract"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/sharding"
 	"dichotomy/internal/system"
 	"dichotomy/internal/tso"
@@ -41,6 +43,19 @@ type Config struct {
 	// LockWait bounds how long a transaction waits for a lock before
 	// wound-wait resolves it. Default 50ms.
 	LockWait time.Duration
+
+	// DataDir, together with CheckpointInterval, enables per-shard-replica
+	// checkpoint chains under DataDir/shard-NNN/replica-N.
+	DataDir string
+	// CheckpointInterval is applied raft entries between checkpoints; 0
+	// disables checkpointing (recovery replays the whole shard log).
+	CheckpointInterval uint64
+	// CheckpointKeep bounds retained checkpoint files per replica.
+	CheckpointKeep int
+	// CheckpointMode selects full or delta shard checkpoints.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery folds delta chains every N-th checkpoint.
+	CheckpointFullEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,21 +86,57 @@ type Cluster struct {
 
 var _ system.System = (*Cluster)(nil)
 
-// shard is a Raft-replicated partition with a lock table.
+// shard is a Raft-replicated partition with a lock table. The lock table
+// is coordination state, held once per shard on the client-facing path —
+// it is not replicated, exactly as a lock leader's in-memory lock table
+// is not. Committed data and prepared 2PC writes ARE replicated: every
+// replica applies the shard log into its own copy (see shardReplica), so
+// any replica can be crashed and rebuilt without touching the others.
 type shard struct {
-	idx     int
-	nodes   []*raft.Node
-	waiters *system.Waiters
-	box     *system.PayloadBox
-	seq     atomic.Uint64
+	idx      int
+	replicas []*shardReplica
+	peers    []cluster.NodeID
+	waiters  *system.Waiters
+	seq      atomic.Uint64
 
-	mu    sync.Mutex
-	state map[string][]byte
-	locks map[string]uint64 // key → lock-holder tx priority (start ts)
+	lockMu sync.Mutex
+	locks  map[string]uint64 // key → lock-holder tx priority (start ts)
+}
 
+// shardState is one replica's materialized copy of the shard log:
+// committed values plus the prepared-but-undecided 2PC write sets.
+// Guarded by its own mutex; swapped wholesale on crash/recover.
+type shardState struct {
+	mu       sync.Mutex
+	state    map[string][]byte
 	prepared map[string][]txn.Write
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
+}
+
+func newShardState() *shardState {
+	return &shardState{
+		state:    make(map[string][]byte),
+		prepared: make(map[string][]txn.Write),
+	}
+}
+
+// shardReplica is one raft member plus its materialized state. Commands
+// are encoded into the log entries themselves (codec.go), so a replica
+// restarted with an empty log is rebuilt entirely by the leader's
+// re-replication, optionally shortcut by its own checkpoint chain.
+type shardReplica struct {
+	id       cluster.NodeID
+	ep       *cluster.Endpoint
+	shard    *shard
+	ckptOpts recovery.Options // zero Dir disables checkpointing
+
+	cons    atomic.Pointer[raft.Node]
+	st      atomic.Pointer[shardState]
+	applied atomic.Uint64
+
+	mu      sync.Mutex // serializes crash/recover/close transitions
+	crashed atomic.Bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
 }
 
 type shardCmd struct {
@@ -96,7 +147,7 @@ type shardCmd struct {
 	commit bool
 }
 
-type phase int
+type phase uint8
 
 const (
 	phaseApply phase = iota // direct single-shard write batch
@@ -116,26 +167,36 @@ func New(cfg Config) *Cluster {
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		sh := &shard{
-			idx:      s,
-			waiters:  system.NewWaiters(),
-			box:      system.NewPayloadBox(),
-			state:    make(map[string][]byte),
-			locks:    make(map[string]uint64),
-			prepared: make(map[string][]txn.Write),
-			stopCh:   make(chan struct{}),
+			idx:     s,
+			waiters: system.NewWaiters(),
+			locks:   make(map[string]uint64),
 		}
 		peers := make([]cluster.NodeID, cfg.NodesPerShard)
 		for i := range peers {
 			peers[i] = cluster.NodeID(400000 + s*1000 + i)
 		}
-		for _, id := range peers {
-			sh.nodes = append(sh.nodes, raft.New(raft.Config{
-				ID: id, Peers: peers, Endpoint: c.net.Register(id, 8192),
-			}))
+		sh.peers = peers
+		for i, id := range peers {
+			rep := &shardReplica{id: id, ep: c.net.Register(id, 8192), shard: sh}
+			if cfg.DataDir != "" && cfg.CheckpointInterval > 0 {
+				rep.ckptOpts = recovery.Options{
+					Dir: filepath.Join(cfg.DataDir,
+						fmt.Sprintf("shard-%03d", s), fmt.Sprintf("replica-%d", i)),
+					Interval:  cfg.CheckpointInterval,
+					Keep:      cfg.CheckpointKeep,
+					Mode:      cfg.CheckpointMode,
+					FullEvery: cfg.CheckpointFullEvery,
+				}
+			}
+			sh.replicas = append(sh.replicas, rep)
 		}
-		for i, n := range sh.nodes {
-			sh.wg.Add(1)
-			go sh.applyLoop(n, i == 0)
+		for _, rep := range sh.replicas {
+			if _, _, err := rep.start(false); err != nil {
+				// Only a pre-existing corrupt chain lands here; run
+				// without checkpoints — the raft log still rebuilds.
+				rep.ckptOpts = recovery.Options{}
+				_, _, _ = rep.start(false)
+			}
 		}
 		c.shards = append(c.shards, sh)
 	}
@@ -145,93 +206,155 @@ func New(cfg Config) *Cluster {
 // Name implements system.System.
 func (c *Cluster) Name() string { return "spanner" }
 
-func (sh *shard) applyLoop(n *raft.Node, primary bool) {
-	defer sh.wg.Done()
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// cluster's transport — the chaos layer's drop/delay/reorder seam.
+func (c *Cluster) SetFaults(hook cluster.FaultHook) { c.net.SetFaults(hook) }
+
+// start boots (or re-boots) the replica: restore its checkpoint chain
+// when configured, rejoin the raft group on the fixed endpoint, run the
+// apply loop. Entries at or below the restored height are skipped.
+// rejoin distinguishes a post-crash reboot from initial construction: a
+// rebooted replica lost its raft log and must sit out elections until
+// re-replication catches it up (raft.Config.Recovering), while at
+// construction every replica is equally empty and someone has to
+// campaign. Callers hold rep.mu (or are constructing the cluster).
+func (rep *shardReplica) start(rejoin bool) (skipTo uint64, ckptBytes int64, err error) {
+	st := newShardState()
+	var ckpt *recovery.ChainWriter
+	if rep.ckptOpts.Dir != "" {
+		w, err := recovery.OpenChainWriter(rep.ckptOpts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := w.Restore(func(key string, value []byte, _ txn.Version) error {
+			return st.restoreRecord(key, value)
+		}); err != nil {
+			return 0, 0, err
+		}
+		ckpt, skipTo, ckptBytes = w, w.LastHeight(), w.RestoredBytes()
+	}
+	cons := raft.New(raft.Config{ID: rep.id, Peers: rep.shard.peers, Endpoint: rep.ep, Recovering: rejoin})
+	rep.st.Store(st)
+	rep.cons.Store(cons)
+	rep.applied.Store(skipTo)
+	stopCh := make(chan struct{})
+	rep.stopCh = stopCh
+	rep.wg.Add(1)
+	go rep.applyLoop(cons, st, ckpt, skipTo, stopCh)
+	return skipTo, ckptBytes, nil
+}
+
+// applyLoop applies the shard log into this replica's state. Every
+// replica applies (deterministically — same log prefix, same state) and
+// every replica resolves the request waiter; resolve-once semantics make
+// the duplicates no-ops.
+func (rep *shardReplica) applyLoop(cons *raft.Node, st *shardState, ckpt *recovery.ChainWriter, skipTo uint64, stopCh chan struct{}) {
+	defer rep.wg.Done()
 	for {
 		select {
-		case <-sh.stopCh:
+		case <-stopCh:
 			return
-		case e, ok := <-n.Committed():
+		case e, ok := <-cons.Committed():
 			if !ok {
 				return
 			}
-			if primary {
-				sh.apply(e)
+			if e.Index <= skipTo {
+				continue // covered by the restored checkpoint
+			}
+			reqID, ok := rep.apply(st, e)
+			// Publish the applied index BEFORE resolving the waiter:
+			// readers route to the most-caught-up live replica, so a
+			// resolved request is guaranteed visible to the next read.
+			rep.applied.Store(e.Index)
+			if ok {
+				rep.shard.waiters.Resolve(fmt.Sprintf("s%d", reqID), system.Result{Committed: true})
+			}
+			if ckpt != nil {
+				// Checkpoint failure degrades durability only; the apply
+				// path keeps going and recovery replays more log.
+				_ = ckpt.MaybeCheckpoint(e.Index, st.dump)
 			}
 		}
 	}
 }
 
-func (sh *shard) apply(e consensus.Entry) {
-	id, ok := system.HandleID(e.Data)
+func (rep *shardReplica) apply(st *shardState, e consensus.Entry) (reqID uint64, ok bool) {
+	cmd, ok := decodeShardCmd(e.Data)
 	if !ok {
-		return
+		return 0, false
 	}
-	v, ok := sh.box.Take(id)
-	if !ok {
-		return
-	}
-	cmd := v.(*shardCmd)
-	sh.mu.Lock()
+	st.mu.Lock()
 	switch cmd.phase {
 	case phaseApply:
 		for _, w := range cmd.writes {
 			if w.Value == nil {
-				delete(sh.state, w.Key)
+				delete(st.state, w.Key)
 			} else {
-				sh.state[w.Key] = w.Value
+				st.state[w.Key] = w.Value
 			}
 		}
 	case phasePrep:
-		sh.prepared[cmd.txID] = cmd.writes
+		st.prepared[cmd.txID] = cmd.writes
 	case phaseFinish:
-		writes := sh.prepared[cmd.txID]
-		delete(sh.prepared, cmd.txID)
+		writes := st.prepared[cmd.txID]
+		delete(st.prepared, cmd.txID)
 		if cmd.commit {
 			for _, w := range writes {
 				if w.Value == nil {
-					delete(sh.state, w.Key)
+					delete(st.state, w.Key)
 				} else {
-					sh.state[w.Key] = w.Value
+					st.state[w.Key] = w.Value
 				}
 			}
 		}
 	}
-	sh.mu.Unlock()
-	sh.waiters.Resolve(fmt.Sprintf("s%d", cmd.reqID), system.Result{Committed: true})
+	st.mu.Unlock()
+	return cmd.reqID, true
 }
 
-// replicate sequences a command through the shard's Raft group.
+// replicate sequences a command through the shard's Raft group. The
+// command rides inside the log entry, so the replicated history is
+// self-contained for recovery replay.
 func (sh *shard) replicate(cmd *shardCmd) error {
 	cmd.reqID = sh.seq.Add(1)
 	done := sh.waiters.Register(fmt.Sprintf("s%d", cmd.reqID))
-	id := sh.box.Put(cmd, 1)
-	payload := system.EncodeHandle(id)
+	payload := encodeShardCmd(cmd)
 	deadline := time.Now().Add(30 * time.Second)
+	// Re-propose until the command is applied. A proposal accepted by a
+	// replica that crashes before replicating it is silently lost;
+	// waiting on it alone would stall the client 30s. Duplicate
+	// application is safe: every replica applies the same log, and a
+	// second apply/prepare/finish of the same command is a deterministic
+	// no-op (state writes are idempotent, a finished prepare is gone).
 	for {
 		ok := false
-		for _, n := range sh.nodes {
-			if n.Propose(payload) == nil {
+		for _, rep := range sh.replicas {
+			if rep.crashed.Load() {
+				continue
+			}
+			if rep.cons.Load().Propose(payload) == nil {
 				ok = true
 				break
 			}
 		}
-		if ok {
-			break
+		if !ok {
+			if time.Now().After(deadline) {
+				sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
+				return errors.New("spanner: shard unavailable")
+			}
+			//lint:allow sleepyloop bounded retry backoff while the shard group re-elects
+			time.Sleep(time.Millisecond)
+			continue
 		}
-		if time.Now().After(deadline) {
-			sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
-			return errors.New("spanner: shard unavailable")
+		select {
+		case <-done:
+			return nil
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
+				return errors.New("spanner: apply timeout")
+			}
 		}
-		//lint:allow sleepyloop bounded retry backoff while the shard group re-elects
-		time.Sleep(time.Millisecond)
-	}
-	select {
-	case <-done:
-		return nil
-	case <-time.After(30 * time.Second):
-		sh.waiters.Cancel(fmt.Sprintf("s%d", cmd.reqID))
-		return errors.New("spanner: apply timeout")
 	}
 }
 
@@ -243,7 +366,7 @@ func (sh *shard) replicate(cmd *shardCmd) error {
 func (sh *shard) lockKeys(keys []string, ts uint64, wait time.Duration) bool {
 	deadline := time.Now().Add(wait)
 	for {
-		sh.mu.Lock()
+		sh.lockMu.Lock()
 		allFree := true
 		for _, k := range keys {
 			if _, held := sh.locks[k]; held {
@@ -255,10 +378,10 @@ func (sh *shard) lockKeys(keys []string, ts uint64, wait time.Duration) bool {
 			for _, k := range keys {
 				sh.locks[k] = ts
 			}
-			sh.mu.Unlock()
+			sh.lockMu.Unlock()
 			return true
 		}
-		sh.mu.Unlock()
+		sh.lockMu.Unlock()
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -267,19 +390,42 @@ func (sh *shard) lockKeys(keys []string, ts uint64, wait time.Duration) bool {
 }
 
 func (sh *shard) unlockKeys(keys []string) {
-	sh.mu.Lock()
+	sh.lockMu.Lock()
 	for _, k := range keys {
 		delete(sh.locks, k)
 	}
-	sh.mu.Unlock()
+	sh.lockMu.Unlock()
 }
 
-// read returns the committed value of key.
+// read returns the committed value of key from the most-caught-up live
+// replica. Any replica's apply resolves the request waiter, so routing
+// reads to the highest applied index preserves read-your-writes: the
+// resolver is live with applied ≥ the resolved entry, hence so is the
+// maximum.
 func (sh *shard) read(key string) ([]byte, bool) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	v, ok := sh.state[key]
+	rep := sh.freshestReplica()
+	if rep == nil {
+		return nil, false
+	}
+	st := rep.st.Load()
+	st.mu.Lock()
+	v, ok := st.state[key]
+	st.mu.Unlock()
 	return v, ok
+}
+
+func (sh *shard) freshestReplica() *shardReplica {
+	var best *shardReplica
+	var bestApplied uint64
+	for _, rep := range sh.replicas {
+		if rep.crashed.Load() {
+			continue
+		}
+		if a := rep.applied.Load(); best == nil || a > bestApplied {
+			best, bestApplied = rep, a
+		}
+	}
+	return best
 }
 
 // Execute implements system.System as the thin Submit+Wait wrapper.
@@ -435,13 +581,21 @@ func (s *clusterState) GetState(key string) ([]byte, txn.Version, error) {
 func (c *Cluster) Close() {
 	c.closeOne.Do(func() {
 		for _, sh := range c.shards {
-			close(sh.stopCh)
-		}
-		for _, sh := range c.shards {
-			for _, n := range sh.nodes {
-				n.Stop()
+			for _, rep := range sh.replicas {
+				rep.mu.Lock()
+				if !rep.crashed.Load() {
+					close(rep.stopCh)
+				}
+				rep.mu.Unlock()
 			}
-			sh.wg.Wait()
+			for _, rep := range sh.replicas {
+				rep.mu.Lock()
+				if !rep.crashed.Load() {
+					rep.cons.Load().Stop()
+					rep.wg.Wait()
+				}
+				rep.mu.Unlock()
+			}
 		}
 		c.net.Close()
 	})

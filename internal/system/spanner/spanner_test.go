@@ -118,13 +118,14 @@ func TestSmallbankConservation(t *testing.T) {
 	}
 	total := int64(0)
 	for _, sh := range c.shards {
-		sh.mu.Lock()
-		for k, v := range sh.state {
+		st := sh.replicas[0].st.Load()
+		st.mu.Lock()
+		for k, v := range st.state {
 			if len(k) > 4 && (k[:4] == "chk:" || k[:4] == "sav:") {
 				total += contract.DecodeInt64(v)
 			}
 		}
-		sh.mu.Unlock()
+		st.mu.Unlock()
 	}
 	if total != 200 {
 		t.Fatalf("total = %d, want 200", total)

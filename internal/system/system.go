@@ -294,3 +294,31 @@ func (w *Waiters) Cancel(key string) {
 	delete(w.m, key)
 	w.mu.Unlock()
 }
+
+// Drainer controls a crash-time drain goroutine: the loop that keeps
+// consuming a crashed node's ordered stream (taking its payload-box
+// copies so entries never leak) runs until Halt, which blocks until the
+// loop has observed the stop and exited. Halt is idempotent.
+type Drainer struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewDrainer returns a Drainer; the drain loop must select on Stop and
+// close Done when it returns.
+func NewDrainer() *Drainer {
+	return &Drainer{stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Stop is the channel the drain loop selects on.
+func (d *Drainer) Stop() <-chan struct{} { return d.stop }
+
+// Finish marks the drain loop as exited; the loop defers it.
+func (d *Drainer) Finish() { close(d.done) }
+
+// Halt stops the drain loop and waits for it to exit.
+func (d *Drainer) Halt() {
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}

@@ -1,0 +1,117 @@
+package tidb
+
+import "encoding/binary"
+
+// Region-command wire codec. Commands are serialized INTO the raft log
+// entry rather than passed by payload-box handle: the handle scheme
+// (one in-memory copy per live replica) cannot survive a replica crash
+// or feed a log-replay recovery, because the box copies die with the
+// process. A self-contained log costs a copy per entry and buys the
+// whole recovery story — the leader's re-replication alone rebuilds any
+// replica.
+//
+// Layout (big-endian):
+//
+//	kind u8 | reqID u64 | del u8 | startTS u64 | commitTS u64 |
+//	klen u32 | key | plen u32 | primary | hasValue u8 | [vlen u32 | value]
+
+func encodeRegionCmd(cmd *regionCmd) []byte {
+	buf := make([]byte, 0, 31+len(cmd.key)+len(cmd.primary)+len(cmd.value))
+	buf = append(buf, byte(cmd.kind))
+	buf = binary.BigEndian.AppendUint64(buf, cmd.reqID)
+	if cmd.del {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, cmd.startTS)
+	buf = binary.BigEndian.AppendUint64(buf, cmd.commitTS)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(cmd.key)))
+	buf = append(buf, cmd.key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(cmd.primary)))
+	buf = append(buf, cmd.primary...)
+	if cmd.value == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(cmd.value)))
+	return append(buf, cmd.value...)
+}
+
+func decodeRegionCmd(buf []byte) (*regionCmd, bool) {
+	off := 0
+	u8 := func() (byte, bool) {
+		if off+1 > len(buf) {
+			return 0, false
+		}
+		b := buf[off]
+		off++
+		return b, true
+	}
+	u32 := func() (uint32, bool) {
+		if off+4 > len(buf) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(buf[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(buf) {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(buf[off:])
+		off += 8
+		return v, true
+	}
+	str := func() (string, bool) {
+		n, ok := u32()
+		if !ok || off+int(n) > len(buf) {
+			return "", false
+		}
+		s := string(buf[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
+
+	cmd := &regionCmd{}
+	k, ok := u8()
+	if !ok {
+		return nil, false
+	}
+	cmd.kind = cmdKind(k)
+	if cmd.reqID, ok = u64(); !ok {
+		return nil, false
+	}
+	del, ok := u8()
+	if !ok {
+		return nil, false
+	}
+	cmd.del = del == 1
+	if cmd.startTS, ok = u64(); !ok {
+		return nil, false
+	}
+	if cmd.commitTS, ok = u64(); !ok {
+		return nil, false
+	}
+	if cmd.key, ok = str(); !ok {
+		return nil, false
+	}
+	if cmd.primary, ok = str(); !ok {
+		return nil, false
+	}
+	hasValue, ok := u8()
+	if !ok {
+		return nil, false
+	}
+	if hasValue == 1 {
+		n, ok := u32()
+		if !ok || off+int(n) > len(buf) {
+			return nil, false
+		}
+		cmd.value = make([]byte, n)
+		copy(cmd.value, buf[off:])
+		off += int(n)
+	}
+	return cmd, off == len(buf)
+}

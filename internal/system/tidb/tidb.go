@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"dichotomy/internal/metrics"
 	"dichotomy/internal/mvcc"
 	"dichotomy/internal/occ"
+	"dichotomy/internal/recovery"
 	"dichotomy/internal/sharding"
 	"dichotomy/internal/system"
 	"dichotomy/internal/tso"
@@ -44,6 +46,22 @@ type Config struct {
 	ReplicationFactor int
 	// Link models the network; nil = zero latency.
 	Link cluster.LinkModel
+
+	// DataDir, when set together with CheckpointInterval, enables
+	// per-region-replica checkpoint chains under
+	// DataDir/region-NNN/replica-N. A recovered replica restores its own
+	// chain and has the raft leader re-replicate only the log above it.
+	DataDir string
+	// CheckpointInterval is how many applied raft entries between
+	// checkpoints; 0 disables checkpointing (recovery then replays the
+	// whole region log, which raft backfills anyway).
+	CheckpointInterval uint64
+	// CheckpointKeep bounds retained checkpoint files per replica.
+	CheckpointKeep int
+	// CheckpointMode selects full or delta region checkpoints.
+	CheckpointMode recovery.Mode
+	// CheckpointFullEvery folds delta chains every N-th checkpoint.
+	CheckpointFullEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,20 +104,35 @@ var _ system.System = (*Cluster)(nil)
 type region struct {
 	idx      int
 	replicas []*regionReplica
+	peers    []cluster.NodeID
 	waiters  *system.Waiters
-	box      *system.PayloadBox
-	nReplica int
 	reqSeq   atomic.Uint64
 }
 
 // regionReplica is one node's copy of a region: a raft member plus the
-// MVCC store the raft log applies into.
+// MVCC store the raft log applies into. Replicated commands are encoded
+// directly into log entries (see codec.go), so the log is
+// self-contained: a replica restarted with an empty log is fully
+// rebuilt by the leader's re-replication, and one restored from a
+// checkpoint chain just skips the prefix the checkpoint covers.
+//
+// cons and store are swapped atomically by crash/recover while reads
+// and proposals keep flowing; mu serializes the lifecycle transitions
+// themselves.
 type regionReplica struct {
-	cons   *raft.Node
-	store  *mvcc.Store
-	region *region
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	id       cluster.NodeID
+	ep       *cluster.Endpoint
+	region   *region
+	ckptOpts recovery.Options // zero Dir disables checkpointing
+
+	cons    atomic.Pointer[raft.Node]
+	store   atomic.Pointer[mvcc.Store]
+	applied atomic.Uint64 // newest applied raft index (checkpoint height)
+
+	mu      sync.Mutex // serializes crash/recover/close transitions
+	crashed atomic.Bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
 }
 
 // regionCmd is the replicated storage command.
@@ -114,7 +147,7 @@ type regionCmd struct {
 	primary  string
 }
 
-type cmdKind int
+type cmdKind uint8
 
 const (
 	cmdPrewrite cmdKind = iota
@@ -141,10 +174,8 @@ func New(cfg Config) *Cluster {
 	}
 	for r := 0; r < cfg.Regions; r++ {
 		reg := &region{
-			idx:      r,
-			waiters:  system.NewWaiters(),
-			box:      system.NewPayloadBox(),
-			nReplica: replicasPer,
+			idx:     r,
+			waiters: system.NewWaiters(),
 		}
 		peers := make([]cluster.NodeID, replicasPer)
 		for i := range peers {
@@ -154,22 +185,33 @@ func New(cfg Config) *Cluster {
 			node := (r + i) % cfg.StorageNodes
 			peers[i] = cluster.NodeID(100000 + r*1000 + node)
 		}
-		for _, id := range peers {
+		reg.peers = peers
+		for i, id := range peers {
 			rep := &regionReplica{
-				cons: raft.New(raft.Config{
-					ID:       id,
-					Peers:    peers,
-					Endpoint: c.net.Register(id, 8192),
-				}),
-				store:  mvcc.NewStore(),
+				id:     id,
+				ep:     c.net.Register(id, 8192),
 				region: reg,
-				stopCh: make(chan struct{}),
+			}
+			if cfg.DataDir != "" && cfg.CheckpointInterval > 0 {
+				rep.ckptOpts = recovery.Options{
+					Dir: filepath.Join(cfg.DataDir,
+						fmt.Sprintf("region-%03d", r), fmt.Sprintf("replica-%d", i)),
+					Interval:  cfg.CheckpointInterval,
+					Keep:      cfg.CheckpointKeep,
+					Mode:      cfg.CheckpointMode,
+					FullEvery: cfg.CheckpointFullEvery,
+				}
 			}
 			reg.replicas = append(reg.replicas, rep)
 		}
 		for _, rep := range reg.replicas {
-			rep.wg.Add(1)
-			go rep.applyLoop()
+			if _, _, err := rep.start(false); err != nil {
+				// A pre-existing corrupt chain directory is the only way
+				// here; run without checkpoints rather than fail — the
+				// raft log still fully rebuilds the replica.
+				rep.ckptOpts = recovery.Options{}
+				_, _, _ = rep.start(false)
+			}
 		}
 		c.regions = append(c.regions, reg)
 	}
@@ -179,16 +221,28 @@ func New(cfg Config) *Cluster {
 // Name implements system.System.
 func (c *Cluster) Name() string { return "tidb" }
 
+// SetFaults installs (or, with nil, removes) a message-fault hook on the
+// cluster's transport — the chaos layer's drop/delay/reorder seam.
+func (c *Cluster) SetFaults(hook cluster.FaultHook) { c.net.SetFaults(hook) }
+
 // Close implements system.System.
 func (c *Cluster) Close() {
 	c.closeOne.Do(func() {
 		for _, reg := range c.regions {
 			for _, rep := range reg.replicas {
-				close(rep.stopCh)
+				rep.mu.Lock()
+				if !rep.crashed.Load() {
+					close(rep.stopCh)
+				}
+				rep.mu.Unlock()
 			}
 			for _, rep := range reg.replicas {
-				rep.cons.Stop()
-				rep.wg.Wait()
+				rep.mu.Lock()
+				if !rep.crashed.Load() {
+					rep.cons.Load().Stop()
+					rep.wg.Wait()
+				}
+				rep.mu.Unlock()
 			}
 		}
 		c.net.Close()
@@ -200,106 +254,175 @@ func (c *Cluster) regionOf(key string) *region {
 	return c.regions[c.part.Shard(key)]
 }
 
+// start boots (or re-boots) the replica: restore its checkpoint chain
+// when one is configured, join the raft group on the replica's fixed
+// endpoint, and run the apply loop. Entries at or below the restored
+// height are skipped — their effects are already in the checkpoint —
+// and everything above arrives through the leader's ordinary log
+// re-replication. rejoin distinguishes a post-crash reboot from initial
+// construction: a rebooted replica lost its raft log and must sit out
+// elections until re-replication catches it up (raft.Config.Recovering),
+// while at construction every replica is equally empty and someone has
+// to campaign. Callers hold rr.mu (or are constructing the cluster).
+func (rr *regionReplica) start(rejoin bool) (skipTo uint64, ckptBytes int64, err error) {
+	store := mvcc.NewStore()
+	var ckpt *recovery.ChainWriter
+	if rr.ckptOpts.Dir != "" {
+		w, err := recovery.OpenChainWriter(rr.ckptOpts)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := w.Restore(func(key string, value []byte, _ txn.Version) error {
+			return store.SetEntry(key, value)
+		}); err != nil {
+			return 0, 0, err
+		}
+		ckpt, skipTo, ckptBytes = w, w.LastHeight(), w.RestoredBytes()
+	}
+	cons := raft.New(raft.Config{ID: rr.id, Peers: rr.region.peers, Endpoint: rr.ep, Recovering: rejoin})
+	rr.store.Store(store)
+	rr.cons.Store(cons)
+	rr.applied.Store(skipTo)
+	stopCh := make(chan struct{})
+	rr.stopCh = stopCh
+	rr.wg.Add(1)
+	go rr.applyLoop(cons, store, ckpt, skipTo, stopCh)
+	return skipTo, ckptBytes, nil
+}
+
 // applyLoop applies committed region commands to the replica's MVCC store.
 // The command outcome is deterministic given the log prefix, so every
 // replica computes the same result; the replica that holds the waiter
-// resolves it.
-func (rr *regionReplica) applyLoop() {
+// resolves it. All loop state is passed by value so a crash/recover
+// swap of the replica's cons/store never races a stale loop.
+func (rr *regionReplica) applyLoop(cons *raft.Node, store *mvcc.Store, ckpt *recovery.ChainWriter, skipTo uint64, stopCh chan struct{}) {
 	defer rr.wg.Done()
 	for {
 		select {
-		case <-rr.stopCh:
+		case <-stopCh:
 			return
-		case e, ok := <-rr.cons.Committed():
+		case e, ok := <-cons.Committed():
 			if !ok {
 				return
 			}
-			rr.apply(e)
+			if e.Index <= skipTo {
+				// Covered by the restored checkpoint; re-applying would
+				// double-append versions.
+				continue
+			}
+			reqID, res, ok := rr.apply(store, e)
+			// Publish the applied index BEFORE resolving the waiter:
+			// reads route to the most-caught-up live replica, so a
+			// resolved request is guaranteed visible to the next read.
+			rr.applied.Store(e.Index)
+			if ok {
+				rr.region.waiters.Resolve(waiterKey(reqID), res)
+			}
+			if ckpt != nil {
+				// A failed checkpoint write only degrades durability —
+				// recovery falls back to a longer log replay — so the
+				// apply path keeps going.
+				_ = ckpt.MaybeCheckpoint(e.Index, func(emit func(key string, value []byte, ver txn.Version)) {
+					store.DumpEntries(func(key string, entry []byte) {
+						emit(key, entry, txn.Version{})
+					})
+				})
+			}
 		}
 	}
 }
 
-func (rr *regionReplica) apply(e consensus.Entry) {
-	id, ok := system.HandleID(e.Data)
+func (rr *regionReplica) apply(store *mvcc.Store, e consensus.Entry) (reqID uint64, res system.Result, ok bool) {
+	cmd, ok := decodeRegionCmd(e.Data)
 	if !ok {
-		return
+		return 0, system.Result{}, false
 	}
-	v, ok := rr.region.box.Take(id)
-	if !ok {
-		return
-	}
-	cmd := v.(*regionCmd)
 	var err error
 	switch cmd.kind {
 	case cmdPrewrite:
-		err = rr.store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.primary)
+		err = store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.primary)
 	case cmdCommit:
-		err = rr.store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
+		err = store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
 	case cmdRollback:
-		rr.store.Rollback(cmd.key, cmd.startTS)
+		store.Rollback(cmd.key, cmd.startTS)
 	case cmdRawPut:
-		if err = rr.store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.key); err == nil {
-			err = rr.store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
+		if err = store.Prewrite(cmd.key, cmd.value, cmd.del, cmd.startTS, cmd.key); err == nil {
+			err = store.Commit(cmd.key, cmd.startTS, cmd.commitTS)
 		}
 	}
-	rr.region.waiters.Resolve(waiterKey(cmd.reqID), system.Result{Committed: err == nil, Err: err})
+	return cmd.reqID, system.Result{Committed: err == nil, Err: err}, true
 }
 
 func waiterKey(reqID uint64) string { return fmt.Sprintf("r%d", reqID) }
 
 // propose replicates a command through the region's raft group and waits
-// for its application outcome.
+// for its application outcome. The command is encoded into the log entry
+// itself, so the replicated history is self-contained — the property
+// region recovery replays against.
 func (reg *region) propose(cmd *regionCmd) error {
 	cmd.reqID = reg.reqSeq.Add(1)
 	done := reg.waiters.Register(waiterKey(cmd.reqID))
-	// Each replica holds a copy of the box entry until applied.
-	id := reg.box.Put(cmd, reg.nReplica)
-	payload := system.EncodeHandle(id)
+	payload := encodeRegionCmd(cmd)
 	deadline := time.Now().Add(30 * time.Second)
+	// Re-propose until the command is applied. A proposal accepted by a
+	// replica that crashes before replicating it is silently lost;
+	// waiting on it alone would stall the client 30s and — worse — leave
+	// a prewritten Percolator lock dangling forever. Duplicate
+	// application is safe: every replica applies the same log, and a
+	// second prewrite/commit/rollback of the same (key, startTS) is a
+	// deterministic no-op or error whose result no waiter observes.
 	for {
 		proposed := false
 		for _, rep := range reg.replicas {
-			if rep.cons.Propose(payload) == nil {
+			if rep.crashed.Load() {
+				continue
+			}
+			if rep.cons.Load().Propose(payload) == nil {
 				proposed = true
 				break
 			}
 		}
-		if proposed {
-			break
+		if !proposed {
+			if time.Now().After(deadline) {
+				reg.waiters.Cancel(waiterKey(cmd.reqID))
+				return errors.New("tidb: region leaderless")
+			}
+			//lint:allow sleepyloop bounded retry backoff while the region re-elects
+			time.Sleep(time.Millisecond)
+			continue
 		}
-		if time.Now().After(deadline) {
-			reg.waiters.Cancel(waiterKey(cmd.reqID))
-			return errors.New("tidb: region leaderless")
+		select {
+		case r := <-done:
+			return r.Err
+		case <-time.After(100 * time.Millisecond):
+			if time.Now().After(deadline) {
+				reg.waiters.Cancel(waiterKey(cmd.reqID))
+				return errors.New("tidb: region apply timeout")
+			}
 		}
-		//lint:allow sleepyloop bounded retry backoff while the region re-elects
-		time.Sleep(time.Millisecond)
-	}
-	select {
-	case r := <-done:
-		return r.Err
-	case <-time.After(30 * time.Second):
-		reg.waiters.Cancel(waiterKey(cmd.reqID))
-		return errors.New("tidb: region apply timeout")
 	}
 }
 
 // leaderStore returns the current leader replica's MVCC store for reads.
 func (reg *region) leaderStore() *mvcc.Store {
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		for _, rep := range reg.replicas {
-			if rep.cons.IsLeader() {
-				return rep.store
-			}
+	// Route reads to the most-caught-up live replica. Any replica's
+	// apply resolves the request waiter (after publishing its applied
+	// index), so the maximum applied index is ≥ every resolved entry —
+	// read-your-writes holds without waiting for an election.
+	var best *regionReplica
+	var bestApplied uint64
+	for _, rep := range reg.replicas {
+		if rep.crashed.Load() {
+			continue
 		}
-		if time.Now().After(deadline) {
-			// Fall back to any replica; stale reads only happen during
-			// elections, which the experiments don't exercise.
-			return reg.replicas[0].store
+		if a := rep.applied.Load(); best == nil || a > bestApplied {
+			best, bestApplied = rep, a
 		}
-		//lint:allow sleepyloop bounded wait for a leader during elections
-		time.Sleep(time.Millisecond)
 	}
+	if best == nil {
+		return reg.replicas[0].store.Load()
+	}
+	return best.store.Load()
 }
 
 // --- the SQL/transaction front end ---
@@ -734,7 +857,7 @@ func (c *Cluster) RawGet(key string) ([]byte, error) {
 func (c *Cluster) StateBytes() int64 {
 	var total int64
 	for _, reg := range c.regions {
-		total += reg.replicas[0].store.Bytes()
+		total += reg.replicas[0].store.Load().Bytes()
 	}
 	return total
 }
